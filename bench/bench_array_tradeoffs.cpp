@@ -1,0 +1,103 @@
+// E13 -- extension: whole-memory figures. The paper tracks one codeword and
+// notes the extension to the whole memory is straightforward; Section 2
+// lists scrubbing's drawbacks (availability, power) without numbers. This
+// bench produces both: array-level loss probability / MTTDL for a 1 Mi-word
+// SSMM, and the scrub duty-cycle / availability / power price of each
+// scrubbing period.
+#include "bench_common.h"
+#include "core/units.h"
+#include "markov/uniformization.h"
+#include "models/memory_array.h"
+#include "models/metrics.h"
+#include "reliability/scrub_overhead.h"
+
+using namespace rsmem;
+
+int main() {
+  bench::print_header(
+      "bench_array_tradeoffs", "whole-memory & scrub-cost study (E13)",
+      "1 Mi-word array: loss probability, MTTDL, scrub availability/power");
+
+  const std::size_t kWords = 1u << 20;
+  const markov::UniformizationSolver solver;
+  bench::ShapeChecks checks;
+
+  // --- array-level loss over the mission, RS(18,16) simplex words. -------
+  models::SimplexParams word;
+  word.n = 18;
+  word.k = 16;
+  word.m = 8;
+  word.erasure_rate_per_symbol_hour = core::per_day_to_per_hour(1e-7);
+  const std::vector<double> times{core::months_to_hours(6.0),
+                                  core::months_to_hours(12.0),
+                                  core::months_to_hours(24.0)};
+  const models::BerCurve curve =
+      models::simplex_ber_curve(word, times, solver);
+  analysis::Table array_table{
+      {"months", "word P_fail", "E[failed words]", "P(array loss)"}};
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double p = curve.fail_probability[i];
+    array_table.add_row(
+        {analysis::format_fixed(core::hours_to_months(times[i]), 0),
+         analysis::format_sci(p),
+         analysis::format_fixed(models::expected_failed_words(p, kWords), 3),
+         analysis::format_sci(models::array_loss_probability(p, kWords))});
+  }
+  std::printf("%s", array_table.to_text().c_str());
+
+  const double word_p24 = curve.fail_probability.back();
+  checks.expect(
+      models::array_loss_probability(word_p24, kWords) >
+          models::array_loss_probability(word_p24, kWords / 1024),
+      "bigger arrays lose data more often");
+  checks.expect(models::array_loss_probability(word_p24, kWords) < 1.0,
+                "array loss probability below saturation at these rates");
+
+  // --- MTTDL vs array size. ----------------------------------------------
+  models::SimplexParams fast = word;
+  fast.erasure_rate_per_symbol_hour = 1e-3;  // accelerated for integration
+  analysis::Table mttdl_table{{"words", "MTTDL [h]"}};
+  double prev_mttdl = 1e300;
+  for (const std::size_t w : {std::size_t{1}, std::size_t{64},
+                              std::size_t{4096}}) {
+    const double mttdl = models::array_mttdl_hours(fast, w, 20000.0);
+    mttdl_table.add_row({std::to_string(w), analysis::format_fixed(mttdl, 1)});
+    checks.expect(mttdl < prev_mttdl,
+                  "MTTDL decreases with array size (W=" + std::to_string(w) +
+                      ")");
+    prev_mttdl = mttdl;
+  }
+  std::printf("%s", mttdl_table.to_text().c_str());
+
+  // --- scrub overhead: availability / power vs Tsc (Section 2 drawbacks).
+  const reliability::DecoderCostModel cost_model;
+  reliability::ScrubOverheadParams oh_params;
+  oh_params.words = kWords;
+  analysis::Table oh_table{{"code", "Tsc [s]", "pass [ms]", "duty",
+                            "availability", "avg power [mW]"}};
+  for (const unsigned n : {18u, 36u}) {
+    for (const double tsc_s : {900.0, 3600.0}) {
+      const reliability::ScrubOverhead oh =
+          reliability::scrub_overhead(cost_model, n, 16, tsc_s, oh_params);
+      char code[16];
+      std::snprintf(code, sizeof code, "RS(%u,16)", n);
+      oh_table.add_row({code, analysis::format_fixed(tsc_s, 0),
+                        analysis::format_fixed(oh.pass_seconds * 1e3, 2),
+                        analysis::format_sci(oh.duty_fraction, 2),
+                        analysis::format_fixed(oh.availability, 6),
+                        analysis::format_fixed(
+                            oh.average_power_watts * 1e3, 3)});
+    }
+  }
+  std::printf("%s", oh_table.to_text().c_str());
+  const auto narrow =
+      reliability::scrub_overhead(cost_model, 18, 16, 900.0, oh_params);
+  const auto wide =
+      reliability::scrub_overhead(cost_model, 36, 16, 900.0, oh_params);
+  checks.expect(wide.duty_fraction > narrow.duty_fraction,
+                "RS(36,16) scrub pass costs more availability than "
+                "RS(18,16) (Td 308 vs 74)");
+  checks.expect(narrow.availability > 0.99,
+                "RS(18,16) hourly-class scrubbing keeps availability > 99%");
+  return checks.exit_code();
+}

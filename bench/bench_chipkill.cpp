@@ -1,0 +1,58 @@
+// E23 -- extension: correlated chip-granular faults vs the independent-word
+// approximation. In the bit-sliced SSMM (one chip per symbol position,
+// reference [6] of the paper) a chip failure erases the SAME symbol of
+// every word, so the whole array shares one erasure budget and its loss
+// probability equals ONE word's -- while the independent-word reading of
+// "the extension to the whole memory is straightforward" over-predicts the
+// loss by a factor ~W.
+#include "bench_common.h"
+#include "core/units.h"
+#include "models/chipkill.h"
+
+using namespace rsmem;
+
+int main() {
+  bench::print_header(
+      "bench_chipkill", "chip-kill correlation study (E23)",
+      "bit-sliced SSMM: correlated chip faults vs independent-word model");
+
+  const double chip_rate = 2.4e-6 / 18.0;  // per chip per hour
+  analysis::Table table{{"months", "P(loss) chip-kill",
+                         "P(loss) indep (W=1Ki)", "indep/correlated"}};
+  bench::ShapeChecks checks;
+  const std::size_t words = 1024;
+  for (const double months : {6.0, 12.0, 24.0}) {
+    const double t = core::months_to_hours(months);
+    const double correlated =
+        1.0 - models::chipkill_array_survival(18, 16, chip_rate, t);
+    const double independent =
+        1.0 -
+        models::independent_word_array_survival(18, 16, chip_rate, t, words);
+    table.add_row({analysis::format_fixed(months, 0),
+                   analysis::format_sci(correlated),
+                   analysis::format_sci(independent),
+                   analysis::format_fixed(independent / correlated, 1)});
+    checks.expect(independent > correlated * (words / 2.0),
+                  "independent-word model pessimistic by ~W at " +
+                      analysis::format_fixed(months, 0) + " months");
+  }
+  std::printf("%s", table.to_text().c_str());
+
+  // RS(36,16) chips: 36 chips at the same rate, budget 20 -> the wide code
+  // makes chip-kill loss essentially unobservable.
+  const double t24 = core::months_to_hours(24.0);
+  const double wide =
+      1.0 - models::chipkill_array_survival(36, 16, chip_rate, t24);
+  const double narrow =
+      1.0 - models::chipkill_array_survival(18, 16, chip_rate, t24);
+  std::printf("24-month chip-kill loss: RS(18,16) %.3E vs RS(36,16) %.3E\n",
+              narrow, wide);
+  checks.expect(wide < narrow * 1e-6,
+                "RS(36,16) absorbs chip deaths (20-chip budget)");
+  std::printf(
+      "\nreading: under the real bit-sliced organization the array's\n"
+      "permanent-fault reliability does NOT degrade with capacity -- the\n"
+      "i.i.d.-word extension is pessimistic by the word count. Transient\n"
+      "(SEU) failures remain word-local and independent.\n");
+  return checks.exit_code();
+}

@@ -1,0 +1,170 @@
+// E10 -- microbenchmarks (google-benchmark): RS codec encode/decode
+// throughput for the paper's codes, chain construction, and transient
+// solves. These are engineering numbers for library users, not paper
+// artifacts.
+#include <benchmark/benchmark.h>
+
+#include "markov/uniformization.h"
+#include "models/ber.h"
+#include "models/duplex_model.h"
+#include "models/simplex_model.h"
+#include "rs/berlekamp.h"
+#include "rs/reed_solomon.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace rsmem;
+
+const rs::ReedSolomon& code1816() {
+  static const rs::ReedSolomon code{18, 16, 8};
+  return code;
+}
+const rs::ReedSolomon& code3616() {
+  static const rs::ReedSolomon code{36, 16, 8};
+  return code;
+}
+const rs::ReedSolomon& code255223() {
+  static const rs::ReedSolomon code{255, 223, 8};
+  return code;
+}
+
+std::vector<gf::Element> random_data(const rs::ReedSolomon& code,
+                                     std::uint64_t seed) {
+  sim::Rng rng{seed};
+  std::vector<gf::Element> data(code.k());
+  for (auto& d : data) {
+    d = static_cast<gf::Element>(rng.uniform_int(code.field().size()));
+  }
+  return data;
+}
+
+void BM_Encode(benchmark::State& state, const rs::ReedSolomon& code) {
+  const auto data = random_data(code, 1);
+  std::vector<gf::Element> cw(code.n());
+  for (auto _ : state) {
+    code.encode(data, cw);
+    benchmark::DoNotOptimize(cw.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          code.k() * code.m() / 8);
+}
+
+void BM_DecodeClean(benchmark::State& state, const rs::ReedSolomon& code) {
+  const auto cw = code.encode(random_data(code, 2));
+  std::vector<gf::Element> word = cw;
+  for (auto _ : state) {
+    word = cw;
+    const auto outcome = code.decode(word);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+
+void BM_DecodeOneError(benchmark::State& state, const rs::ReedSolomon& code) {
+  const auto cw = code.encode(random_data(code, 3));
+  std::vector<gf::Element> word;
+  unsigned pos = 0;
+  for (auto _ : state) {
+    word = cw;
+    word[pos % code.n()] ^= 0x2A;
+    ++pos;
+    const auto outcome = code.decode(word);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+
+void BM_DecodeErasuresPlusError(benchmark::State& state,
+                                const rs::ReedSolomon& code) {
+  const auto cw = code.encode(random_data(code, 4));
+  const unsigned budget = code.parity_symbols();
+  const unsigned erasure_count = budget > 2 ? budget - 2 : 0;
+  std::vector<unsigned> erasures;
+  for (unsigned i = 0; i < erasure_count; ++i) erasures.push_back(i);
+  std::vector<gf::Element> word;
+  for (auto _ : state) {
+    word = cw;
+    for (const unsigned p : erasures) word[p] ^= 0x11;
+    word[code.n() - 1] ^= 0x55;
+    const auto outcome = code.decode(word, erasures);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+
+void BM_BerlekampDecodeOneError(benchmark::State& state,
+                                const rs::ReedSolomon& code) {
+  const rs::BerlekampDecoder decoder{code};
+  const auto cw = code.encode(random_data(code, 5));
+  std::vector<gf::Element> word;
+  unsigned pos = 0;
+  for (auto _ : state) {
+    word = cw;
+    word[pos % code.n()] ^= 0x2A;
+    ++pos;
+    const auto outcome = decoder.decode(word);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+
+void BM_BuildSimplexChain(benchmark::State& state) {
+  models::SimplexParams p;
+  p.n = 36;
+  p.k = 16;
+  p.m = 8;
+  p.seu_rate_per_bit_hour = 1e-5;
+  p.erasure_rate_per_symbol_hour = 1e-6;
+  p.scrub_rate_per_hour = 1.0;
+  for (auto _ : state) {
+    const markov::StateSpace space = models::SimplexModel{p}.build();
+    benchmark::DoNotOptimize(space.size());
+  }
+}
+
+void BM_BuildDuplexChain(benchmark::State& state) {
+  models::DuplexParams p;
+  p.n = 18;
+  p.k = 16;
+  p.m = 8;
+  p.seu_rate_per_bit_hour = 1e-5;
+  p.erasure_rate_per_symbol_hour = 1e-6;
+  p.scrub_rate_per_hour = 1.0;
+  for (auto _ : state) {
+    const markov::StateSpace space = models::DuplexModel{p}.build();
+    benchmark::DoNotOptimize(space.size());
+  }
+}
+
+void BM_SolveDuplex48hScrubbed(benchmark::State& state) {
+  models::DuplexParams p;
+  p.n = 18;
+  p.k = 16;
+  p.m = 8;
+  p.seu_rate_per_bit_hour = 7e-7;
+  p.scrub_rate_per_hour = 4.0;  // Tsc = 900 s: the stiffest paper case
+  const markov::StateSpace space = models::DuplexModel{p}.build();
+  const markov::UniformizationSolver solver;
+  for (auto _ : state) {
+    const auto pi = solver.solve(space.chain, 48.0);
+    benchmark::DoNotOptimize(pi.data());
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Encode, rs1816, code1816());
+BENCHMARK_CAPTURE(BM_Encode, rs3616, code3616());
+BENCHMARK_CAPTURE(BM_Encode, rs255_223, code255223());
+BENCHMARK_CAPTURE(BM_DecodeClean, rs1816, code1816());
+BENCHMARK_CAPTURE(BM_DecodeClean, rs3616, code3616());
+BENCHMARK_CAPTURE(BM_DecodeClean, rs255_223, code255223());
+BENCHMARK_CAPTURE(BM_DecodeOneError, rs1816, code1816());
+BENCHMARK_CAPTURE(BM_DecodeOneError, rs3616, code3616());
+BENCHMARK_CAPTURE(BM_DecodeOneError, rs255_223, code255223());
+BENCHMARK_CAPTURE(BM_DecodeErasuresPlusError, rs3616, code3616());
+BENCHMARK_CAPTURE(BM_DecodeErasuresPlusError, rs255_223, code255223());
+BENCHMARK_CAPTURE(BM_BerlekampDecodeOneError, rs1816, code1816());
+BENCHMARK_CAPTURE(BM_BerlekampDecodeOneError, rs255_223, code255223());
+BENCHMARK(BM_BuildSimplexChain);
+BENCHMARK(BM_BuildDuplexChain);
+BENCHMARK(BM_SolveDuplex48hScrubbed);
+
+BENCHMARK_MAIN();

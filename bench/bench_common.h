@@ -1,0 +1,88 @@
+// Shared helpers for the per-figure bench binaries.
+//
+// Every bench prints (a) the paper artifact it regenerates, (b) a CSV block
+// with the exact series, (c) an ASCII semi-log plot shaped like the paper's
+// figure, and (d) PASS/FAIL shape assertions from DESIGN.md section 4.
+#ifndef RSMEM_BENCH_BENCH_COMMON_H
+#define RSMEM_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/ascii_plot.h"
+#include "analysis/experiment.h"
+#include "analysis/table.h"
+
+namespace rsmem::bench {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_artifact,
+                         const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s  --  reproduces %s\n", experiment.c_str(),
+              paper_artifact.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void print_series_csv(const std::vector<analysis::Series>& series,
+                             const std::string& x_name) {
+  analysis::Table table{[&] {
+    std::vector<std::string> headers{x_name};
+    for (const auto& s : series) headers.push_back(s.label);
+    return headers;
+  }()};
+  if (!series.empty()) {
+    for (std::size_t i = 0; i < series.front().x.size(); ++i) {
+      std::vector<std::string> row{analysis::format_fixed(series.front().x[i], 2)};
+      for (const auto& s : series) row.push_back(analysis::format_sci(s.y[i]));
+      table.add_row(std::move(row));
+    }
+  }
+  std::printf("%s", table.to_csv().c_str());
+}
+
+inline void print_plot(const std::vector<analysis::Series>& series,
+                       const std::string& title, const std::string& x_label) {
+  analysis::PlotOptions options;
+  options.title = title;
+  options.x_label = x_label;
+  std::printf("%s", analysis::render_plot(series, options).c_str());
+}
+
+// Tracks shape assertions and the process exit code.
+class ShapeChecks {
+ public:
+  void expect(bool condition, const std::string& what) {
+    std::printf("[%s] %s\n", condition ? "PASS" : "FAIL", what.c_str());
+    if (!condition) failed_ = true;
+  }
+  int exit_code() const { return failed_ ? 1 : 0; }
+
+ private:
+  bool failed_ = false;
+};
+
+// True if `v` is non-decreasing within floating tolerance.
+inline bool non_decreasing(const std::vector<double>& v, double tol = 1e-15) {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] + tol < v[i - 1]) return false;
+  }
+  return true;
+}
+
+// True if every element of `lo` is <= the matching element of `hi` (with a
+// multiplicative slack for values near the solver floor).
+inline bool dominated(const std::vector<double>& lo,
+                      const std::vector<double>& hi, double floor = 1e-250) {
+  for (std::size_t i = 0; i < lo.size() && i < hi.size(); ++i) {
+    if (lo[i] <= floor && hi[i] <= floor) continue;
+    if (lo[i] > hi[i] * (1.0 + 1e-9) + floor) return false;
+  }
+  return true;
+}
+
+}  // namespace rsmem::bench
+
+#endif  // RSMEM_BENCH_BENCH_COMMON_H

@@ -1,0 +1,57 @@
+// E7 -- paper Section 6 decoder-complexity comparison:
+//   Td ~= 3n + 10(n-k):  RS(36,16) -> 308 cycles, RS(18,16) -> 74 cycles
+//   ("the decoding access time ... is more than four times higher"), and
+//   one RS(36,16) decoder needs more area than two RS(18,16) decoders.
+#include "bench_common.h"
+#include "core/api.h"
+#include "reliability/decoder_cost.h"
+
+using namespace rsmem;
+
+int main() {
+  bench::print_header("bench_decoder_complexity", "Section 6 (Td/area table)",
+                      "decoder latency and area of the three arrangements");
+
+  const reliability::DecoderCostModel model;
+  struct Row {
+    const char* name;
+    unsigned n, k;
+    reliability::ArrangementCost cost;
+  };
+  const Row rows[] = {
+      {"simplex RS(18,16)", 18, 16, reliability::simplex_cost(model, 18, 16, 8)},
+      {"duplex  RS(18,16)", 18, 16, reliability::duplex_cost(model, 18, 16, 8)},
+      {"simplex RS(36,16)", 36, 16, reliability::simplex_cost(model, 36, 16, 8)},
+  };
+
+  analysis::Table table{{"arrangement", "n", "k", "Td [cycles]",
+                         "codec area [gates]"}};
+  for (const Row& r : rows) {
+    table.add_row({r.name, std::to_string(r.n), std::to_string(r.k),
+                   analysis::format_fixed(r.cost.decode_cycles, 0),
+                   analysis::format_fixed(r.cost.area_gates, 0)});
+  }
+  std::printf("%s", table.to_text().c_str());
+
+  bench::ShapeChecks checks;
+  checks.expect(rows[0].cost.decode_cycles == 74.0,
+                "Td(RS(18,16)) = 3*18 + 10*2 = 74 cycles (paper value)");
+  checks.expect(rows[2].cost.decode_cycles == 308.0,
+                "Td(RS(36,16)) = 3*36 + 10*20 = 308 cycles (paper value)");
+  checks.expect(
+      rows[2].cost.decode_cycles / rows[1].cost.decode_cycles > 4.0,
+      "RS(36,16) access time more than 4x the duplex RS(18,16)");
+  checks.expect(rows[2].cost.area_gates > rows[1].cost.area_gates,
+                "one RS(36,16) decoder larger than two RS(18,16) decoders");
+
+  // Same comparison through the public facade.
+  core::MemorySystemSpec duplex;
+  duplex.arrangement = analysis::Arrangement::kDuplex;
+  core::MemorySystemSpec wide;
+  wide.code = {36, 16, 8, 1};
+  checks.expect(codec_cost(wide).decode_cycles ==
+                    rows[2].cost.decode_cycles &&
+                codec_cost(duplex).area_gates == rows[1].cost.area_gates,
+                "facade codec_cost matches the model");
+  return checks.exit_code();
+}

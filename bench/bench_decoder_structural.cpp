@@ -1,0 +1,66 @@
+// E16 -- extension of Section 6: derive decoder latency and area from a
+// STRUCTURAL pipeline model (syndrome / RiBM key-equation / Chien-Forney,
+// gate-level GF operator costs) instead of the paper's fitted
+// Td ~= 3n + 10(n-k), and confirm the paper's two hardware claims emerge
+// from structure: the >4x access-time gap and the area ordering.
+#include "bench_common.h"
+#include "hw/codec_hw_model.h"
+#include "reliability/decoder_cost.h"
+
+using namespace rsmem;
+
+int main() {
+  bench::print_header(
+      "bench_decoder_structural", "Section 6 structural hardware study (E16)",
+      "gate-level codec pipeline model vs the paper's fitted cost model");
+
+  const reliability::DecoderCostModel fit;
+  analysis::Table table{{"code", "Td fit [cyc]", "Td structural [cyc]",
+                         "syn/keyeq/chien", "gates", "registers [bits]",
+                         "multipliers"}};
+  struct Code {
+    unsigned n, k;
+  };
+  const Code codes[] = {{18, 16}, {20, 16}, {24, 16}, {36, 16}, {255, 223}};
+  for (const Code& c : codes) {
+    const hw::HwEstimate est = hw::decoder_estimate(c.n, c.k, 8);
+    const hw::DecodeLatencyBreakdown b =
+        hw::decode_latency_breakdown(c.n, c.k, 8);
+    char name[16], split[32];
+    std::snprintf(name, sizeof name, "RS(%u,%u)", c.n, c.k);
+    std::snprintf(split, sizeof split, "%.0f/%.0f/%.0f", b.syndrome,
+                  b.key_equation, b.chien_forney);
+    table.add_row({name, analysis::format_fixed(fit.decode_cycles(c.n, c.k), 0),
+                   analysis::format_fixed(est.latency_cycles, 0), split,
+                   analysis::format_fixed(est.gate_count, 0),
+                   analysis::format_fixed(est.register_bits, 0),
+                   analysis::format_fixed(est.multiplier_count, 0)});
+  }
+  std::printf("%s", table.to_text().c_str());
+
+  bench::ShapeChecks checks;
+  const hw::HwEstimate d1816 = hw::decoder_estimate(18, 16, 8);
+  const hw::HwEstimate d3616 = hw::decoder_estimate(36, 16, 8);
+  // Both models have the affine a*n + b*(n-k) form; the structural b is
+  // smaller (RiBM iterates once per check symbol) but the paper's ordering
+  // claims must still emerge.
+  checks.expect(
+      d3616.latency_cycles / d1816.latency_cycles > 2.0,
+      "structural access-time gap RS(36,16) vs RS(18,16) is large (>2x)");
+  checks.expect(d3616.gate_count > 2.0 * d1816.gate_count,
+                "structural area: one RS(36,16) > two RS(18,16) decoders");
+  // Encoder is far cheaper than the decoder.
+  const hw::HwEstimate enc = hw::encoder_estimate(18, 16, 8);
+  checks.expect(enc.gate_count < d1816.gate_count / 5.0,
+                "encoder is a small fraction of the decoder");
+  // The fitted model's area ratio agrees with the structural one within 2x.
+  const double fit_ratio =
+      fit.area_gates(36, 16, 8) / fit.area_gates(18, 16, 8);
+  const double struct_ratio = d3616.gate_count / d1816.gate_count;
+  checks.expect(struct_ratio > fit_ratio / 2.0 &&
+                    struct_ratio < fit_ratio * 2.0,
+                "structural vs fitted area ratio agree within 2x (" +
+                    analysis::format_fixed(struct_ratio, 2) + " vs " +
+                    analysis::format_fixed(fit_ratio, 2) + ")");
+  return checks.exit_code();
+}

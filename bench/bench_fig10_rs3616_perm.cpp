@@ -1,0 +1,49 @@
+// E6 -- Fig. 10 of the paper: BER of simplex RS(36,16) under permanent-fault
+// rates lambda_e in {1e-4 .. 1e-10} per symbol per day, 24 months. The code
+// needs 21 erased symbols to die, so curves fall off the bottom of even the
+// paper's 1e-200 axis for small rates.
+#include "bench_common.h"
+
+using namespace rsmem;
+
+int main() {
+  bench::print_header(
+      "bench_fig10_rs3616_perm", "Figure 10",
+      "BER(t) of simplex RS(36,16), permanent faults only, 24 months");
+
+  const double rates[] = {1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10};
+  const analysis::CodeSpec wide{36, 16, 8};
+  const analysis::CodeSpec narrow{18, 16, 8};
+  const std::vector<analysis::Series> rs3616 = analysis::permanent_rate_sweep(
+      analysis::Arrangement::kSimplex, wide, rates, 24.0, 25);
+
+  bench::print_series_csv(rs3616, "months");
+  analysis::PlotOptions opt;
+  opt.title = "BER of Simplex RS(36,16) varying the permanent faults rate";
+  opt.x_label = "months";
+  std::printf("%s", analysis::render_plot(rs3616, opt).c_str());
+
+  bench::ShapeChecks checks;
+  for (std::size_t i = 1; i < rs3616.size(); ++i) {
+    checks.expect(bench::dominated(rs3616[i].y, rs3616[i - 1].y, 0.0),
+                  "BER ordered by lambda_e (" + rs3616[i].label + ")");
+  }
+  // Paper ordering across Figs. 8-10: RS(36,16) simplex beats the duplex
+  // RS(18,16), which beats the simplex RS(18,16).
+  const std::vector<analysis::Series> duplex1816 =
+      analysis::permanent_rate_sweep(analysis::Arrangement::kDuplex, narrow,
+                                     rates, 24.0, 25);
+  bool beats_duplex = true;
+  for (std::size_t r = 0; r < std::size(rates); ++r) {
+    // Skip the saturated top rate where both approach their ceilings.
+    if (r == 0) continue;
+    beats_duplex = beats_duplex &&
+                   bench::dominated(rs3616[r].y, duplex1816[r].y, 0.0);
+  }
+  checks.expect(beats_duplex,
+                "RS(36,16) simplex BER <= duplex RS(18,16) BER (paper: "
+                "'degradation in performance compared with RS(36,16)')");
+  // The 1e-4 curve must still be far below 1 at small t but visible.
+  checks.expect(rs3616[0].y.back() > 1e-30, "top curve inside the plot");
+  return checks.exit_code();
+}

@@ -1,0 +1,35 @@
+// E1 -- Fig. 5 of the paper: BER of simplex RS(18,16) under different SEU
+// rates; lambda in {7.3e-7, 3.6e-6, 1.7e-5} errors/bit/day, no permanent
+// faults, no scrubbing, data stored for Tst = 48 h.
+#include "bench_common.h"
+
+using namespace rsmem;
+
+int main() {
+  bench::print_header(
+      "bench_fig5_simplex_seu", "Figure 5",
+      "BER(t) of simplex RS(18,16), SEU-only, no scrubbing, 48 h");
+
+  const double rates[] = {1.7e-5, 3.6e-6, 7.3e-7};
+  const analysis::CodeSpec code{18, 16, 8};
+  const std::vector<analysis::Series> series = analysis::seu_rate_sweep(
+      analysis::Arrangement::kSimplex, code, rates, 48.0, 25);
+
+  bench::print_series_csv(series, "hours");
+  bench::print_plot(series, "BER of Simplex RS(18,16)", "hours");
+
+  bench::ShapeChecks checks;
+  for (const auto& s : series) {
+    checks.expect(bench::non_decreasing(s.y),
+                  "BER monotone in t for " + s.label);
+  }
+  // Higher SEU rate => higher BER at every t>0 (series are rate-descending).
+  checks.expect(bench::dominated(series[1].y, series[0].y),
+                "BER(3.6e-6) <= BER(1.7e-5)");
+  checks.expect(bench::dominated(series[2].y, series[1].y),
+                "BER(7.3e-7) <= BER(3.6e-6)");
+  // Paper's Fig. 5 y-range: curves live between ~1e-12 and ~1e-4 at 48 h.
+  checks.expect(series[0].y.back() < 1e-3 && series[0].y.back() > 1e-8,
+                "worst-case 48h BER in the paper's decade range");
+  return checks.exit_code();
+}

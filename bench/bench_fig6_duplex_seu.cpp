@@ -1,0 +1,43 @@
+// E2 -- Fig. 6 of the paper: BER of duplex RS(18,16) under different SEU
+// rates; same sweep as Fig. 5, duplex arrangement.
+#include "bench_common.h"
+
+using namespace rsmem;
+
+int main() {
+  bench::print_header(
+      "bench_fig6_duplex_seu", "Figure 6",
+      "BER(t) of duplex RS(18,16), SEU-only, no scrubbing, 48 h");
+
+  const double rates[] = {1.7e-5, 3.6e-6, 7.3e-7};
+  const analysis::CodeSpec code{18, 16, 8};
+  const std::vector<analysis::Series> duplex = analysis::seu_rate_sweep(
+      analysis::Arrangement::kDuplex, code, rates, 48.0, 25);
+
+  bench::print_series_csv(duplex, "hours");
+  bench::print_plot(duplex, "BER of duplex RS(18,16)", "hours");
+
+  bench::ShapeChecks checks;
+  for (const auto& s : duplex) {
+    checks.expect(bench::non_decreasing(s.y),
+                  "BER monotone in t for " + s.label);
+  }
+  checks.expect(bench::dominated(duplex[1].y, duplex[0].y),
+                "BER ordered by SEU rate (3.6e-6 vs 1.7e-5)");
+  checks.expect(bench::dominated(duplex[2].y, duplex[1].y),
+                "BER ordered by SEU rate (7.3e-7 vs 3.6e-6)");
+
+  // Paper: "the values for the BER are in the same range" as the simplex.
+  const std::vector<analysis::Series> simplex = analysis::seu_rate_sweep(
+      analysis::Arrangement::kSimplex, code, rates, 48.0, 25);
+  bool same_range = true;
+  for (std::size_t r = 0; r < duplex.size(); ++r) {
+    const double d = duplex[r].y.back();
+    const double s = simplex[r].y.back();
+    if (d < s / 10.0 || d > s * 10.0) same_range = false;
+  }
+  checks.expect(same_range,
+                "duplex 48h BER within a decade of the simplex (paper: "
+                "'same range')");
+  return checks.exit_code();
+}

@@ -1,0 +1,46 @@
+// E4 -- Fig. 8 of the paper: BER of simplex RS(18,16) under permanent-fault
+// rates lambda_e in {1e-4 .. 1e-10} per symbol per day, 24 months, no
+// scrubbing, no SEUs.
+#include <cmath>
+
+#include "bench_common.h"
+
+using namespace rsmem;
+
+int main() {
+  bench::print_header(
+      "bench_fig8_simplex_perm", "Figure 8",
+      "BER(t) of simplex RS(18,16), permanent faults only, 24 months");
+
+  const double rates[] = {1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10};
+  const analysis::CodeSpec code{18, 16, 8};
+  const std::vector<analysis::Series> series = analysis::permanent_rate_sweep(
+      analysis::Arrangement::kSimplex, code, rates, 24.0, 25);
+
+  bench::print_series_csv(series, "months");
+  analysis::PlotOptions opt;
+  opt.title = "BER of Simplex RS(18,16) varying permanent faults rate";
+  opt.x_label = "months";
+  std::printf("%s", analysis::render_plot(series, opt).c_str());
+
+  bench::ShapeChecks checks;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    checks.expect(bench::dominated(series[i].y, series[i - 1].y, 0.0),
+                  "BER ordered by lambda_e (" + series[i].label + ")");
+  }
+  for (const auto& s : series) {
+    checks.expect(bench::non_decreasing(s.y), "monotone in t: " + s.label);
+  }
+  // Cubic small-rate scaling: fail needs 3 erasures, so each decade of
+  // lambda_e is worth ~3 decades of BER (check between the two lowest).
+  const double r = series[5].y.back() / series[6].y.back();
+  checks.expect(r > 500.0 && r < 2000.0,
+                "cubic scaling: BER(1e-9)/BER(1e-10) ~ 1e3, measured " +
+                    analysis::format_sci(r, 2));
+  // Paper Fig. 8 y-axis: top curve saturates near 1e0, the sweep spans
+  // down past 1e-18 at 24 months.
+  checks.expect(series[0].y.back() > 0.1, "lambda_e=1e-4 saturates (~1e0)");
+  checks.expect(series[6].y.back() < 1e-15 && series[6].y.back() > 1e-30,
+                "lambda_e=1e-10 lands in the far-tail decade range");
+  return checks.exit_code();
+}

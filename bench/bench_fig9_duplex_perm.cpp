@@ -1,0 +1,48 @@
+// E5 -- Fig. 9 of the paper: BER of duplex RS(18,16) under permanent-fault
+// rates lambda_e in {1e-4 .. 1e-10} per symbol per day, 24 months, no
+// scrubbing, no SEUs. The duplex needs THREE double-sided erasures to die,
+// so its BER curves sit dramatically below Fig. 8's (1e-60 decade range).
+#include "bench_common.h"
+
+using namespace rsmem;
+
+int main() {
+  bench::print_header(
+      "bench_fig9_duplex_perm", "Figure 9",
+      "BER(t) of duplex RS(18,16), permanent faults only, 24 months");
+
+  const double rates[] = {1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10};
+  const analysis::CodeSpec code{18, 16, 8};
+  const std::vector<analysis::Series> duplex = analysis::permanent_rate_sweep(
+      analysis::Arrangement::kDuplex, code, rates, 24.0, 25);
+
+  bench::print_series_csv(duplex, "months");
+  analysis::PlotOptions opt;
+  opt.title = "BER of Duplex RS(18,16) varying permanent faults rate";
+  opt.x_label = "months";
+  std::printf("%s", analysis::render_plot(duplex, opt).c_str());
+
+  bench::ShapeChecks checks;
+  for (std::size_t i = 1; i < duplex.size(); ++i) {
+    checks.expect(bench::dominated(duplex[i].y, duplex[i - 1].y, 0.0),
+                  "BER ordered by lambda_e (" + duplex[i].label + ")");
+  }
+  // Headline claim: the duplex dominates the simplex pointwise.
+  const std::vector<analysis::Series> simplex =
+      analysis::permanent_rate_sweep(analysis::Arrangement::kSimplex, code,
+                                     rates, 24.0, 25);
+  bool dominates = true;
+  for (std::size_t r = 0; r < std::size(rates); ++r) {
+    dominates = dominates && bench::dominated(duplex[r].y, simplex[r].y, 0.0);
+  }
+  checks.expect(dominates, "duplex BER <= simplex BER at every (rate, t)");
+  // The paper's Fig. 9 spans down to ~1e-60: sextic scaling (6 erasure
+  // events to reach X=3) vs the simplex's cubic.
+  const double duplex_low = duplex[4].y.back();   // 1e-8 /sym/day
+  const double simplex_low = simplex[4].y.back();
+  checks.expect(duplex_low < simplex_low * 1e-10,
+                "at 1e-8/sym/day the duplex gains >= 10 decades of BER");
+  checks.expect(duplex[0].y.back() > 1e-6,
+                "lambda_e=1e-4 still visible at the top of the plot");
+  return checks.exit_code();
+}

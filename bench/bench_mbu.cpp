@@ -1,0 +1,91 @@
+// E14 -- extension: multi-bit upsets. The paper assumes SEUs flip single
+// bits; scaled technologies see bursts spanning adjacent cells. RS symbol
+// organization absorbs any burst confined to one m-bit symbol, so only
+// boundary-crossing bursts hurt: the BER penalty of going from 0% to 100%
+// 2-bit bursts is the crossing fraction q = (n-1)/(n*m - 1) ~ 12%, not 2x.
+// The mean-field chain is validated against the exact-geometry functional
+// injector.
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/units.h"
+#include "markov/uniformization.h"
+#include "memory/ssmm.h"
+#include "models/ber.h"
+
+using namespace rsmem;
+
+int main() {
+  bench::print_header(
+      "bench_mbu", "multi-bit-upset study (E14)",
+      "simplex RS(18,16) under burst SEUs: chain vs functional injector");
+
+  const markov::UniformizationSolver solver;
+  const std::vector<double> times{48.0};
+  const double lambda_hour = 1e-4;  // accelerated
+
+  analysis::Table table{{"MBU fraction", "span [bits]", "chain P_fail(48h)",
+                         "functional fraction", "4-sigma band"}};
+  bench::ShapeChecks checks;
+  double baseline = 0.0;
+  double full_burst = 0.0;
+
+  for (const double p_mbu : {0.0, 0.25, 0.5, 1.0}) {
+    models::SimplexParams params;
+    params.n = 18;
+    params.k = 16;
+    params.m = 8;
+    params.seu_rate_per_bit_hour = lambda_hour;
+    params.mbu_probability = p_mbu;
+    params.mbu_span_bits = 2;
+    const double chain =
+        models::simplex_ber_curve(params, times, solver).fail_probability[0];
+    if (p_mbu == 0.0) baseline = chain;
+    if (p_mbu == 1.0) full_burst = chain;
+
+    memory::SsmmConfig cfg;
+    cfg.words = 800;
+    cfg.rates.seu_rate_per_bit_hour = lambda_hour;
+    cfg.rates.mbu_probability = p_mbu;
+    cfg.rates.mbu_span_bits = 2;
+    cfg.seed = 1234;
+    const auto checkpoints = memory::run_ssmm_mission(cfg, times);
+    const double functional = checkpoints[0].word_fail_fraction();
+    const double band =
+        4.0 * std::sqrt(chain * (1.0 - chain) / 800.0) + 2e-3;
+
+    table.add_row({analysis::format_fixed(p_mbu, 2), "2",
+                   analysis::format_sci(chain),
+                   analysis::format_sci(functional),
+                   analysis::format_sci(band)});
+    checks.expect(std::abs(functional - chain) < band,
+                  "functional within band at MBU fraction " +
+                      analysis::format_fixed(p_mbu, 2));
+  }
+  std::printf("%s", table.to_text().c_str());
+
+  const double q = 17.0 / (18.0 * 8.0 - 1.0);
+  std::printf(
+      "\nboundary-crossing fraction q = (n-1)/(n*m-1) = %.4f: all-burst vs\n"
+      "single-bit P_fail ratio measured %.3f (symbol organization absorbs\n"
+      "in-symbol bursts; a bit-interleaved layout would pay the full 2x).\n",
+      q, full_burst / baseline);
+  checks.expect(full_burst > baseline,
+                "boundary-crossing bursts raise P_fail");
+  checks.expect(full_burst < baseline * 1.6,
+                "RS symbols absorb in-symbol bursts (penalty well under 2x)");
+
+  // Wider bursts cross more often: span 8 crosses with q = 7*(n-1)/(nm-7).
+  models::SimplexParams wide;
+  wide.n = 18;
+  wide.k = 16;
+  wide.m = 8;
+  wide.seu_rate_per_bit_hour = lambda_hour;
+  wide.mbu_probability = 1.0;
+  wide.mbu_span_bits = 8;
+  const double wide_ber =
+      models::simplex_ber_curve(wide, times, solver).fail_probability[0];
+  checks.expect(wide_ber > full_burst,
+                "wider bursts (span 8) hurt more than span 2");
+  return checks.exit_code();
+}

@@ -1,0 +1,96 @@
+// E8 -- validation experiment (not in the paper): the functional memory
+// system (real RS decoder, real arbiter, Poisson fault injection) versus the
+// Markov chains, at accelerated rates where failures are observable.
+//
+// For each scenario the Monte-Carlo estimate and its 95% Wilson interval
+// are printed against the chain prediction(s).
+#include "bench_common.h"
+#include "analysis/monte_carlo.h"
+#include "core/api.h"
+#include "markov/uniformization.h"
+#include "models/ber.h"
+
+using namespace rsmem;
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  analysis::Arrangement arrangement;
+  double seu_per_bit_day;
+  double erasure_per_symbol_day;
+  double scrub_period_seconds;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "bench_mc_vs_markov", "model validation (DESIGN.md E8)",
+      "functional Monte-Carlo vs Markov P_Fail(48h), accelerated rates");
+
+  const Scenario scenarios[] = {
+      {"simplex SEU", analysis::Arrangement::kSimplex, 2.4e-3, 0.0, 0.0},
+      {"simplex permanent", analysis::Arrangement::kSimplex, 0.0, 4.8e-2,
+       0.0},
+      {"simplex SEU+scrub", analysis::Arrangement::kSimplex, 1.2e-2, 0.0,
+       1800.0},
+      {"duplex SEU", analysis::Arrangement::kDuplex, 2.9e-3, 0.0, 0.0},
+      {"duplex permanent", analysis::Arrangement::kDuplex, 0.0, 0.192, 0.0},
+      {"duplex mixed", analysis::Arrangement::kDuplex, 2.4e-3, 4.8e-2, 0.0},
+  };
+
+  analysis::Table table{{"scenario", "MC p_hat", "95% CI low", "95% CI high",
+                         "Markov (paper)", "Markov (both-lost)", "covered"}};
+  bench::ShapeChecks checks;
+  const markov::UniformizationSolver solver;
+  const std::vector<double> times{48.0};
+
+  for (const Scenario& sc : scenarios) {
+    core::MemorySystemSpec spec;
+    spec.arrangement = sc.arrangement;
+    spec.seu_rate_per_bit_day = sc.seu_per_bit_day;
+    spec.erasure_rate_per_symbol_day = sc.erasure_per_symbol_day;
+    spec.scrub_period_seconds = sc.scrub_period_seconds;
+
+    analysis::MonteCarloConfig mc;
+    mc.trials = 1500;
+    mc.t_end_hours = 48.0;
+    mc.seed = 20240707;
+    const analysis::MonteCarloResult sim = simulate(spec, mc);
+
+    double conservative = 0.0;
+    double optimistic = 0.0;
+    if (sc.arrangement == analysis::Arrangement::kSimplex) {
+      conservative = optimistic = fail_probability(spec, 48.0);
+    } else {
+      // The functional duplex exposes each physical symbol, so compare
+      // against the per-physical-symbol convention; bracket with the two
+      // fail criteria (see DESIGN.md section 2).
+      models::DuplexParams params = spec.to_duplex_params();
+      params.convention = models::RateConvention::kPerPhysicalSymbol;
+      conservative =
+          models::duplex_ber_curve(params, times, solver).fail_probability[0];
+      params.fail_criterion = models::FailCriterion::kBothWordsUnrecoverable;
+      optimistic =
+          models::duplex_ber_curve(params, times, solver).fail_probability[0];
+    }
+    const double band = 4.0 * sim.failure.std_error() + 1e-3;
+    const bool covered = sim.failure.p_hat() <= conservative + band &&
+                         sim.failure.p_hat() >= optimistic - band;
+    table.add_row({sc.name, analysis::format_fixed(sim.failure.p_hat(), 4),
+                   analysis::format_fixed(sim.failure.wilson_low(), 4),
+                   analysis::format_fixed(sim.failure.wilson_high(), 4),
+                   analysis::format_fixed(conservative, 4),
+                   analysis::format_fixed(optimistic, 4),
+                   covered ? "yes" : "NO"});
+    checks.expect(covered, std::string("MC within the chain bracket: ") +
+                               sc.name);
+  }
+  std::printf("%s", table.to_text().c_str());
+  std::printf(
+      "note: the paper's chain fails as soon as EITHER duplex word exceeds\n"
+      "its budget; the real arbiter usually survives one lost word, so the\n"
+      "functional system lands between the two criteria (see EXPERIMENTS.md).\n");
+  return checks.exit_code();
+}

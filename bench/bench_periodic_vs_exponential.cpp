@@ -1,0 +1,80 @@
+// E11 -- extension: the paper models scrubbing "executed at a prescribed
+// frequency" as an EXPONENTIAL Markov transition of rate 1/Tsc; real
+// hardware scrubs PERIODICALLY on the clock. This bench quantifies the
+// approximation error on the paper's Fig. 7 setup (duplex RS(18,16),
+// lambda = 1.7e-5/bit/day) plus the simplex equivalent, and additionally
+// cross-checks the exponential policy against the functional Monte-Carlo.
+#include "bench_common.h"
+#include "core/api.h"
+#include "core/units.h"
+#include "markov/uniformization.h"
+#include "models/metrics.h"
+
+using namespace rsmem;
+
+int main() {
+  bench::print_header(
+      "bench_periodic_vs_exponential", "scrubbing-policy ablation (E11)",
+      "deterministic periodic scrubbing vs the paper's exponential rate");
+
+  const markov::UniformizationSolver solver;
+  const std::vector<double> times{48.0};
+  const double periods_s[] = {900.0, 1800.0, 3600.0, 7200.0};
+
+  analysis::Table table{{"arrangement", "Tsc [s]", "BER exp (paper)",
+                         "BER periodic", "exp/periodic"}};
+  bench::ShapeChecks checks;
+
+  for (const bool duplex : {false, true}) {
+    for (const double tsc_s : periods_s) {
+      core::MemorySystemSpec spec;
+      spec.arrangement = duplex ? analysis::Arrangement::kDuplex
+                                : analysis::Arrangement::kSimplex;
+      spec.seu_rate_per_bit_day = 1.7e-5;
+      spec.scrub_period_seconds = tsc_s;
+      const double exp_ber = analyze_ber(spec, times).ber[0];
+      const double per_ber = analyze_ber_periodic_scrub(spec, times).ber[0];
+      table.add_row({duplex ? "duplex" : "simplex",
+                     analysis::format_fixed(tsc_s, 0),
+                     analysis::format_sci(exp_ber),
+                     analysis::format_sci(per_ber),
+                     analysis::format_fixed(exp_ber / per_ber, 2)});
+      checks.expect(exp_ber > per_ber,
+                    "exponential approximation pessimistic at Tsc=" +
+                        analysis::format_fixed(tsc_s, 0) + " (" +
+                        (duplex ? "duplex" : "simplex") + ")");
+      checks.expect(exp_ber < per_ber * 5.0,
+                    "approximation within 5x at Tsc=" +
+                        analysis::format_fixed(tsc_s, 0) + " (" +
+                        (duplex ? "duplex" : "simplex") + ")");
+    }
+  }
+  std::printf("%s", table.to_text().c_str());
+
+  // Functional cross-check at an accelerated rate: the PERIODIC Monte-Carlo
+  // must sit below the exponential chain and near the periodic chain.
+  core::MemorySystemSpec accel;
+  accel.seu_rate_per_bit_day = 1.2e-2;
+  accel.scrub_period_seconds = 1800.0;
+  analysis::MonteCarloConfig mc;
+  mc.trials = 1500;
+  mc.t_end_hours = 48.0;
+  mc.seed = 4242;
+  const analysis::MonteCarloResult sim =
+      simulate(accel, mc, memory::ScrubPolicy::kPeriodic);
+  const double exp_pred = fail_probability(accel, 48.0);
+  const double per_pred =
+      analyze_ber_periodic_scrub(accel, times).fail_probability[0];
+  std::printf(
+      "functional check (lambda=1.2e-2/bit/day, Tsc=1800 s, periodic "
+      "hardware):\n  MC p_hat=%.4f  CI=[%.4f, %.4f]  exp-chain=%.4f  "
+      "periodic-chain=%.4f\n",
+      sim.failure.p_hat(), sim.failure.wilson_low(),
+      sim.failure.wilson_high(), exp_pred, per_pred);
+  const double band = 4.0 * sim.failure.std_error() + 1e-3;
+  checks.expect(std::abs(sim.failure.p_hat() - per_pred) < band,
+                "periodic Monte-Carlo matches the periodic chain");
+  checks.expect(sim.failure.p_hat() < exp_pred,
+                "periodic hardware beats the exponential approximation");
+  return checks.exit_code();
+}

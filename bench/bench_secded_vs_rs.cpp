@@ -1,0 +1,144 @@
+// E19 -- baseline: bit-oriented SEC-DED vs the paper's symbol-oriented RS
+// at IDENTICAL geometry. 128 data bits are protected either by one
+// RS(18,16) word over GF(2^8) (144 coded bits) or by two SEC-DED(72,64)
+// words (also 144 coded bits) -- the same 12.5% overhead. Both segments
+// receive the same physical fault process (Poisson flips, optionally
+// span-2/span-8 bursts over adjacent coded bits).
+//
+// Expected physics: under single-bit SEUs the SEC-DED pair is slightly
+// stronger (two flips must land in the SAME 72-bit half to kill it, while
+// RS dies whenever they hit two different symbols); under burst upsets the
+// symbol organization dominates (a span-2 burst almost always kills a
+// SEC-DED word but sits inside one RS symbol ~88% of the time).
+#include <cmath>
+
+#include "bench_common.h"
+#include "codes/secded.h"
+#include "rs/reed_solomon.h"
+#include "sim/rng.h"
+
+using namespace rsmem;
+
+namespace {
+
+struct SegmentResult {
+  double rs_fail_fraction = 0.0;
+  double secded_fail_fraction = 0.0;
+};
+
+// One trial: same flip pattern applied to an RS(18,16) word and to a
+// 2x SEC-DED(72,64) pair occupying the same 144-bit footprint.
+SegmentResult run_comparison(double lambda_bit_hour, double mbu_probability,
+                             unsigned span, double t_hours, unsigned trials,
+                             std::uint64_t seed) {
+  const rs::ReedSolomon rs_code{18, 16, 8};
+  const codes::SecDed secded{64};
+  sim::Rng root{seed};
+  unsigned rs_failures = 0;
+  unsigned secded_failures = 0;
+
+  for (unsigned trial = 0; trial < trials; ++trial) {
+    sim::Rng rng = root.split(trial);
+    // Shared physical flip pattern over 144 coded bits.
+    std::vector<std::uint8_t> flipped(144, 0);
+    const double mean =
+        lambda_bit_hour * 144.0 * t_hours;  // arrival events
+    const std::uint64_t arrivals = rng.poisson(mean);
+    for (std::uint64_t a = 0; a < arrivals; ++a) {
+      if (mbu_probability > 0.0 && rng.bernoulli(mbu_probability)) {
+        const unsigned start =
+            static_cast<unsigned>(rng.uniform_int(144 - span + 1));
+        for (unsigned i = 0; i < span; ++i) flipped[start + i] ^= 1u;
+      } else {
+        flipped[rng.uniform_int(144)] ^= 1u;
+      }
+    }
+
+    // RS view: bit j belongs to symbol j/8, bit j%8.
+    std::vector<gf::Element> rs_data(16);
+    for (auto& d : rs_data) {
+      d = static_cast<gf::Element>(rng.uniform_int(256));
+    }
+    std::vector<gf::Element> rs_word = rs_code.encode(rs_data);
+    const std::vector<gf::Element> rs_truth = rs_word;
+    for (unsigned j = 0; j < 144; ++j) {
+      if (flipped[j]) rs_word[j / 8] ^= (gf::Element{1} << (j % 8));
+    }
+    const rs::DecodeOutcome rs_outcome = rs_code.decode(rs_word);
+    rs_failures += (!rs_outcome.ok() || rs_word != rs_truth);
+
+    // SEC-DED view: bits 0..71 = word A, 72..143 = word B.
+    bool secded_failed = false;
+    for (unsigned half = 0; half < 2; ++half) {
+      std::vector<std::uint8_t> data(64);
+      for (auto& b : data) {
+        b = static_cast<std::uint8_t>(rng.uniform_int(2));
+      }
+      std::vector<std::uint8_t> word = secded.encode(data);
+      const std::vector<std::uint8_t> truth = word;
+      for (unsigned j = 0; j < 72; ++j) {
+        if (flipped[half * 72 + j]) word[j] ^= 1u;
+      }
+      const codes::SecDedOutcome outcome = secded.decode(word);
+      if (!outcome.ok() || word != truth) secded_failed = true;
+    }
+    secded_failures += secded_failed;
+  }
+  return {static_cast<double>(rs_failures) / trials,
+          static_cast<double>(secded_failures) / trials};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "bench_secded_vs_rs", "bit- vs symbol-oriented EDAC (E19)",
+      "RS(18,16) vs 2x SEC-DED(72,64): same 144 coded bits, same faults");
+
+  const double t = 48.0;
+  analysis::Table table{{"fault process", "RS(18,16) fail", "2x SEC-DED fail",
+                         "ratio RS/SECDED"}};
+  bench::ShapeChecks checks;
+
+  // Single-bit SEUs, accelerated.
+  const SegmentResult single =
+      run_comparison(2e-4, 0.0, 2, t, 30000, 111);
+  table.add_row({"single-bit SEU", analysis::format_sci(single.rs_fail_fraction),
+                 analysis::format_sci(single.secded_fail_fraction),
+                 analysis::format_fixed(
+                     single.rs_fail_fraction /
+                         std::max(single.secded_fail_fraction, 1e-12),
+                     2)});
+  checks.expect(single.secded_fail_fraction < single.rs_fail_fraction,
+                "single-bit SEUs: SEC-DED pair slightly stronger (two flips "
+                "must share one 72-bit half)");
+
+  // Span-2 bursts (all arrivals are bursts).
+  const SegmentResult burst2 = run_comparison(2e-5, 1.0, 2, t, 30000, 222);
+  table.add_row({"span-2 bursts", analysis::format_sci(burst2.rs_fail_fraction),
+                 analysis::format_sci(burst2.secded_fail_fraction),
+                 analysis::format_fixed(
+                     burst2.rs_fail_fraction /
+                         std::max(burst2.secded_fail_fraction, 1e-12),
+                     2)});
+  checks.expect(burst2.rs_fail_fraction < burst2.secded_fail_fraction / 3.0,
+                "span-2 bursts: RS symbols absorb ~88% of bursts, SEC-DED "
+                "dies on nearly all of them");
+
+  // Span-8 bursts.
+  const SegmentResult burst8 = run_comparison(1e-5, 1.0, 8, t, 30000, 333);
+  table.add_row({"span-8 bursts", analysis::format_sci(burst8.rs_fail_fraction),
+                 analysis::format_sci(burst8.secded_fail_fraction),
+                 analysis::format_fixed(
+                     burst8.rs_fail_fraction /
+                         std::max(burst8.secded_fail_fraction, 1e-12),
+                     2)});
+  checks.expect(burst8.rs_fail_fraction < burst8.secded_fail_fraction,
+                "span-8 bursts: symbol organization still ahead");
+  std::printf("%s", table.to_text().c_str());
+  std::printf(
+      "\nsame overhead, same faults: the choice between bit- and symbol-\n"
+      "oriented EDAC is a bet on the burst fraction of the environment --\n"
+      "exactly why the paper's SSMM uses RS symbols per memory chip.\n");
+  return checks.exit_code();
+}

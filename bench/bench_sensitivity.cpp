@@ -1,0 +1,87 @@
+// E20 -- extension: which knob should a mission buy down? Elasticities
+// d ln BER / d ln x of each environment parameter, for the paper's three
+// arrangements at their nominal operating points. The values are the
+// chains' combinatorics made visible: 2 random errors / 3 erasures /
+// 3 double-erasures (6 events) / 21 erasures to kill, ~1:1 with Tsc.
+#include <cmath>
+
+#include "bench_common.h"
+#include "analysis/sensitivity.h"
+#include "core/units.h"
+
+using namespace rsmem;
+
+namespace {
+
+std::string fmt(double v) {
+  return std::isnan(v) ? std::string("-") : analysis::format_fixed(v, 2);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "bench_sensitivity", "elasticity study (E20)",
+      "d ln BER / d ln {lambda, lambda_e, Tsc} per arrangement");
+
+  struct Case {
+    const char* name;
+    core::MemorySystemSpec spec;
+    double t_hours;
+  };
+  std::vector<Case> cases;
+  {
+    core::MemorySystemSpec s;
+    s.seu_rate_per_bit_day = 1.7e-5;
+    s.erasure_rate_per_symbol_day = 1e-7;
+    s.scrub_period_seconds = 3600.0;
+    cases.push_back({"simplex RS(18,16), scrubbed, 48 h", s, 48.0});
+    core::MemorySystemSpec d = s;
+    d.arrangement = analysis::Arrangement::kDuplex;
+    cases.push_back({"duplex RS(18,16), scrubbed, 48 h", d, 48.0});
+    core::MemorySystemSpec perm;
+    perm.erasure_rate_per_symbol_day = 1e-6;
+    cases.push_back({"simplex RS(18,16), perm-only, 2 mo", perm,
+                     core::months_to_hours(2.0)});
+    core::MemorySystemSpec dperm = perm;
+    dperm.arrangement = analysis::Arrangement::kDuplex;
+    cases.push_back({"duplex RS(18,16), perm-only, 2 mo", dperm,
+                     core::months_to_hours(2.0)});
+    core::MemorySystemSpec wide;
+    wide.code = {36, 16, 8, 1};
+    wide.erasure_rate_per_symbol_day = 1e-4;
+    cases.push_back({"simplex RS(36,16), perm-only, 1 mo", wide,
+                     core::months_to_hours(1.0)});
+  }
+
+  analysis::Table table{{"operating point", "BER", "E[lambda]",
+                         "E[lambda_e]", "E[Tsc]"}};
+  bench::ShapeChecks checks;
+  std::vector<analysis::SensitivityReport> reports;
+  for (const Case& c : cases) {
+    const analysis::SensitivityReport r =
+        analysis::ber_sensitivity(c.spec, c.t_hours);
+    reports.push_back(r);
+    table.add_row({c.name, analysis::format_sci(r.ber),
+                   fmt(r.seu_elasticity), fmt(r.erasure_elasticity),
+                   fmt(r.scrub_period_elasticity)});
+  }
+  std::printf("%s", table.to_text().c_str());
+
+  checks.expect(std::fabs(reports[0].seu_elasticity - 2.0) < 0.15,
+                "simplex SEU elasticity ~ 2 (two errors kill)");
+  checks.expect(std::fabs(reports[0].scrub_period_elasticity - 1.0) < 0.15,
+                "scrub-period elasticity ~ 1 (hazard ~ Tsc)");
+  checks.expect(std::fabs(reports[2].erasure_elasticity - 3.0) < 0.1,
+                "simplex erasure elasticity ~ 3");
+  checks.expect(std::fabs(reports[3].erasure_elasticity - 6.0) < 0.2,
+                "duplex erasure elasticity ~ 6 (three pairs)");
+  checks.expect(std::fabs(reports[4].erasure_elasticity - 21.0) < 1.0,
+                "RS(36,16) erasure elasticity ~ 21");
+  std::printf(
+      "\nreading: a 10%% better SEU environment buys ~20%% BER on the\n"
+      "scrubbed word, but a 10%% better permanent-fault rate buys ~60%% on\n"
+      "the duplex and ~8.7x on RS(36,16) -- redundancy amplifies component\n"
+      "improvements by its fault budget.\n");
+  return checks.exit_code();
+}

@@ -1,0 +1,85 @@
+// E21 -- extension: how wrong is the chains' constant-rate permanent-fault
+// assumption when parts actually WEAR OUT (Weibull beta > 1)? The
+// functional simulator runs the exact NHPP; the chain is calibrated to the
+// same total expected fault count at mission end. Mid-mission the chain
+// then OVER-predicts failures (wearout faults cluster late), while at the
+// calibration horizon the two nearly agree (same Poisson counts, mild
+// clustering correction).
+#include <cmath>
+
+#include "bench_common.h"
+#include "analysis/monte_carlo.h"
+#include "markov/uniformization.h"
+#include "models/ber.h"
+
+using namespace rsmem;
+
+namespace {
+
+double mc_fail(double rate, double shape, double t, std::uint64_t seed) {
+  memory::SimplexSystemConfig cfg;
+  cfg.rates.perm_rate_per_symbol_hour = rate;
+  cfg.rates.perm_weibull_shape = shape;
+  analysis::MonteCarloConfig mc;
+  mc.trials = 3000;
+  mc.t_end_hours = t;
+  mc.seed = seed;
+  return analysis::run_simplex_trials(cfg, mc).failure.p_hat();
+}
+
+double chain_fail(double rate, double t) {
+  models::SimplexParams p;
+  p.n = 18;
+  p.k = 16;
+  p.m = 8;
+  p.erasure_rate_per_symbol_hour = rate;
+  const markov::UniformizationSolver solver;
+  const std::vector<double> times{t};
+  return models::simplex_ber_curve(p, times, solver).fail_probability[0];
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "bench_wearout", "wearout study (E21)",
+      "constant-rate chain vs Weibull(beta=2) wearout, simplex RS(18,16)");
+
+  // Characteristic rate: mission end T = characteristic life / 3 so the
+  // counts stay in the interesting few-faults regime.
+  const double rate = 2.5e-3;  // 1/rate = 400 h
+  const double mission = 120.0;
+
+  analysis::Table table{{"time [h]", "chain (constant)", "MC constant",
+                         "MC wearout beta=2", "wearout/chain"}};
+  bench::ShapeChecks checks;
+  double early_ratio = 0.0, late_ratio = 0.0;
+  for (const double t : {30.0, 60.0, 120.0}) {
+    const double chain = chain_fail(rate, t);
+    // Wearout calibrated to match the chain's cumulative hazard AT MISSION
+    // END: (r_w * T)^2 = rate * T  ->  r_w = sqrt(rate / T).
+    const double wear_rate = std::sqrt(rate / mission);
+    const double mc_const = mc_fail(rate, 1.0, t, 42);
+    const double mc_wear = mc_fail(wear_rate, 2.0, t, 43);
+    const double ratio = mc_wear / std::max(chain, 1e-12);
+    if (t == 30.0) early_ratio = ratio;
+    if (t == mission) late_ratio = ratio;
+    table.add_row({analysis::format_fixed(t, 0), analysis::format_sci(chain),
+                   analysis::format_sci(mc_const),
+                   analysis::format_sci(mc_wear),
+                   analysis::format_fixed(ratio, 3)});
+  }
+  std::printf("%s", table.to_text().c_str());
+
+  checks.expect(early_ratio < 0.3,
+                "early mission: the constant-rate chain over-predicts "
+                "wearout failures by >3x");
+  checks.expect(late_ratio > 0.5 && late_ratio < 2.0,
+                "at the calibration horizon the chain is the right order");
+  std::printf(
+      "\nreading: with end-of-life-calibrated rates the paper's constant-\n"
+      "rate chains are CONSERVATIVE for most of the mission under wearout\n"
+      "(failures cluster late); calibrate rates to the mission phase that\n"
+      "matters, or use the functional NHPP stack for bathtub profiles.\n");
+  return checks.exit_code();
+}

@@ -1,0 +1,110 @@
+// SSMM mission study: the paper's motivating scenario.
+//
+// A solid-state mass memory built from COTS chips must hold telemetry for a
+// 24-month deep-space mission. This example walks the full engineering
+// flow:
+//   1. derive the permanent-fault rate from a MIL-HDBK-217-style chip model,
+//   2. pick the SEU rate from the paper's measured range,
+//   3. compare simplex RS(18,16), duplex RS(18,16) and simplex RS(36,16)
+//      on BER at mission end,
+//   4. size the scrubbing period so the duplex meets a 1e-9 BER target,
+//   5. report the decoder latency/area price of each option.
+#include <cstdio>
+#include <vector>
+
+#include "core/api.h"
+#include "core/units.h"
+#include "reliability/milhdbk217.h"
+
+using namespace rsmem;
+
+int main() {
+  std::printf("=== SSMM mission study (24 months, COTS memory) ===\n\n");
+
+  // 1. Permanent-fault rate from the chip model.
+  reliability::MemoryChipSpec chip;
+  chip.capacity_bits = 64.0 * 1024 * 1024;
+  chip.pin_count = 54;
+  chip.junction_temp_celsius = 45.0;
+  chip.environment = reliability::Environment::kSpaceFlight;
+  chip.quality = reliability::Quality::kCommercial;
+  chip.years_in_production = 3.0;
+  const double chip_rate =
+      reliability::MilHdbk217Model::chip_failures_per_1e6_hours(chip);
+  // Bit-sliced organization: 8 bits of every codeword symbol come from one
+  // chip; 512k words share the chip.
+  const double lambda_e =
+      reliability::MilHdbk217Model::erasure_rate_per_symbol_day(
+          chip, 8, /*words_per_chip=*/512.0 * 1024);
+  std::printf("chip failure rate: %.3f /1e6h -> lambda_e = %.3E /symbol/day\n",
+              chip_rate, lambda_e);
+
+  // 2. SEU rate: the paper's worst case for a space orbit.
+  const double lambda = 1.7e-5;  // errors/bit/day
+  std::printf("SEU rate (paper worst case): %.1E /bit/day\n\n", lambda);
+
+  // 3. Candidate arrangements at mission end (no scrubbing yet).
+  struct Option {
+    const char* name;
+    core::MemorySystemSpec spec;
+  };
+  std::vector<Option> options;
+  {
+    core::MemorySystemSpec s;
+    s.code = {18, 16, 8, 1};
+    s.seu_rate_per_bit_day = lambda;
+    s.erasure_rate_per_symbol_day = lambda_e;
+    options.push_back({"simplex RS(18,16)", s});
+    s.arrangement = analysis::Arrangement::kDuplex;
+    options.push_back({"duplex  RS(18,16)", s});
+    core::MemorySystemSpec w;
+    w.code = {36, 16, 8, 1};
+    w.seu_rate_per_bit_day = lambda;
+    w.erasure_rate_per_symbol_day = lambda_e;
+    options.push_back({"simplex RS(36,16)", w});
+  }
+
+  const double mission_hours = core::months_to_hours(24.0);
+  std::printf("%-20s %-14s %-12s %-12s\n", "arrangement", "BER(24mo)",
+              "Td [cyc]", "area [gates]");
+  for (const Option& opt : options) {
+    const double ber = fail_probability(opt.spec, mission_hours);
+    const auto cost = codec_cost(opt.spec);
+    std::printf("%-20s %-14.3E %-12.0f %-12.0f\n", opt.name, ber,
+                cost.decode_cycles, cost.area_gates);
+  }
+
+  // 4. Scrubbing sizing for the duplex to reach 1e-9 at mission end.
+  std::printf("\nscrub-period sizing for duplex RS(18,16), target 1e-9:\n");
+  core::MemorySystemSpec duplex = options[1].spec;
+  double chosen = 0.0;
+  for (const double tsc_s : {86400.0, 21600.0, 3600.0, 900.0}) {
+    duplex.scrub_period_seconds = tsc_s;
+    const double ber = fail_probability(duplex, mission_hours);
+    std::printf("  Tsc = %7.0f s  ->  BER(24mo) = %.3E %s\n", tsc_s, ber,
+                ber < 1e-9 ? "(meets target)" : "");
+    if (ber < 1e-9 && chosen == 0.0) chosen = tsc_s;
+  }
+  if (chosen > 0.0) {
+    std::printf("\nslowest qualifying scrub period: every %.1f hours\n",
+                chosen / 3600.0);
+  } else {
+    // 5. The duplex cannot reach 1e-9 over 24 months under this SEU load
+    // (the chain's conservative fail criterion saturates at a quasi-steady
+    // hazard). Fall back to the stronger code and re-size.
+    std::printf(
+        "\nno tested scrub period meets the target with duplex RS(18,16);\n"
+        "falling back to simplex RS(36,16) + scrubbing:\n");
+    core::MemorySystemSpec wide = options[2].spec;
+    for (const double tsc_s : {86400.0, 21600.0, 3600.0}) {
+      wide.scrub_period_seconds = tsc_s;
+      const double ber = fail_probability(wide, mission_hours);
+      std::printf("  Tsc = %7.0f s  ->  BER(24mo) = %.3E %s\n", tsc_s, ber,
+                  ber < 1e-9 ? "(meets target)" : "");
+    }
+    std::printf(
+        "\nthe price (paper Section 6): decode latency 308 vs 74 cycles and\n"
+        "a codec ~4x the area of one RS(18,16) decoder.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Whole-array simulation: measure the paper's operational BER definition
+// ("bits with errors / bits read") on a functional SSMM -- real codewords,
+// real decoder, real arbiter, real scrub passes -- and compare it with the
+// word-level Markov prediction.
+#include <cstdio>
+
+#include "core/api.h"
+#include "core/units.h"
+#include "markov/uniformization.h"
+#include "memory/ssmm.h"
+#include "models/ber.h"
+
+using namespace rsmem;
+
+namespace {
+
+// Chain prediction matched to what the physical array realizes: simplex is
+// the paper's chain; the duplex uses per-physical-symbol exposure and the
+// arbiter-optimistic fail criterion (see DESIGN.md / bench_mc_vs_markov).
+double chain_prediction(bool duplex, double t_hours) {
+  core::MemorySystemSpec spec;
+  spec.seu_rate_per_bit_day = core::per_hour_to_per_day(8e-5);
+  spec.erasure_rate_per_symbol_day = core::per_hour_to_per_day(1e-4);
+  const std::vector<double> times{t_hours};
+  if (!duplex) {
+    return fail_probability(spec, t_hours);
+  }
+  models::DuplexParams params = spec.to_duplex_params();
+  params.convention = models::RateConvention::kPerPhysicalSymbol;
+  params.fail_criterion = models::FailCriterion::kBothWordsUnrecoverable;
+  return models::duplex_ber_curve(params, times,
+                                  markov::UniformizationSolver{})
+      .fail_probability[0];
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== whole-array SSMM simulation, 512 words RS(18,16) ===\n\n");
+
+  // Accelerated environment so 512 words show failures within the run.
+  memory::SsmmConfig cfg;
+  cfg.words = 512;
+  cfg.rates.seu_rate_per_bit_hour = 8e-5;
+  cfg.rates.perm_rate_per_symbol_hour = 1e-4;
+  cfg.seed = 20240707;
+
+  const double checkpoints[] = {12.0, 24.0, 36.0, 48.0};
+
+  for (const bool duplex : {false, true}) {
+    cfg.duplex = duplex;
+    const auto result = memory::run_ssmm_mission(cfg, checkpoints);
+    std::printf("%s array:\n", duplex ? "duplex " : "simplex");
+    std::printf("  %-8s %-8s %-12s %-14s %-14s\n", "hours", "failed",
+                "wrong-data", "measured BER", "chain P_fail");
+    for (const auto& cp : result) {
+      std::printf("  %-8.1f %-8llu %-12llu %-14.4E %-14.4E\n", cp.time_hours,
+                  static_cast<unsigned long long>(cp.reads_failed),
+                  static_cast<unsigned long long>(cp.reads_wrong_data),
+                  cp.measured_ber(),
+                  chain_prediction(duplex, cp.time_hours));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "the duplex array rides out the permanent faults and split SEUs that\n"
+      "kill simplex words; with 512 words the measured fractions track the\n"
+      "chain predictions (binomial noise ~ 4%% relative at these counts).\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "analysis/ascii_plot.h"
+
+#include "analysis/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace rsmem::analysis {
+
+namespace {
+constexpr char kGlyphs[] = "*o+x#@%&";
+}
+
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& options) {
+  if (series.empty()) return "(no series)\n";
+  if (options.width < 8 || options.height < 4) {
+    throw std::invalid_argument("render_plot: plot area too small");
+  }
+
+  double x_min = 0.0, x_max = 0.0, y_min = 0.0, y_max = 0.0;
+  bool first = true;
+  for (const Series& s : series) {
+    if (s.x.size() != s.y.size()) {
+      throw std::invalid_argument("render_plot: x/y size mismatch");
+    }
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      double y = s.y[i];
+      if (options.log_y) {
+        if (y < options.y_floor) continue;  // not representable on log axis
+        y = std::log10(y);
+      }
+      if (first) {
+        x_min = x_max = s.x[i];
+        y_min = y_max = y;
+        first = false;
+      } else {
+        x_min = std::min(x_min, s.x[i]);
+        x_max = std::max(x_max, s.x[i]);
+        y_min = std::min(y_min, y);
+        y_max = std::max(y_max, y);
+      }
+    }
+  }
+  if (first) {
+    return "(all points below plot floor of " +
+           format_sci(options.y_floor, 0) + ")\n";
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+
+  std::vector<std::string> grid(options.height,
+                                std::string(options.width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof kGlyphs - 1)];
+    const Series& s = series[si];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      double y = s.y[i];
+      if (options.log_y) {
+        if (y < options.y_floor) continue;
+        y = std::log10(y);
+      }
+      const double fx = (s.x[i] - x_min) / (x_max - x_min);
+      const double fy = (y - y_min) / (y_max - y_min);
+      const std::size_t col = static_cast<std::size_t>(
+          std::lround(fx * static_cast<double>(options.width - 1)));
+      const std::size_t row = options.height - 1 -
+                              static_cast<std::size_t>(std::lround(
+                                  fy * static_cast<double>(options.height - 1)));
+      grid[row][col] = glyph;
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  const auto y_tick = [&](std::size_t row) -> std::string {
+    const double fy = 1.0 - static_cast<double>(row) /
+                                static_cast<double>(options.height - 1);
+    const double y = y_min + fy * (y_max - y_min);
+    char buf[24];
+    if (options.log_y) {
+      std::snprintf(buf, sizeof buf, "1E%+04d", static_cast<int>(std::round(y)));
+    } else {
+      std::snprintf(buf, sizeof buf, "%9.3g", y);
+    }
+    return buf;
+  };
+  for (std::size_t row = 0; row < options.height; ++row) {
+    const bool labeled = row % 4 == 0 || row == options.height - 1;
+    out << (labeled ? y_tick(row) : std::string(y_tick(row).size(), ' '))
+        << " |" << grid[row] << '\n';
+  }
+  out << std::string(y_tick(0).size(), ' ') << " +"
+      << std::string(options.width, '-') << '\n';
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%-10.4g", x_min);
+    std::string axis(options.width + 2, ' ');
+    const std::string right = format_fixed(x_max, 1);
+    axis.replace(2, std::min(axis.size() - 2, std::string(buf).size()), buf);
+    if (right.size() < axis.size()) {
+      axis.replace(axis.size() - right.size(), right.size(), right);
+    }
+    out << std::string(y_tick(0).size(), ' ') << axis << "  [" << options.x_label
+        << "]\n";
+  }
+  out << "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << "  " << kGlyphs[si % (sizeof kGlyphs - 1)] << " = "
+        << series[si].label;
+  }
+  out << "  (y: " << options.y_label << (options.log_y ? ", log scale" : "")
+      << ")\n";
+  return out.str();
+}
+
+}  // namespace rsmem::analysis

@@ -1,0 +1,31 @@
+// ASCII rendering of BER curves, mimicking the paper's semi-log figures so
+// bench output can be eyeballed against the originals.
+#ifndef RSMEM_ANALYSIS_ASCII_PLOT_H
+#define RSMEM_ANALYSIS_ASCII_PLOT_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+
+namespace rsmem::analysis {
+
+struct PlotOptions {
+  std::size_t width = 72;   // plot area columns
+  std::size_t height = 20;  // plot area rows
+  bool log_y = true;        // semi-log like the paper's figures
+  // Values below this floor are clamped (log scale cannot show zero).
+  double y_floor = 1e-300;
+  std::string x_label = "t";
+  std::string y_label = "BER";
+  std::string title;
+};
+
+// Renders all series into one semi-log plot; each series is drawn with its
+// own glyph and listed in the legend.
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& options);
+
+}  // namespace rsmem::analysis
+
+#endif  // RSMEM_ANALYSIS_ASCII_PLOT_H

@@ -1,0 +1,70 @@
+#include "analysis/code_search.h"
+
+#include <stdexcept>
+
+#include "core/api.h"
+
+namespace rsmem::analysis {
+
+std::vector<CodeCandidate> default_candidates(unsigned k) {
+  std::vector<CodeCandidate> out;
+  for (const unsigned extra : {2u, 4u, 8u, 12u, 20u}) {
+    out.push_back({Arrangement::kSimplex, k + extra});
+    out.push_back({Arrangement::kDuplex, k + extra});
+  }
+  return out;
+}
+
+std::vector<CandidateEvaluation> evaluate_candidates(
+    const CodeSearchSpec& spec,
+    const std::vector<CodeCandidate>& candidates) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("evaluate_candidates: no candidates");
+  }
+  if (spec.t_hours <= 0.0) {
+    throw std::invalid_argument("evaluate_candidates: t_hours must be > 0");
+  }
+
+  std::vector<CandidateEvaluation> results;
+  results.reserve(candidates.size());
+  for (const CodeCandidate& c : candidates) {
+    core::MemorySystemSpec s = spec.base;
+    s.arrangement = c.arrangement;
+    s.code.n = c.n;
+    s.validate();  // throws for n <= k or n > 2^m - 1
+
+    CandidateEvaluation eval;
+    eval.candidate = c;
+    eval.ber = rsmem::analyze_ber(s, std::vector<double>{spec.t_hours})
+                   .ber.front();
+    const bool duplex = c.arrangement == Arrangement::kDuplex;
+    eval.storage_overhead = (duplex ? 2.0 : 1.0) * static_cast<double>(c.n) /
+                            static_cast<double>(s.code.k);
+    const reliability::ArrangementCost cost =
+        rsmem::codec_cost(s, spec.cost_model);
+    eval.decode_cycles = cost.decode_cycles;
+    eval.area_gates = cost.area_gates;
+    results.push_back(eval);
+  }
+
+  // Pareto marking: minimize (ber, overhead, cycles, area).
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < results.size() && !dominated; ++j) {
+      if (i == j) continue;
+      const CandidateEvaluation& a = results[j];
+      const CandidateEvaluation& b = results[i];
+      const bool no_worse =
+          a.ber <= b.ber && a.storage_overhead <= b.storage_overhead &&
+          a.decode_cycles <= b.decode_cycles && a.area_gates <= b.area_gates;
+      const bool strictly_better =
+          a.ber < b.ber || a.storage_overhead < b.storage_overhead ||
+          a.decode_cycles < b.decode_cycles || a.area_gates < b.area_gates;
+      dominated = no_worse && strictly_better;
+    }
+    results[i].pareto_efficient = !dominated;
+  }
+  return results;
+}
+
+}  // namespace rsmem::analysis

@@ -1,0 +1,53 @@
+// Code/arrangement design-space search.
+//
+// Generalizes the paper's Section 6 trade-off (duplex RS(18,16) vs simplex
+// RS(36,16)) into a tool: enumerate candidate (arrangement, n) points for a
+// fixed dataword, evaluate BER at the mission horizon together with the
+// three engineering costs (storage overhead, decode latency, codec area),
+// and return the Pareto-efficient set. A candidate is dominated if another
+// candidate is no worse in ALL four metrics and strictly better in one.
+#ifndef RSMEM_ANALYSIS_CODE_SEARCH_H
+#define RSMEM_ANALYSIS_CODE_SEARCH_H
+
+#include <vector>
+
+#include "core/config.h"
+#include "reliability/decoder_cost.h"
+
+namespace rsmem::analysis {
+
+struct CodeCandidate {
+  Arrangement arrangement = Arrangement::kSimplex;
+  unsigned n = 18;  // k and m come from the environment spec
+};
+
+struct CandidateEvaluation {
+  CodeCandidate candidate;
+  double ber = 0.0;               // at the horizon
+  double storage_overhead = 0.0;  // coded bits (x copies) per data bit
+  double decode_cycles = 0.0;
+  double area_gates = 0.0;
+  bool pareto_efficient = false;
+};
+
+struct CodeSearchSpec {
+  // Environment and dataword; `code.n` and `arrangement` are overridden
+  // per candidate.
+  core::MemorySystemSpec base;
+  double t_hours = 48.0;
+  reliability::DecoderCostModel cost_model{};
+};
+
+// Evaluates every candidate and marks the Pareto set (minimizing all four
+// metrics). Throws std::invalid_argument on an empty candidate list, a
+// non-positive horizon, or a candidate with n <= k.
+std::vector<CandidateEvaluation> evaluate_candidates(
+    const CodeSearchSpec& spec, const std::vector<CodeCandidate>& candidates);
+
+// Convenience: the default candidate family around the paper's codes --
+// simplex and duplex for n in {k+2, k+4, k+8, k+12, k+20}.
+std::vector<CodeCandidate> default_candidates(unsigned k);
+
+}  // namespace rsmem::analysis
+
+#endif  // RSMEM_ANALYSIS_CODE_SEARCH_H

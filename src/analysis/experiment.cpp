@@ -1,0 +1,114 @@
+#include "analysis/experiment.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/units.h"
+#include "markov/uniformization.h"
+
+namespace rsmem::analysis {
+
+namespace {
+
+std::string format_rate(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1E", v);
+  return buf;
+}
+
+models::BerCurve run_curve(Arrangement arrangement, const CodeSpec& code,
+                           double seu_per_bit_hour,
+                           double erasure_per_symbol_hour,
+                           double scrub_rate_per_hour,
+                           std::span<const double> times_hours) {
+  const markov::UniformizationSolver solver;
+  if (arrangement == Arrangement::kSimplex) {
+    models::SimplexParams params;
+    params.n = code.n;
+    params.k = code.k;
+    params.m = code.m;
+    params.seu_rate_per_bit_hour = seu_per_bit_hour;
+    params.erasure_rate_per_symbol_hour = erasure_per_symbol_hour;
+    params.scrub_rate_per_hour = scrub_rate_per_hour;
+    return models::simplex_ber_curve(params, times_hours, solver);
+  }
+  models::DuplexParams params;
+  params.n = code.n;
+  params.k = code.k;
+  params.m = code.m;
+  params.seu_rate_per_bit_hour = seu_per_bit_hour;
+  params.erasure_rate_per_symbol_hour = erasure_per_symbol_hour;
+  params.scrub_rate_per_hour = scrub_rate_per_hour;
+  return models::duplex_ber_curve(params, times_hours, solver);
+}
+
+}  // namespace
+
+const char* to_string(Arrangement a) {
+  return a == Arrangement::kSimplex ? "simplex" : "duplex";
+}
+
+std::vector<Series> seu_rate_sweep(Arrangement arrangement, CodeSpec code,
+                                   std::span<const double> seu_per_bit_day,
+                                   double t_end_hours, std::size_t points) {
+  const std::vector<double> times =
+      models::time_grid_hours(t_end_hours, points);
+  std::vector<Series> series;
+  series.reserve(seu_per_bit_day.size());
+  for (const double rate_day : seu_per_bit_day) {
+    const models::BerCurve curve =
+        run_curve(arrangement, code, core::per_day_to_per_hour(rate_day), 0.0,
+                  0.0, times);
+    series.push_back(
+        {"lambda=" + format_rate(rate_day) + "/bit/day", times, curve.ber});
+  }
+  return series;
+}
+
+std::vector<Series> scrub_period_sweep(Arrangement arrangement, CodeSpec code,
+                                       double seu_per_bit_day,
+                                       std::span<const double> periods_seconds,
+                                       double t_end_hours,
+                                       std::size_t points) {
+  const std::vector<double> times =
+      models::time_grid_hours(t_end_hours, points);
+  std::vector<Series> series;
+  series.reserve(periods_seconds.size());
+  for (const double period_s : periods_seconds) {
+    const models::BerCurve curve = run_curve(
+        arrangement, code, core::per_day_to_per_hour(seu_per_bit_day), 0.0,
+        core::scrub_rate_per_hour(period_s), times);
+    char label[32];
+    std::snprintf(label, sizeof label, "Tsc=%.0f s", period_s);
+    series.push_back({label, times, curve.ber});
+  }
+  return series;
+}
+
+std::vector<Series> permanent_rate_sweep(
+    Arrangement arrangement, CodeSpec code,
+    std::span<const double> erasure_per_symbol_day, double t_end_months,
+    std::size_t points) {
+  if (t_end_months <= 0.0) {
+    throw std::invalid_argument("permanent_rate_sweep: t_end_months <= 0");
+  }
+  const std::vector<double> times_hours =
+      models::time_grid_hours(core::months_to_hours(t_end_months), points);
+  std::vector<double> times_months;
+  times_months.reserve(times_hours.size());
+  for (const double t : times_hours) {
+    times_months.push_back(core::hours_to_months(t));
+  }
+  std::vector<Series> series;
+  series.reserve(erasure_per_symbol_day.size());
+  for (const double rate_day : erasure_per_symbol_day) {
+    const models::BerCurve curve =
+        run_curve(arrangement, code, 0.0, core::per_day_to_per_hour(rate_day),
+                  0.0, times_hours);
+    series.push_back({"lambda_e=" + format_rate(rate_day) + "/sym/day",
+                      times_months, curve.ber});
+  }
+  return series;
+}
+
+}  // namespace rsmem::analysis

@@ -1,0 +1,129 @@
+#include "analysis/monte_carlo.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace rsmem::analysis {
+
+namespace {
+constexpr double kZ95 = 1.959963984540054;  // two-sided 95% normal quantile
+
+std::vector<gf::Element> random_data(sim::Rng& rng, unsigned k, unsigned m) {
+  std::vector<gf::Element> data(k);
+  for (auto& d : data) {
+    d = static_cast<gf::Element>(rng.uniform_int(1u << m));
+  }
+  return data;
+}
+
+}  // namespace
+
+double BinomialEstimate::p_hat() const {
+  return trials == 0 ? 0.0
+                     : static_cast<double>(failures) /
+                           static_cast<double>(trials);
+}
+
+double BinomialEstimate::std_error() const {
+  if (trials == 0) return 0.0;
+  const double p = p_hat();
+  return std::sqrt(p * (1.0 - p) / static_cast<double>(trials));
+}
+
+double BinomialEstimate::wilson_low() const {
+  if (trials == 0 || failures == 0) return 0.0;
+  const double n = static_cast<double>(trials);
+  const double p = p_hat();
+  const double z2 = kZ95 * kZ95;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double margin =
+      kZ95 * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return std::max(0.0, (center - margin) / denom);
+}
+
+double BinomialEstimate::wilson_high() const {
+  if (trials == 0 || failures == trials) return 1.0;
+  const double n = static_cast<double>(trials);
+  const double p = p_hat();
+  const double z2 = kZ95 * kZ95;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double margin =
+      kZ95 * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return std::min(1.0, (center + margin) / denom);
+}
+
+bool BinomialEstimate::covers(double p) const {
+  return p >= wilson_low() && p <= wilson_high();
+}
+
+MonteCarloResult run_simplex_trials(const memory::SimplexSystemConfig& system,
+                                    const MonteCarloConfig& config) {
+  if (config.trials == 0) {
+    throw std::invalid_argument("run_simplex_trials: need at least 1 trial");
+  }
+  MonteCarloResult result;
+  result.failure.trials = config.trials;
+  const sim::Rng root{config.seed};
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    sim::Rng data_rng = root.split(2 * trial);
+    memory::SimplexSystemConfig cfg = system;
+    cfg.seed = root.split(2 * trial + 1).next_u64();
+    memory::SimplexSystem sys{cfg};
+    sys.store(random_data(data_rng, cfg.code.k, cfg.code.m));
+    sys.advance_to(config.t_end_hours);
+    const memory::ReadResult read = sys.read();
+    if (!read.success) {
+      ++result.failure.failures;
+      ++result.no_output_failures;
+    } else if (config.wrong_data_is_failure && !read.data_correct) {
+      ++result.failure.failures;
+      ++result.wrong_data_failures;
+    }
+    result.mean_seu_per_trial += sys.stats().seu_injected;
+    result.mean_permanent_per_trial += sys.stats().permanent_injected;
+    result.scrub_failures += sys.stats().scrub_failures;
+    result.scrub_miscorrections += sys.stats().scrub_miscorrections;
+  }
+  result.mean_seu_per_trial /= static_cast<double>(config.trials);
+  result.mean_permanent_per_trial /= static_cast<double>(config.trials);
+  return result;
+}
+
+MonteCarloResult run_duplex_trials(const memory::DuplexSystemConfig& system,
+                                   const MonteCarloConfig& config) {
+  if (config.trials == 0) {
+    throw std::invalid_argument("run_duplex_trials: need at least 1 trial");
+  }
+  MonteCarloResult result;
+  result.failure.trials = config.trials;
+  const sim::Rng root{config.seed};
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    sim::Rng data_rng = root.split(2 * trial);
+    memory::DuplexSystemConfig cfg = system;
+    cfg.seed = root.split(2 * trial + 1).next_u64();
+    memory::DuplexSystem sys{cfg};
+    sys.store(random_data(data_rng, cfg.code.k, cfg.code.m));
+    sys.advance_to(config.t_end_hours);
+    const memory::DuplexReadResult read = sys.read();
+    if (!read.read.success) {
+      ++result.failure.failures;
+      ++result.no_output_failures;
+    } else if (config.wrong_data_is_failure && !read.read.data_correct) {
+      ++result.failure.failures;
+      ++result.wrong_data_failures;
+    }
+    result.mean_seu_per_trial += sys.stats().seu_injected;
+    result.mean_permanent_per_trial += sys.stats().permanent_injected;
+    result.scrub_failures += sys.stats().scrub_failures;
+    result.scrub_miscorrections += sys.stats().scrub_miscorrections;
+  }
+  result.mean_seu_per_trial /= static_cast<double>(config.trials);
+  result.mean_permanent_per_trial /= static_cast<double>(config.trials);
+  return result;
+}
+
+}  // namespace rsmem::analysis

@@ -1,0 +1,61 @@
+// Monte-Carlo estimation of the word-failure probability on the FUNCTIONAL
+// memory systems (real bits, real decoder, real arbiter).
+//
+// Used to cross-validate the analytic Markov chains: at accelerated fault
+// rates the binomial confidence interval of the simulated failure
+// probability must cover the chain's P_Fail(t) (bench_mc_vs_markov, and the
+// integration tests).
+#ifndef RSMEM_ANALYSIS_MONTE_CARLO_H
+#define RSMEM_ANALYSIS_MONTE_CARLO_H
+
+#include <cstdint>
+
+#include "memory/duplex_system.h"
+#include "memory/simplex_system.h"
+
+namespace rsmem::analysis {
+
+struct MonteCarloConfig {
+  std::size_t trials = 1000;
+  double t_end_hours = 48.0;
+  std::uint64_t seed = 42;
+  // A read that returns syntactically valid but WRONG data (undetected
+  // mis-correction) counts as a failure when true. The Markov chains count
+  // any unrecoverable pattern as Fail, so true is the faithful setting.
+  bool wrong_data_is_failure = true;
+};
+
+// Binomial estimate with a Wilson 95% confidence interval (well-behaved at
+// p near 0, where these experiments live).
+struct BinomialEstimate {
+  std::size_t trials = 0;
+  std::size_t failures = 0;
+
+  double p_hat() const;
+  double std_error() const;
+  double wilson_low() const;
+  double wilson_high() const;
+  // True if `p` lies inside the Wilson 95% interval.
+  bool covers(double p) const;
+};
+
+struct MonteCarloResult {
+  BinomialEstimate failure;
+  double mean_seu_per_trial = 0.0;
+  double mean_permanent_per_trial = 0.0;
+  std::uint64_t scrub_failures = 0;
+  std::uint64_t scrub_miscorrections = 0;
+  std::uint64_t no_output_failures = 0;     // detected (no output produced)
+  std::uint64_t wrong_data_failures = 0;    // undetected (wrong data out)
+};
+
+// Runs `config.trials` independent lives of the system: store random data at
+// t=0, advance to t_end, read once (the paper's "stopping time" semantics).
+MonteCarloResult run_simplex_trials(const memory::SimplexSystemConfig& system,
+                                    const MonteCarloConfig& config);
+MonteCarloResult run_duplex_trials(const memory::DuplexSystemConfig& system,
+                                   const MonteCarloConfig& config);
+
+}  // namespace rsmem::analysis
+
+#endif  // RSMEM_ANALYSIS_MONTE_CARLO_H

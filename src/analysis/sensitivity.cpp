@@ -1,0 +1,66 @@
+#include "analysis/sensitivity.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/api.h"
+
+namespace rsmem::analysis {
+
+namespace {
+
+double ber_at(core::MemorySystemSpec spec, double t_hours) {
+  const double times[] = {t_hours};
+  return rsmem::analyze_ber(spec, times).ber[0];
+}
+
+// d ln BER / d ln x by central difference around the nominal spec, with
+// `apply` writing a scaled knob value into a copy of the spec.
+template <typename Apply>
+double elasticity(const core::MemorySystemSpec& spec, double t_hours,
+                  double nominal, double rel_step, const Apply& apply) {
+  if (nominal <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  core::MemorySystemSpec up = spec;
+  apply(up, nominal * (1.0 + rel_step));
+  core::MemorySystemSpec down = spec;
+  apply(down, nominal * (1.0 - rel_step));
+  const double ber_up = ber_at(up, t_hours);
+  const double ber_down = ber_at(down, t_hours);
+  if (ber_up <= 0.0 || ber_down <= 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return (std::log(ber_up) - std::log(ber_down)) /
+         (std::log1p(rel_step) - std::log1p(-rel_step));
+}
+
+}  // namespace
+
+SensitivityReport ber_sensitivity(const core::MemorySystemSpec& spec,
+                                  double t_hours, double rel_step) {
+  if (t_hours <= 0.0) {
+    throw std::invalid_argument("ber_sensitivity: t must be > 0");
+  }
+  if (rel_step <= 0.0 || rel_step > 0.5) {
+    throw std::invalid_argument(
+        "ber_sensitivity: rel_step must be in (0, 0.5]");
+  }
+  SensitivityReport report;
+  report.ber = ber_at(spec, t_hours);
+  report.seu_elasticity = elasticity(
+      spec, t_hours, spec.seu_rate_per_bit_day, rel_step,
+      [](core::MemorySystemSpec& s, double v) { s.seu_rate_per_bit_day = v; });
+  report.erasure_elasticity =
+      elasticity(spec, t_hours, spec.erasure_rate_per_symbol_day, rel_step,
+                 [](core::MemorySystemSpec& s, double v) {
+                   s.erasure_rate_per_symbol_day = v;
+                 });
+  report.scrub_period_elasticity =
+      elasticity(spec, t_hours, spec.scrub_period_seconds, rel_step,
+                 [](core::MemorySystemSpec& s, double v) {
+                   s.scrub_period_seconds = v;
+                 });
+  return report;
+}
+
+}  // namespace rsmem::analysis

@@ -1,0 +1,36 @@
+// Sensitivity (elasticity) analysis of the BER with respect to the
+// environment knobs.
+//
+// The elasticity E_x = d ln BER / d ln x says how many percent the BER
+// moves per percent change in x -- the number a mission planner needs to
+// decide which knob to buy down. The chains make the expected values
+// physical: a simplex RS(18,16) needs 2 random errors to die, so
+// E_lambda ~ 2 in the small-rate regime; 3 erasures, so E_lambda_e ~ 3;
+// the duplex needs 3 double-erasures (6 events), so E_lambda_e ~ 6; a
+// scrubbed word's quasi-steady hazard is ~ linear in Tsc, so E_Tsc ~ +1.
+// Computed by central finite differences in log space on the Markov BER.
+#ifndef RSMEM_ANALYSIS_SENSITIVITY_H
+#define RSMEM_ANALYSIS_SENSITIVITY_H
+
+#include "core/config.h"
+
+namespace rsmem::analysis {
+
+struct SensitivityReport {
+  double ber = 0.0;  // at the nominal operating point
+  // Elasticities; NaN when the corresponding knob is zero (no defined
+  // log-derivative) or the BER vanishes.
+  double seu_elasticity = 0.0;
+  double erasure_elasticity = 0.0;
+  double scrub_period_elasticity = 0.0;
+};
+
+// Central log-space finite differences with multiplicative step
+// (1 +/- rel_step). Throws std::invalid_argument for t <= 0 or
+// rel_step outside (0, 0.5].
+SensitivityReport ber_sensitivity(const core::MemorySystemSpec& spec,
+                                  double t_hours, double rel_step = 0.05);
+
+}  // namespace rsmem::analysis
+
+#endif  // RSMEM_ANALYSIS_SENSITIVITY_H

@@ -1,0 +1,36 @@
+// Fixed-width text tables and CSV emission for bench/example output.
+#ifndef RSMEM_ANALYSIS_TABLE_H
+#define RSMEM_ANALYSIS_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace rsmem::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Throws std::invalid_argument if the row width differs from the header.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+  // Aligned, boxed rendering for terminals.
+  std::string to_text() const;
+  // RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Numeric formatting helpers shared by benches.
+std::string format_sci(double v, int digits = 3);   // 1.234E-05
+std::string format_fixed(double v, int digits = 3); // 1.234
+
+}  // namespace rsmem::analysis
+
+#endif  // RSMEM_ANALYSIS_TABLE_H

@@ -1,0 +1,344 @@
+#include "cli/commands.h"
+
+#include <set>
+#include <string>
+
+#include <cmath>
+
+#include "analysis/code_search.h"
+#include "analysis/sensitivity.h"
+#include "analysis/table.h"
+#include "cli/args.h"
+#include "core/api.h"
+#include "core/units.h"
+#include "hw/codec_hw_model.h"
+#include "memory/access_latency.h"
+#include "models/ber.h"
+#include "models/chipkill.h"
+#include "models/sparing_model.h"
+
+namespace rsmem::cli {
+
+namespace {
+
+const std::set<std::string> kSpecFlags = {"arrangement", "n", "k", "m",
+                                          "seu", "perm", "tsc"};
+
+core::MemorySystemSpec spec_from(const Args& args) {
+  core::MemorySystemSpec spec;
+  const std::string arrangement =
+      args.get_string_or("arrangement", "simplex");
+  if (arrangement == "simplex") {
+    spec.arrangement = analysis::Arrangement::kSimplex;
+  } else if (arrangement == "duplex") {
+    spec.arrangement = analysis::Arrangement::kDuplex;
+  } else {
+    throw ArgError("--arrangement must be 'simplex' or 'duplex'");
+  }
+  spec.code.n = static_cast<unsigned>(args.get_long_or("n", 18));
+  spec.code.k = static_cast<unsigned>(args.get_long_or("k", 16));
+  spec.code.m = static_cast<unsigned>(args.get_long_or("m", 8));
+  spec.seu_rate_per_bit_day = args.get_double_or("seu", 0.0);
+  spec.erasure_rate_per_symbol_day = args.get_double_or("perm", 0.0);
+  spec.scrub_period_seconds = args.get_double_or("tsc", 0.0);
+  spec.validate();
+  return spec;
+}
+
+std::set<std::string> with_spec(std::initializer_list<const char*> extra) {
+  std::set<std::string> flags = kSpecFlags;
+  for (const char* f : extra) flags.insert(f);
+  return flags;
+}
+
+int cmd_help(std::ostream& out) {
+  out << "rsmem_cli -- RS-coded fault-tolerant memory analysis\n"
+         "\n"
+         "usage: rsmem_cli <command> [--flag value]...\n"
+         "\n"
+         "commands:\n"
+         "  analyze   BER(t) via the Markov chain\n"
+         "            [spec] --hours H --points P [--periodic] [--csv]\n"
+         "  mttf      mean time to data loss  [spec]\n"
+         "  simulate  functional Monte-Carlo  [spec] --hours H --trials N\n"
+         "            [--seed S] [--policy periodic|exponential]\n"
+         "  cost      codec latency/area (fit + structural)  [spec]\n"
+         "  sweep     BER at --hours H across --param seu|perm|tsc\n"
+         "            with --values a,b,c  [spec]\n"
+         "  sensitivity  elasticities d ln BER / d ln knob  [spec] --hours H\n"
+         "  sparing   bank reliability vs spares  --modules M --spares-max S\n"
+         "            --module-rate r [--coverage c] [--hot] --hours H\n"
+         "  pareto    code/arrangement design-space search  [spec] --hours H\n"
+         "  latency   M/D/1 codec queue  --read-rate r --cycles c\n"
+         "            [--clock hz] [--scrub-period s --scrub-words w\n"
+         "            [--spread]] [--horizon s]\n"
+         "  chipkill  correlated chip faults vs i.i.d.-word model\n"
+         "            [spec] --chip-rate r --words W --hours H\n"
+         "  help      this text\n"
+         "\n"
+         "spec flags: --arrangement simplex|duplex  --n 18 --k 16 --m 8\n"
+         "            --seu <errors/bit/day>  --perm <erasures/symbol/day>\n"
+         "            --tsc <seconds>\n";
+  return 0;
+}
+
+int cmd_analyze(const Args& args, std::ostream& out) {
+  args.require_known(with_spec({"hours", "points", "periodic", "csv"}));
+  const core::MemorySystemSpec spec = spec_from(args);
+  const double hours = args.get_double_or("hours", 48.0);
+  const long points = args.get_long_or("points", 13);
+  if (hours <= 0.0 || points < 2) {
+    throw ArgError("--hours must be > 0 and --points >= 2");
+  }
+  const std::vector<double> times =
+      models::time_grid_hours(hours, static_cast<std::size_t>(points));
+  const models::BerCurve curve =
+      args.get_switch("periodic") ? analyze_ber_periodic_scrub(spec, times)
+                                  : analyze_ber(spec, times);
+  analysis::Table table{{"hours", "P_fail", "BER"}};
+  for (std::size_t i = 0; i < curve.times_hours.size(); ++i) {
+    table.add_row({analysis::format_fixed(curve.times_hours[i], 2),
+                   analysis::format_sci(curve.fail_probability[i]),
+                   analysis::format_sci(curve.ber[i])});
+  }
+  out << (args.get_switch("csv") ? table.to_csv() : table.to_text());
+  return 0;
+}
+
+int cmd_mttf(const Args& args, std::ostream& out) {
+  args.require_known(kSpecFlags);
+  const core::MemorySystemSpec spec = spec_from(args);
+  const double hours = mttf_hours(spec);
+  out << "MTTF: " << analysis::format_sci(hours) << " hours ("
+      << analysis::format_fixed(hours / core::kHoursPerDay, 2) << " days, "
+      << analysis::format_fixed(core::hours_to_months(hours), 2)
+      << " months)\n";
+  return 0;
+}
+
+int cmd_simulate(const Args& args, std::ostream& out) {
+  args.require_known(
+      with_spec({"hours", "trials", "seed", "policy"}));
+  const core::MemorySystemSpec spec = spec_from(args);
+  analysis::MonteCarloConfig mc;
+  mc.t_end_hours = args.get_double_or("hours", 48.0);
+  mc.trials = static_cast<std::size_t>(args.get_long_or("trials", 1000));
+  mc.seed = static_cast<std::uint64_t>(args.get_long_or("seed", 42));
+  const std::string policy = args.get_string_or("policy", "exponential");
+  memory::ScrubPolicy scrub_policy;
+  if (policy == "periodic") {
+    scrub_policy = memory::ScrubPolicy::kPeriodic;
+  } else if (policy == "exponential") {
+    scrub_policy = memory::ScrubPolicy::kExponential;
+  } else {
+    throw ArgError("--policy must be 'periodic' or 'exponential'");
+  }
+  const analysis::MonteCarloResult result = simulate(spec, mc, scrub_policy);
+  out << "trials:            " << result.failure.trials << "\n"
+      << "failures:          " << result.failure.failures << " ("
+      << result.no_output_failures << " no-output, "
+      << result.wrong_data_failures << " wrong-data)\n"
+      << "P_fail estimate:   "
+      << analysis::format_sci(result.failure.p_hat()) << "  95% CI ["
+      << analysis::format_sci(result.failure.wilson_low()) << ", "
+      << analysis::format_sci(result.failure.wilson_high()) << "]\n"
+      << "Markov prediction: "
+      << analysis::format_sci(fail_probability(spec, mc.t_end_hours)) << "\n";
+  return 0;
+}
+
+int cmd_cost(const Args& args, std::ostream& out) {
+  args.require_known(kSpecFlags);
+  const core::MemorySystemSpec spec = spec_from(args);
+  const reliability::ArrangementCost fit = codec_cost(spec);
+  const hw::HwEstimate structural =
+      hw::decoder_estimate(spec.code.n, spec.code.k, spec.code.m);
+  const unsigned decoders =
+      spec.arrangement == analysis::Arrangement::kDuplex ? 2 : 1;
+  analysis::Table table{{"metric", "paper fit", "structural model"}};
+  table.add_row({"decode latency [cycles]",
+                 analysis::format_fixed(fit.decode_cycles, 0),
+                 analysis::format_fixed(structural.latency_cycles, 0)});
+  table.add_row({"codec area [gates]",
+                 analysis::format_fixed(fit.area_gates, 0),
+                 analysis::format_fixed(
+                     structural.gate_count * decoders, 0)});
+  table.add_row({"decoders", std::to_string(decoders),
+                 std::to_string(decoders)});
+  out << table.to_text();
+  return 0;
+}
+
+int cmd_sweep(const Args& args, std::ostream& out) {
+  args.require_known(with_spec({"param", "values", "hours", "csv"}));
+  const std::string param = args.get_string("param");
+  const std::vector<double> values = args.get_double_list("values");
+  const double hours = args.get_double_or("hours", 48.0);
+  analysis::Table table{{param, "P_fail", "BER"}};
+  for (const double value : values) {
+    core::MemorySystemSpec spec = spec_from(args);
+    if (param == "seu") {
+      spec.seu_rate_per_bit_day = value;
+    } else if (param == "perm") {
+      spec.erasure_rate_per_symbol_day = value;
+    } else if (param == "tsc") {
+      spec.scrub_period_seconds = value;
+    } else {
+      throw ArgError("--param must be one of seu|perm|tsc");
+    }
+    const double times[] = {hours};
+    const models::BerCurve curve = analyze_ber(spec, times);
+    table.add_row({analysis::format_sci(value),
+                   analysis::format_sci(curve.fail_probability[0]),
+                   analysis::format_sci(curve.ber[0])});
+  }
+  out << (args.get_switch("csv") ? table.to_csv() : table.to_text());
+  return 0;
+}
+
+std::string fmt_or_dash(double v) {
+  return std::isnan(v) ? std::string("-") : analysis::format_fixed(v, 3);
+}
+
+int cmd_sensitivity(const Args& args, std::ostream& out) {
+  args.require_known(with_spec({"hours"}));
+  const core::MemorySystemSpec spec = spec_from(args);
+  const double hours = args.get_double_or("hours", 48.0);
+  const analysis::SensitivityReport r =
+      analysis::ber_sensitivity(spec, hours);
+  analysis::Table table{{"metric", "value"}};
+  table.add_row({"BER", analysis::format_sci(r.ber)});
+  table.add_row({"E[seu rate]", fmt_or_dash(r.seu_elasticity)});
+  table.add_row({"E[perm rate]", fmt_or_dash(r.erasure_elasticity)});
+  table.add_row({"E[scrub period]", fmt_or_dash(r.scrub_period_elasticity)});
+  out << table.to_text();
+  return 0;
+}
+
+int cmd_sparing(const Args& args, std::ostream& out) {
+  args.require_known({"modules", "spares-max", "module-rate", "coverage",
+                      "hot", "hours"});
+  models::SparingParams p;
+  p.active_modules = static_cast<unsigned>(args.get_long_or("modules", 8));
+  p.module_fail_rate_per_hour = args.get_double("module-rate");
+  p.coverage = args.get_double_or("coverage", 1.0);
+  p.spare_ageing_fraction = args.get_switch("hot") ? 1.0 : 0.0;
+  const double hours = args.get_double_or("hours", 43800.0);
+  const long spares_max = args.get_long_or("spares-max", 4);
+  if (spares_max < 0) throw ArgError("--spares-max must be >= 0");
+  analysis::Table table{{"spares", "reliability", "MTTF [h]"}};
+  for (long s = 0; s <= spares_max; ++s) {
+    p.spares = static_cast<unsigned>(s);
+    const models::SparingModel bank{p};
+    table.add_row({std::to_string(s),
+                   analysis::format_fixed(bank.reliability_at(hours), 6),
+                   analysis::format_sci(bank.mttf_hours())});
+  }
+  out << table.to_text();
+  return 0;
+}
+
+int cmd_pareto(const Args& args, std::ostream& out) {
+  args.require_known(with_spec({"hours"}));
+  analysis::CodeSearchSpec search;
+  search.base = spec_from(args);
+  search.t_hours = args.get_double_or("hours", 48.0);
+  const auto evals = analysis::evaluate_candidates(
+      search, analysis::default_candidates(search.base.code.k));
+  analysis::Table table{{"arrangement", "code", "BER", "overhead",
+                         "Td [cyc]", "area", "pareto"}};
+  for (const auto& e : evals) {
+    char code[16];
+    std::snprintf(code, sizeof code, "(%u,%u)", e.candidate.n,
+                  search.base.code.k);
+    table.add_row(
+        {analysis::to_string(e.candidate.arrangement), code,
+         analysis::format_sci(e.ber),
+         analysis::format_fixed(e.storage_overhead, 2),
+         analysis::format_fixed(e.decode_cycles, 0),
+         analysis::format_fixed(e.area_gates, 0),
+         e.pareto_efficient ? "*" : ""});
+  }
+  out << table.to_text();
+  return 0;
+}
+
+int cmd_latency(const Args& args, std::ostream& out) {
+  args.require_known({"read-rate", "cycles", "clock", "scrub-period",
+                      "scrub-words", "spread", "horizon"});
+  memory::AccessLatencyConfig cfg;
+  const double clock_hz = args.get_double_or("clock", 50e6);
+  cfg.read_rate_per_second = args.get_double("read-rate");
+  cfg.decode_seconds = args.get_double("cycles") / clock_hz;
+  cfg.scrub_period_seconds = args.get_double_or("scrub-period", 0.0);
+  cfg.words_per_scrub =
+      static_cast<std::uint64_t>(args.get_long_or("scrub-words", 0));
+  cfg.spread_scrub = args.get_switch("spread");
+  cfg.horizon_seconds = args.get_double_or("horizon", 2.0);
+  const memory::AccessLatencyReport r =
+      memory::simulate_access_latency(cfg);
+  analysis::Table table{{"metric", "value"}};
+  table.add_row({"reads served", std::to_string(r.reads_served)});
+  table.add_row({"utilization", analysis::format_fixed(r.utilization, 4)});
+  table.add_row({"mean wait [us]",
+                 analysis::format_fixed(r.mean_wait_seconds * 1e6, 3)});
+  table.add_row({"mean latency [us]",
+                 analysis::format_fixed(r.mean_latency_seconds * 1e6, 3)});
+  table.add_row({"p99 latency [us]",
+                 analysis::format_fixed(r.p99_latency_seconds * 1e6, 3)});
+  table.add_row({"max latency [us]",
+                 analysis::format_fixed(r.max_latency_seconds * 1e6, 3)});
+  out << table.to_text();
+  return 0;
+}
+
+int cmd_chipkill(const Args& args, std::ostream& out) {
+  args.require_known(with_spec({"chip-rate", "words", "hours"}));
+  const core::MemorySystemSpec spec = spec_from(args);
+  const double chip_rate = args.get_double("chip-rate");
+  const std::size_t words =
+      static_cast<std::size_t>(args.get_long_or("words", 1 << 20));
+  const double hours = args.get_double_or("hours", 48.0);
+  const double correlated = 1.0 - models::chipkill_array_survival(
+                                      spec.code.n, spec.code.k, chip_rate,
+                                      hours);
+  const double independent =
+      1.0 - models::independent_word_array_survival(
+                spec.code.n, spec.code.k, chip_rate, hours, words);
+  analysis::Table table{{"model", "P(array loss)"}};
+  table.add_row({"chip-kill (correlated)", analysis::format_sci(correlated)});
+  table.add_row({"independent words", analysis::format_sci(independent)});
+  out << table.to_text();
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  try {
+    const Args args = Args::parse(argc, argv);
+    const std::string& command = args.command();
+    if (command == "help") return cmd_help(out);
+    if (command == "analyze") return cmd_analyze(args, out);
+    if (command == "mttf") return cmd_mttf(args, out);
+    if (command == "simulate") return cmd_simulate(args, out);
+    if (command == "cost") return cmd_cost(args, out);
+    if (command == "sweep") return cmd_sweep(args, out);
+    if (command == "sensitivity") return cmd_sensitivity(args, out);
+    if (command == "sparing") return cmd_sparing(args, out);
+    if (command == "pareto") return cmd_pareto(args, out);
+    if (command == "latency") return cmd_latency(args, out);
+    if (command == "chipkill") return cmd_chipkill(args, out);
+    err << "unknown command '" << command << "'; try 'rsmem_cli help'\n";
+    return 2;
+  } catch (const ArgError& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace rsmem::cli

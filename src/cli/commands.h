@@ -1,0 +1,26 @@
+// rsmem_cli command layer, separated from main() so tests can drive it.
+//
+// Commands:
+//   help                                  usage text
+//   analyze   BER(t) curve via the Markov chain (optionally the periodic-
+//             scrub policy), text table or CSV
+//   mttf      mean time to data loss via absorption analysis
+//   simulate  Monte-Carlo on the functional system
+//   cost      codec latency/area: paper fit + structural pipeline model
+//   sweep     BER at a fixed horizon across a swept parameter
+// Common flags: --arrangement simplex|duplex, --n, --k, --m,
+//   --seu <errors/bit/day>, --perm <erasures/symbol/day>, --tsc <seconds>.
+#ifndef RSMEM_CLI_COMMANDS_H
+#define RSMEM_CLI_COMMANDS_H
+
+#include <ostream>
+
+namespace rsmem::cli {
+
+// Returns a process exit code; never throws (errors are printed to `err`).
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace rsmem::cli
+
+#endif  // RSMEM_CLI_COMMANDS_H

@@ -1,0 +1,137 @@
+#include "codes/secded.h"
+
+#include <stdexcept>
+
+namespace rsmem::codes {
+
+namespace {
+
+bool is_power_of_two(unsigned x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+SecDed::SecDed(unsigned data_bits) : data_bits_(data_bits) {
+  if (data_bits == 0 || data_bits > (1u << 16)) {
+    throw std::invalid_argument("SecDed: data_bits must be in [1, 65536]");
+  }
+  // Smallest r with 2^r - 1 - r >= data_bits.
+  unsigned r = 2;
+  while ((1u << r) - 1 - r < data_bits) ++r;
+  hamming_parity_bits_ = r;
+  parity_bits_ = r + 1;  // + overall parity
+
+  // Stored layout: data bits first (non-power-of-two Hamming positions in
+  // ascending order), then the r Hamming parity bits (positions 2^j), then
+  // the overall parity bit (no Hamming position; sentinel 0).
+  position_of_bit_.assign(codeword_bits(), 0);
+  unsigned position = 1;
+  for (unsigned i = 0; i < data_bits_; ++i) {
+    while (is_power_of_two(position)) ++position;
+    position_of_bit_[i] = position++;
+  }
+  for (unsigned j = 0; j < r; ++j) {
+    position_of_bit_[data_bits_ + j] = 1u << j;
+  }
+}
+
+unsigned SecDed::syndrome_and_parity(std::span<const std::uint8_t> word,
+                                     unsigned* overall_parity) const {
+  unsigned syndrome = 0;
+  unsigned parity = 0;
+  for (unsigned i = 0; i < codeword_bits(); ++i) {
+    if (word[i] > 1) {
+      throw std::invalid_argument("SecDed: bits must be 0 or 1");
+    }
+    if (word[i]) {
+      syndrome ^= position_of_bit_[i];  // overall parity bit contributes 0
+      parity ^= 1u;
+    }
+  }
+  *overall_parity = parity;
+  return syndrome;
+}
+
+std::vector<std::uint8_t> SecDed::encode(
+    std::span<const std::uint8_t> data) const {
+  if (data.size() != data_bits_) {
+    throw std::invalid_argument("SecDed::encode: data size mismatch");
+  }
+  std::vector<std::uint8_t> word(codeword_bits(), 0);
+  for (unsigned i = 0; i < data_bits_; ++i) {
+    if (data[i] > 1) {
+      throw std::invalid_argument("SecDed::encode: bits must be 0 or 1");
+    }
+    word[i] = data[i];
+  }
+  // Hamming parity bits: zero the parities, then each parity bit equals the
+  // syndrome bit the data induces.
+  unsigned parity = 0;
+  unsigned syndrome = 0;
+  for (unsigned i = 0; i < data_bits_; ++i) {
+    if (word[i]) syndrome ^= position_of_bit_[i];
+  }
+  for (unsigned j = 0; j < hamming_parity_bits_; ++j) {
+    word[data_bits_ + j] = (syndrome >> j) & 1u;
+  }
+  for (unsigned i = 0; i + 1 < codeword_bits(); ++i) parity ^= word[i];
+  word[codeword_bits() - 1] = static_cast<std::uint8_t>(parity);
+  return word;
+}
+
+SecDedOutcome SecDed::decode(std::span<std::uint8_t> codeword) const {
+  if (codeword.size() != codeword_bits()) {
+    throw std::invalid_argument("SecDed::decode: size mismatch");
+  }
+  unsigned overall = 0;
+  const unsigned syndrome = syndrome_and_parity(codeword, &overall);
+
+  SecDedOutcome outcome;
+  if (syndrome == 0 && overall == 0) {
+    outcome.status = SecDedStatus::kClean;
+    return outcome;
+  }
+  if (syndrome == 0 && overall == 1) {
+    // The overall parity bit itself flipped.
+    codeword[codeword_bits() - 1] ^= 1u;
+    outcome.status = SecDedStatus::kCorrected;
+    outcome.corrected_bit = codeword_bits() - 1;
+    return outcome;
+  }
+  if (overall == 1) {
+    // Odd number of errors with a syndrome: assume a single error at the
+    // stored bit whose Hamming position equals the syndrome.
+    for (unsigned i = 0; i + 1 < codeword_bits(); ++i) {
+      if (position_of_bit_[i] == syndrome) {
+        codeword[i] ^= 1u;
+        outcome.status = SecDedStatus::kCorrected;
+        outcome.corrected_bit = i;
+        return outcome;
+      }
+    }
+    // Syndrome points at an unused (shortened) position: only a multi-bit
+    // pattern can do that.
+    outcome.status = SecDedStatus::kDetectedDouble;
+    return outcome;
+  }
+  // syndrome != 0, overall parity even: a double error.
+  outcome.status = SecDedStatus::kDetectedDouble;
+  return outcome;
+}
+
+std::vector<std::uint8_t> SecDed::extract_data(
+    std::span<const std::uint8_t> codeword) const {
+  if (codeword.size() != codeword_bits()) {
+    throw std::invalid_argument("SecDed::extract_data: size mismatch");
+  }
+  return std::vector<std::uint8_t>(codeword.begin(),
+                                   codeword.begin() + data_bits_);
+}
+
+bool SecDed::is_codeword(std::span<const std::uint8_t> codeword) const {
+  if (codeword.size() != codeword_bits()) return false;
+  unsigned overall = 0;
+  const unsigned syndrome = syndrome_and_parity(codeword, &overall);
+  return syndrome == 0 && overall == 0;
+}
+
+}  // namespace rsmem::codes

@@ -1,0 +1,85 @@
+// SEC-DED (single-error-correcting, double-error-detecting) extended
+// Hamming code -- the industry-standard bit-oriented memory EDAC, built as
+// a baseline against the paper's symbol-oriented RS codes.
+//
+// The classic (72,64) configuration has exactly the same 12.5% storage
+// overhead as RS(18,16) over GF(2^8), which makes the comparison between
+// bit-level and symbol-level protection exact (bench_secded_vs_rs):
+// SEC-DED corrects any 1 flipped bit and detects any 2 per 72-bit word;
+// RS(18,16) corrects any single 8-bit symbol, i.e. an arbitrary burst of
+// up to 8 adjacent bits inside one symbol.
+//
+// Construction: distance-4 extended Hamming. Codeword bit positions are
+// numbered 1..(2^r - 1) for the inner Hamming code; position j is a parity
+// bit iff j is a power of two; an overall parity bit is appended. Decoding:
+//   syndrome s, overall parity p:
+//     s == 0, p == 0  -> clean
+//     s != 0, p == 1  -> single error at position s, corrected
+//     s == 0, p == 1  -> the overall parity bit itself flipped, corrected
+//     s != 0, p == 0  -> double error DETECTED (uncorrectable)
+// Note s may point beyond n for some double patterns; that is also a
+// detected failure.
+#ifndef RSMEM_CODES_SECDED_H
+#define RSMEM_CODES_SECDED_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rsmem::codes {
+
+enum class SecDedStatus : std::uint8_t {
+  kClean,
+  kCorrected,       // single bit repaired
+  kDetectedDouble,  // uncorrectable, flagged
+};
+
+struct SecDedOutcome {
+  SecDedStatus status = SecDedStatus::kClean;
+  // Codeword bit index (0-based) repaired when status == kCorrected and the
+  // error was inside the stored word; n_bits() for the overall parity bit.
+  unsigned corrected_bit = 0;
+
+  bool ok() const { return status != SecDedStatus::kDetectedDouble; }
+};
+
+class SecDed {
+ public:
+  // Builds the smallest extended Hamming code holding `data_bits` payload
+  // bits. (72,64) results from data_bits = 64. Throws std::invalid_argument
+  // for data_bits == 0 or > 2^16.
+  explicit SecDed(unsigned data_bits);
+
+  unsigned data_bits() const { return data_bits_; }
+  unsigned parity_bits() const { return parity_bits_; }  // incl. overall
+  unsigned codeword_bits() const { return data_bits_ + parity_bits_; }
+  double overhead() const {
+    return static_cast<double>(codeword_bits()) / data_bits_;
+  }
+
+  // Bits are passed as one 0/1 byte each (modeling-friendly layout).
+  // Throws std::invalid_argument on size mismatch or non-binary content.
+  std::vector<std::uint8_t> encode(std::span<const std::uint8_t> data) const;
+
+  // In-place decode; on ok() the word is a valid codeword afterwards.
+  SecDedOutcome decode(std::span<std::uint8_t> codeword) const;
+
+  std::vector<std::uint8_t> extract_data(
+      std::span<const std::uint8_t> codeword) const;
+
+  bool is_codeword(std::span<const std::uint8_t> codeword) const;
+
+ private:
+  unsigned data_bits_;
+  unsigned hamming_parity_bits_;  // r (excl. the overall parity bit)
+  unsigned parity_bits_;          // r + 1
+  // Hamming position (1-based) of each stored bit, data first then parity.
+  std::vector<unsigned> position_of_bit_;
+
+  unsigned syndrome_and_parity(std::span<const std::uint8_t> word,
+                               unsigned* overall_parity) const;
+};
+
+}  // namespace rsmem::codes
+
+#endif  // RSMEM_CODES_SECDED_H

@@ -1,0 +1,76 @@
+#include "core/api.h"
+
+#include <stdexcept>
+
+#include "core/units.h"
+#include "markov/uniformization.h"
+#include "models/metrics.h"
+
+namespace rsmem {
+
+const char* version() { return "1.0.0"; }
+
+models::BerCurve analyze_ber(const core::MemorySystemSpec& spec,
+                             std::span<const double> times_hours) {
+  const markov::UniformizationSolver solver;
+  if (spec.arrangement == analysis::Arrangement::kSimplex) {
+    return models::simplex_ber_curve(spec.to_simplex_params(), times_hours,
+                                     solver);
+  }
+  return models::duplex_ber_curve(spec.to_duplex_params(), times_hours,
+                                  solver);
+}
+
+double fail_probability(const core::MemorySystemSpec& spec, double t_hours) {
+  const double times[] = {t_hours};
+  return analyze_ber(spec, times).fail_probability.front();
+}
+
+analysis::MonteCarloResult simulate(const core::MemorySystemSpec& spec,
+                                    const analysis::MonteCarloConfig& config,
+                                    memory::ScrubPolicy policy) {
+  if (spec.arrangement == analysis::Arrangement::kSimplex) {
+    return analysis::run_simplex_trials(
+        spec.to_simplex_system_config(config.seed, policy), config);
+  }
+  return analysis::run_duplex_trials(
+      spec.to_duplex_system_config(config.seed, policy), config);
+}
+
+reliability::ArrangementCost codec_cost(
+    const core::MemorySystemSpec& spec,
+    const reliability::DecoderCostModel& model) {
+  spec.validate();
+  if (spec.arrangement == analysis::Arrangement::kSimplex) {
+    return reliability::simplex_cost(model, spec.code.n, spec.code.k,
+                                     spec.code.m);
+  }
+  return reliability::duplex_cost(model, spec.code.n, spec.code.k,
+                                  spec.code.m);
+}
+
+double mttf_hours(const core::MemorySystemSpec& spec) {
+  if (spec.arrangement == analysis::Arrangement::kSimplex) {
+    return models::simplex_mttf_hours(spec.to_simplex_params());
+  }
+  return models::duplex_mttf_hours(spec.to_duplex_params());
+}
+
+models::BerCurve analyze_ber_periodic_scrub(
+    const core::MemorySystemSpec& spec,
+    std::span<const double> times_hours) {
+  if (spec.scrub_period_seconds <= 0.0) {
+    throw std::invalid_argument(
+        "analyze_ber_periodic_scrub: scrub_period_seconds must be > 0");
+  }
+  const double tsc_hours = core::seconds_to_hours(spec.scrub_period_seconds);
+  const markov::UniformizationSolver solver;
+  if (spec.arrangement == analysis::Arrangement::kSimplex) {
+    return models::simplex_periodic_scrub_ber(spec.to_simplex_params(),
+                                              tsc_hours, times_hours, solver);
+  }
+  return models::duplex_periodic_scrub_ber(spec.to_duplex_params(), tsc_hours,
+                                           times_hours, solver);
+}
+
+}  // namespace rsmem

@@ -1,0 +1,60 @@
+// rsmem public facade.
+//
+// Most users need exactly these entry points:
+//   * analyze_ber      - solve the paper's Markov chain for BER(t) curves,
+//   * fail_probability - P_Fail at one time point,
+//   * simulate         - Monte-Carlo the functional system (real decoder),
+//   * codec_cost       - decode-latency / area of the arrangement.
+// Everything they build on (codec, chains, solvers, simulator) is public
+// too, under the rsmem::gf/rs/markov/models/sim/memory/analysis/reliability
+// namespaces, for users who need the pieces.
+#ifndef RSMEM_CORE_API_H
+#define RSMEM_CORE_API_H
+
+#include <span>
+
+#include "analysis/monte_carlo.h"
+#include "core/config.h"
+#include "reliability/decoder_cost.h"
+
+namespace rsmem {
+
+// Library version string (semantic).
+const char* version();
+
+// Transient BER(t) of the configured system at the given times (hours,
+// ascending), via the simplex or duplex Markov chain and uniformization.
+models::BerCurve analyze_ber(const core::MemorySystemSpec& spec,
+                             std::span<const double> times_hours);
+
+// P_Fail at a single time (hours).
+double fail_probability(const core::MemorySystemSpec& spec, double t_hours);
+
+// Monte-Carlo estimate of the failure probability on the functional system.
+// The spec's scrubbing is simulated with the exponential policy by default
+// so results are directly comparable with the Markov chain; pass
+// memory::ScrubPolicy::kPeriodic to mirror real hardware instead.
+analysis::MonteCarloResult simulate(
+    const core::MemorySystemSpec& spec,
+    const analysis::MonteCarloConfig& config,
+    memory::ScrubPolicy policy = memory::ScrubPolicy::kExponential);
+
+// Decode latency and codec area of the arrangement.
+reliability::ArrangementCost codec_cost(
+    const core::MemorySystemSpec& spec,
+    const reliability::DecoderCostModel& model = {});
+
+// Mean time to data loss (hours) of one stored word, by exact absorption
+// analysis of the chain. Throws std::domain_error when the fault rates are
+// all zero (the word never fails).
+double mttf_hours(const core::MemorySystemSpec& spec);
+
+// BER(t) under DETERMINISTIC periodic scrubbing (the policy real hardware
+// implements) instead of the chain's exponential approximation. The spec's
+// scrub_period_seconds selects the period and must be positive.
+models::BerCurve analyze_ber_periodic_scrub(
+    const core::MemorySystemSpec& spec, std::span<const double> times_hours);
+
+}  // namespace rsmem
+
+#endif  // RSMEM_CORE_API_H

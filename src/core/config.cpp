@@ -1,0 +1,79 @@
+#include "core/config.h"
+
+#include <stdexcept>
+
+#include "core/units.h"
+
+namespace rsmem::core {
+
+void MemorySystemSpec::validate() const {
+  if (code.k == 0 || code.k >= code.n) {
+    throw std::invalid_argument("MemorySystemSpec: require 0 < k < n");
+  }
+  if (code.m < 2 || code.m > 16 || code.n > (1u << code.m) - 1u) {
+    throw std::invalid_argument("MemorySystemSpec: require n <= 2^m - 1");
+  }
+  if (seu_rate_per_bit_day < 0.0 || erasure_rate_per_symbol_day < 0.0 ||
+      scrub_period_seconds < 0.0) {
+    throw std::invalid_argument("MemorySystemSpec: negative rate/period");
+  }
+}
+
+models::SimplexParams MemorySystemSpec::to_simplex_params() const {
+  validate();
+  models::SimplexParams p;
+  p.n = code.n;
+  p.k = code.k;
+  p.m = code.m;
+  p.seu_rate_per_bit_hour = per_day_to_per_hour(seu_rate_per_bit_day);
+  p.erasure_rate_per_symbol_hour =
+      per_day_to_per_hour(erasure_rate_per_symbol_day);
+  p.scrub_rate_per_hour = scrub_rate_per_hour(scrub_period_seconds);
+  return p;
+}
+
+models::DuplexParams MemorySystemSpec::to_duplex_params() const {
+  validate();
+  models::DuplexParams p;
+  p.n = code.n;
+  p.k = code.k;
+  p.m = code.m;
+  p.seu_rate_per_bit_hour = per_day_to_per_hour(seu_rate_per_bit_day);
+  p.erasure_rate_per_symbol_hour =
+      per_day_to_per_hour(erasure_rate_per_symbol_day);
+  p.scrub_rate_per_hour = scrub_rate_per_hour(scrub_period_seconds);
+  p.convention = convention;
+  return p;
+}
+
+memory::SimplexSystemConfig MemorySystemSpec::to_simplex_system_config(
+    std::uint64_t seed, memory::ScrubPolicy policy) const {
+  validate();
+  memory::SimplexSystemConfig cfg;
+  cfg.code = code;
+  cfg.rates.seu_rate_per_bit_hour = per_day_to_per_hour(seu_rate_per_bit_day);
+  cfg.rates.perm_rate_per_symbol_hour =
+      per_day_to_per_hour(erasure_rate_per_symbol_day);
+  cfg.scrub_policy = scrub_period_seconds > 0.0 ? policy
+                                                : memory::ScrubPolicy::kNone;
+  cfg.scrub_period_hours = seconds_to_hours(scrub_period_seconds);
+  cfg.seed = seed;
+  return cfg;
+}
+
+memory::DuplexSystemConfig MemorySystemSpec::to_duplex_system_config(
+    std::uint64_t seed, memory::ScrubPolicy policy) const {
+  validate();
+  memory::DuplexSystemConfig cfg;
+  cfg.code = code;
+  cfg.rates.seu_rate_per_bit_hour = per_day_to_per_hour(seu_rate_per_bit_day);
+  cfg.rates.perm_rate_per_symbol_hour =
+      per_day_to_per_hour(erasure_rate_per_symbol_day);
+  cfg.scrub_policy = scrub_period_seconds > 0.0 ? policy
+                                                : memory::ScrubPolicy::kNone;
+  cfg.scrub_period_hours = seconds_to_hours(scrub_period_seconds);
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace rsmem::core

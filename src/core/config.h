@@ -1,0 +1,44 @@
+// Top-level configuration: one struct describes a memory system in the
+// paper's own units, and converts to whatever each layer needs (Markov model
+// parameters in per-hour rates, functional-simulation configs, codec specs).
+#ifndef RSMEM_CORE_CONFIG_H
+#define RSMEM_CORE_CONFIG_H
+
+#include "analysis/experiment.h"
+#include "memory/duplex_system.h"
+#include "memory/simplex_system.h"
+#include "models/duplex_model.h"
+#include "models/simplex_model.h"
+#include "rs/reed_solomon.h"
+
+namespace rsmem::core {
+
+struct MemorySystemSpec {
+  analysis::Arrangement arrangement = analysis::Arrangement::kSimplex;
+  rs::CodeParams code{18, 16, 8, 1};
+
+  // Rates in the paper's units.
+  double seu_rate_per_bit_day = 0.0;          // lambda
+  double erasure_rate_per_symbol_day = 0.0;   // lambda_e
+  double scrub_period_seconds = 0.0;          // Tsc; 0 = no scrubbing
+
+  // Markov-model knobs (see models/duplex_model.h).
+  models::RateConvention convention = models::RateConvention::kPaper;
+
+  // Validates ranges; throws std::invalid_argument with a description.
+  void validate() const;
+
+  // Conversions to the layer-specific parameter structs.
+  models::SimplexParams to_simplex_params() const;
+  models::DuplexParams to_duplex_params() const;
+  memory::SimplexSystemConfig to_simplex_system_config(
+      std::uint64_t seed,
+      memory::ScrubPolicy policy = memory::ScrubPolicy::kExponential) const;
+  memory::DuplexSystemConfig to_duplex_system_config(
+      std::uint64_t seed,
+      memory::ScrubPolicy policy = memory::ScrubPolicy::kExponential) const;
+};
+
+}  // namespace rsmem::core
+
+#endif  // RSMEM_CORE_CONFIG_H

@@ -1,0 +1,12 @@
+// units.h is fully constexpr; this translation unit only anchors the header
+// into the library so misuse shows up at link time in every build mode.
+#include "core/units.h"
+
+namespace rsmem::core {
+
+static_assert(per_day_to_per_hour(24.0) == 1.0);
+static_assert(seconds_to_hours(3600.0) == 1.0);
+static_assert(scrub_rate_per_hour(3600.0) == 1.0);
+static_assert(scrub_rate_per_hour(0.0) == 0.0);
+
+}  // namespace rsmem::core

@@ -1,0 +1,46 @@
+// Time and rate unit conventions.
+//
+// The paper quotes SEU rates in errors/bit/DAY, scrubbing periods in
+// SECONDS, storage times in HOURS (Figs. 5-7) and MONTHS (Figs. 8-10).
+// Internally every rate is "per hour" and every duration is "hours"; these
+// helpers are the only place conversions happen.
+#ifndef RSMEM_CORE_UNITS_H
+#define RSMEM_CORE_UNITS_H
+
+namespace rsmem::core {
+
+inline constexpr double kHoursPerDay = 24.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+// Average civil month (365/12 days), matching the paper's 24-month span.
+inline constexpr double kHoursPerMonth = 365.0 / 12.0 * kHoursPerDay;
+
+constexpr double per_day_to_per_hour(double rate_per_day) {
+  return rate_per_day / kHoursPerDay;
+}
+constexpr double per_hour_to_per_day(double rate_per_hour) {
+  return rate_per_hour * kHoursPerDay;
+}
+constexpr double seconds_to_hours(double seconds) {
+  return seconds / kSecondsPerHour;
+}
+constexpr double hours_to_seconds(double hours) {
+  return hours * kSecondsPerHour;
+}
+constexpr double months_to_hours(double months) {
+  return months * kHoursPerMonth;
+}
+constexpr double hours_to_months(double hours) {
+  return hours / kHoursPerMonth;
+}
+constexpr double days_to_hours(double days) { return days * kHoursPerDay; }
+
+// Scrubbing executed every `period_seconds` corresponds to a Markov rate of
+// 1/Tsc; returns that rate in per-hour units. A period of 0 means "no
+// scrubbing" and maps to rate 0.
+constexpr double scrub_rate_per_hour(double period_seconds) {
+  return period_seconds > 0.0 ? kSecondsPerHour / period_seconds : 0.0;
+}
+
+}  // namespace rsmem::core
+
+#endif  // RSMEM_CORE_UNITS_H

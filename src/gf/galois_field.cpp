@@ -1,0 +1,108 @@
+#include "gf/galois_field.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace rsmem::gf {
+
+namespace {
+
+// Conway-style primitive polynomials over GF(2), leading term included.
+// Indexed by m; the classic choices used by most RS implementations.
+constexpr std::uint32_t kDefaultPoly[17] = {
+    0,      0,      0x7,    0xB,     0x13,    0x25,    0x43,   0x89,
+    0x11D,  0x211,  0x409,  0x805,   0x1053,  0x201B,  0x4443, 0x8003,
+    0x1100B};
+
+}  // namespace
+
+std::uint32_t GaloisField::default_primitive_poly(unsigned m) {
+  if (m < kMinM || m > kMaxM) {
+    throw std::invalid_argument("GaloisField: m must be in [2,16], got " +
+                                std::to_string(m));
+  }
+  return kDefaultPoly[m];
+}
+
+GaloisField::GaloisField(unsigned m)
+    : GaloisField(m, default_primitive_poly(m)) {}
+
+GaloisField::GaloisField(unsigned m, std::uint32_t primitive_poly)
+    : m_(m), size_(0), primitive_poly_(primitive_poly) {
+  if (m < kMinM || m > kMaxM) {
+    throw std::invalid_argument("GaloisField: m must be in [2,16], got " +
+                                std::to_string(m));
+  }
+  size_ = 1u << m;
+  if ((primitive_poly_ >> m) != 1u) {
+    throw std::invalid_argument(
+        "GaloisField: primitive polynomial must have degree exactly m");
+  }
+  build_tables();
+}
+
+void GaloisField::build_tables() {
+  const std::uint32_t ord = order();
+  exp_.assign(2 * ord, 0);
+  log_.assign(size_, 0);
+
+  Element x = 1;
+  for (std::uint32_t i = 0; i < ord; ++i) {
+    if (i != 0 && x == 1) {
+      // alpha's multiplicative order is < 2^m - 1: polynomial not primitive.
+      throw std::invalid_argument(
+          "GaloisField: polynomial is not primitive over GF(2^m)");
+    }
+    exp_[i] = x;
+    exp_[i + ord] = x;
+    log_[x] = i;
+    // Multiply by alpha (i.e. by x) and reduce modulo the primitive poly.
+    x <<= 1;
+    if (x & size_) x ^= primitive_poly_;
+  }
+  if (exp_[1] != 2 && m_ > 1) {
+    // alpha is represented by 2 by construction; sanity check.
+    throw std::logic_error("GaloisField: table construction is inconsistent");
+  }
+}
+
+Element GaloisField::div(Element a, Element b) const {
+  if (b == 0) throw std::domain_error("GaloisField::div: division by zero");
+  if (a == 0) return 0;
+  const std::uint32_t ord = order();
+  return exp_[(log_[a] + ord - log_[b]) % ord + 0];
+}
+
+Element GaloisField::inv(Element a) const {
+  if (a == 0) throw std::domain_error("GaloisField::inv: zero has no inverse");
+  const std::uint32_t ord = order();
+  return exp_[(ord - log_[a]) % ord];
+}
+
+Element GaloisField::pow(Element a, long long e) const {
+  if (a == 0) {
+    if (e == 0) return 1;
+    if (e < 0) throw std::domain_error("GaloisField::pow: 0^negative");
+    return 0;
+  }
+  const long long ord = static_cast<long long>(order());
+  long long le = static_cast<long long>(log_[a]) * (e % ord);
+  le %= ord;
+  if (le < 0) le += ord;
+  return exp_[static_cast<std::size_t>(le)];
+}
+
+Element GaloisField::alpha_pow(long long e) const {
+  const long long ord = static_cast<long long>(order());
+  long long le = e % ord;
+  if (le < 0) le += ord;
+  return exp_[static_cast<std::size_t>(le)];
+}
+
+std::uint32_t GaloisField::log(Element a) const {
+  if (a == 0) throw std::domain_error("GaloisField::log: log of zero");
+  if (!contains(a)) throw std::domain_error("GaloisField::log: out of field");
+  return log_[a];
+}
+
+}  // namespace rsmem::gf

@@ -1,0 +1,91 @@
+// Galois field GF(2^m) arithmetic.
+//
+// Substrate for the Reed-Solomon codec (src/rs). Supports every field
+// GF(2^m) with m in [2, 16], which covers all codes discussed in the paper
+// (RS(18,16) and RS(36,16) over GF(2^8)) plus small fields used for
+// exhaustive property testing.
+//
+// Elements are represented as unsigned integers in [0, 2^m): the bits are
+// the coefficients of the polynomial representation over GF(2). Addition is
+// XOR; multiplication/division/inversion go through log/antilog tables built
+// once per field from a primitive polynomial.
+#ifndef RSMEM_GF_GALOIS_FIELD_H
+#define RSMEM_GF_GALOIS_FIELD_H
+
+#include <cstdint>
+#include <vector>
+
+namespace rsmem::gf {
+
+// An element of GF(2^m). Plain integer; operations live on GaloisField so
+// that one process can hold many fields of different sizes at once.
+using Element = std::uint32_t;
+
+class GaloisField {
+ public:
+  static constexpr unsigned kMinM = 2;
+  static constexpr unsigned kMaxM = 16;
+
+  // Builds GF(2^m) with the default primitive polynomial for m.
+  // Throws std::invalid_argument if m is outside [kMinM, kMaxM].
+  explicit GaloisField(unsigned m);
+
+  // Builds GF(2^m) from an explicit primitive polynomial, given with the
+  // leading x^m term included (e.g. 0x11D for the usual GF(2^8)).
+  // Throws std::invalid_argument if the polynomial is not primitive over
+  // GF(2^m) (detected while building the tables).
+  GaloisField(unsigned m, std::uint32_t primitive_poly);
+
+  unsigned m() const { return m_; }
+  // Number of field elements, 2^m.
+  std::uint32_t size() const { return size_; }
+  // Multiplicative order, 2^m - 1.
+  std::uint32_t order() const { return size_ - 1; }
+  std::uint32_t primitive_poly() const { return primitive_poly_; }
+
+  bool contains(Element a) const { return a < size_; }
+
+  // Addition and subtraction coincide in characteristic 2.
+  static Element add(Element a, Element b) { return a ^ b; }
+  static Element sub(Element a, Element b) { return a ^ b; }
+
+  Element mul(Element a, Element b) const {
+    if (a == 0 || b == 0) return 0;
+    return exp_[log_[a] + log_[b]];
+  }
+
+  // Throws std::domain_error on division by zero.
+  Element div(Element a, Element b) const;
+
+  // Multiplicative inverse. Throws std::domain_error for zero.
+  Element inv(Element a) const;
+
+  // a^e for a signed exponent (0^0 == 1 by convention; 0^e == 0 for e > 0;
+  // throws std::domain_error for 0^e with e < 0).
+  Element pow(Element a, long long e) const;
+
+  // alpha^e where alpha is the primitive element (the root of the primitive
+  // polynomial, i.e. the element with integer representation 2).
+  Element alpha_pow(long long e) const;
+
+  // Discrete log base alpha, defined for non-zero elements in [0, order).
+  // Throws std::domain_error for zero.
+  std::uint32_t log(Element a) const;
+
+  // Default primitive polynomial used for GF(2^m).
+  static std::uint32_t default_primitive_poly(unsigned m);
+
+ private:
+  void build_tables();
+
+  unsigned m_;
+  std::uint32_t size_;
+  std::uint32_t primitive_poly_;
+  // exp_ has 2*(size-1) entries so mul can skip the mod(order) reduction.
+  std::vector<Element> exp_;
+  std::vector<std::uint32_t> log_;
+};
+
+}  // namespace rsmem::gf
+
+#endif  // RSMEM_GF_GALOIS_FIELD_H

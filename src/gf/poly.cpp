@@ -1,0 +1,148 @@
+#include "gf/poly.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rsmem::gf {
+
+Poly Poly::constant(Element c) {
+  if (c == 0) return Poly{};
+  return Poly{std::vector<Element>{c}};
+}
+
+Poly Poly::monomial(Element c, std::size_t degree) {
+  if (c == 0) return Poly{};
+  std::vector<Element> v(degree + 1, 0);
+  v[degree] = c;
+  return Poly{std::move(v)};
+}
+
+int Poly::degree() const {
+  for (std::size_t i = c_.size(); i > 0; --i) {
+    if (c_[i - 1] != 0) return static_cast<int>(i - 1);
+  }
+  return -1;
+}
+
+void Poly::set_coeff(std::size_t i, Element v) {
+  if (i >= c_.size()) c_.resize(i + 1, 0);
+  c_[i] = v;
+}
+
+void Poly::normalize() {
+  while (!c_.empty() && c_.back() == 0) c_.pop_back();
+}
+
+Element Poly::eval(const GaloisField& f, Element x) const {
+  Element acc = 0;
+  for (std::size_t i = c_.size(); i > 0; --i) {
+    acc = GaloisField::add(f.mul(acc, x), c_[i - 1]);
+  }
+  return acc;
+}
+
+Poly Poly::derivative() const {
+  if (c_.size() <= 1) return Poly{};
+  std::vector<Element> d(c_.size() - 1, 0);
+  // d/dx x^i = i * x^{i-1}; in characteristic 2, i*c is c for odd i, 0 else.
+  for (std::size_t i = 1; i < c_.size(); ++i) {
+    d[i - 1] = (i % 2 == 1) ? c_[i] : 0;
+  }
+  Poly p{std::move(d)};
+  p.normalize();
+  return p;
+}
+
+Poly Poly::shifted_up(std::size_t s) const {
+  if (is_zero()) return Poly{};
+  std::vector<Element> v(c_.size() + s, 0);
+  std::copy(c_.begin(), c_.end(), v.begin() + static_cast<std::ptrdiff_t>(s));
+  return Poly{std::move(v)};
+}
+
+Poly Poly::truncated(std::size_t len) const {
+  std::vector<Element> v(c_.begin(),
+                         c_.begin() + static_cast<std::ptrdiff_t>(
+                                          std::min(len, c_.size())));
+  Poly p{std::move(v)};
+  p.normalize();
+  return p;
+}
+
+Poly Poly::add(const Poly& a, const Poly& b) {
+  std::vector<Element> v(std::max(a.c_.size(), b.c_.size()), 0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = GaloisField::add(a.coeff(i), b.coeff(i));
+  }
+  Poly p{std::move(v)};
+  p.normalize();
+  return p;
+}
+
+Poly Poly::mul(const GaloisField& f, const Poly& a, const Poly& b) {
+  if (a.is_zero() || b.is_zero()) return Poly{};
+  std::vector<Element> v(a.c_.size() + b.c_.size() - 1, 0);
+  for (std::size_t i = 0; i < a.c_.size(); ++i) {
+    if (a.c_[i] == 0) continue;
+    for (std::size_t j = 0; j < b.c_.size(); ++j) {
+      v[i + j] = GaloisField::add(v[i + j], f.mul(a.c_[i], b.c_[j]));
+    }
+  }
+  Poly p{std::move(v)};
+  p.normalize();
+  return p;
+}
+
+Poly Poly::scale(const GaloisField& f, const Poly& a, Element s) {
+  if (s == 0) return Poly{};
+  std::vector<Element> v(a.c_.size());
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = f.mul(a.c_[i], s);
+  Poly p{std::move(v)};
+  p.normalize();
+  return p;
+}
+
+Poly::DivMod Poly::divmod(const GaloisField& f, const Poly& a, const Poly& b) {
+  const int db = b.degree();
+  if (db < 0) throw std::domain_error("Poly::divmod: division by zero poly");
+  Poly r = a;
+  r.normalize();
+  int dr = r.degree();
+  if (dr < db) return {Poly{}, std::move(r)};
+
+  std::vector<Element> q(static_cast<std::size_t>(dr - db) + 1, 0);
+  const Element lead_inv = f.inv(b.coeff(static_cast<std::size_t>(db)));
+  while ((dr = r.degree()) >= db) {
+    const std::size_t shift = static_cast<std::size_t>(dr - db);
+    const Element coef =
+        f.mul(r.coeff(static_cast<std::size_t>(dr)), lead_inv);
+    q[shift] = coef;
+    // r -= coef * x^shift * b
+    for (std::size_t i = 0; i <= static_cast<std::size_t>(db); ++i) {
+      const Element sub = f.mul(coef, b.coeff(i));
+      r.set_coeff(i + shift, GaloisField::sub(r.coeff(i + shift), sub));
+    }
+    r.normalize();
+  }
+  Poly qp{std::move(q)};
+  qp.normalize();
+  return {std::move(qp), std::move(r)};
+}
+
+Poly Poly::mod(const GaloisField& f, const Poly& a, const Poly& b) {
+  return divmod(f, a, b).remainder;
+}
+
+bool operator==(const Poly& a, const Poly& b) {
+  const int da = a.degree();
+  if (da != b.degree()) return false;
+  for (int i = 0; i <= da; ++i) {
+    if (a.coeff(static_cast<std::size_t>(i)) !=
+        b.coeff(static_cast<std::size_t>(i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rsmem::gf

@@ -1,0 +1,85 @@
+// Polynomials over GF(2^m).
+//
+// Dense coefficient representation, lowest-degree coefficient first:
+// p(x) = c[0] + c[1] x + c[2] x^2 + ...
+// The zero polynomial is represented by an empty coefficient vector (or any
+// all-zero vector; normalize() trims trailing zeros).
+//
+// All operations take the field explicitly so a Poly is a plain value type
+// and can be freely copied between contexts sharing the same field.
+#ifndef RSMEM_GF_POLY_H
+#define RSMEM_GF_POLY_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "gf/galois_field.h"
+
+namespace rsmem::gf {
+
+class Poly {
+ public:
+  Poly() = default;
+  explicit Poly(std::vector<Element> coeffs) : c_(std::move(coeffs)) {}
+  explicit Poly(std::span<const Element> coeffs)
+      : c_(coeffs.begin(), coeffs.end()) {}
+
+  // The constant polynomial c.
+  static Poly constant(Element c);
+  // The monomial c * x^degree.
+  static Poly monomial(Element c, std::size_t degree);
+  static Poly zero() { return Poly{}; }
+  static Poly one() { return constant(1); }
+
+  // Degree of the polynomial; -1 for the zero polynomial.
+  int degree() const;
+  bool is_zero() const { return degree() < 0; }
+
+  // Coefficient of x^i (0 beyond the stored length).
+  Element coeff(std::size_t i) const { return i < c_.size() ? c_[i] : 0; }
+  void set_coeff(std::size_t i, Element v);
+
+  const std::vector<Element>& coeffs() const { return c_; }
+
+  // Removes trailing zero coefficients.
+  void normalize();
+
+  // Horner evaluation p(x).
+  Element eval(const GaloisField& f, Element x) const;
+
+  // Formal derivative; over GF(2^m) this keeps odd-degree terms shifted down.
+  Poly derivative() const;
+
+  // p(x) * x^s.
+  Poly shifted_up(std::size_t s) const;
+
+  // Truncation: p(x) mod x^len (keeps coefficients 0..len-1).
+  Poly truncated(std::size_t len) const;
+
+  static Poly add(const Poly& a, const Poly& b);
+  static Poly mul(const GaloisField& f, const Poly& a, const Poly& b);
+  static Poly scale(const GaloisField& f, const Poly& a, Element s);
+
+  // Euclidean division a = q*b + r; returns {q, r}.
+  // Throws std::domain_error if b is zero.
+  struct DivMod;
+  static DivMod divmod(const GaloisField& f, const Poly& a, const Poly& b);
+  static Poly mod(const GaloisField& f, const Poly& a, const Poly& b);
+
+  friend bool operator==(const Poly& a, const Poly& b);
+
+ private:
+  std::vector<Element> c_;
+};
+
+bool operator==(const Poly& a, const Poly& b);
+
+struct Poly::DivMod {
+  Poly quotient;
+  Poly remainder;
+};
+
+}  // namespace rsmem::gf
+
+#endif  // RSMEM_GF_POLY_H

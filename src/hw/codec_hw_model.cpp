@@ -1,0 +1,100 @@
+#include "hw/codec_hw_model.h"
+
+#include <stdexcept>
+
+namespace rsmem::hw {
+
+namespace {
+
+void validate_code(unsigned n, unsigned k, unsigned m) {
+  if (k == 0 || k >= n) {
+    throw std::invalid_argument("codec_hw_model: require 0 < k < n");
+  }
+  if (m < 2 || m > 16 || n > (1u << m) - 1u) {
+    throw std::invalid_argument("codec_hw_model: require n <= 2^m - 1");
+  }
+}
+
+}  // namespace
+
+HwEstimate encoder_estimate(unsigned n, unsigned k, unsigned m,
+                            const CodecHwOptions& options) {
+  validate_code(n, k, m);
+  GfGateModel gf = options.gf;
+  gf.m = m;
+  gf.validate();
+  const double parity = static_cast<double>(n - k);
+
+  HwEstimate e;
+  e.latency_cycles = static_cast<double>(k);  // symbol-serial feed
+  // LFSR: one constant multiplier (generator coefficient), adder and symbol
+  // register per parity stage, plus the feedback adder.
+  e.gate_count = parity * (gf.const_multiplier_gates() + gf.adder_gates() +
+                           gf.register_gates()) +
+                 gf.adder_gates();
+  e.register_bits = parity * m;
+  e.multiplier_count = 0.0;  // constants only
+  return e;
+}
+
+DecodeLatencyBreakdown decode_latency_breakdown(
+    unsigned n, unsigned k, unsigned m, const CodecHwOptions& options) {
+  validate_code(n, k, m);
+  DecodeLatencyBreakdown b;
+  const double two_t = static_cast<double>(n - k);
+  b.syndrome = static_cast<double>(n);
+  b.key_equation = options.erasure_support ? 2.0 * two_t : two_t;
+  b.chien_forney = static_cast<double>(n);
+  b.pipeline = static_cast<double>(options.pipeline_overhead_cycles);
+  return b;
+}
+
+HwEstimate decoder_estimate(unsigned n, unsigned k, unsigned m,
+                            const CodecHwOptions& options) {
+  validate_code(n, k, m);
+  GfGateModel gf = options.gf;
+  gf.m = m;
+  gf.validate();
+  const double two_t = static_cast<double>(n - k);
+  const double t = two_t / 2.0;
+  const double mux = options.mux_gates_per_bit * m;
+
+  HwEstimate e;
+  e.latency_cycles = decode_latency_breakdown(n, k, m, options).total();
+
+  // Stage 1: syndromes -- 2t Horner cells (const-mult + adder + register).
+  const double syndrome_gates =
+      two_t * (gf.const_multiplier_gates() + gf.adder_gates() +
+               gf.register_gates());
+  const double syndrome_regs = two_t * m;
+
+  // Stage 2: RiBM -- 3t+1 PEs with 2 multipliers, 1 adder, 2 muxes and 2
+  // registers each; erasure support adds an initialization multiplier path.
+  const double pe_count = 3.0 * t + 1.0;
+  const double pe_gates = 2.0 * gf.multiplier_gates() + gf.adder_gates() +
+                          2.0 * mux + 2.0 * gf.register_gates();
+  double keyeq_gates = pe_count * pe_gates;
+  double keyeq_mults = pe_count * 2.0;
+  if (options.erasure_support) {
+    keyeq_gates += gf.multiplier_gates() + two_t * gf.register_gates();
+    keyeq_mults += 1.0;
+  }
+  const double keyeq_regs = pe_count * 2.0 * m +
+                            (options.erasure_support ? two_t * m : 0.0);
+
+  // Stage 3: Chien/Forney -- (2t+1) locator + t evaluator constant-mult
+  // cells with registers, one inverter, one output multiplier.
+  const double chien_cells = (two_t + 1.0) + t;
+  const double chien_gates =
+      chien_cells * (gf.const_multiplier_gates() + gf.register_gates() +
+                     gf.adder_gates()) +
+      gf.inverter_gates() + gf.multiplier_gates();
+  const double chien_regs = chien_cells * m;
+
+  e.gate_count = syndrome_gates + keyeq_gates + chien_gates;
+  e.register_bits = syndrome_regs + keyeq_regs + chien_regs;
+  e.multiplier_count = keyeq_mults + 1.0;
+  return e;
+}
+
+}  // namespace rsmem::hw

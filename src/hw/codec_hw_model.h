@@ -1,0 +1,65 @@
+// Structural latency/area model of a symbol-serial RS codec pipeline.
+//
+// Architecture modeled (the standard shape of FPGA RS codec IP, including
+// the core the paper cites):
+//
+//   encoder:  (n-k)-stage LFSR.        latency k cycles (symbol-serial),
+//             area (n-k) x (const-mult + adder + register).
+//
+//   decoder:  three pipeline stages, symbol-serial:
+//     1. syndrome unit      : n cycles;  2t Horner cells
+//                             (const-mult + adder + register each).
+//     2. key-equation solver: reformulated inversionless Berlekamp-Massey
+//                             (RiBM), one iteration per cycle -> 2t cycles
+//                             (+2t more when erasure initialization is
+//                             enabled); 3t+1 processing elements, each with
+//                             2 multipliers, 1 adder, muxes and 2 registers.
+//     3. Chien/Forney unit  : n cycles; (2t+1) + t constant-multiplier
+//                             cells, one field inverter, output registers.
+//
+//   decode latency = n + 2t(+2t) + n + pipeline_overhead cycles -- the same
+//   affine 'a*n + b*(n-k)' structure as the paper's fitted
+//   Td ~= 3n + 10(n-k), which this model exists to cross-check.
+#ifndef RSMEM_HW_CODEC_HW_MODEL_H
+#define RSMEM_HW_CODEC_HW_MODEL_H
+
+#include "hw/gf_gate_model.h"
+
+namespace rsmem::hw {
+
+struct CodecHwOptions {
+  GfGateModel gf{};
+  bool erasure_support = true;   // erasure-locator init in the key equation
+  double mux_gates_per_bit = 3.0;
+  unsigned pipeline_overhead_cycles = 4;  // stage handoff registers
+};
+
+struct HwEstimate {
+  double latency_cycles = 0.0;
+  double gate_count = 0.0;       // combinational + register gate equivalents
+  double register_bits = 0.0;
+  double multiplier_count = 0.0;  // full multipliers (area drivers)
+};
+
+// Throws std::invalid_argument for invalid (n, k, m).
+HwEstimate encoder_estimate(unsigned n, unsigned k, unsigned m,
+                            const CodecHwOptions& options = {});
+HwEstimate decoder_estimate(unsigned n, unsigned k, unsigned m,
+                            const CodecHwOptions& options = {});
+
+// Per-stage decode latency breakdown (cycles), for reporting.
+struct DecodeLatencyBreakdown {
+  double syndrome = 0.0;
+  double key_equation = 0.0;
+  double chien_forney = 0.0;
+  double pipeline = 0.0;
+  double total() const {
+    return syndrome + key_equation + chien_forney + pipeline;
+  }
+};
+DecodeLatencyBreakdown decode_latency_breakdown(
+    unsigned n, unsigned k, unsigned m, const CodecHwOptions& options = {});
+
+}  // namespace rsmem::hw
+
+#endif  // RSMEM_HW_CODEC_HW_MODEL_H

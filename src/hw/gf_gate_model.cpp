@@ -1,0 +1,59 @@
+#include "hw/gf_gate_model.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace rsmem::hw {
+
+void GfGateModel::validate() const {
+  if (m < 2 || m > 16) {
+    throw std::invalid_argument("GfGateModel: m must be in [2,16]");
+  }
+  if (gates_per_flop <= 0.0) {
+    throw std::invalid_argument("GfGateModel: gates_per_flop must be > 0");
+  }
+}
+
+double GfGateModel::adder_gates() const {
+  validate();
+  return static_cast<double>(m);
+}
+
+double GfGateModel::multiplier_gates() const {
+  validate();
+  const double md = m;
+  return md * md /*AND2*/ + (md * md - 1.0) /*XOR2*/;
+}
+
+double GfGateModel::const_multiplier_gates() const {
+  validate();
+  // Constant multiplication is an XOR network over the fixed Mastrovito
+  // matrix; on average half the matrix entries are 1.
+  const double md = m;
+  return md * md / 2.0;
+}
+
+unsigned GfGateModel::itoh_tsujii_multiplications(unsigned m) {
+  if (m < 2) throw std::invalid_argument("itoh_tsujii: m must be >= 2");
+  // Addition-chain exponentiation to a^(2^(m-1) - 1):
+  // floor(log2(m-1)) + popcount(m-1) - 1 multiplications.
+  const unsigned e = m - 1;
+  const unsigned log2e = static_cast<unsigned>(std::bit_width(e) - 1);
+  return log2e + static_cast<unsigned>(std::popcount(e)) - 1;
+}
+
+double GfGateModel::inverter_gates() const {
+  validate();
+  // Unrolled Itoh-Tsujii: multiplications dominate (squarings are cheap
+  // XOR networks, ~m^2/4 gates each, m-1 of them).
+  const double mults = itoh_tsujii_multiplications(m);
+  const double md = m;
+  return mults * multiplier_gates() + (md - 1.0) * md * md / 4.0;
+}
+
+double GfGateModel::register_gates() const {
+  validate();
+  return static_cast<double>(m) * gates_per_flop;
+}
+
+}  // namespace rsmem::hw

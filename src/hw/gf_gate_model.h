@@ -1,0 +1,41 @@
+// Gate-level cost models for GF(2^m) arithmetic primitives.
+//
+// The paper's Section 6 uses two FITTED hardware numbers from a codec IP
+// core: decode latency Td ~= 3n + 10(n-k) cycles and area "almost linearly
+// dependent on m and the number of check symbols". This module provides the
+// structural basis to DERIVE such numbers: standard-basis combinational
+// operator costs in 2-input-gate equivalents,
+//   * adder:      m XOR2 gates (bitwise xor),
+//   * multiplier: Mastrovito standard-basis, ~m^2 AND2 + (m^2 - 1) XOR2
+//                 (plus reduction xors absorbed in the m^2 term),
+//   * constant multiplier: ~m^2/2 XOR2 on average (half the matrix is 0),
+//   * inverter:   Itoh-Tsujii, ~floor(log2(m-1)) + popcount(m-1) - 1 field
+//                 multiplications worth of logic when unrolled,
+//   * register:   per-bit flop cost in gate equivalents.
+// These are the textbook estimates used in RS codec area studies; only
+// ratios between configurations matter downstream.
+#ifndef RSMEM_HW_GF_GATE_MODEL_H
+#define RSMEM_HW_GF_GATE_MODEL_H
+
+namespace rsmem::hw {
+
+struct GfGateModel {
+  unsigned m = 8;
+  double gates_per_flop = 6.0;  // gate equivalents of one register bit
+
+  // Throws std::invalid_argument from the constructor-free validate().
+  void validate() const;
+
+  double adder_gates() const;            // a + b
+  double multiplier_gates() const;       // a * b, full parallel
+  double const_multiplier_gates() const; // a * constant (Chien cells)
+  double inverter_gates() const;         // a^-1, unrolled Itoh-Tsujii
+  double register_gates() const;         // one m-bit symbol register
+
+  // Number of field multiplications in an Itoh-Tsujii inversion chain.
+  static unsigned itoh_tsujii_multiplications(unsigned m);
+};
+
+}  // namespace rsmem::hw
+
+#endif  // RSMEM_HW_GF_GATE_MODEL_H

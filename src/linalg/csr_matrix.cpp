@@ -1,0 +1,112 @@
+#include "linalg/csr_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rsmem::linalg {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  for (const Triplet& t : triplets) {
+    if (t.row >= rows_ || t.col >= cols_) {
+      throw std::invalid_argument("CsrMatrix: triplet index out of range");
+    }
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  row_ptr_.assign(rows_ + 1, 0);
+  col_idx_.reserve(triplets.size());
+  values_.reserve(triplets.size());
+  for (std::size_t i = 0; i < triplets.size();) {
+    const std::size_t r = triplets[i].row;
+    const std::size_t c = triplets[i].col;
+    double sum = 0.0;
+    while (i < triplets.size() && triplets[i].row == r &&
+           triplets[i].col == c) {
+      sum += triplets[i].value;
+      ++i;
+    }
+    if (sum != 0.0) {
+      col_idx_.push_back(c);
+      values_.push_back(sum);
+      ++row_ptr_[r + 1];
+    }
+  }
+  for (std::size_t r = 0; r < rows_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+}
+
+void CsrMatrix::apply(std::span<const double> x, std::span<double> y) const {
+  if (x.size() != cols_ || y.size() != rows_) {
+    throw std::invalid_argument("CsrMatrix::apply: dimension mismatch");
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      acc += values_[i] * x[col_idx_[i]];
+    }
+    y[r] = acc;
+  }
+}
+
+std::vector<double> CsrMatrix::apply(std::span<const double> x) const {
+  std::vector<double> y(rows_);
+  apply(x, y);
+  return y;
+}
+
+void CsrMatrix::apply_transpose(std::span<const double> x,
+                                std::span<double> y) const {
+  if (x.size() != rows_ || y.size() != cols_) {
+    throw std::invalid_argument(
+        "CsrMatrix::apply_transpose: dimension mismatch");
+  }
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      y[col_idx_[i]] += values_[i] * xr;
+    }
+  }
+}
+
+std::vector<double> CsrMatrix::apply_transpose(
+    std::span<const double> x) const {
+  std::vector<double> y(cols_);
+  apply_transpose(x, y);
+  return y;
+}
+
+double CsrMatrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) {
+    throw std::invalid_argument("CsrMatrix::at: index out of range");
+  }
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+double CsrMatrix::max_abs_diagonal() const {
+  double m = 0.0;
+  const std::size_t n = std::min(rows_, cols_);
+  for (std::size_t r = 0; r < n; ++r) m = std::max(m, std::fabs(at(r, r)));
+  return m;
+}
+
+DenseMatrix CsrMatrix::to_dense() const {
+  DenseMatrix d(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      d.at(r, col_idx_[i]) = values_[i];
+    }
+  }
+  return d;
+}
+
+}  // namespace rsmem::linalg

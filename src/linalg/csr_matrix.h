@@ -1,0 +1,66 @@
+// Compressed sparse row matrix with a coordinate-format builder.
+//
+// The CTMC generator matrices of the paper's models are extremely sparse
+// (each state has at most ~16 outgoing transitions), so the transient
+// solvers operate on CSR matvecs.
+#ifndef RSMEM_LINALG_CSR_MATRIX_H
+#define RSMEM_LINALG_CSR_MATRIX_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+
+namespace rsmem::linalg {
+
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  // Builds from coordinate triplets; duplicate (row, col) entries are summed.
+  // Throws std::invalid_argument for out-of-range indices.
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<Triplet> triplets);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  // y = A x.
+  std::vector<double> apply(std::span<const double> x) const;
+  void apply(std::span<const double> x, std::span<double> y) const;
+
+  // y = A^T x (used for row-vector propagation pi' = pi P).
+  std::vector<double> apply_transpose(std::span<const double> x) const;
+  void apply_transpose(std::span<const double> x, std::span<double> y) const;
+
+  // Element lookup (O(log nnz_row)); 0.0 when absent.
+  double at(std::size_t r, std::size_t c) const;
+
+  // Largest absolute diagonal entry (uniformization rate bound helper).
+  double max_abs_diagonal() const;
+
+  DenseMatrix to_dense() const;
+
+  std::span<const std::size_t> row_pointers() const { return row_ptr_; }
+  std::span<const std::size_t> col_indices() const { return col_idx_; }
+  std::span<const double> values() const { return values_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace rsmem::linalg
+
+#endif  // RSMEM_LINALG_CSR_MATRIX_H

@@ -1,0 +1,175 @@
+#include "linalg/dense_matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rsmem::linalg {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double init)
+    : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> DenseMatrix::apply(std::span<const double> x) const {
+  if (x.size() != cols_) {
+    throw std::invalid_argument("DenseMatrix::apply: dimension mismatch");
+  }
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row_ptr = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> DenseMatrix::apply_transpose(
+    std::span<const double> x) const {
+  if (x.size() != rows_) {
+    throw std::invalid_argument(
+        "DenseMatrix::apply_transpose: dimension mismatch");
+  }
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const double* row_ptr = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row_ptr[c] * xr;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::transpose() const {
+  DenseMatrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+DenseMatrix DenseMatrix::mul(const DenseMatrix& a, const DenseMatrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("DenseMatrix::mul: dimension mismatch");
+  }
+  DenseMatrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+double DenseMatrix::max_abs() const {
+  double m = 0.0;
+  for (const double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+LuFactorization::LuFactorization(const DenseMatrix& a)
+    : n_(a.rows()), lu_(a), perm_(a.rows()) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("LuFactorization: matrix must be square");
+  }
+  for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+
+  for (std::size_t col = 0; col < n_; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::fabs(lu_.at(col, col));
+    for (std::size_t r = col + 1; r < n_; ++r) {
+      const double v = std::fabs(lu_.at(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best == 0.0) {
+      throw std::domain_error("LuFactorization: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n_; ++c) {
+        std::swap(lu_.at(pivot, c), lu_.at(col, c));
+      }
+      std::swap(perm_[pivot], perm_[col]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double diag = lu_.at(col, col);
+    for (std::size_t r = col + 1; r < n_; ++r) {
+      const double factor = lu_.at(r, col) / diag;
+      lu_.at(r, col) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col + 1; c < n_; ++c) {
+        lu_.at(r, c) -= factor * lu_.at(col, c);
+      }
+    }
+  }
+}
+
+std::vector<double> LuFactorization::solve(std::span<const double> b) const {
+  if (b.size() != n_) {
+    throw std::invalid_argument("LuFactorization::solve: dimension mismatch");
+  }
+  std::vector<double> y(n_);
+  for (std::size_t i = 0; i < n_; ++i) y[i] = b[perm_[i]];
+  // Forward substitution (L has unit diagonal).
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) y[i] -= lu_.at(i, j) * y[j];
+  }
+  // Back substitution.
+  for (std::size_t ii = n_; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    for (std::size_t j = i + 1; j < n_; ++j) y[i] -= lu_.at(i, j) * y[j];
+    y[i] /= lu_.at(i, i);
+  }
+  return y;
+}
+
+double LuFactorization::determinant() const {
+  double det = perm_sign_;
+  for (std::size_t i = 0; i < n_; ++i) det *= lu_.at(i, i);
+  return det;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("dot: dimension mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm1(std::span<const double> a) {
+  double acc = 0.0;
+  for (const double v : a) acc += std::fabs(v);
+  return acc;
+}
+
+double norm_inf(std::span<const double> a) {
+  double acc = 0.0;
+  for (const double v : a) acc = std::max(acc, std::fabs(v));
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("axpy: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+}  // namespace rsmem::linalg

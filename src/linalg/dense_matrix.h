@@ -1,0 +1,76 @@
+// Small dense linear algebra used by the Markov solvers and their tests:
+// row-major dense matrix, LU factorization with partial pivoting, and linear
+// solves. Sized for the moderate state spaces of the paper's chains (the
+// largest, simplex RS(36,16), has ~130 states).
+#ifndef RSMEM_LINALG_DENSE_MATRIX_H
+#define RSMEM_LINALG_DENSE_MATRIX_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rsmem::linalg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, double init = 0.0);
+
+  static DenseMatrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  // y = A * x. Throws std::invalid_argument on dimension mismatch.
+  std::vector<double> apply(std::span<const double> x) const;
+  // y = A^T * x.
+  std::vector<double> apply_transpose(std::span<const double> x) const;
+
+  DenseMatrix transpose() const;
+  static DenseMatrix mul(const DenseMatrix& a, const DenseMatrix& b);
+
+  // Max-absolute-value norm of the matrix entries.
+  double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// LU factorization with partial pivoting of a square matrix.
+// Throws std::domain_error if the matrix is (numerically) singular.
+class LuFactorization {
+ public:
+  explicit LuFactorization(const DenseMatrix& a);
+
+  // Solves A x = b.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  double determinant() const;
+
+ private:
+  std::size_t n_;
+  DenseMatrix lu_;
+  std::vector<std::size_t> perm_;
+  int perm_sign_ = 1;
+};
+
+// Utility vector operations (used across solvers and tests).
+double dot(std::span<const double> a, std::span<const double> b);
+double norm1(std::span<const double> a);
+double norm_inf(std::span<const double> a);
+// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+void scale(double alpha, std::span<double> x);
+
+}  // namespace rsmem::linalg
+
+#endif  // RSMEM_LINALG_DENSE_MATRIX_H

@@ -1,0 +1,94 @@
+#include "markov/absorption.h"
+
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace rsmem::markov {
+
+AbsorptionResult analyze_absorption(const Ctmc& chain) {
+  const std::size_t n = chain.num_states();
+  AbsorptionResult result;
+  std::unordered_map<std::size_t, std::size_t> transient_pos;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (chain.is_absorbing(s)) {
+      result.absorbing_states.push_back(s);
+    } else {
+      transient_pos.emplace(s, result.transient_states.size());
+      result.transient_states.push_back(s);
+    }
+  }
+  if (result.absorbing_states.empty()) {
+    throw std::invalid_argument(
+        "analyze_absorption: chain has no absorbing state");
+  }
+
+  const std::size_t nt = result.transient_states.size();
+  const std::size_t na = result.absorbing_states.size();
+  std::unordered_map<std::size_t, std::size_t> absorbing_pos;
+  for (std::size_t j = 0; j < na; ++j) {
+    absorbing_pos.emplace(result.absorbing_states[j], j);
+  }
+
+  // Assemble -Q_TT and Q_TA densely.
+  linalg::DenseMatrix neg_qtt(nt, nt);
+  linalg::DenseMatrix qta(nt, na);
+  const auto& gen = chain.generator();
+  const auto row_ptr = gen.row_pointers();
+  const auto col_idx = gen.col_indices();
+  const auto values = gen.values();
+  for (std::size_t i = 0; i < nt; ++i) {
+    const std::size_t s = result.transient_states[i];
+    for (std::size_t e = row_ptr[s]; e < row_ptr[s + 1]; ++e) {
+      const std::size_t c = col_idx[e];
+      const auto it = transient_pos.find(c);
+      if (it != transient_pos.end()) {
+        neg_qtt.at(i, it->second) = -values[e];
+      } else {
+        qta.at(i, absorbing_pos.at(c)) = values[e];
+      }
+    }
+  }
+
+  std::unique_ptr<linalg::LuFactorization> lu;
+  try {
+    lu = std::make_unique<linalg::LuFactorization>(neg_qtt);
+  } catch (const std::domain_error&) {
+    throw std::domain_error(
+        "analyze_absorption: some transient state cannot reach an absorbing "
+        "state (expected absorption time is infinite)");
+  }
+
+  // tau = (-Q_TT)^{-1} * 1.
+  const std::vector<double> ones(nt, 1.0);
+  result.expected_time = lu->solve(ones);
+
+  // B = (-Q_TT)^{-1} * Q_TA, column by column.
+  result.absorption_probability = linalg::DenseMatrix(nt, na);
+  std::vector<double> col(nt);
+  for (std::size_t j = 0; j < na; ++j) {
+    for (std::size_t i = 0; i < nt; ++i) col[i] = qta.at(i, j);
+    const std::vector<double> bj = lu->solve(col);
+    for (std::size_t i = 0; i < nt; ++i) {
+      result.absorption_probability.at(i, j) = bj[i];
+    }
+  }
+
+  const std::size_t init = chain.initial_state();
+  const auto it = transient_pos.find(init);
+  result.initial_absorption_split.assign(na, 0.0);
+  if (it == transient_pos.end()) {
+    // Initial state is absorbing: zero MTTF, absorbed in place.
+    result.mttf = 0.0;
+    result.initial_absorption_split[absorbing_pos.at(init)] = 1.0;
+  } else {
+    result.mttf = result.expected_time[it->second];
+    for (std::size_t j = 0; j < na; ++j) {
+      result.initial_absorption_split[j] =
+          result.absorption_probability.at(it->second, j);
+    }
+  }
+  return result;
+}
+
+}  // namespace rsmem::markov

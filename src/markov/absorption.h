@@ -1,0 +1,47 @@
+// Absorption analysis of a CTMC with absorbing states.
+//
+// For the paper's chains the absorbing state is Fail, so the mean time to
+// absorption IS the memory word's MTTF (mean time to data loss), and the
+// per-absorbing-state probabilities tell how the word eventually dies.
+// Computed exactly from the fundamental matrix: with Q partitioned into
+// transient rows (T) and absorbing rows,
+//     tau = -Q_TT^{-1} * 1          (expected time to absorption)
+//     B   = -Q_TT^{-1} * Q_TA       (absorption probability split)
+// solved densely with LU (the chains have at most a few thousand states).
+#ifndef RSMEM_MARKOV_ABSORPTION_H
+#define RSMEM_MARKOV_ABSORPTION_H
+
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "markov/ctmc.h"
+
+namespace rsmem::markov {
+
+struct AbsorptionResult {
+  std::vector<std::size_t> transient_states;  // chain indices, in order
+  std::vector<std::size_t> absorbing_states;  // chain indices, in order
+
+  // expected_time[i]: mean time to absorption starting from
+  // transient_states[i].
+  std::vector<double> expected_time;
+
+  // absorption_probability.at(i, j): probability that, starting from
+  // transient_states[i], the chain is eventually absorbed in
+  // absorbing_states[j].
+  linalg::DenseMatrix absorption_probability;
+
+  // Convenience: values from the chain's initial state. If the initial
+  // state is itself absorbing, mttf == 0 and it is absorbed where it sits.
+  double mttf = 0.0;
+  std::vector<double> initial_absorption_split;
+};
+
+// Throws std::invalid_argument if the chain has no absorbing state, and
+// std::domain_error if some transient state cannot reach any absorbing
+// state (infinite expected time; the fundamental matrix is singular).
+AbsorptionResult analyze_absorption(const Ctmc& chain);
+
+}  // namespace rsmem::markov
+
+#endif  // RSMEM_MARKOV_ABSORPTION_H

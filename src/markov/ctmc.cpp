@@ -1,0 +1,89 @@
+#include "markov/ctmc.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace rsmem::markov {
+
+namespace {
+constexpr double kRowSumTolerance = 1e-9;
+}
+
+Ctmc::Ctmc(linalg::CsrMatrix generator, std::size_t initial_state)
+    : generator_(std::move(generator)), initial_state_(initial_state) {
+  if (generator_.rows() != generator_.cols()) {
+    throw std::invalid_argument("Ctmc: generator must be square");
+  }
+  if (initial_state_ >= generator_.rows()) {
+    throw std::invalid_argument("Ctmc: initial state out of range");
+  }
+  const auto row_ptr = generator_.row_pointers();
+  const auto col_idx = generator_.col_indices();
+  const auto values = generator_.values();
+  for (std::size_t r = 0; r < generator_.rows(); ++r) {
+    double row_sum = 0.0;
+    double row_scale = 0.0;
+    for (std::size_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      const double v = values[i];
+      if (col_idx[i] != r && v < 0.0) {
+        throw std::invalid_argument(
+            "Ctmc: negative off-diagonal rate in row " + std::to_string(r));
+      }
+      row_sum += v;
+      row_scale = std::max(row_scale, std::fabs(v));
+    }
+    if (std::fabs(row_sum) > kRowSumTolerance * std::max(1.0, row_scale)) {
+      throw std::invalid_argument("Ctmc: row " + std::to_string(r) +
+                                  " does not sum to zero");
+    }
+  }
+}
+
+std::vector<double> Ctmc::initial_distribution() const {
+  std::vector<double> pi0(num_states(), 0.0);
+  pi0[initial_state_] = 1.0;
+  return pi0;
+}
+
+bool Ctmc::is_absorbing(std::size_t state) const {
+  if (state >= num_states()) {
+    throw std::invalid_argument("Ctmc::is_absorbing: state out of range");
+  }
+  const auto row_ptr = generator_.row_pointers();
+  const auto values = generator_.values();
+  for (std::size_t i = row_ptr[state]; i < row_ptr[state + 1]; ++i) {
+    if (values[i] != 0.0) return false;
+  }
+  return true;
+}
+
+std::vector<double> TransientSolver::solve(const Ctmc& chain, double t) const {
+  const std::vector<double> pi0 = chain.initial_distribution();
+  return solve(chain, pi0, t);
+}
+
+std::vector<double> TransientSolver::occupancy_curve(
+    const Ctmc& chain, std::size_t state,
+    std::span<const double> times) const {
+  if (state >= chain.num_states()) {
+    throw std::invalid_argument("occupancy_curve: state out of range");
+  }
+  std::vector<double> result;
+  result.reserve(times.size());
+  std::vector<double> pi = chain.initial_distribution();
+  double t_prev = 0.0;
+  for (const double t : times) {
+    if (t < t_prev) {
+      throw std::invalid_argument("occupancy_curve: times must be sorted");
+    }
+    if (t > t_prev) {
+      pi = solve(chain, pi, t - t_prev);
+      t_prev = t;
+    }
+    result.push_back(pi[state]);
+  }
+  return result;
+}
+
+}  // namespace rsmem::markov

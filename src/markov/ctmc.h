@@ -1,0 +1,62 @@
+// Continuous-time Markov chain representation.
+//
+// A chain is its infinitesimal generator Q (sparse, row-oriented: Q[i][j] is
+// the rate from state i to state j for i != j, and Q[i][i] = -sum of the
+// row's off-diagonal entries) plus an initial state index. Absorbing states
+// (the paper's Fail state) simply have an all-zero row.
+#ifndef RSMEM_MARKOV_CTMC_H
+#define RSMEM_MARKOV_CTMC_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+
+namespace rsmem::markov {
+
+class Ctmc {
+ public:
+  // Throws std::invalid_argument if Q is not square, has negative
+  // off-diagonal entries, rows that do not sum to ~0, or the initial index
+  // is out of range.
+  Ctmc(linalg::CsrMatrix generator, std::size_t initial_state);
+
+  std::size_t num_states() const { return generator_.rows(); }
+  std::size_t initial_state() const { return initial_state_; }
+  const linalg::CsrMatrix& generator() const { return generator_; }
+
+  // Point-mass initial distribution.
+  std::vector<double> initial_distribution() const;
+
+  // Largest exit rate, max_i |Q[i][i]| (uniformization constant bound).
+  double max_exit_rate() const { return generator_.max_abs_diagonal(); }
+
+  bool is_absorbing(std::size_t state) const;
+
+ private:
+  linalg::CsrMatrix generator_;
+  std::size_t initial_state_;
+};
+
+// Interface shared by the transient solvers: returns the state probability
+// vector pi(t) with pi(0) = pi0.
+class TransientSolver {
+ public:
+  virtual ~TransientSolver() = default;
+  virtual std::vector<double> solve(const Ctmc& chain,
+                                    std::span<const double> pi0,
+                                    double t) const = 0;
+
+  // Convenience: start from the chain's own initial state.
+  std::vector<double> solve(const Ctmc& chain, double t) const;
+
+  // Probability of occupying `state` at each time in `times`
+  // (times must be non-decreasing; solved incrementally).
+  std::vector<double> occupancy_curve(const Ctmc& chain, std::size_t state,
+                                      std::span<const double> times) const;
+};
+
+}  // namespace rsmem::markov
+
+#endif  // RSMEM_MARKOV_CTMC_H

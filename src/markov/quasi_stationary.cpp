@@ -1,0 +1,87 @@
+#include "markov/quasi_stationary.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace rsmem::markov {
+
+QuasiStationaryResult quasi_stationary(const Ctmc& chain, double tolerance,
+                                       unsigned max_iterations) {
+  const std::size_t n = chain.num_states();
+  QuasiStationaryResult result;
+  std::unordered_map<std::size_t, std::size_t> transient_pos;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!chain.is_absorbing(s)) {
+      transient_pos.emplace(s, result.transient_states.size());
+      result.transient_states.push_back(s);
+    }
+  }
+  if (result.transient_states.size() == n) {
+    throw std::invalid_argument(
+        "quasi_stationary: chain has no absorbing state");
+  }
+  const std::size_t nt = result.transient_states.size();
+  if (nt == 0) {
+    throw std::invalid_argument(
+        "quasi_stationary: chain has no transient state");
+  }
+
+  // Restrict Q to the transient block, in (row, col, rate) triplet form.
+  struct Edge {
+    std::size_t from, to;
+    double rate;
+  };
+  std::vector<Edge> edges;
+  const auto& gen = chain.generator();
+  const auto row_ptr = gen.row_pointers();
+  const auto col_idx = gen.col_indices();
+  const auto values = gen.values();
+  double q_max = 0.0;
+  for (std::size_t i = 0; i < nt; ++i) {
+    const std::size_t s = result.transient_states[i];
+    for (std::size_t e = row_ptr[s]; e < row_ptr[s + 1]; ++e) {
+      const auto it = transient_pos.find(col_idx[e]);
+      if (col_idx[e] == s) q_max = std::max(q_max, -values[e]);
+      if (it != transient_pos.end()) {
+        edges.push_back({i, it->second, values[e]});
+      }
+    }
+  }
+  if (q_max == 0.0) {
+    throw std::invalid_argument(
+        "quasi_stationary: transient states have no outgoing rates");
+  }
+  // Strictly exceed the largest exit rate so P_TT keeps positive mass on
+  // every state (otherwise a lone transient state maps exactly to zero).
+  q_max *= 1.05;
+
+  // Power iteration on v <- v * (I + Q_TT / q); the 1-norm shrink factor
+  // converges to the dominant eigenvalue of P_TT, i.e. 1 - alpha/q.
+  std::vector<double> v(nt, 1.0 / static_cast<double>(nt));
+  std::vector<double> next(nt);
+  double rho_prev = -1.0;
+  for (unsigned iter = 0; iter < max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < nt; ++i) next[i] = v[i];
+    for (const Edge& e : edges) {
+      next[e.to] += v[e.from] * e.rate / q_max;
+    }
+    double rho = 0.0;
+    for (const double x : next) rho += x;
+    if (rho <= 0.0) {
+      throw std::runtime_error("quasi_stationary: distribution collapsed");
+    }
+    for (std::size_t i = 0; i < nt; ++i) v[i] = next[i] / rho;
+    if (std::fabs(rho - rho_prev) <= tolerance * rho) {
+      result.hazard = q_max * (1.0 - rho);
+      result.distribution = v;
+      result.iterations = iter + 1;
+      return result;
+    }
+    rho_prev = rho;
+  }
+  throw std::runtime_error("quasi_stationary: power iteration not converged");
+}
+
+}  // namespace rsmem::markov

@@ -1,0 +1,40 @@
+// Quasi-stationary analysis of an absorbing CTMC.
+//
+// A scrubbed memory settles into a regime where the damage distribution,
+// conditioned on survival, stops changing; failures then occur at a
+// constant hazard alpha and P_fail(t) ~ 1 - c*exp(-alpha*t). (This is the
+// "flat" late region of the paper's Fig. 7.) The conditional distribution
+// is the dominant left eigenvector of the transient block Q_TT and alpha is
+// the negated dominant eigenvalue; both are computed by power iteration on
+// the uniformized sub-stochastic matrix P_TT = I + Q_TT / q.
+//
+// The hazard extrapolates mission reliability beyond any solved horizon:
+// P_fail(T) ~ 1 - exp(-alpha*(T - t0)) once quasi-stationarity is reached.
+#ifndef RSMEM_MARKOV_QUASI_STATIONARY_H
+#define RSMEM_MARKOV_QUASI_STATIONARY_H
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/ctmc.h"
+
+namespace rsmem::markov {
+
+struct QuasiStationaryResult {
+  // Asymptotic failure hazard alpha (per unit time).
+  double hazard = 0.0;
+  // Conditional-on-survival distribution over `transient_states` (sums 1).
+  std::vector<double> distribution;
+  std::vector<std::size_t> transient_states;
+  unsigned iterations = 0;
+};
+
+// Throws std::invalid_argument if the chain has no absorbing state and
+// std::runtime_error if the power iteration fails to converge.
+QuasiStationaryResult quasi_stationary(const Ctmc& chain,
+                                       double tolerance = 1e-12,
+                                       unsigned max_iterations = 2'000'000);
+
+}  // namespace rsmem::markov
+
+#endif  // RSMEM_MARKOV_QUASI_STATIONARY_H

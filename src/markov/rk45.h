@@ -1,0 +1,29 @@
+// Transient CTMC solution by direct integration of the Kolmogorov forward
+// equations  d pi / dt = pi Q  with an adaptive Dormand-Prince RK45 scheme.
+//
+// Slower than uniformization but derived from entirely different numerics;
+// the test suite requires the two solvers to agree, which guards both
+// implementations.
+#ifndef RSMEM_MARKOV_RK45_H
+#define RSMEM_MARKOV_RK45_H
+
+#include "markov/ctmc.h"
+
+namespace rsmem::markov {
+
+class Rk45Solver final : public TransientSolver {
+ public:
+  explicit Rk45Solver(double rel_tol = 1e-10, double abs_tol = 1e-14);
+
+  using TransientSolver::solve;
+  std::vector<double> solve(const Ctmc& chain, std::span<const double> pi0,
+                            double t) const override;
+
+ private:
+  double rel_tol_;
+  double abs_tol_;
+};
+
+}  // namespace rsmem::markov
+
+#endif  // RSMEM_MARKOV_RK45_H

@@ -1,0 +1,59 @@
+#include "markov/state_space.h"
+
+#include <deque>
+#include <stdexcept>
+
+#include "linalg/csr_matrix.h"
+
+namespace rsmem::markov {
+
+StateSpace build_state_space(const TransitionModel& model,
+                             std::size_t max_states) {
+  std::vector<PackedState> states;
+  std::unordered_map<PackedState, std::size_t> index;
+  std::deque<std::size_t> frontier;
+
+  const auto intern = [&](PackedState s) -> std::size_t {
+    const auto it = index.find(s);
+    if (it != index.end()) return it->second;
+    if (states.size() >= max_states) {
+      throw std::length_error(
+          "build_state_space: state explosion guard tripped");
+    }
+    const std::size_t id = states.size();
+    states.push_back(s);
+    index.emplace(s, id);
+    frontier.push_back(id);
+    return id;
+  };
+
+  const std::size_t initial_index = intern(model.initial_state());
+
+  std::vector<linalg::Triplet> triplets;
+  while (!frontier.empty()) {
+    const std::size_t from = frontier.front();
+    frontier.pop_front();
+    const PackedState from_state = states[from];
+    double exit_rate = 0.0;
+    model.for_each_transition(from_state, [&](double rate, PackedState to) {
+      if (rate < 0.0) {
+        throw std::invalid_argument(
+            "build_state_space: negative transition rate");
+      }
+      if (rate == 0.0 || to == from_state) return;  // no-op / self-loop
+      const std::size_t to_idx = intern(to);
+      triplets.push_back({from, to_idx, rate});
+      exit_rate += rate;
+    });
+    if (exit_rate > 0.0) {
+      triplets.push_back({from, from, -exit_rate});
+    }
+  }
+
+  const std::size_t n = states.size();
+  Ctmc chain{linalg::CsrMatrix(n, n, std::move(triplets)), initial_index};
+  return StateSpace{std::move(states), std::move(index), initial_index,
+                    std::move(chain)};
+}
+
+}  // namespace rsmem::markov

@@ -1,0 +1,61 @@
+// Generic CTMC state-space construction by breadth-first reachability.
+//
+// The paper's chains (simplex S(er,re); duplex 6-tuple) both pack their
+// state descriptors into a 64-bit integer. A model enumerates the outgoing
+// transitions of any packed state; the builder discovers all reachable
+// states from the initial one, assigns dense indices, and assembles the
+// sparse generator matrix (diagonal filled in automatically).
+#ifndef RSMEM_MARKOV_STATE_SPACE_H
+#define RSMEM_MARKOV_STATE_SPACE_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "markov/ctmc.h"
+
+namespace rsmem::markov {
+
+using PackedState = std::uint64_t;
+
+// Receives (rate, destination) for each outgoing transition.
+using TransitionSink = std::function<void(double, PackedState)>;
+
+// A model of a CTMC over packed states. Implementations must be
+// deterministic: repeated enumeration of the same state yields the same
+// transitions.
+class TransitionModel {
+ public:
+  virtual ~TransitionModel() = default;
+
+  virtual PackedState initial_state() const = 0;
+
+  // Emits every outgoing transition of `state`. Absorbing states emit
+  // nothing. Emitting a self-loop is allowed and ignored (it does not
+  // change the distribution of a CTMC).
+  virtual void for_each_transition(PackedState state,
+                                   const TransitionSink& emit) const = 0;
+};
+
+// The reachable chain of a model: dense indexing plus the generator.
+struct StateSpace {
+  std::vector<PackedState> states;                    // index -> packed
+  std::unordered_map<PackedState, std::size_t> index;  // packed -> index
+  std::size_t initial_index = 0;
+  Ctmc chain;
+
+  std::size_t size() const { return states.size(); }
+  bool contains(PackedState s) const { return index.count(s) != 0; }
+  std::size_t index_of(PackedState s) const { return index.at(s); }
+};
+
+// Builds the reachable state space. Throws std::length_error if more than
+// `max_states` states are discovered (guard against state explosion) and
+// std::invalid_argument if a model emits a negative rate.
+StateSpace build_state_space(const TransitionModel& model,
+                             std::size_t max_states = 2'000'000);
+
+}  // namespace rsmem::markov
+
+#endif  // RSMEM_MARKOV_STATE_SPACE_H

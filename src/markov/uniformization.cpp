@@ -1,0 +1,118 @@
+#include "markov/uniformization.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rsmem::markov {
+
+UniformizationSolver::UniformizationSolver(double truncation_error)
+    : truncation_error_(truncation_error) {
+  if (truncation_error <= 0.0 || truncation_error >= 1.0) {
+    throw std::invalid_argument(
+        "UniformizationSolver: truncation_error must be in (0,1)");
+  }
+}
+
+PoissonWindow poisson_window(double lambda, double truncation_error,
+                             double tail_floor) {
+  if (lambda < 0.0) {
+    throw std::invalid_argument("poisson_window: negative lambda");
+  }
+  if (lambda == 0.0) {
+    return {0, {1.0}};
+  }
+  const std::size_t mode = static_cast<std::size_t>(std::floor(lambda));
+  const double log_pmf_mode = -lambda +
+                              static_cast<double>(mode) * std::log(lambda) -
+                              std::lgamma(static_cast<double>(mode) + 1.0);
+  const double pmf_mode = std::exp(log_pmf_mode);
+
+  // Walk outward from the mode with the ratio recurrences
+  //   pmf(k+1) = pmf(k) * lambda / (k+1),  pmf(k-1) = pmf(k) * k / lambda
+  // until the captured mass reaches 1 - truncation_error.
+  std::vector<double> right{pmf_mode};  // pmf(mode), pmf(mode+1), ...
+  std::vector<double> left;             // pmf(mode-1), pmf(mode-2), ...
+  double total = pmf_mode;
+  double right_pmf = pmf_mode;
+  std::size_t right_k = mode;
+  double left_pmf = pmf_mode;
+  std::size_t left_k = mode;
+
+  while (total < 1.0 - truncation_error) {
+    // Prefer extending the side with the larger next term.
+    const double next_right =
+        right_pmf * lambda / static_cast<double>(right_k + 1);
+    const double next_left =
+        left_k > 0 ? left_pmf * static_cast<double>(left_k) / lambda : -1.0;
+    if (next_right >= next_left) {
+      right.push_back(next_right);
+      right_pmf = next_right;
+      ++right_k;
+      total += next_right;
+    } else {
+      left.push_back(next_left);
+      left_pmf = next_left;
+      --left_k;
+      total += next_left;
+    }
+    if (right_k > mode + 40 && next_right < 1e-300 &&
+        (left_k == 0 || next_left < 1e-300)) {
+      break;  // ran off the representable range; mass captured is maximal
+    }
+  }
+
+  // Tail extension: keep appending right-side weights until they underflow
+  // below tail_floor, so far-tail transition counts (the only path to Fail
+  // in slow chains) contribute their exact positive mass.
+  while (right_pmf >= tail_floor) {
+    right_pmf = right_pmf * lambda / static_cast<double>(right_k + 1);
+    ++right_k;
+    if (right_pmf >= tail_floor) right.push_back(right_pmf);
+  }
+
+  PoissonWindow window;
+  window.first_k = left_k;
+  window.weights.reserve(left.size() + right.size());
+  for (auto it = left.rbegin(); it != left.rend(); ++it) {
+    window.weights.push_back(*it);
+  }
+  for (const double w : right) window.weights.push_back(w);
+  return window;
+}
+
+std::vector<double> UniformizationSolver::solve(const Ctmc& chain,
+                                                std::span<const double> pi0,
+                                                double t) const {
+  if (pi0.size() != chain.num_states()) {
+    throw std::invalid_argument("UniformizationSolver: pi0 size mismatch");
+  }
+  if (t < 0.0) {
+    throw std::invalid_argument("UniformizationSolver: negative time");
+  }
+  std::vector<double> v(pi0.begin(), pi0.end());
+  const double q = chain.max_exit_rate();
+  if (t == 0.0 || q == 0.0) return v;
+
+  const PoissonWindow window = poisson_window(q * t, truncation_error_);
+  const std::size_t last_k = window.first_k + window.weights.size() - 1;
+
+  const linalg::CsrMatrix& gen = chain.generator();
+  std::vector<double> result(v.size(), 0.0);
+  std::vector<double> qv(v.size());
+  for (std::size_t k = 0; k <= last_k; ++k) {
+    if (k >= window.first_k) {
+      const double w = window.weights[k - window.first_k];
+      for (std::size_t i = 0; i < v.size(); ++i) result[i] += w * v[i];
+    }
+    if (k == last_k) break;
+    // v <- v P = v + (v Q) / q   (row-vector propagation).
+    gen.apply_transpose(v, qv);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] += qv[i] / q;
+  }
+  // Clamp away tiny negative round-off.
+  for (double& x : result) x = std::max(x, 0.0);
+  return result;
+}
+
+}  // namespace rsmem::markov

@@ -1,0 +1,90 @@
+#include "memory/access_latency.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace rsmem::memory {
+
+AccessLatencyReport simulate_access_latency(const AccessLatencyConfig& cfg) {
+  if (cfg.read_rate_per_second <= 0.0 || cfg.decode_seconds <= 0.0 ||
+      cfg.horizon_seconds <= 0.0) {
+    throw std::invalid_argument(
+        "simulate_access_latency: rates and times must be positive");
+  }
+  double scrub_duty = 0.0;
+  if (cfg.scrub_period_seconds > 0.0 && cfg.words_per_scrub > 0) {
+    const double batch =
+        static_cast<double>(cfg.words_per_scrub) * cfg.decode_seconds;
+    if (batch >= cfg.scrub_period_seconds) {
+      throw std::invalid_argument(
+          "simulate_access_latency: scrub batch exceeds its period");
+    }
+    scrub_duty = batch / cfg.scrub_period_seconds;
+  }
+  const double rho_reads = cfg.read_rate_per_second * cfg.decode_seconds;
+  if (rho_reads + scrub_duty >= 1.0) {
+    throw std::invalid_argument(
+        "simulate_access_latency: offered load >= 1, queue diverges");
+  }
+
+  sim::Rng rng{cfg.seed};
+  // FIFO single server over the merged stream of read arrivals and scrub
+  // batch jobs (scrubs are long background jobs in arrival order).
+  double server_free_at = 0.0;
+  double busy_seconds = 0.0;
+  double next_read = rng.exponential(cfg.read_rate_per_second);
+  // Spread scrubbing issues one word every period/words; batch scrubbing
+  // issues all words at the period boundary.
+  const bool scrubbing =
+      cfg.scrub_period_seconds > 0.0 && cfg.words_per_scrub > 0;
+  const double scrub_interval =
+      scrubbing && cfg.spread_scrub
+          ? cfg.scrub_period_seconds /
+                static_cast<double>(cfg.words_per_scrub)
+          : cfg.scrub_period_seconds;
+  const double scrub_job_seconds =
+      scrubbing && cfg.spread_scrub
+          ? cfg.decode_seconds
+          : static_cast<double>(cfg.words_per_scrub) * cfg.decode_seconds;
+  double next_scrub = scrubbing ? scrub_interval : -1.0;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(
+      cfg.read_rate_per_second * cfg.horizon_seconds * 1.2 + 16));
+
+  while (true) {
+    const bool scrub_next =
+        next_scrub >= 0.0 && next_scrub < next_read;
+    const double arrival = scrub_next ? next_scrub : next_read;
+    if (arrival > cfg.horizon_seconds) break;
+    const double start = std::max(server_free_at, arrival);
+    if (scrub_next) {
+      server_free_at = start + scrub_job_seconds;
+      busy_seconds += scrub_job_seconds;
+      next_scrub += scrub_interval;
+    } else {
+      server_free_at = start + cfg.decode_seconds;
+      busy_seconds += cfg.decode_seconds;
+      latencies.push_back(server_free_at - arrival);
+      next_read += rng.exponential(cfg.read_rate_per_second);
+    }
+  }
+
+  AccessLatencyReport report;
+  report.reads_served = latencies.size();
+  report.utilization = busy_seconds / cfg.horizon_seconds;
+  if (latencies.empty()) return report;
+  double total = 0.0;
+  for (const double l : latencies) total += l;
+  report.mean_latency_seconds = total / static_cast<double>(latencies.size());
+  report.mean_wait_seconds = report.mean_latency_seconds - cfg.decode_seconds;
+  std::sort(latencies.begin(), latencies.end());
+  report.p99_latency_seconds =
+      latencies[static_cast<std::size_t>(0.99 * (latencies.size() - 1))];
+  report.max_latency_seconds = latencies.back();
+  return report;
+}
+
+}  // namespace rsmem::memory

@@ -1,0 +1,55 @@
+// Access-latency queueing simulation for the codec front end.
+//
+// The paper's Section 6 argues the duplex RS(18,16) beats the simplex
+// RS(36,16) on the DECODE path (74 vs 308 cycles). Under real read traffic
+// the gap is larger than the ratio of service times: reads queue behind
+// each other and behind scrub passes, and queueing delay grows like
+// rho/(1-rho). This module is a deterministic-service single-server queue
+// (the codec) fed by Poisson reads, with optional periodic scrub BATCHES
+// that occupy the server for words_per_scrub service times.
+//
+// With no scrubbing this is the textbook M/D/1 queue; the test suite pins
+// the simulated mean waiting time against Pollaczek-Khinchine,
+//     W_q = rho * s / (2 (1 - rho)),
+// so the simulator is exact where theory exists and trustworthy where it
+// does not (scrub bursts).
+#ifndef RSMEM_MEMORY_ACCESS_LATENCY_H
+#define RSMEM_MEMORY_ACCESS_LATENCY_H
+
+#include <cstdint>
+
+namespace rsmem::memory {
+
+struct AccessLatencyConfig {
+  double read_rate_per_second = 1e5;   // Poisson read arrivals
+  double decode_seconds = 74.0 / 50e6;  // service time per read (Td / f_clk)
+  // Scrubbing: every scrub_period_seconds the codec runs words_per_scrub
+  // word services (0 disables). With spread_scrub = false they run as one
+  // back-to-back batch (simple controllers); with true the words are
+  // spread evenly across the period (one short job every
+  // period/words_per_scrub), which removes the batch's tail-latency spike
+  // at identical total duty.
+  double scrub_period_seconds = 0.0;
+  std::uint64_t words_per_scrub = 0;
+  bool spread_scrub = false;
+  double horizon_seconds = 1.0;
+  std::uint64_t seed = 1;
+};
+
+struct AccessLatencyReport {
+  std::uint64_t reads_served = 0;
+  double utilization = 0.0;          // busy fraction of the codec
+  double mean_wait_seconds = 0.0;    // queueing delay (excl. own service)
+  double mean_latency_seconds = 0.0; // wait + service
+  double p99_latency_seconds = 0.0;
+  double max_latency_seconds = 0.0;
+};
+
+// Runs the queue for `horizon_seconds` of simulated time.
+// Throws std::invalid_argument for non-positive rates/times, a scrub
+// configuration that cannot fit in its period, or offered load >= 1.
+AccessLatencyReport simulate_access_latency(const AccessLatencyConfig& cfg);
+
+}  // namespace rsmem::memory
+
+#endif  // RSMEM_MEMORY_ACCESS_LATENCY_H

@@ -1,0 +1,100 @@
+#include "memory/arbiter.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace rsmem::memory {
+
+ArbiterResult Arbiter::arbitrate(std::span<const Element> word1,
+                                 std::span<const Element> word2,
+                                 std::span<const unsigned> erasures1,
+                                 std::span<const unsigned> erasures2) const {
+  const unsigned n = code_->n();
+  if (word1.size() != n || word2.size() != n) {
+    throw std::invalid_argument("Arbiter::arbitrate: word size != n");
+  }
+  const std::set<unsigned> set1(erasures1.begin(), erasures1.end());
+  const std::set<unsigned> set2(erasures2.begin(), erasures2.end());
+  if (!set1.empty() && *set1.rbegin() >= n) {
+    throw std::invalid_argument("Arbiter::arbitrate: erasure1 out of range");
+  }
+  if (!set2.empty() && *set2.rbegin() >= n) {
+    throw std::invalid_argument("Arbiter::arbitrate: erasure2 out of range");
+  }
+
+  ArbiterResult result;
+  std::vector<Element> w1(word1.begin(), word1.end());
+  std::vector<Element> w2(word2.begin(), word2.end());
+
+  // Step 1: erasure recovery. Single-sided erasures are masked from the
+  // healthy module; double-sided ones stay erasures.
+  for (unsigned p = 0; p < n; ++p) {
+    const bool in1 = set1.count(p) != 0;
+    const bool in2 = set2.count(p) != 0;
+    if (in1 && in2) {
+      result.common_erasures.push_back(p);
+    } else if (in1) {
+      w1[p] = w2[p];
+      ++result.masked_erasures;
+    } else if (in2) {
+      w2[p] = w1[p];
+      ++result.masked_erasures;
+    }
+  }
+
+  // Step 2: independent decoding with the common erasures.
+  result.outcome1 = code_->decode(w1, result.common_erasures);
+  result.outcome2 = code_->decode(w2, result.common_erasures);
+  result.flag1 = result.outcome1.correction_flag();
+  result.flag2 = result.outcome2.correction_flag();
+  const bool ok1 = result.outcome1.ok();
+  const bool ok2 = result.outcome2.ok();
+
+  // Step 3: comparison / selection.
+  if (!ok1 && !ok2) {
+    result.decision = ArbiterDecision::kNoOutput;
+    return result;
+  }
+  if (ok1 != ok2) {
+    // A detected decode failure disqualifies that word.
+    result.decision = ok1 ? ArbiterDecision::kWord1 : ArbiterDecision::kWord2;
+    result.output = ok1 ? std::move(w1) : std::move(w2);
+    return result;
+  }
+
+  const bool equal = std::equal(w1.begin(), w1.end(), w2.begin());
+  if (!result.flag1 && !result.flag2) {
+    // No correction anywhere: no error/fault present (paper rule 1). The
+    // kCompareFirst policy still insists the copies agree.
+    if (policy_ == ArbiterPolicy::kCompareFirst && !equal) {
+      result.decision = ArbiterDecision::kNoOutput;
+      return result;
+    }
+    result.decision = ArbiterDecision::kWord1;
+    result.output = std::move(w1);
+    return result;
+  }
+  if (equal) {
+    // Equal words, at least one flag: the correction was right (rule 2).
+    result.decision = ArbiterDecision::kWord1;
+    result.output = std::move(w1);
+    return result;
+  }
+  if (result.flag1 != result.flag2) {
+    // Different words, one flag: the flagged module mis-corrected (rule 3).
+    if (result.flag1) {
+      result.decision = ArbiterDecision::kWord2;
+      result.output = std::move(w2);
+    } else {
+      result.decision = ArbiterDecision::kWord1;
+      result.output = std::move(w1);
+    }
+    return result;
+  }
+  // Different words, both flags set: indistinguishable (rule 4).
+  result.decision = ArbiterDecision::kNoOutput;
+  return result;
+}
+
+}  // namespace rsmem::memory

@@ -1,0 +1,132 @@
+#include "memory/duplex_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rsmem::memory {
+
+DuplexSystem::DuplexSystem(const DuplexSystemConfig& config)
+    : config_(config),
+      code_(config.code),
+      arbiter_(code_),
+      module1_(config.code.n, config.code.m),
+      module2_(config.code.n, config.code.m) {
+  const sim::Rng root{config.seed};
+  injector1_ = std::make_unique<FaultInjector>(config.rates, root.split(1),
+                                               queue_, module1_);
+  injector2_ = std::make_unique<FaultInjector>(config.rates, root.split(2),
+                                               queue_, module2_);
+  if (config.scrub_policy != ScrubPolicy::kNone) {
+    scrubber_.emplace(config.scrub_policy, config.scrub_period_hours,
+                      root.split(3));
+  }
+}
+
+void DuplexSystem::store(std::span<const Element> data) {
+  if (stored_) {
+    throw std::logic_error("DuplexSystem::store: already stored");
+  }
+  stored_data_.assign(data.begin(), data.end());
+  stored_codeword_ = code_.encode(stored_data_);
+  module1_.write(stored_codeword_);
+  module2_.write(stored_codeword_);
+  stored_ = true;
+  injector1_->start();
+  injector2_->start();
+  schedule_next_scrub();
+}
+
+void DuplexSystem::schedule_next_scrub() {
+  if (!scrubber_) return;
+  const double when = scrubber_->next_after(queue_.now());
+  if (!std::isfinite(when)) return;
+  queue_.schedule_at(when, [this] {
+    scrub();
+    schedule_next_scrub();
+  });
+}
+
+void DuplexSystem::scrub() {
+  ++stats_.scrubs_attempted;
+  const ArbiterResult result =
+      arbiter_.arbitrate(module1_.read(), module2_.read(),
+                         module1_.detected_erasures(),
+                         module2_.detected_erasures());
+  if (!result.has_output()) {
+    ++stats_.scrub_failures;
+    return;
+  }
+  // Rewrite the agreed codeword into both modules. Stuck bits survive, so
+  // permanent faults (X/Y pairs) persist while transient damage is cleared:
+  // exactly the chain's scrub target (X, Y+b, 0, 0, 0, 0).
+  module1_.write(result.output);
+  module2_.write(result.output);
+  if (!std::equal(result.output.begin(), result.output.end(),
+                  stored_codeword_.begin())) {
+    ++stats_.scrub_miscorrections;
+  }
+}
+
+void DuplexSystem::advance_to(double t_hours) {
+  if (!stored_) {
+    throw std::logic_error("DuplexSystem::advance_to: nothing stored");
+  }
+  queue_.run_until(t_hours);
+  stats_.seu_injected =
+      injector1_->seu_injected() + injector2_->seu_injected();
+  stats_.permanent_injected =
+      injector1_->permanent_injected() + injector2_->permanent_injected();
+}
+
+DuplexReadResult DuplexSystem::read() const {
+  if (!stored_) {
+    throw std::logic_error("DuplexSystem::read: nothing stored");
+  }
+  DuplexReadResult result;
+  result.arbitration =
+      arbiter_.arbitrate(module1_.read(), module2_.read(),
+                         module1_.detected_erasures(),
+                         module2_.detected_erasures());
+  result.read.outcome = result.arbitration.outcome1;
+  result.read.success = result.arbitration.has_output();
+  if (result.read.success) {
+    result.read.data = code_.extract_data(result.arbitration.output);
+    result.read.data_correct =
+        std::equal(result.read.data.begin(), result.read.data.end(),
+                   stored_data_.begin(), stored_data_.end());
+  }
+  return result;
+}
+
+DuplexSystem::PairClassification DuplexSystem::classify_pairs() const {
+  PairClassification c;
+  const std::vector<Element> w1 = module1_.read();
+  const std::vector<Element> w2 = module2_.read();
+  for (unsigned p = 0; p < code_.n(); ++p) {
+    const bool er1 = module1_.symbol_has_stuck_bit(p);
+    const bool er2 = module2_.symbol_has_stuck_bit(p);
+    const bool err1 = !er1 && w1[p] != stored_codeword_[p];
+    const bool err2 = !er2 && w2[p] != stored_codeword_[p];
+    if (er1 && er2) {
+      ++c.x;
+    } else if (er1 || er2) {
+      // One side erased; does the OTHER side carry a random error?
+      const bool other_err = er1 ? err2 : err1;
+      if (other_err) {
+        ++c.b;
+      } else {
+        ++c.y;
+      }
+    } else if (err1 && err2) {
+      ++c.ec;
+    } else if (err1) {
+      ++c.e1;
+    } else if (err2) {
+      ++c.e2;
+    }
+  }
+  return c;
+}
+
+}  // namespace rsmem::memory

@@ -1,0 +1,80 @@
+// Functional simulation of the DUPLEX RS-coded memory system (paper Fig. 1).
+//
+// Two replicated modules store the same codeword; independent fault streams
+// hit each copy; the arbiter performs erasure masking, dual decoding and
+// flag-based selection on every read and scrub. This is the executable
+// counterpart of the 6-tuple Markov chain in src/models/duplex_model.h.
+#ifndef RSMEM_MEMORY_DUPLEX_SYSTEM_H
+#define RSMEM_MEMORY_DUPLEX_SYSTEM_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "memory/arbiter.h"
+#include "memory/fault_injector.h"
+#include "memory/memory_module.h"
+#include "memory/scrubber.h"
+#include "memory/simplex_system.h"  // ReadResult, SystemStats
+#include "rs/reed_solomon.h"
+#include "sim/event_queue.h"
+
+namespace rsmem::memory {
+
+struct DuplexSystemConfig {
+  rs::CodeParams code{18, 16, 8, 1};
+  FaultRates rates;  // applied independently to each module
+  ScrubPolicy scrub_policy = ScrubPolicy::kNone;
+  double scrub_period_hours = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct DuplexReadResult {
+  ReadResult read;           // aggregate success / data / correctness
+  ArbiterResult arbitration; // full arbiter detail
+};
+
+class DuplexSystem {
+ public:
+  explicit DuplexSystem(const DuplexSystemConfig& config);
+
+  const rs::ReedSolomon& code() const { return code_; }
+  double now_hours() const { return queue_.now(); }
+  const SystemStats& stats() const { return stats_; }
+
+  void store(std::span<const Element> data);
+  void advance_to(double t_hours);
+
+  DuplexReadResult read() const;
+
+  // Instrumentation: classify the current symbol-pair damage into the
+  // paper's 6-tuple (X, Y, b, e1, e2, ec) against the stored ground truth.
+  struct PairClassification {
+    unsigned x = 0, y = 0, b = 0, e1 = 0, e2 = 0, ec = 0;
+  };
+  PairClassification classify_pairs() const;
+
+ private:
+  void scrub();
+  void schedule_next_scrub();
+
+  DuplexSystemConfig config_;
+  rs::ReedSolomon code_;
+  Arbiter arbiter_;
+  sim::EventQueue queue_;
+  MemoryModule module1_;
+  MemoryModule module2_;
+  std::unique_ptr<FaultInjector> injector1_;
+  std::unique_ptr<FaultInjector> injector2_;
+  std::optional<Scrubber> scrubber_;
+  std::vector<Element> stored_data_;
+  std::vector<Element> stored_codeword_;
+  bool stored_ = false;
+  SystemStats stats_;
+};
+
+}  // namespace rsmem::memory
+
+#endif  // RSMEM_MEMORY_DUPLEX_SYSTEM_H

@@ -1,0 +1,57 @@
+// Symbol-interleaved codeword layout under burst upsets.
+//
+// The standard mitigation when multi-bit upsets span more than one symbol:
+// interleave I codewords bit-wise, so physical bit j belongs to codeword
+// j mod I at logical bit j / I. A physical burst of s adjacent bits then
+// deposits at most ceil(s / I) bits into any one codeword -- with I >= s it
+// degenerates to single-bit (hence single-symbol) errors everywhere, which
+// the RS code absorbs. Depth 1 is the plain layout of the rest of the
+// library.
+//
+// This module runs fixed-horizon trials (no scrubbing, direct Poisson
+// sampling): store I codewords, inject SEU/burst arrivals over the shared
+// physical bit space for t hours, decode every codeword.
+#ifndef RSMEM_MEMORY_INTERLEAVED_ARRAY_H
+#define RSMEM_MEMORY_INTERLEAVED_ARRAY_H
+
+#include <cstdint>
+
+#include "memory/fault_injector.h"  // FaultRates
+#include "rs/reed_solomon.h"
+
+namespace rsmem::memory {
+
+struct InterleavedArrayConfig {
+  rs::CodeParams code{18, 16, 8, 1};
+  unsigned depth = 1;  // interleaving factor I (codewords sharing the row)
+  // Only the SEU / MBU fields of FaultRates apply (no permanent faults and
+  // no detection in this fixed-horizon experiment).
+  FaultRates rates;
+  std::uint64_t seed = 1;
+};
+
+struct InterleavedTrialResult {
+  unsigned words = 0;
+  unsigned decode_failures = 0;   // detected uncorrectable
+  unsigned wrong_data = 0;        // silent mis-correction
+  unsigned seu_arrivals = 0;
+
+  unsigned failed_words() const { return decode_failures + wrong_data; }
+  double fail_fraction() const {
+    return words == 0 ? 0.0
+                      : static_cast<double>(failed_words()) / words;
+  }
+};
+
+// One array life of `t_hours`. Throws std::invalid_argument on a zero
+// depth or invalid MBU span.
+InterleavedTrialResult run_interleaved_trial(
+    const InterleavedArrayConfig& config, double t_hours);
+
+// Convenience: averages fail_fraction over `trials` independent lives.
+double interleaved_fail_fraction(const InterleavedArrayConfig& config,
+                                 double t_hours, unsigned trials);
+
+}  // namespace rsmem::memory
+
+#endif  // RSMEM_MEMORY_INTERLEAVED_ARRAY_H

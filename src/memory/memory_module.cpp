@@ -1,0 +1,108 @@
+#include "memory/memory_module.h"
+
+#include <stdexcept>
+
+namespace rsmem::memory {
+
+MemoryModule::MemoryModule(unsigned n, unsigned m)
+    : n_(n),
+      m_(m),
+      value_(n, 0),
+      stuck_mask_(n, 0),
+      stuck_level_(n, 0),
+      detected_mask_(n, 0) {
+  if (n == 0 || m == 0 || m > 16) {
+    throw std::invalid_argument("MemoryModule: require n > 0, 0 < m <= 16");
+  }
+}
+
+void MemoryModule::check_position(unsigned symbol, unsigned bit) const {
+  if (symbol >= n_ || bit >= m_) {
+    throw std::invalid_argument("MemoryModule: position out of range");
+  }
+}
+
+void MemoryModule::write(std::span<const Element> symbols) {
+  if (symbols.size() != n_) {
+    throw std::invalid_argument("MemoryModule::write: size mismatch");
+  }
+  for (unsigned i = 0; i < n_; ++i) write_symbol(i, symbols[i]);
+}
+
+void MemoryModule::write_symbol(unsigned symbol, Element value) {
+  check_position(symbol, 0);
+  if (value >> m_) {
+    throw std::invalid_argument("MemoryModule::write_symbol: value too wide");
+  }
+  value_[symbol] = value;
+}
+
+std::vector<Element> MemoryModule::read() const {
+  std::vector<Element> out(n_);
+  for (unsigned i = 0; i < n_; ++i) out[i] = read_symbol(i);
+  return out;
+}
+
+Element MemoryModule::read_symbol(unsigned symbol) const {
+  check_position(symbol, 0);
+  return (value_[symbol] & ~stuck_mask_[symbol]) |
+         (stuck_level_[symbol] & stuck_mask_[symbol]);
+}
+
+void MemoryModule::flip_bit(unsigned symbol, unsigned bit) {
+  check_position(symbol, bit);
+  value_[symbol] ^= (Element{1} << bit);
+}
+
+void MemoryModule::stick_bit(unsigned symbol, unsigned bit, bool level,
+                             bool detected) {
+  check_position(symbol, bit);
+  const Element mask = Element{1} << bit;
+  stuck_mask_[symbol] |= mask;
+  if (level) {
+    stuck_level_[symbol] |= mask;
+  } else {
+    stuck_level_[symbol] &= ~mask;
+  }
+  if (detected) detected_mask_[symbol] |= mask;
+}
+
+void MemoryModule::detect_all_faults() {
+  for (unsigned i = 0; i < n_; ++i) detected_mask_[i] = stuck_mask_[i];
+}
+
+bool MemoryModule::symbol_has_stuck_bit(unsigned symbol) const {
+  check_position(symbol, 0);
+  return stuck_mask_[symbol] != 0;
+}
+
+bool MemoryModule::symbol_has_detected_fault(unsigned symbol) const {
+  check_position(symbol, 0);
+  return detected_mask_[symbol] != 0;
+}
+
+std::vector<unsigned> MemoryModule::detected_erasures() const {
+  std::vector<unsigned> out;
+  for (unsigned i = 0; i < n_; ++i) {
+    if (detected_mask_[i] != 0) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<unsigned> MemoryModule::stuck_symbols() const {
+  std::vector<unsigned> out;
+  for (unsigned i = 0; i < n_; ++i) {
+    if (stuck_mask_[i] != 0) out.push_back(i);
+  }
+  return out;
+}
+
+unsigned MemoryModule::stuck_bit_count() const {
+  unsigned count = 0;
+  for (unsigned i = 0; i < n_; ++i) {
+    count += static_cast<unsigned>(__builtin_popcount(stuck_mask_[i]));
+  }
+  return count;
+}
+
+}  // namespace rsmem::memory

@@ -1,0 +1,76 @@
+// A physical memory module holding one RS codeword as real bits.
+//
+// Models the storage cells of one word of a COTS memory device:
+//  * SEUs flip the stored value of a single bit (transient fault),
+//  * permanent faults stick a bit at 0 or 1 (stuck-at fault).
+// Reads return the stored value with stuck bits forced to their stuck
+// level. Per the paper's assumption, permanent faults are located by
+// self-checking hardware: symbols containing at least one *detected* stuck
+// bit are reported as erasures to the decoder. Detection can be delayed
+// (detection_latency knob on the fault injector) to ablate that assumption.
+#ifndef RSMEM_MEMORY_MEMORY_MODULE_H
+#define RSMEM_MEMORY_MEMORY_MODULE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gf/galois_field.h"
+
+namespace rsmem::memory {
+
+using gf::Element;
+
+class MemoryModule {
+ public:
+  // A module of n symbols of m bits each (one codeword slice).
+  MemoryModule(unsigned n, unsigned m);
+
+  unsigned n() const { return n_; }
+  unsigned m() const { return m_; }
+
+  // Writes symbol values. Stuck bits keep their stuck level regardless of
+  // the written value. Throws std::invalid_argument on size/value mismatch.
+  void write(std::span<const Element> symbols);
+  void write_symbol(unsigned symbol, Element value);
+
+  // Reads all symbols, with stuck bits masked in.
+  std::vector<Element> read() const;
+  Element read_symbol(unsigned symbol) const;
+
+  // Transient fault: inverts the stored value of one bit. A flip on a stuck
+  // bit has no observable effect (the cell output is forced).
+  void flip_bit(unsigned symbol, unsigned bit);
+
+  // Permanent fault: bit becomes stuck at `level` from now on.
+  // `detected` marks whether the self-checking hardware has located it.
+  void stick_bit(unsigned symbol, unsigned bit, bool level, bool detected);
+  // Marks every stuck bit of the module as detected (used by deferred
+  // detection: on-line test pass).
+  void detect_all_faults();
+
+  bool symbol_has_stuck_bit(unsigned symbol) const;
+  bool symbol_has_detected_fault(unsigned symbol) const;
+
+  // Positions of symbols with at least one *detected* permanent fault --
+  // exactly the erasure information available to the decoder/arbiter.
+  std::vector<unsigned> detected_erasures() const;
+  // Ground-truth stuck symbols (detected or not), for instrumentation.
+  std::vector<unsigned> stuck_symbols() const;
+
+  unsigned stuck_bit_count() const;
+
+ private:
+  void check_position(unsigned symbol, unsigned bit) const;
+
+  unsigned n_;
+  unsigned m_;
+  std::vector<Element> value_;           // written bits
+  std::vector<Element> stuck_mask_;      // 1 = cell is stuck
+  std::vector<Element> stuck_level_;     // stuck-at level where mask is 1
+  std::vector<Element> detected_mask_;   // subset of stuck_mask_ located
+};
+
+}  // namespace rsmem::memory
+
+#endif  // RSMEM_MEMORY_MEMORY_MODULE_H

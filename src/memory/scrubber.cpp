@@ -1,0 +1,26 @@
+#include "memory/scrubber.h"
+
+#include <stdexcept>
+
+namespace rsmem::memory {
+
+Scrubber::Scrubber(ScrubPolicy policy, double period_hours, sim::Rng rng)
+    : policy_(policy), period_hours_(period_hours), rng_(rng) {
+  if (policy != ScrubPolicy::kNone && period_hours <= 0.0) {
+    throw std::invalid_argument("Scrubber: period must be positive");
+  }
+}
+
+double Scrubber::next_after(double now) {
+  switch (policy_) {
+    case ScrubPolicy::kNone:
+      return std::numeric_limits<double>::infinity();
+    case ScrubPolicy::kPeriodic:
+      return now + period_hours_;
+    case ScrubPolicy::kExponential:
+      return now + rng_.exponential(1.0 / period_hours_);
+  }
+  throw std::logic_error("Scrubber: unknown policy");
+}
+
+}  // namespace rsmem::memory

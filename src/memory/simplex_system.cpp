@@ -1,0 +1,87 @@
+#include "memory/simplex_system.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rsmem::memory {
+
+SimplexSystem::SimplexSystem(const SimplexSystemConfig& config)
+    : config_(config),
+      code_(config.code),
+      module_(config.code.n, config.code.m) {
+  const sim::Rng root{config.seed};
+  injector_ = std::make_unique<FaultInjector>(config.rates, root.split(1),
+                                              queue_, module_);
+  if (config.scrub_policy != ScrubPolicy::kNone) {
+    scrubber_.emplace(config.scrub_policy, config.scrub_period_hours,
+                      root.split(2));
+  }
+}
+
+void SimplexSystem::store(std::span<const Element> data) {
+  if (stored_) {
+    throw std::logic_error("SimplexSystem::store: already stored");
+  }
+  stored_data_.assign(data.begin(), data.end());
+  stored_codeword_ = code_.encode(stored_data_);
+  module_.write(stored_codeword_);
+  stored_ = true;
+  injector_->start();
+  schedule_next_scrub();
+}
+
+void SimplexSystem::schedule_next_scrub() {
+  if (!scrubber_) return;
+  const double when = scrubber_->next_after(queue_.now());
+  if (!std::isfinite(when)) return;
+  queue_.schedule_at(when, [this] {
+    scrub();
+    schedule_next_scrub();
+  });
+}
+
+void SimplexSystem::scrub() {
+  ++stats_.scrubs_attempted;
+  std::vector<Element> word = module_.read();
+  const std::vector<unsigned> erasures = module_.detected_erasures();
+  const rs::DecodeOutcome outcome = code_.decode(word, erasures);
+  if (!outcome.ok()) {
+    // Unrecoverable content: scrubbing cannot help (the chain's Fail).
+    ++stats_.scrub_failures;
+    return;
+  }
+  module_.write(word);  // rewrite the corrected codeword
+  if (!std::equal(word.begin(), word.end(), stored_codeword_.begin())) {
+    // The decoder "corrected" to a wrong codeword and the scrub latched it.
+    ++stats_.scrub_miscorrections;
+  }
+}
+
+void SimplexSystem::advance_to(double t_hours) {
+  if (!stored_) {
+    throw std::logic_error("SimplexSystem::advance_to: nothing stored");
+  }
+  queue_.run_until(t_hours);
+  stats_.seu_injected = injector_->seu_injected();
+  stats_.permanent_injected = injector_->permanent_injected();
+}
+
+ReadResult SimplexSystem::read() const {
+  if (!stored_) {
+    throw std::logic_error("SimplexSystem::read: nothing stored");
+  }
+  ReadResult result;
+  std::vector<Element> word = module_.read();
+  const std::vector<unsigned> erasures = module_.detected_erasures();
+  result.outcome = code_.decode(word, erasures);
+  result.success = result.outcome.ok();
+  if (result.success) {
+    result.data = code_.extract_data(word);
+    result.data_correct =
+        std::equal(result.data.begin(), result.data.end(),
+                   stored_data_.begin(), stored_data_.end());
+  }
+  return result;
+}
+
+}  // namespace rsmem::memory

@@ -1,0 +1,82 @@
+// Functional simulation of the SIMPLEX RS-coded memory system.
+//
+// One module stores one RS(n,k) codeword of real bits; faults arrive by
+// Poisson injection; scrubbing periodically read-corrects-rewrites the word.
+// Reads run the actual decoder, so every behaviour the Markov chain
+// abstracts (including decoder mis-correction) happens for real here.
+#ifndef RSMEM_MEMORY_SIMPLEX_SYSTEM_H
+#define RSMEM_MEMORY_SIMPLEX_SYSTEM_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "memory/fault_injector.h"
+#include "memory/memory_module.h"
+#include "memory/scrubber.h"
+#include "rs/reed_solomon.h"
+#include "sim/event_queue.h"
+
+namespace rsmem::memory {
+
+struct ReadResult {
+  bool success = false;       // the system produced an output word
+  bool data_correct = false;  // ... and it matches the stored data
+  std::vector<Element> data;  // decoded data symbols (k), empty on failure
+  rs::DecodeOutcome outcome;  // decoder detail (simplex) / word-1 detail
+};
+
+struct SystemStats {
+  unsigned seu_injected = 0;
+  unsigned permanent_injected = 0;
+  unsigned scrubs_attempted = 0;
+  unsigned scrub_failures = 0;        // scrub found an unrecoverable word
+  unsigned scrub_miscorrections = 0;  // scrub silently rewrote wrong data
+};
+
+struct SimplexSystemConfig {
+  rs::CodeParams code{18, 16, 8, 1};
+  FaultRates rates;
+  ScrubPolicy scrub_policy = ScrubPolicy::kNone;
+  double scrub_period_hours = 0.0;
+  std::uint64_t seed = 1;
+};
+
+class SimplexSystem {
+ public:
+  explicit SimplexSystem(const SimplexSystemConfig& config);
+
+  const rs::ReedSolomon& code() const { return code_; }
+  double now_hours() const { return queue_.now(); }
+  const SystemStats& stats() const { return stats_; }
+
+  // Encodes and stores `data` (k symbols). Must be called before advancing.
+  void store(std::span<const Element> data);
+
+  // Advances simulated time, processing fault arrivals and scrub passes.
+  void advance_to(double t_hours);
+
+  // Decodes the current memory content (non-destructive).
+  ReadResult read() const;
+
+ private:
+  void scrub();
+  void schedule_next_scrub();
+
+  SimplexSystemConfig config_;
+  rs::ReedSolomon code_;
+  sim::EventQueue queue_;
+  MemoryModule module_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::optional<Scrubber> scrubber_;
+  std::vector<Element> stored_data_;      // ground truth dataword
+  std::vector<Element> stored_codeword_;  // ground truth codeword
+  bool stored_ = false;
+  SystemStats stats_;
+};
+
+}  // namespace rsmem::memory
+
+#endif  // RSMEM_MEMORY_SIMPLEX_SYSTEM_H

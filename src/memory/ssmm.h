@@ -1,0 +1,71 @@
+// Whole-array SSMM functional simulation.
+//
+// The paper's BER is defined operationally: "the number of bits with errors
+// divided by the total number of bits that have been read over a given time
+// period". The word-level systems (SimplexSystem/DuplexSystem) expose
+// success/failure of one word; this module simulates a whole solid-state
+// mass memory -- `words` independent codewords under the same environment
+// and scrub policy -- performing full-array reads at chosen checkpoints and
+// counting erroneous bits the way the definition says:
+//   * a read with NO output contributes all k*m word bits as erroneous
+//     (the data is unavailable),
+//   * a read returning WRONG data contributes the actual flipped bit count
+//     (undetected corruption),
+//   * a correct read contributes zero.
+// Fault processes are per-cell, so words evolve independently; each word
+// gets decorrelated RNG streams from the root seed.
+#ifndef RSMEM_MEMORY_SSMM_H
+#define RSMEM_MEMORY_SSMM_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "memory/duplex_system.h"
+#include "memory/simplex_system.h"
+
+namespace rsmem::memory {
+
+struct SsmmConfig {
+  rs::CodeParams code{18, 16, 8, 1};
+  bool duplex = false;
+  std::size_t words = 256;
+  FaultRates rates;
+  ScrubPolicy scrub_policy = ScrubPolicy::kNone;
+  double scrub_period_hours = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct SsmmCheckpoint {
+  double time_hours = 0.0;
+  std::uint64_t words_read = 0;
+  std::uint64_t reads_failed = 0;        // no output
+  std::uint64_t reads_wrong_data = 0;    // undetected corruption
+  std::uint64_t bits_read = 0;
+  std::uint64_t bits_in_error = 0;
+
+  // The paper's operational BER at this checkpoint.
+  double measured_ber() const {
+    return bits_read == 0
+               ? 0.0
+               : static_cast<double>(bits_in_error) /
+                     static_cast<double>(bits_read);
+  }
+  double word_fail_fraction() const {
+    return words_read == 0
+               ? 0.0
+               : static_cast<double>(reads_failed + reads_wrong_data) /
+                     static_cast<double>(words_read);
+  }
+};
+
+// Runs the array mission once: random data stored at t=0 in every word, a
+// full-array (non-destructive) read at each checkpoint time (sorted,
+// ascending, in hours). Returns one aggregate record per checkpoint.
+// Throws std::invalid_argument on zero words or unsorted times.
+std::vector<SsmmCheckpoint> run_ssmm_mission(
+    const SsmmConfig& config, std::span<const double> read_times_hours);
+
+}  // namespace rsmem::memory
+
+#endif  // RSMEM_MEMORY_SSMM_H

@@ -1,0 +1,61 @@
+#include "models/baselines.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rsmem::models {
+
+namespace {
+
+void validate(const BaselineParams& params, double t_hours) {
+  if (params.word_symbols == 0 || params.m == 0 || params.m > 16) {
+    throw std::invalid_argument("baselines: bad word geometry");
+  }
+  if (params.seu_rate_per_bit_hour < 0.0 ||
+      params.erasure_rate_per_symbol_hour < 0.0 || t_hours < 0.0) {
+    throw std::invalid_argument("baselines: negative rate or time");
+  }
+}
+
+}  // namespace
+
+double bit_wrong_probability(const BaselineParams& params, double t_hours) {
+  validate(params, t_hours);
+  const double lambda = params.seu_rate_per_bit_hour;
+  const double le_bit =
+      params.erasure_rate_per_symbol_hour / static_cast<double>(params.m);
+  // Odd-flip probability of a Poisson flip process.
+  const double p_flip = 0.5 * (1.0 - std::exp(-2.0 * lambda * t_hours));
+  const double p_stuck = 1.0 - std::exp(-le_bit * t_hours);
+  // A stuck bit reads wrong iff the stuck level differs from the data: 1/2.
+  return 0.5 * p_stuck + (1.0 - p_stuck) * p_flip;
+}
+
+double unprotected_word_fail(const BaselineParams& params, double t_hours) {
+  const double q = bit_wrong_probability(params, t_hours);
+  const double bits =
+      static_cast<double>(params.word_symbols) * params.m;
+  return -std::expm1(bits * std::log1p(-q));
+}
+
+double tmr_word_fail(const BaselineParams& params, double t_hours) {
+  const double q = bit_wrong_probability(params, t_hours);
+  const double p_maj = 3.0 * q * q * (1.0 - q) + q * q * q;
+  const double bits =
+      static_cast<double>(params.word_symbols) * params.m;
+  return -std::expm1(bits * std::log1p(-p_maj));
+}
+
+double secded_word_fail(const BaselineParams& params, double t_hours,
+                        unsigned codeword_bits) {
+  if (codeword_bits < 2) {
+    throw std::invalid_argument("secded_word_fail: need >= 2 coded bits");
+  }
+  const double q = bit_wrong_probability(params, t_hours);
+  const double n = static_cast<double>(codeword_bits);
+  const double p0 = std::exp(n * std::log1p(-q));
+  const double p1 = n * q * std::exp((n - 1.0) * std::log1p(-q));
+  return std::max(0.0, 1.0 - p0 - p1);
+}
+
+}  // namespace rsmem::models

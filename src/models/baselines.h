@@ -1,0 +1,50 @@
+// Closed-form reliability baselines: the unprotected word and bitwise TMR.
+//
+// The paper motivates RS coding against "modular redundancy"; these
+// baselines make the comparison quantitative. Without scrubbing, every bit
+// evolves independently, so exact closed forms exist:
+//
+//   p_flip(t)   = (1 - exp(-2 lambda t)) / 2     (odd number of SEU flips)
+//   p_stuck(t)  = 1 - exp(-(lambda_e / m) t)     (a specific bit got stuck;
+//                 permanent faults arrive per SYMBOL and pick one of m bits)
+//   q(t)        = p_stuck/2 + (1 - p_stuck) * p_flip
+//                 (a stuck bit reads wrong half the time)
+//
+//   unprotected word of B bits:  P_fail = 1 - (1 - q)^B
+//   bitwise TMR of B bits:       per-bit wrong iff >= 2 of 3 copies wrong,
+//                                p_maj = 3 q^2 (1-q) + q^3,
+//                                P_fail = 1 - (1 - p_maj)^B.
+//
+// Cross-validated against the functional TmrSystem by Monte-Carlo.
+#ifndef RSMEM_MODELS_BASELINES_H
+#define RSMEM_MODELS_BASELINES_H
+
+namespace rsmem::models {
+
+struct BaselineParams {
+  unsigned word_symbols = 16;  // k
+  unsigned m = 8;              // bits per symbol
+  double seu_rate_per_bit_hour = 0.0;         // lambda
+  double erasure_rate_per_symbol_hour = 0.0;  // lambda_e (per symbol)
+};
+
+// Probability that one specific bit of one module reads wrong at time t.
+double bit_wrong_probability(const BaselineParams& params, double t_hours);
+
+// P(any of the k*m data bits is wrong) for a single unprotected module.
+double unprotected_word_fail(const BaselineParams& params, double t_hours);
+
+// P(bitwise 2-of-3 majority is wrong anywhere in the word).
+double tmr_word_fail(const BaselineParams& params, double t_hours);
+
+// SEC-DED word of `codeword_bits` total bits: survives zero or one wrong
+// bit, fails (detected or mis-corrected) at >= 2:
+//   P_fail = 1 - (1-q)^N - N q (1-q)^(N-1).
+// `params.word_symbols * params.m` is ignored here; pass the total coded
+// word size explicitly (e.g. 72 for SEC-DED(72,64)).
+double secded_word_fail(const BaselineParams& params, double t_hours,
+                        unsigned codeword_bits);
+
+}  // namespace rsmem::models
+
+#endif  // RSMEM_MODELS_BASELINES_H

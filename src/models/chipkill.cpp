@@ -1,0 +1,61 @@
+#include "models/chipkill.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rsmem::models {
+
+namespace {
+
+void validate(unsigned n, unsigned k, double rate, double t) {
+  if (k == 0 || k >= n) {
+    throw std::invalid_argument("chipkill: require 0 < k < n");
+  }
+  if (rate < 0.0 || t < 0.0) {
+    throw std::invalid_argument("chipkill: negative rate or time");
+  }
+}
+
+// Binomial CDF P(X <= budget), X ~ Binom(n, p); stable iterative pmf.
+double binom_cdf(unsigned budget, unsigned n, double p) {
+  if (p <= 0.0) return 1.0;
+  if (p >= 1.0) return budget >= n ? 1.0 : 0.0;
+  // pmf(0) via logs to avoid underflow for large n.
+  double log_pmf = static_cast<double>(n) * std::log1p(-p);
+  double cdf = 0.0;
+  double pmf = std::exp(log_pmf);
+  for (unsigned j = 0; j <= budget; ++j) {
+    cdf += pmf;
+    pmf *= static_cast<double>(n - j) / static_cast<double>(j + 1) * p /
+           (1.0 - p);
+  }
+  return std::min(cdf, 1.0);
+}
+
+}  // namespace
+
+double chip_fail_probability(double chip_rate_per_hour, double t_hours) {
+  if (chip_rate_per_hour < 0.0 || t_hours < 0.0) {
+    throw std::invalid_argument("chipkill: negative rate or time");
+  }
+  return -std::expm1(-chip_rate_per_hour * t_hours);
+}
+
+double chipkill_array_survival(unsigned n, unsigned k,
+                               double chip_rate_per_hour, double t_hours) {
+  validate(n, k, chip_rate_per_hour, t_hours);
+  const double p = chip_fail_probability(chip_rate_per_hour, t_hours);
+  return binom_cdf(n - k, n, p);
+}
+
+double independent_word_array_survival(unsigned n, unsigned k,
+                                       double chip_rate_per_hour,
+                                       double t_hours, std::size_t words) {
+  validate(n, k, chip_rate_per_hour, t_hours);
+  const double word_survival =
+      chipkill_array_survival(n, k, chip_rate_per_hour, t_hours);
+  if (word_survival <= 0.0) return words == 0 ? 1.0 : 0.0;
+  return std::exp(static_cast<double>(words) * std::log(word_survival));
+}
+
+}  // namespace rsmem::models

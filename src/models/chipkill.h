@@ -1,0 +1,46 @@
+// Chip-granular (correlated) permanent faults in the bit-sliced SSMM.
+//
+// The paper's reference [6] organizes the SSMM so that chip i supplies
+// symbol i of EVERY codeword. A chip failure therefore erases the same
+// symbol position array-wide -- the erasure processes of different words
+// are perfectly correlated, not independent. Consequences, all closed-form:
+//
+//   * every word sees the same erasure count, so the ARRAY fails exactly
+//     when the (n-k+1)-th chip fails:
+//         R_array(t) = P(chips failed <= n-k) = Binom CDF(n-k; n, p(t)),
+//     independent of the number of words W;
+//   * the independent-word approximation ("the extension by considering
+//     the whole memory is straightforward") predicts
+//         P_loss ~ 1 - (1 - p_word)^W ~ W * p_word
+//     and therefore OVER-predicts the chip-kill array loss by ~W.
+//
+// Word-level transient (SEU) failures remain independent across words and
+// can be combined multiplicatively.
+#ifndef RSMEM_MODELS_CHIPKILL_H
+#define RSMEM_MODELS_CHIPKILL_H
+
+#include <cstddef>
+
+namespace rsmem::models {
+
+// P(a given chip has failed by t): 1 - exp(-rate * t).
+double chip_fail_probability(double chip_rate_per_hour, double t_hours);
+
+// P(array still decodable at t) under chip-granular erasures only:
+// Binomial CDF of <= n-k failures among the n symbol chips.
+// Throws std::invalid_argument for k >= n or negative rate/time.
+double chipkill_array_survival(unsigned n, unsigned k,
+                               double chip_rate_per_hour, double t_hours);
+
+// The same quantity under the INDEPENDENT-word approximation with W words
+// (each word drawing its own erasures at the same per-symbol rate):
+// (1 - p_word)^W with p_word = 1 - Binom CDF(n-k; n, p). Provided for the
+// comparison bench; it is exact when faults really are word-local and
+// wrong (pessimistic by ~W) when they are chip-granular.
+double independent_word_array_survival(unsigned n, unsigned k,
+                                       double chip_rate_per_hour,
+                                       double t_hours, std::size_t words);
+
+}  // namespace rsmem::models
+
+#endif  // RSMEM_MODELS_CHIPKILL_H

@@ -1,0 +1,198 @@
+#include "models/duplex_model.h"
+
+#include <stdexcept>
+
+namespace rsmem::models {
+
+using markov::PackedState;
+
+namespace {
+constexpr PackedState kFail = ~PackedState{0};
+constexpr unsigned kFieldBits = 10;  // supports n up to 1023 per component
+constexpr PackedState kFieldMask = (PackedState{1} << kFieldBits) - 1;
+}  // namespace
+
+DuplexModel::DuplexModel(const DuplexParams& params) : params_(params) {
+  if (params_.k == 0 || params_.k >= params_.n) {
+    throw std::invalid_argument("DuplexModel: require 0 < k < n");
+  }
+  if (params_.m < 2 || params_.m > 16 ||
+      params_.n > (1u << params_.m) - 1u) {
+    throw std::invalid_argument("DuplexModel: require n <= 2^m - 1");
+  }
+  if (params_.n > kFieldMask) {
+    throw std::invalid_argument("DuplexModel: n too large for state packing");
+  }
+  if (params_.seu_rate_per_bit_hour < 0.0 ||
+      params_.erasure_rate_per_symbol_hour < 0.0 ||
+      params_.scrub_rate_per_hour < 0.0) {
+    throw std::invalid_argument("DuplexModel: rates must be non-negative");
+  }
+}
+
+PackedState DuplexModel::pack(const DuplexState& s) {
+  return static_cast<PackedState>(s.x) |
+         (static_cast<PackedState>(s.y) << kFieldBits) |
+         (static_cast<PackedState>(s.b) << (2 * kFieldBits)) |
+         (static_cast<PackedState>(s.e1) << (3 * kFieldBits)) |
+         (static_cast<PackedState>(s.e2) << (4 * kFieldBits)) |
+         (static_cast<PackedState>(s.ec) << (5 * kFieldBits));
+}
+
+DuplexState DuplexModel::unpack(PackedState p) {
+  DuplexState s;
+  s.x = static_cast<unsigned>(p & kFieldMask);
+  s.y = static_cast<unsigned>((p >> kFieldBits) & kFieldMask);
+  s.b = static_cast<unsigned>((p >> (2 * kFieldBits)) & kFieldMask);
+  s.e1 = static_cast<unsigned>((p >> (3 * kFieldBits)) & kFieldMask);
+  s.e2 = static_cast<unsigned>((p >> (4 * kFieldBits)) & kFieldMask);
+  s.ec = static_cast<unsigned>((p >> (5 * kFieldBits)) & kFieldMask);
+  return s;
+}
+
+PackedState DuplexModel::fail_state() { return kFail; }
+bool DuplexModel::is_fail(PackedState s) { return s == kFail; }
+
+bool DuplexModel::recoverable(const DuplexState& s) const {
+  const unsigned budget = params_.n - params_.k;
+  const unsigned word1 = s.x + 2 * (s.b + s.ec + s.e1);
+  const unsigned word2 = s.x + 2 * (s.b + s.ec + s.e2);
+  if (params_.fail_criterion == FailCriterion::kAnyWordUnrecoverable) {
+    return word1 <= budget && word2 <= budget;
+  }
+  return word1 <= budget || word2 <= budget;
+}
+
+PackedState DuplexModel::initial_state() const { return pack(DuplexState{}); }
+
+void DuplexModel::for_each_transition(
+    PackedState state, const markov::TransitionSink& emit) const {
+  if (is_fail(state)) return;  // absorbing
+
+  const DuplexState s = unpack(state);
+  const double lambda_bits =
+      static_cast<double>(params_.m) * params_.seu_rate_per_bit_hour;
+  const double lambda_e = params_.erasure_rate_per_symbol_hour;
+  const double sigma = params_.scrub_rate_per_hour;
+  const unsigned untouched = params_.n - s.total_pairs_touched();
+  const bool per_symbol =
+      params_.convention == RateConvention::kPerPhysicalSymbol;
+
+  const auto target = [this](DuplexState next) -> PackedState {
+    return recoverable(next) ? pack(next) : kFail;
+  };
+  const auto send = [&](double rate, DuplexState next) {
+    if (rate > 0.0) emit(rate, target(next));
+  };
+
+  if (lambda_e > 0.0) {
+    // A: erasure on the clean side of a Y pair -> double erasure.
+    if (s.y > 0) {
+      DuplexState t = s;
+      --t.y;
+      ++t.x;
+      send(lambda_e * s.y, t);
+    }
+    // B: erasure on the random-error side of a b pair -> double erasure.
+    // Fig. 4 rate lambda_e*b; the text misprints lambda_e*Y (DESIGN.md).
+    if (s.b > 0) {
+      DuplexState t = s;
+      --t.b;
+      ++t.x;
+      const double count = params_.use_text_rate_for_b
+                               ? static_cast<double>(s.y)
+                               : static_cast<double>(s.b);
+      send(lambda_e * count, t);
+    }
+    // C: erasure on an untouched pair -> single erasure.
+    if (untouched > 0) {
+      DuplexState t = s;
+      ++t.y;
+      const double scale = per_symbol ? 2.0 : 1.0;
+      send(scale * lambda_e * untouched, t);
+    }
+    // D/E: erasure lands on the errored symbol of an e1/e2 pair; the random
+    // error is subsumed -> single erasure.
+    if (s.e1 > 0) {
+      DuplexState t = s;
+      --t.e1;
+      ++t.y;
+      send(lambda_e * s.e1, t);
+    }
+    if (s.e2 > 0) {
+      DuplexState t = s;
+      --t.e2;
+      ++t.y;
+      send(lambda_e * s.e2, t);
+    }
+    // F: erasure on either side of an ec pair -> erasure + error pair.
+    if (s.ec > 0) {
+      DuplexState t = s;
+      --t.ec;
+      ++t.b;
+      const double scale = per_symbol ? 2.0 : 1.0;
+      send(scale * lambda_e * s.ec, t);
+    }
+    // G/H: erasure on the clean counterpart of an e1/e2 pair
+    // -> erasure + error pair.
+    if (s.e1 > 0) {
+      DuplexState t = s;
+      --t.e1;
+      ++t.b;
+      send(lambda_e * s.e1, t);
+    }
+    if (s.e2 > 0) {
+      DuplexState t = s;
+      --t.e2;
+      ++t.b;
+      send(lambda_e * s.e2, t);
+    }
+  }
+
+  if (lambda_bits > 0.0) {
+    // I: bit flip on the clean counterpart of a Y pair -> b pair.
+    if (s.y > 0) {
+      DuplexState t = s;
+      --t.y;
+      ++t.b;
+      send(lambda_bits * s.y, t);
+    }
+    // L/M: bit flip on word 1 / word 2 of an untouched pair.
+    if (untouched > 0) {
+      DuplexState t1 = s;
+      ++t1.e1;
+      send(lambda_bits * untouched, t1);
+      DuplexState t2 = s;
+      ++t2.e2;
+      send(lambda_bits * untouched, t2);
+    }
+    // N/O: bit flip on the clean counterpart of an e1/e2 pair -> ec pair.
+    if (s.e1 > 0) {
+      DuplexState t = s;
+      --t.e1;
+      ++t.ec;
+      send(lambda_bits * s.e1, t);
+    }
+    if (s.e2 > 0) {
+      DuplexState t = s;
+      --t.e2;
+      ++t.ec;
+      send(lambda_bits * s.e2, t);
+    }
+  }
+
+  // Scrubbing: random errors cleaned, permanent faults survive. Each b pair
+  // loses its random error and keeps its single-sided erasure (-> Y).
+  if (sigma > 0.0 && (s.b + s.e1 + s.e2 + s.ec) > 0) {
+    DuplexState t;
+    t.x = s.x;
+    t.y = s.y + s.b;
+    emit(sigma, pack(t));  // scrub target of a recoverable state is recoverable
+  }
+}
+
+markov::StateSpace DuplexModel::build() const {
+  return markov::build_state_space(*this);
+}
+
+}  // namespace rsmem::models

@@ -1,0 +1,39 @@
+// Derived reliability metrics on the paper's chains, beyond the BER curves:
+//
+//  * MTTF (mean time to data loss) of a stored word, from exact absorption
+//    analysis of the chain -- the figure of merit mission planners quote.
+//  * BER under DETERMINISTIC periodic scrubbing, the policy real hardware
+//    implements, versus the exponential approximation the paper solves.
+//    Both simplex and duplex scrub maps follow Section 5: transient damage
+//    is cleared, permanent damage survives (duplex: (X,Y,b,e1,e2,ec) ->
+//    (X, Y+b, 0,0,0,0)); an unrecoverable word cannot be scrubbed.
+#ifndef RSMEM_MODELS_METRICS_H
+#define RSMEM_MODELS_METRICS_H
+
+#include <span>
+
+#include "models/ber.h"
+
+namespace rsmem::models {
+
+// Mean time to data loss (hours) of the configured word. Scrubbing, when
+// enabled in the params, is the exponential policy of the chain.
+// Throws std::domain_error if Fail is unreachable (zero fault rates).
+double simplex_mttf_hours(const SimplexParams& params);
+double duplex_mttf_hours(const DuplexParams& params);
+
+// BER(t) under deterministic scrubbing every `tsc_hours`. The params'
+// scrub_rate_per_hour field is ignored (the chain carries only the fault
+// transitions; scrubbing happens as a periodic jump).
+BerCurve simplex_periodic_scrub_ber(const SimplexParams& params,
+                                    double tsc_hours,
+                                    std::span<const double> times_hours,
+                                    const markov::TransientSolver& solver);
+BerCurve duplex_periodic_scrub_ber(const DuplexParams& params,
+                                   double tsc_hours,
+                                   std::span<const double> times_hours,
+                                   const markov::TransientSolver& solver);
+
+}  // namespace rsmem::models
+
+#endif  // RSMEM_MODELS_METRICS_H

@@ -1,0 +1,128 @@
+#include "models/simplex_model.h"
+
+#include <stdexcept>
+
+namespace rsmem::models {
+
+using markov::PackedState;
+
+namespace {
+constexpr PackedState kFail = ~PackedState{0};
+}
+
+SimplexModel::SimplexModel(const SimplexParams& params) : params_(params) {
+  if (params_.k == 0 || params_.k >= params_.n) {
+    throw std::invalid_argument("SimplexModel: require 0 < k < n");
+  }
+  if (params_.m < 2 || params_.m > 16 ||
+      params_.n > (1u << params_.m) - 1u) {
+    throw std::invalid_argument("SimplexModel: require n <= 2^m - 1");
+  }
+  if (params_.seu_rate_per_bit_hour < 0.0 ||
+      params_.erasure_rate_per_symbol_hour < 0.0 ||
+      params_.scrub_rate_per_hour < 0.0) {
+    throw std::invalid_argument("SimplexModel: rates must be non-negative");
+  }
+  if (params_.mbu_probability < 0.0 || params_.mbu_probability > 1.0) {
+    throw std::invalid_argument("SimplexModel: mbu_probability outside [0,1]");
+  }
+  if (params_.mbu_probability > 0.0 &&
+      (params_.mbu_span_bits < 2 || params_.mbu_span_bits > params_.m)) {
+    throw std::invalid_argument(
+        "SimplexModel: mbu_span_bits must be in [2, m]");
+  }
+}
+
+PackedState SimplexModel::pack(unsigned er, unsigned re) {
+  return static_cast<PackedState>(er) |
+         (static_cast<PackedState>(re) << 16);
+}
+
+unsigned SimplexModel::erasures_of(PackedState s) {
+  return static_cast<unsigned>(s & 0xFFFFu);
+}
+
+unsigned SimplexModel::random_errors_of(PackedState s) {
+  return static_cast<unsigned>((s >> 16) & 0xFFFFu);
+}
+
+PackedState SimplexModel::fail_state() { return kFail; }
+
+bool SimplexModel::is_fail(PackedState s) { return s == kFail; }
+
+PackedState SimplexModel::initial_state() const { return pack(0, 0); }
+
+void SimplexModel::for_each_transition(
+    PackedState state, const markov::TransitionSink& emit) const {
+  if (is_fail(state)) return;  // absorbing
+
+  const unsigned er = erasures_of(state);
+  const unsigned re = random_errors_of(state);
+  const unsigned n = params_.n;
+  const double lambda = params_.seu_rate_per_bit_hour;
+  const double lambda_e = params_.erasure_rate_per_symbol_hour;
+  const double sigma = params_.scrub_rate_per_hour;
+  const unsigned untouched = n - er - re;
+
+  const auto target = [this](unsigned er2, unsigned re2) -> PackedState {
+    return recoverable(er2, re2) ? pack(er2, re2) : kFail;
+  };
+
+  // SEU arrivals, total rate n*m*lambda over the word. A fraction
+  // mbu_probability are bursts; of those, q cross a symbol boundary and
+  // corrupt two ADJACENT symbols (q = crossing starts / possible starts).
+  if (lambda > 0.0) {
+    const double n_d = static_cast<double>(n);
+    const double total_bits = n_d * static_cast<double>(params_.m);
+    const double arrivals = total_bits * lambda;
+    const double p_mbu = params_.mbu_probability;
+    double q_cross = 0.0;
+    if (p_mbu > 0.0) {
+      const double span = static_cast<double>(params_.mbu_span_bits);
+      q_cross = (n_d - 1.0) * (span - 1.0) / (total_bits - span + 1.0);
+    }
+    // Single-symbol-corrupting arrivals (plain flips + in-symbol bursts):
+    // a uniformly chosen symbol is untouched with probability u/n.
+    const double single_rate = arrivals * (1.0 - p_mbu * q_cross);
+    if (untouched > 0 && single_rate > 0.0) {
+      emit(single_rate * untouched / n_d, target(er, re + 1));
+    }
+    // Boundary-crossing bursts hit an adjacent symbol pair; mean-field
+    // placement over the u untouched symbols.
+    const double pair_rate = arrivals * p_mbu * q_cross;
+    if (pair_rate > 0.0 && untouched > 0) {
+      const double both_clean = static_cast<double>(untouched) *
+                                (static_cast<double>(untouched) - 1.0) /
+                                (n_d * (n_d - 1.0));
+      const double one_clean = 2.0 * static_cast<double>(untouched) *
+                               (n_d - static_cast<double>(untouched)) /
+                               (n_d * (n_d - 1.0));
+      if (both_clean > 0.0) {
+        emit(pair_rate * both_clean, target(er, re + 2));
+      }
+      if (one_clean > 0.0) {
+        emit(pair_rate * one_clean, target(er, re + 1));
+      }
+    }
+  }
+  // Erasure (located permanent fault) on an untouched symbol.
+  if (lambda_e > 0.0 && untouched > 0) {
+    emit(lambda_e * untouched, target(er + 1, re));
+  }
+  // Erasure on a symbol already hit by a random error: the random error is
+  // subsumed by the (located) erasure.
+  if (lambda_e > 0.0 && re > 0) {
+    emit(lambda_e * re, target(er + 1, re - 1));
+  }
+  // Scrubbing rewrites a corrected word: clears random errors, keeps
+  // permanent faults. From any recoverable state scrubbing succeeds.
+  if (sigma > 0.0 && re > 0) {
+    emit(sigma, pack(er, 0));
+  }
+}
+
+markov::StateSpace SimplexModel::build() const {
+  return markov::build_state_space(*this);
+}
+
+}  // namespace rsmem::models

@@ -1,0 +1,92 @@
+#include "models/sparing_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "markov/absorption.h"
+#include "markov/uniformization.h"
+
+namespace rsmem::models {
+
+using markov::PackedState;
+
+namespace {
+constexpr PackedState kDown = ~PackedState{0};
+}
+
+SparingModel::SparingModel(const SparingParams& params) : params_(params) {
+  if (params_.active_modules == 0) {
+    throw std::invalid_argument("SparingModel: need at least one module");
+  }
+  if (params_.module_fail_rate_per_hour < 0.0) {
+    throw std::invalid_argument("SparingModel: negative failure rate");
+  }
+  if (params_.coverage < 0.0 || params_.coverage > 1.0) {
+    throw std::invalid_argument("SparingModel: coverage outside [0,1]");
+  }
+  if (params_.spare_ageing_fraction < 0.0 ||
+      params_.spare_ageing_fraction > 1.0) {
+    throw std::invalid_argument(
+        "SparingModel: spare_ageing_fraction outside [0,1]");
+  }
+}
+
+PackedState SparingModel::pack(unsigned spares_left) { return spares_left; }
+unsigned SparingModel::spares_left_of(PackedState s) {
+  return static_cast<unsigned>(s);
+}
+PackedState SparingModel::down_state() { return kDown; }
+bool SparingModel::is_down(PackedState s) { return s == kDown; }
+
+PackedState SparingModel::initial_state() const {
+  return pack(params_.spares);
+}
+
+void SparingModel::for_each_transition(
+    PackedState state, const markov::TransitionSink& emit) const {
+  if (is_down(state)) return;
+  const unsigned spares_left = spares_left_of(state);
+  const double lambda = params_.module_fail_rate_per_hour;
+  if (lambda <= 0.0) return;
+
+  const double active_rate =
+      static_cast<double>(params_.active_modules) * lambda;
+  if (spares_left > 0) {
+    // Active failure, covered: consume one spare.
+    emit(active_rate * params_.coverage, pack(spares_left - 1));
+    // Active failure, uncovered: system lost.
+    if (params_.coverage < 1.0) {
+      emit(active_rate * (1.0 - params_.coverage), kDown);
+    }
+    // Hot spare dies in the pool (always a covered, silent loss).
+    const double pool_rate = static_cast<double>(spares_left) * lambda *
+                             params_.spare_ageing_fraction;
+    if (pool_rate > 0.0) emit(pool_rate, pack(spares_left - 1));
+  } else {
+    // No spare left: any further active failure is fatal.
+    emit(active_rate, kDown);
+  }
+}
+
+markov::StateSpace SparingModel::build() const {
+  return markov::build_state_space(*this);
+}
+
+double SparingModel::reliability_at(double t_hours) const {
+  const markov::StateSpace space = build();
+  if (!space.contains(kDown)) return 1.0;  // zero failure rate
+  const markov::UniformizationSolver solver;
+  const std::vector<double> pi = solver.solve(space.chain, t_hours);
+  // Clamp sub-epsilon round-off so fully-failed systems report exactly 0.
+  return std::max(0.0, 1.0 - pi[space.index_of(kDown)]);
+}
+
+double SparingModel::mttf_hours() const {
+  const markov::StateSpace space = build();
+  if (!space.contains(kDown)) {
+    throw std::domain_error("SparingModel::mttf_hours: system never fails");
+  }
+  return markov::analyze_absorption(space.chain).mttf;
+}
+
+}  // namespace rsmem::models

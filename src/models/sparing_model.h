@@ -1,0 +1,64 @@
+// CTMC model of MODULAR SPARING (the paper's "dynamic redundancy").
+//
+// Paper introduction: "Modular sparing has been shown to improve the
+// reliability of a memory system by replacing faulty modules or units
+// (mostly affected by permanent faults)", and the index terms list Dynamic
+// Redundancy. This module provides that system-level substrate: an SSMM
+// bank of M active memory modules backed by S spares.
+//
+// Classic sparing chain. State (failed_spares_used, down):
+//  * each ACTIVE module fails at rate lambda_module (use
+//    reliability::MilHdbk217Model to derive it from chip physics);
+//  * hot spares also age: they fail in the pool at rate
+//    spare_ageing_fraction * lambda_module (1.0 = hot, 0.0 = cold);
+//  * a failed active module is replaced by a spare with COVERAGE c: with
+//    probability 1-c the reconfiguration fails and the system dies
+//    (switch/detection escapes);
+//  * when no spare is left, the next active-module failure is fatal.
+//
+// The absorbing Down state gives system reliability R(t) = 1 - P_Down(t)
+// and the MTTF via absorption analysis.
+#ifndef RSMEM_MODELS_SPARING_MODEL_H
+#define RSMEM_MODELS_SPARING_MODEL_H
+
+#include "markov/state_space.h"
+
+namespace rsmem::models {
+
+struct SparingParams {
+  unsigned active_modules = 8;   // M
+  unsigned spares = 2;           // S
+  double module_fail_rate_per_hour = 0.0;  // lambda_module
+  double coverage = 1.0;                   // c in [0,1]
+  double spare_ageing_fraction = 0.0;      // 0 = cold spares, 1 = hot
+};
+
+class SparingModel final : public markov::TransitionModel {
+ public:
+  explicit SparingModel(const SparingParams& params);
+
+  const SparingParams& params() const { return params_; }
+
+  // State packs the number of spares REMAINING; Down is the fail sentinel.
+  static markov::PackedState pack(unsigned spares_left);
+  static unsigned spares_left_of(markov::PackedState s);
+  static markov::PackedState down_state();
+  static bool is_down(markov::PackedState s);
+
+  markov::PackedState initial_state() const override;
+  void for_each_transition(markov::PackedState state,
+                           const markov::TransitionSink& emit) const override;
+
+  markov::StateSpace build() const;
+
+  // Convenience: R(t) = P(not Down at t) and the system MTTF.
+  double reliability_at(double t_hours) const;
+  double mttf_hours() const;
+
+ private:
+  SparingParams params_;
+};
+
+}  // namespace rsmem::models
+
+#endif  // RSMEM_MODELS_SPARING_MODEL_H

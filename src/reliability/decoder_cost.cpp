@@ -1,0 +1,35 @@
+#include "reliability/decoder_cost.h"
+
+#include <stdexcept>
+
+namespace rsmem::reliability {
+
+double DecoderCostModel::decode_cycles(unsigned n, unsigned k) const {
+  if (k == 0 || k >= n) {
+    throw std::invalid_argument("decode_cycles: require 0 < k < n");
+  }
+  return time_n_coeff * static_cast<double>(n) +
+         time_parity_coeff * static_cast<double>(n - k);
+}
+
+double DecoderCostModel::area_gates(unsigned n, unsigned k, unsigned m) const {
+  if (k == 0 || k >= n || m == 0) {
+    throw std::invalid_argument("area_gates: require 0 < k < n, m > 0");
+  }
+  return area_base +
+         area_mp_coeff * static_cast<double>(m) * static_cast<double>(n - k);
+}
+
+ArrangementCost simplex_cost(const DecoderCostModel& model, unsigned n,
+                             unsigned k, unsigned m) {
+  return {model.decode_cycles(n, k), model.area_gates(n, k, m)};
+}
+
+ArrangementCost duplex_cost(const DecoderCostModel& model, unsigned n,
+                            unsigned k, unsigned m) {
+  // The two decoders of the duplex run in parallel (Fig. 1), so the decode
+  // latency is one decoder's; the area is two decoders'.
+  return {model.decode_cycles(n, k), 2.0 * model.area_gates(n, k, m)};
+}
+
+}  // namespace rsmem::reliability

@@ -1,0 +1,47 @@
+// Decoder complexity models (paper Section 6).
+//
+// Decoding time, in clock cycles, for a non-time-continuous memory access
+// profile (fit published for the Altera RS codec IP core, reprinted by the
+// paper):             Td ~= 3n + 10(n-k)
+// e.g. RS(36,16): 108 + 200 = 308 cycles; RS(18,16): 54 + 20 = 74 cycles --
+// more than 4x apart, which is the paper's argument for the duplex
+// arrangement despite its worse BER than a simplex RS(36,16).
+//
+// Decoder area (logic gates) is modeled as (almost) linear in m and in the
+// number of check symbols n-k, per the same source. The default
+// coefficients are calibrated so one RS(18,16) decoder over GF(2^8) costs
+// ~4.3k gates, in the range reported for small RS codec cores; only RATIOS
+// between configurations matter for the paper's conclusion.
+#ifndef RSMEM_RELIABILITY_DECODER_COST_H
+#define RSMEM_RELIABILITY_DECODER_COST_H
+
+namespace rsmem::reliability {
+
+struct DecoderCostModel {
+  // Td = time_n_coeff * n + time_parity_coeff * (n-k) clock cycles.
+  double time_n_coeff = 3.0;
+  double time_parity_coeff = 10.0;
+
+  // gates = area_base + area_mp_coeff * m * (n-k).
+  double area_base = 1100.0;
+  double area_mp_coeff = 200.0;
+
+  double decode_cycles(unsigned n, unsigned k) const;
+  double area_gates(unsigned n, unsigned k, unsigned m) const;
+};
+
+// Cost of a complete arrangement (counts decoder replicas: the duplex needs
+// two codecs, the simplex one).
+struct ArrangementCost {
+  double decode_cycles = 0.0;  // critical-path decode latency per access
+  double area_gates = 0.0;     // total codec area
+};
+
+ArrangementCost simplex_cost(const DecoderCostModel& model, unsigned n,
+                             unsigned k, unsigned m);
+ArrangementCost duplex_cost(const DecoderCostModel& model, unsigned n,
+                            unsigned k, unsigned m);
+
+}  // namespace rsmem::reliability
+
+#endif  // RSMEM_RELIABILITY_DECODER_COST_H

@@ -1,0 +1,107 @@
+#include "reliability/milhdbk217.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rsmem::reliability {
+
+namespace {
+constexpr double kBoltzmannEv = 8.617e-5;  // eV/K
+constexpr double kActivationEv = 0.6;      // MOS memory activation energy
+constexpr double kHoursPerDay = 24.0;
+}  // namespace
+
+double MilHdbk217Model::c1_die_complexity(double capacity_bits) {
+  if (capacity_bits <= 0.0) {
+    throw std::invalid_argument("c1_die_complexity: capacity must be > 0");
+  }
+  // 217F MOS memory brackets (failures/1e6h contribution).
+  if (capacity_bits <= 16.0 * 1024) return 0.0052;
+  if (capacity_bits <= 64.0 * 1024) return 0.011;
+  if (capacity_bits <= 256.0 * 1024) return 0.021;
+  if (capacity_bits <= 1024.0 * 1024) return 0.042;
+  if (capacity_bits <= 4.0 * 1024 * 1024) return 0.084;
+  if (capacity_bits <= 16.0 * 1024 * 1024) return 0.17;
+  // Extrapolate the x2-per-quadrupling trend beyond the published table.
+  double c1 = 0.17;
+  double cap = 16.0 * 1024 * 1024;
+  while (capacity_bits > cap) {
+    cap *= 4.0;
+    c1 *= 2.0;
+  }
+  return c1;
+}
+
+double MilHdbk217Model::c2_package(unsigned pin_count) {
+  if (pin_count == 0) {
+    throw std::invalid_argument("c2_package: pin count must be > 0");
+  }
+  // 217F hermetic DIP fit: C2 = 2.8e-4 * Np^1.08.
+  return 2.8e-4 * std::pow(static_cast<double>(pin_count), 1.08);
+}
+
+double MilHdbk217Model::pi_temperature(double junction_temp_celsius) {
+  const double t_ref = 298.0;  // 25 C
+  const double t_j = junction_temp_celsius + 273.0;
+  if (t_j <= 0.0) {
+    throw std::invalid_argument("pi_temperature: temperature below 0 K");
+  }
+  return std::exp(-(kActivationEv / kBoltzmannEv) * (1.0 / t_j - 1.0 / t_ref));
+}
+
+double MilHdbk217Model::pi_environment(Environment e) {
+  switch (e) {
+    case Environment::kGroundBenign: return 0.5;
+    case Environment::kGroundFixed: return 2.0;
+    case Environment::kGroundMobile: return 4.0;
+    case Environment::kAirborneCargo: return 4.0;
+    case Environment::kSpaceFlight: return 0.5;
+  }
+  throw std::logic_error("pi_environment: unknown environment");
+}
+
+double MilHdbk217Model::pi_quality(Quality q) {
+  switch (q) {
+    case Quality::kSpaceCertified: return 0.25;
+    case Quality::kMilitary: return 1.0;
+    case Quality::kCommercial: return 10.0;  // COTS screening penalty
+  }
+  throw std::logic_error("pi_quality: unknown quality");
+}
+
+double MilHdbk217Model::pi_learning(double years_in_production) {
+  if (years_in_production < 0.0) {
+    throw std::invalid_argument("pi_learning: negative production age");
+  }
+  // 217F: piL = 0.01 * exp(5.35 - 0.35 * years), clamped to >= 1.
+  const double pi_l = 0.01 * std::exp(5.35 - 0.35 * years_in_production);
+  return pi_l < 1.0 ? 1.0 : pi_l;
+}
+
+double MilHdbk217Model::chip_failures_per_1e6_hours(
+    const MemoryChipSpec& spec) {
+  const double c1 = c1_die_complexity(spec.capacity_bits);
+  const double c2 = c2_package(spec.pin_count);
+  const double pi_t = pi_temperature(spec.junction_temp_celsius);
+  const double pi_e = pi_environment(spec.environment);
+  const double pi_q = pi_quality(spec.quality);
+  const double pi_l = pi_learning(spec.years_in_production);
+  return (c1 * pi_t + c2 * pi_e) * pi_q * pi_l;
+}
+
+double MilHdbk217Model::erasure_rate_per_symbol_day(
+    const MemoryChipSpec& spec, unsigned bits_per_symbol,
+    double words_per_chip) {
+  if (bits_per_symbol == 0 || words_per_chip <= 0.0) {
+    throw std::invalid_argument(
+        "erasure_rate_per_symbol_day: invalid geometry");
+  }
+  const double chip_per_hour = chip_failures_per_1e6_hours(spec) / 1e6;
+  // A chip failure manifests in one stored word at a time from the decoder's
+  // perspective; apportion the chip rate uniformly over its words. In the
+  // bit-sliced SSMM organization each chip feeds exactly one symbol of each
+  // word, so the per-word rate IS the per-symbol rate.
+  return chip_per_hour / words_per_chip * kHoursPerDay;
+}
+
+}  // namespace rsmem::reliability

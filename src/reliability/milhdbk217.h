@@ -1,0 +1,71 @@
+// MIL-HDBK-217F-style parametric failure-rate model for memory devices.
+//
+// The paper selects its permanent-fault rate range (1e-10..1e-4 per symbol
+// per day, Figs. 8-10) "using for example the models of [6], [1]" where [1]
+// is MIL-HDBK-217. This module provides that substrate: a parts-stress
+// model for MOS memory ICs,
+//     lambda_chip = (C1 * piT + C2 * piE) * piQ * piL   [failures / 1e6 h]
+// with the standard factor structure (die complexity C1 by capacity,
+// package C2 by pin count, temperature acceleration piT by Arrhenius
+// activation, environment piE, quality piQ, learning piL). Coefficients
+// follow the 217F notice-2 structure for MOS SRAM/DRAM.
+//
+// The chip rate is then apportioned to the RS-symbol granularity the Markov
+// models need (failures per symbol per day).
+#ifndef RSMEM_RELIABILITY_MILHDBK217_H
+#define RSMEM_RELIABILITY_MILHDBK217_H
+
+#include <cstdint>
+
+namespace rsmem::reliability {
+
+enum class Environment : std::uint8_t {
+  kGroundBenign,   // GB
+  kGroundFixed,    // GF
+  kGroundMobile,   // GM
+  kAirborneCargo,  // AIC
+  kSpaceFlight,    // SF -- the paper's SSMM mission profile
+};
+
+enum class Quality : std::uint8_t {
+  kSpaceCertified,  // class S
+  kMilitary,        // class B
+  kCommercial,      // COTS -- the paper's motivation
+};
+
+struct MemoryChipSpec {
+  double capacity_bits = 16.0 * 1024 * 1024;  // device capacity
+  unsigned pin_count = 48;
+  double junction_temp_celsius = 40.0;
+  Environment environment = Environment::kSpaceFlight;
+  Quality quality = Quality::kCommercial;
+  double years_in_production = 5.0;  // drives the learning factor piL
+};
+
+class MilHdbk217Model {
+ public:
+  // Die-complexity factor C1 (by capacity bracket) and package factor C2.
+  static double c1_die_complexity(double capacity_bits);
+  static double c2_package(unsigned pin_count);
+  // Arrhenius temperature factor, activation energy 0.6 eV, referenced to
+  // 25 C junction temperature.
+  static double pi_temperature(double junction_temp_celsius);
+  static double pi_environment(Environment e);
+  static double pi_quality(Quality q);
+  static double pi_learning(double years_in_production);
+
+  // Chip failure rate in failures per 1e6 hours.
+  static double chip_failures_per_1e6_hours(const MemoryChipSpec& spec);
+
+  // Permanent-fault (erasure) rate per RS symbol per DAY, assuming chip
+  // failures strike uniformly across the chip's words and that one chip
+  // contributes `bits_per_symbol` bits to each codeword (the usual SSMM
+  // bit-slicing organization: symbol failure == chip-local fault).
+  static double erasure_rate_per_symbol_day(const MemoryChipSpec& spec,
+                                            unsigned bits_per_symbol,
+                                            double words_per_chip);
+};
+
+}  // namespace rsmem::reliability
+
+#endif  // RSMEM_RELIABILITY_MILHDBK217_H

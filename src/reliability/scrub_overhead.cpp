@@ -1,0 +1,36 @@
+#include "reliability/scrub_overhead.h"
+
+#include <stdexcept>
+
+namespace rsmem::reliability {
+
+ScrubOverhead scrub_overhead(const DecoderCostModel& model, unsigned n,
+                             unsigned k, double tsc_seconds,
+                             const ScrubOverheadParams& params) {
+  if (tsc_seconds <= 0.0 || params.clock_hz <= 0.0 || params.words == 0 ||
+      params.decoders == 0) {
+    throw std::invalid_argument("scrub_overhead: nonsensical parameters");
+  }
+  if (params.write_back_fraction < 0.0 || params.write_back_fraction > 1.0) {
+    throw std::invalid_argument(
+        "scrub_overhead: write_back_fraction outside [0,1]");
+  }
+  ScrubOverhead result;
+  const double per_word = params.access_cycles +            // read
+                          model.decode_cycles(n, k) +       // decode
+                          params.write_back_fraction * params.access_cycles;
+  result.cycles_per_pass = per_word * static_cast<double>(params.words) /
+                           static_cast<double>(params.decoders);
+  result.pass_seconds = result.cycles_per_pass / params.clock_hz;
+  result.duty_fraction = result.pass_seconds / tsc_seconds;
+  if (result.duty_fraction > 1.0) {
+    throw std::invalid_argument(
+        "scrub_overhead: one pass does not fit in Tsc; slow the period or "
+        "add scrub engines");
+  }
+  result.availability = 1.0 - result.duty_fraction;
+  result.average_power_watts = params.active_power_watts * result.duty_fraction;
+  return result;
+}
+
+}  // namespace rsmem::reliability

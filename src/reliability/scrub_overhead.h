@@ -1,0 +1,47 @@
+// Scrubbing cost model (paper Section 2's "drawbacks", quantified).
+//
+// "The usage of memory scrubbing must be carefully tuned to the system
+// requirements as it also introduces some drawbacks ... an increase of
+// hardware overhead due to the necessary control circuitry, a reduction in
+// memory availability during the scrubbing operations and an increase in
+// power consumption."
+//
+// One scrub pass touches every word: read (array access) + decode (the
+// paper's Td cycles) + conditional write-back. At scrub period Tsc the
+// memory spends a duty fraction of its cycles scrubbing; that fraction is
+// unavailable to the payload and burns active power.
+#ifndef RSMEM_RELIABILITY_SCRUB_OVERHEAD_H
+#define RSMEM_RELIABILITY_SCRUB_OVERHEAD_H
+
+#include <cstddef>
+
+#include "reliability/decoder_cost.h"
+
+namespace rsmem::reliability {
+
+struct ScrubOverheadParams {
+  std::size_t words = 1u << 20;     // codewords in the array
+  double clock_hz = 50e6;           // memory/codec clock
+  double access_cycles = 2.0;       // read or write one word
+  double write_back_fraction = 0.05;  // fraction of words needing rewrite
+  double active_power_watts = 0.5;  // controller+codec power while scrubbing
+  unsigned decoders = 1;            // parallel scrub engines (2 for duplex)
+};
+
+struct ScrubOverhead {
+  double cycles_per_pass = 0.0;    // total codec+access cycles, one pass
+  double pass_seconds = 0.0;       // wall time of one pass
+  double duty_fraction = 0.0;      // pass_seconds / Tsc
+  double availability = 0.0;       // 1 - duty_fraction
+  double average_power_watts = 0.0;  // duty-cycled scrub power
+};
+
+// Throws std::invalid_argument if the pass cannot complete within Tsc
+// (duty fraction would exceed 1) or on nonsensical parameters.
+ScrubOverhead scrub_overhead(const DecoderCostModel& model, unsigned n,
+                             unsigned k, double tsc_seconds,
+                             const ScrubOverheadParams& params);
+
+}  // namespace rsmem::reliability
+
+#endif  // RSMEM_RELIABILITY_SCRUB_OVERHEAD_H

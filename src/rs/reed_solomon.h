@@ -1,0 +1,125 @@
+// Reed-Solomon RS(n,k) codec over GF(2^m) with errors-AND-erasures decoding.
+//
+// This is the EDAC scheme of the paper: transient faults (SEU bit flips) are
+// random errors at unknown positions; located permanent faults are erasures.
+// A pattern of `re` random errors and `er` erasures is correctable iff
+//     2*re + er <= n - k.
+//
+// Shortened codes (n < 2^m - 1), e.g. the paper's RS(18,16) and RS(36,16)
+// over GF(2^8), are supported directly: codeword position p corresponds to
+// the coefficient of x^(n-1-p), i.e. data symbols first, parity last.
+//
+// Decoding pipeline (Blahut, "Theory and Practice of Error Control Codes"):
+//   syndromes -> erasure locator -> modified syndromes -> Sugiyama
+//   (extended Euclid) key-equation solver -> Chien search -> Forney.
+//
+// Failure semantics matter to the duplex arbiter (paper Section 3):
+//  * kNoError   - the word is already a codeword; nothing changed.
+//  * kCorrected - a correction was performed; the "flag" of the paper.
+//  * kFailure   - the decoder knows it cannot produce a codeword.
+// When the fault pattern exceeds the code capability the decoder may instead
+// "mis-correct": return kCorrected with a *valid but wrong* codeword. That
+// behaviour is real (not simulated) and is exactly what the duplex arbiter's
+// flag-comparison logic is designed to handle.
+#ifndef RSMEM_RS_REED_SOLOMON_H
+#define RSMEM_RS_REED_SOLOMON_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gf/galois_field.h"
+#include "gf/poly.h"
+
+namespace rsmem::rs {
+
+using gf::Element;
+
+enum class DecodeStatus : std::uint8_t {
+  kNoError,    // word was already a codeword
+  kCorrected,  // correction performed (sets the paper's flag)
+  kFailure,    // detected uncorrectable pattern
+};
+
+struct DecodeOutcome {
+  DecodeStatus status = DecodeStatus::kNoError;
+  unsigned errors_corrected = 0;    // changed symbols outside the erasure set
+  unsigned erasures_corrected = 0;  // changed symbols inside the erasure set
+
+  // The paper's per-word correction flag: set when a correction has been
+  // performed and completed.
+  bool correction_flag() const { return status == DecodeStatus::kCorrected; }
+  bool ok() const { return status != DecodeStatus::kFailure; }
+};
+
+struct CodeParams {
+  unsigned n = 0;    // codeword length in symbols
+  unsigned k = 0;    // dataword length in symbols
+  unsigned m = 0;    // bits per symbol; requires n <= 2^m - 1
+  unsigned fcr = 1;  // first consecutive root exponent of the generator
+  // Primitive polynomial for GF(2^m), leading x^m term included; 0 selects
+  // the library default. Set this when interoperating with an existing
+  // codec built over a different field representation.
+  std::uint32_t prim_poly = 0;
+};
+
+class ReedSolomon {
+ public:
+  // Throws std::invalid_argument for inconsistent parameters
+  // (k >= n, n > 2^m - 1, m out of range).
+  explicit ReedSolomon(const CodeParams& params);
+  ReedSolomon(unsigned n, unsigned k, unsigned m)
+      : ReedSolomon(CodeParams{n, k, m, 1}) {}
+
+  unsigned n() const { return params_.n; }
+  unsigned k() const { return params_.k; }
+  unsigned m() const { return params_.m; }
+  unsigned fcr() const { return params_.fcr; }
+  unsigned parity_symbols() const { return params_.n - params_.k; }
+  // Maximum random errors correctable with no erasures: t = floor((n-k)/2).
+  unsigned t() const { return parity_symbols() / 2; }
+
+  const gf::GaloisField& field() const { return field_; }
+  const gf::Poly& generator() const { return generator_; }
+
+  // True iff the pattern (erasures, random_errors) is within the code's
+  // guaranteed correction capability: erasures + 2*random_errors <= n-k.
+  bool correctable(unsigned erasures, unsigned random_errors) const {
+    return erasures + 2 * random_errors <= parity_symbols();
+  }
+
+  // Systematic encoding: codeword = [data (k symbols) | parity (n-k)].
+  // Throws std::invalid_argument on size mismatch or out-of-field symbols.
+  void encode(std::span<const Element> data, std::span<Element> codeword) const;
+  std::vector<Element> encode(std::span<const Element> data) const;
+
+  // In-place errors-and-erasures decoding. `erasure_positions` lists indices
+  // in [0, n) whose content is untrusted (located permanent faults); the
+  // stored value at those positions is irrelevant. Duplicate positions are
+  // rejected with std::invalid_argument.
+  // On kNoError/kCorrected the word is a valid codeword afterwards.
+  DecodeOutcome decode(std::span<Element> word,
+                       std::span<const unsigned> erasure_positions = {}) const;
+
+  // Extracts the k data symbols from a (corrected) codeword.
+  std::vector<Element> extract_data(std::span<const Element> codeword) const;
+
+  bool is_codeword(std::span<const Element> word) const;
+
+ private:
+  // Syndromes S_j = c(alpha^(fcr+j)), j in [0, n-k). Returns true if all 0.
+  bool syndromes(std::span<const Element> word,
+                 std::vector<Element>& out) const;
+  // Locator value of codeword position p: X = alpha^(n-1-p).
+  Element locator_of_position(unsigned p) const {
+    return field_.alpha_pow(static_cast<long long>(params_.n - 1 - p));
+  }
+
+  CodeParams params_;
+  gf::GaloisField field_;
+  gf::Poly generator_;
+};
+
+}  // namespace rsmem::rs
+
+#endif  // RSMEM_RS_REED_SOLOMON_H

@@ -1,0 +1,98 @@
+#include "rs/stream_codec.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rsmem::rs {
+
+StreamCodec::StreamCodec(const CodeParams& params) : code_(params) {
+  if (params.m != 8) {
+    throw std::invalid_argument("StreamCodec: requires byte symbols (m=8)");
+  }
+}
+
+std::size_t StreamCodec::frames_for(std::size_t payload_bytes) const {
+  const std::size_t k = code_.k();
+  return payload_bytes == 0 ? 1 : (payload_bytes + k - 1) / k;
+}
+
+std::size_t StreamCodec::encoded_size(std::size_t payload_bytes) const {
+  return frames_for(payload_bytes) * code_.n();
+}
+
+std::vector<std::uint8_t> StreamCodec::encode(
+    std::span<const std::uint8_t> payload) const {
+  const std::size_t k = code_.k();
+  const std::size_t frames = frames_for(payload.size());
+  std::vector<std::uint8_t> out;
+  out.reserve(frames * code_.n());
+  std::vector<gf::Element> data(k, 0);
+  std::vector<gf::Element> word(code_.n());
+  for (std::size_t f = 0; f < frames; ++f) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t pos = f * k + i;
+      data[i] = pos < payload.size() ? payload[pos] : 0;
+    }
+    code_.encode(data, word);
+    for (const gf::Element s : word) {
+      out.push_back(static_cast<std::uint8_t>(s));
+    }
+  }
+  return out;
+}
+
+StreamCodec::StreamResult StreamCodec::decode(
+    std::span<const std::uint8_t> encoded, std::size_t payload_bytes,
+    std::span<const std::uint8_t> erasure_flags) const {
+  const std::size_t n = code_.n();
+  const std::size_t k = code_.k();
+  const std::size_t frames = frames_for(payload_bytes);
+  if (encoded.size() != frames * n) {
+    throw std::invalid_argument(
+        "StreamCodec::decode: encoded size does not match payload_bytes");
+  }
+  if (!erasure_flags.empty() && erasure_flags.size() != encoded.size()) {
+    throw std::invalid_argument(
+        "StreamCodec::decode: erasure_flags size mismatch");
+  }
+
+  StreamResult result;
+  result.frames = frames;
+  result.payload.assign(payload_bytes, 0);
+  result.ok = true;
+  std::vector<gf::Element> word(n);
+  std::vector<unsigned> erasures;
+  for (std::size_t f = 0; f < frames; ++f) {
+    for (std::size_t i = 0; i < n; ++i) word[i] = encoded[f * n + i];
+    erasures.clear();
+    if (!erasure_flags.empty()) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (erasure_flags[f * n + i]) {
+          erasures.push_back(static_cast<unsigned>(i));
+        }
+      }
+    }
+    DecodeOutcome outcome;
+    if (erasures.size() > code_.parity_symbols()) {
+      outcome.status = DecodeStatus::kFailure;
+    } else {
+      outcome = code_.decode(word, erasures);
+    }
+    if (!outcome.ok()) {
+      ++result.frames_failed;
+      result.ok = false;
+      continue;  // failed frames leave zeros in the payload
+    }
+    if (outcome.status == DecodeStatus::kCorrected) {
+      ++result.frames_corrected;
+    }
+    const std::size_t copy =
+        std::min(k, payload_bytes - std::min(payload_bytes, f * k));
+    for (std::size_t i = 0; i < copy; ++i) {
+      result.payload[f * k + i] = static_cast<std::uint8_t>(word[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace rsmem::rs

@@ -1,0 +1,56 @@
+// Byte-stream convenience layer over the RS codec (m = 8 codes).
+//
+// Downstream users store BUFFERS, not symbol vectors. StreamCodec chunks a
+// payload into k-byte datawords, encodes each into an n-byte codeword, and
+// concatenates the codewords; decode reverses the process, correcting each
+// frame independently (with optional per-byte erasure flags from the
+// storage layer's detected-fault map) and reporting per-frame outcomes.
+// The final frame is zero-padded; the caller keeps the payload length, as
+// storage systems do.
+#ifndef RSMEM_RS_STREAM_CODEC_H
+#define RSMEM_RS_STREAM_CODEC_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rs/reed_solomon.h"
+
+namespace rsmem::rs {
+
+class StreamCodec {
+ public:
+  // Requires params.m == 8 (byte symbols); throws std::invalid_argument
+  // otherwise (and for any invalid code).
+  explicit StreamCodec(const CodeParams& params);
+
+  const ReedSolomon& code() const { return code_; }
+  std::size_t frames_for(std::size_t payload_bytes) const;
+  std::size_t encoded_size(std::size_t payload_bytes) const;
+
+  // Encodes payload (any size, zero-padded into the last frame).
+  std::vector<std::uint8_t> encode(std::span<const std::uint8_t> payload) const;
+
+  struct StreamResult {
+    bool ok = false;                  // every frame produced an output
+    std::size_t frames = 0;
+    std::size_t frames_corrected = 0;  // frames needing correction
+    std::size_t frames_failed = 0;     // detected uncorrectable frames
+    std::vector<std::uint8_t> payload; // recovered bytes (zeros for failed
+                                       // frames), sized to payload_bytes
+  };
+
+  // Decodes `encoded` back into `payload_bytes` bytes. `erasure_flags`,
+  // when non-empty, marks untrusted encoded byte positions (size must equal
+  // encoded.size()). Throws std::invalid_argument on size mismatches.
+  StreamResult decode(std::span<const std::uint8_t> encoded,
+                      std::size_t payload_bytes,
+                      std::span<const std::uint8_t> erasure_flags = {}) const;
+
+ private:
+  ReedSolomon code_;
+};
+
+}  // namespace rsmem::rs
+
+#endif  // RSMEM_RS_STREAM_CODEC_H

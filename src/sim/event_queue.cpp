@@ -1,0 +1,75 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rsmem::sim {
+
+std::uint64_t EventQueue::schedule_at(double when, EventAction action) {
+  if (!std::isfinite(when) || when < now_) {
+    throw std::invalid_argument(
+        "EventQueue::schedule_at: time must be finite and >= now");
+  }
+  if (!action) {
+    throw std::invalid_argument("EventQueue::schedule_at: empty action");
+  }
+  const std::uint64_t id = next_seq_++;
+  heap_.push(Entry{when, id, std::move(action)});
+  return id;
+}
+
+std::uint64_t EventQueue::schedule_in(double delay, EventAction action) {
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool EventQueue::cancel(std::uint64_t id) {
+  if (id >= next_seq_) return false;
+  if (is_cancelled(id)) return false;
+  // We cannot remove from the middle of a priority queue; remember the id
+  // and skip the entry when it surfaces.
+  cancelled_.insert(
+      std::lower_bound(cancelled_.begin(), cancelled_.end(), id), id);
+  return true;
+}
+
+bool EventQueue::is_cancelled(std::uint64_t id) const {
+  return std::binary_search(cancelled_.begin(), cancelled_.end(), id);
+}
+
+void EventQueue::forget_cancelled(std::uint64_t id) {
+  const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
+  if (it != cancelled_.end() && *it == id) cancelled_.erase(it);
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    Entry top = heap_.top();
+    heap_.pop();
+    if (is_cancelled(top.seq)) {
+      forget_cancelled(top.seq);
+      continue;
+    }
+    now_ = top.when;
+    top.action();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::run_until(double until) {
+  if (until < now_) {
+    throw std::invalid_argument("EventQueue::run_until: until < now");
+  }
+  while (!heap_.empty() && heap_.top().when <= until) {
+    if (is_cancelled(heap_.top().seq)) {
+      forget_cancelled(heap_.top().seq);
+      heap_.pop();
+      continue;
+    }
+    step();
+  }
+  now_ = until;
+}
+
+}  // namespace rsmem::sim

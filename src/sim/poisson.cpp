@@ -1,0 +1,32 @@
+#include "sim/poisson.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace rsmem::sim {
+
+PoissonProcess::PoissonProcess(double rate, Rng rng)
+    : rate_(rate), rng_(rng) {
+  if (rate < 0.0) {
+    throw std::invalid_argument("PoissonProcess: negative rate");
+  }
+}
+
+double PoissonProcess::next_after(double now) {
+  if (rate_ == 0.0) return std::numeric_limits<double>::infinity();
+  return now + rng_.exponential(rate_);
+}
+
+std::vector<double> PoissonProcess::arrivals_in(double t0, double t1) {
+  std::vector<double> times;
+  if (rate_ == 0.0 || t1 <= t0) return times;
+  double t = t0;
+  for (;;) {
+    t = next_after(t);
+    if (t > t1) break;
+    times.push_back(t);
+  }
+  return times;
+}
+
+}  // namespace rsmem::sim

@@ -1,0 +1,35 @@
+// Homogeneous Poisson arrival process helper.
+//
+// SEUs and permanent faults in the paper arrive as independent Poisson
+// processes (per bit / per symbol). This wrapper draws successive
+// exponential inter-arrival times from a dedicated RNG stream.
+#ifndef RSMEM_SIM_POISSON_H
+#define RSMEM_SIM_POISSON_H
+
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace rsmem::sim {
+
+class PoissonProcess {
+ public:
+  // `rate` is per unit time (>= 0). A zero-rate process never fires.
+  PoissonProcess(double rate, Rng rng);
+
+  double rate() const { return rate_; }
+
+  // Time of the next arrival strictly after `now`; +infinity if rate == 0.
+  double next_after(double now);
+
+  // All arrival times in (t0, t1], in order.
+  std::vector<double> arrivals_in(double t0, double t1);
+
+ private:
+  double rate_;
+  Rng rng_;
+};
+
+}  // namespace rsmem::sim
+
+#endif  // RSMEM_SIM_POISSON_H

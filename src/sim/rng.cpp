@@ -1,0 +1,78 @@
+#include "sim/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rsmem::sim {
+
+namespace {
+
+// SplitMix64 finalizer: decorrelates nearby seeds.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : root_seed_(seed), engine_(mix(seed)) {}
+
+Rng Rng::split(std::uint64_t stream_id) const {
+  return Rng{mix(root_seed_ ^ mix(stream_id + 1))};
+}
+
+double Rng::uniform() {
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_positive() {
+  // (0, 1]: complements uniform() which is [0, 1).
+  return 1.0 - uniform();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::uniform_int: bound == 0");
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t x;
+  do {
+    x = engine_();
+  } while (x >= limit);
+  return x % bound;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("Rng::bernoulli: p outside [0,1]");
+  }
+  return uniform() < p;
+}
+
+double Rng::exponential(double rate) {
+  if (rate <= 0.0) {
+    throw std::invalid_argument("Rng::exponential: rate must be > 0");
+  }
+  return -std::log(uniform_positive()) / rate;
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  if (mean < 0.0) throw std::invalid_argument("Rng::poisson: negative mean");
+  // Chunk large means so the product inversion below never underflows.
+  std::uint64_t count = 0;
+  while (mean > 500.0) {
+    // A Poisson(mean) is the sum of independent Poisson(500) + Poisson(rest).
+    count += poisson(500.0);
+    mean -= 500.0;
+  }
+  const double limit = std::exp(-mean);
+  double product = uniform_positive();
+  while (product > limit) {
+    product *= uniform_positive();
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace rsmem::sim

@@ -1,0 +1,43 @@
+#include "sim/weibull.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rsmem::sim {
+
+WeibullProcess::WeibullProcess(double shape_beta, double scale_eta, Rng rng)
+    : shape_(shape_beta), scale_(scale_eta), rng_(rng) {
+  if (shape_beta <= 0.0 || scale_eta <= 0.0) {
+    throw std::invalid_argument(
+        "WeibullProcess: shape and scale must be positive");
+  }
+}
+
+double WeibullProcess::cumulative_hazard(double t) const {
+  if (t < 0.0) {
+    throw std::invalid_argument("WeibullProcess: negative time");
+  }
+  return std::pow(t / scale_, shape_);
+}
+
+double WeibullProcess::next_after(double now) {
+  if (now < 0.0) {
+    throw std::invalid_argument("WeibullProcess: negative time");
+  }
+  const double exp_draw = -std::log(rng_.uniform_positive());
+  return scale_ * std::pow(cumulative_hazard(now) + exp_draw, 1.0 / shape_);
+}
+
+std::vector<double> WeibullProcess::arrivals_in(double t0, double t1) {
+  std::vector<double> times;
+  if (t1 <= t0) return times;
+  double t = t0;
+  for (;;) {
+    t = next_after(t);
+    if (t > t1) break;
+    times.push_back(t);
+  }
+  return times;
+}
+
+}  // namespace rsmem::sim

@@ -1,0 +1,47 @@
+// Non-homogeneous Poisson arrivals with a Weibull cumulative hazard:
+//
+//   Lambda(t) = (t / eta)^beta,   rate(t) = (beta/eta) * (t/eta)^(beta-1).
+//
+// beta = 1 is the homogeneous process of rate 1/eta (infant/constant/
+// wearout regimes are beta <1/=1/>1 -- the bathtub curve's pieces).
+// The Markov chains assume beta = 1; this process lets the FUNCTIONAL
+// stack model wearout so the constant-rate assumption can be tested
+// (bench_wearout).
+//
+// Sampling is exact by hazard inversion: with E ~ Exp(1),
+//   next = eta * (Lambda(now) + E)^(1/beta).
+#ifndef RSMEM_SIM_WEIBULL_H
+#define RSMEM_SIM_WEIBULL_H
+
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace rsmem::sim {
+
+class WeibullProcess {
+ public:
+  // Throws std::invalid_argument for non-positive shape or scale.
+  WeibullProcess(double shape_beta, double scale_eta, Rng rng);
+
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+  // Expected number of arrivals in [0, t].
+  double cumulative_hazard(double t) const;
+
+  // Time of the next arrival strictly after `now` (>= 0).
+  double next_after(double now);
+
+  // All arrivals in (t0, t1], in order.
+  std::vector<double> arrivals_in(double t0, double t1);
+
+ private:
+  double shape_;
+  double scale_;
+  Rng rng_;
+};
+
+}  // namespace rsmem::sim
+
+#endif  // RSMEM_SIM_WEIBULL_H

@@ -1,0 +1,189 @@
+// Tests for absorption analysis (MTTF) and the dense matrix-exponential
+// solver, including three-way solver agreement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "markov/absorption.h"
+#include "markov/expm.h"
+#include "markov/rk45.h"
+#include "markov/uniformization.h"
+
+namespace rsmem::markov {
+namespace {
+
+using linalg::CsrMatrix;
+using linalg::DenseMatrix;
+using linalg::Triplet;
+
+TEST(Absorption, TwoStateMttf) {
+  // 0 -> 1 at rate mu: MTTF = 1/mu, absorbed in state 1 w.p. 1.
+  const double mu = 4.0;
+  const Ctmc chain{CsrMatrix(2, 2, {{0, 0, -mu}, {0, 1, mu}}), 0};
+  const AbsorptionResult r = analyze_absorption(chain);
+  ASSERT_EQ(r.transient_states.size(), 1u);
+  ASSERT_EQ(r.absorbing_states.size(), 1u);
+  EXPECT_NEAR(r.mttf, 1.0 / mu, 1e-12);
+  EXPECT_NEAR(r.initial_absorption_split[0], 1.0, 1e-12);
+}
+
+TEST(Absorption, BirthChainMttfAddsStageMeans) {
+  // 0 -> 1 -> 2 with rates a then b: MTTF = 1/a + 1/b.
+  const double a = 2.0, b = 0.5;
+  const Ctmc chain{
+      CsrMatrix(3, 3, {{0, 0, -a}, {0, 1, a}, {1, 1, -b}, {1, 2, b}}), 0};
+  const AbsorptionResult r = analyze_absorption(chain);
+  EXPECT_NEAR(r.mttf, 1.0 / a + 1.0 / b, 1e-12);
+}
+
+TEST(Absorption, CompetingAbsorbersSplit) {
+  // 0 -> A at rate 3, 0 -> B at rate 1: P(A) = 3/4, MTTF = 1/4.
+  const Ctmc chain{CsrMatrix(3, 3, {{0, 0, -4.0}, {0, 1, 3.0}, {0, 2, 1.0}}),
+                   0};
+  const AbsorptionResult r = analyze_absorption(chain);
+  ASSERT_EQ(r.absorbing_states.size(), 2u);
+  EXPECT_NEAR(r.mttf, 0.25, 1e-12);
+  EXPECT_NEAR(r.initial_absorption_split[0], 0.75, 1e-12);
+  EXPECT_NEAR(r.initial_absorption_split[1], 0.25, 1e-12);
+}
+
+TEST(Absorption, RepairLoopLengthensMttf) {
+  // 0 <-> 1 -> F; repair (1 -> 0) multiplies the expected time.
+  const double fault = 1.0, fail = 0.1, repair = 10.0;
+  const Ctmc chain{CsrMatrix(3, 3,
+                             {{0, 0, -fault},
+                              {0, 1, fault},
+                              {1, 0, repair},
+                              {1, 2, fail},
+                              {1, 1, -(repair + fail)}}),
+                   0};
+  const AbsorptionResult r = analyze_absorption(chain);
+  // Closed form: expected number of 0->1 excursions before failing is
+  // (repair+fail)/fail; each cycle takes 1/fault + 1/(repair+fail).
+  const double cycles = (repair + fail) / fail;
+  const double expected =
+      cycles * (1.0 / fault) + cycles * (1.0 / (repair + fail));
+  EXPECT_NEAR(r.mttf, expected, 1e-9);
+}
+
+TEST(Absorption, AbsorbingInitialState) {
+  const Ctmc chain{CsrMatrix(2, 2, {{0, 0, -1.0}, {0, 1, 1.0}}), 1};
+  const AbsorptionResult r = analyze_absorption(chain);
+  EXPECT_DOUBLE_EQ(r.mttf, 0.0);
+  EXPECT_DOUBLE_EQ(r.initial_absorption_split[0], 1.0);
+}
+
+TEST(Absorption, ErrorsOnDegenerateChains) {
+  // No absorbing state at all.
+  const Ctmc ring{CsrMatrix(2, 2,
+                            {{0, 0, -1.0},
+                             {0, 1, 1.0},
+                             {1, 0, 1.0},
+                             {1, 1, -1.0}}),
+                  0};
+  EXPECT_THROW(analyze_absorption(ring), std::invalid_argument);
+  // A transient class that cannot reach the absorber.
+  const Ctmc split{CsrMatrix(4, 4,
+                             {{0, 0, -1.0},
+                              {0, 1, 1.0},  // 0 -> 1 (absorbing)
+                              {2, 2, -1.0},
+                              {2, 3, 1.0},
+                              {3, 2, 1.0},
+                              {3, 3, -1.0}}),  // 2 <-> 3 closed loop
+                   0};
+  EXPECT_THROW(analyze_absorption(split), std::domain_error);
+}
+
+TEST(Absorption, MatchesIntegralOfSurvival) {
+  // MTTF == integral of (1 - P_fail(t)) dt; check numerically.
+  const double a = 3.0, b = 1.0;
+  const Ctmc chain{
+      CsrMatrix(3, 3, {{0, 0, -a}, {0, 1, a}, {1, 1, -b}, {1, 2, b}}), 0};
+  const AbsorptionResult r = analyze_absorption(chain);
+  const UniformizationSolver solver;
+  double integral = 0.0;
+  const double dt = 0.01;
+  std::vector<double> pi = chain.initial_distribution();
+  for (double t = 0.0; t < 40.0; t += dt) {
+    const double survival_mid = 1.0 - solver.solve(chain, pi, dt / 2)[2];
+    pi = solver.solve(chain, pi, dt);
+    integral += survival_mid * dt;
+  }
+  EXPECT_NEAR(integral, r.mttf, 1e-3);
+}
+
+TEST(Expm, IdentityAndZero) {
+  const DenseMatrix zero(3, 3);
+  const DenseMatrix e = expm(zero);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(e.at(i, j), i == j ? 1.0 : 0.0, 1e-15);
+    }
+  }
+  EXPECT_THROW(expm(DenseMatrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Expm, DiagonalMatrix) {
+  DenseMatrix d(2, 2);
+  d.at(0, 0) = 1.0;
+  d.at(1, 1) = -2.0;
+  const DenseMatrix e = expm(d);
+  EXPECT_NEAR(e.at(0, 0), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(e.at(1, 1), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(e.at(0, 1), 0.0, 1e-14);
+}
+
+TEST(Expm, NilpotentClosedForm) {
+  // A = [[0,1],[0,0]] -> expm(A) = [[1,1],[0,1]].
+  DenseMatrix a(2, 2);
+  a.at(0, 1) = 1.0;
+  const DenseMatrix e = expm(a);
+  EXPECT_NEAR(e.at(0, 0), 1.0, 1e-14);
+  EXPECT_NEAR(e.at(0, 1), 1.0, 1e-14);
+  EXPECT_NEAR(e.at(1, 0), 0.0, 1e-14);
+  EXPECT_NEAR(e.at(1, 1), 1.0, 1e-14);
+}
+
+TEST(Expm, LargeNormScalingPath) {
+  // Exercise scaling-and-squaring: rate 40 over t=1.
+  const double mu = 40.0;
+  const Ctmc chain{CsrMatrix(2, 2, {{0, 0, -mu}, {0, 1, mu}}), 0};
+  const ExpmSolver solver;
+  const auto pi = solver.solve(chain, 1.0);
+  EXPECT_NEAR(pi[0], std::exp(-mu), 1e-22);  // ~4e-18, relative ~1e-5
+  EXPECT_NEAR(pi[1], 1.0, 1e-12);
+}
+
+TEST(Expm, ThreeSolversAgreeOnScrubbedSimplexShape) {
+  // 4-state chain with a scrub-like fast return edge.
+  std::vector<Triplet> triplets = {
+      {0, 1, 2.0},  {0, 0, -2.0},           // fault
+      {1, 2, 1.5},  {1, 0, 8.0}, {1, 1, -9.5},  // worsen or scrub back
+      {2, 3, 1.0},  {2, 0, 8.0}, {2, 2, -9.0},  // worsen or scrub back
+  };
+  const Ctmc chain{CsrMatrix(4, 4, triplets), 0};
+  const UniformizationSolver uni;
+  const Rk45Solver rk;
+  const ExpmSolver ex;
+  for (const double t : {0.05, 0.7, 3.0, 12.0}) {
+    const auto a = uni.solve(chain, t);
+    const auto b = rk.solve(chain, t);
+    const auto c = ex.solve(chain, t);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_NEAR(a[i], b[i], 1e-8) << "t=" << t << " state " << i;
+      EXPECT_NEAR(a[i], c[i], 1e-8) << "t=" << t << " state " << i;
+    }
+  }
+}
+
+TEST(Expm, RejectsBadInputs) {
+  const Ctmc chain{CsrMatrix(2, 2, {{0, 0, -1.0}, {0, 1, 1.0}}), 0};
+  const ExpmSolver solver;
+  const std::vector<double> wrong{1.0};
+  EXPECT_THROW(solver.solve(chain, wrong, 1.0), std::invalid_argument);
+  EXPECT_THROW(solver.solve(chain, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsmem::markov

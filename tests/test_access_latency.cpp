@@ -1,0 +1,108 @@
+// Tests for the codec access-latency queue, pinned against M/D/1 theory.
+#include "memory/access_latency.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rsmem::memory {
+namespace {
+
+TEST(AccessLatency, Validation) {
+  AccessLatencyConfig cfg;
+  cfg.read_rate_per_second = 0.0;
+  EXPECT_THROW(simulate_access_latency(cfg), std::invalid_argument);
+  cfg = AccessLatencyConfig{};
+  cfg.decode_seconds = -1.0;
+  EXPECT_THROW(simulate_access_latency(cfg), std::invalid_argument);
+  // Offered load >= 1.
+  cfg = AccessLatencyConfig{};
+  cfg.read_rate_per_second = 1e6;
+  cfg.decode_seconds = 1e-6;
+  EXPECT_THROW(simulate_access_latency(cfg), std::invalid_argument);
+  // Scrub batch longer than its period.
+  cfg = AccessLatencyConfig{};
+  cfg.scrub_period_seconds = 1e-3;
+  cfg.words_per_scrub = 1'000'000;
+  EXPECT_THROW(simulate_access_latency(cfg), std::invalid_argument);
+}
+
+TEST(AccessLatency, MatchesMd1PollaczekKhinchine) {
+  // M/D/1: W_q = rho * s / (2 (1 - rho)).
+  for (const double rho : {0.3, 0.6, 0.8}) {
+    AccessLatencyConfig cfg;
+    cfg.decode_seconds = 74.0 / 50e6;  // RS(18,16) at 50 MHz
+    cfg.read_rate_per_second = rho / cfg.decode_seconds;
+    cfg.horizon_seconds = 5.0;  // ~ millions of reads
+    cfg.seed = static_cast<std::uint64_t>(rho * 100);
+    const AccessLatencyReport r = simulate_access_latency(cfg);
+    const double expected = rho * cfg.decode_seconds / (2.0 * (1.0 - rho));
+    EXPECT_NEAR(r.mean_wait_seconds / expected, 1.0, 0.05) << "rho=" << rho;
+    EXPECT_NEAR(r.utilization, rho, 0.01);
+    EXPECT_GT(r.reads_served, 100'000u);
+  }
+}
+
+TEST(AccessLatency, LatencyGrowsWithServiceTimeSuperlinearly) {
+  // Same read rate: the RS(36,16) codec (308 cycles) is 4.16x slower per
+  // decode, but at this load its MEAN latency is far more than 4.16x worse
+  // because utilization quadruples too.
+  AccessLatencyConfig narrow;
+  narrow.decode_seconds = 74.0 / 50e6;
+  narrow.read_rate_per_second = 0.2 / narrow.decode_seconds * 4.0 / 4.0;
+  narrow.read_rate_per_second = 135000.0;  // rho ~ 0.2 narrow, ~0.83 wide
+  narrow.horizon_seconds = 3.0;
+  const AccessLatencyReport fast = simulate_access_latency(narrow);
+
+  AccessLatencyConfig wide = narrow;
+  wide.decode_seconds = 308.0 / 50e6;
+  const AccessLatencyReport slow = simulate_access_latency(wide);
+  const double service_ratio = 308.0 / 74.0;
+  EXPECT_GT(slow.mean_latency_seconds / fast.mean_latency_seconds,
+            2.0 * service_ratio);
+}
+
+TEST(AccessLatency, ScrubBatchesInflateTailLatency) {
+  AccessLatencyConfig cfg;
+  cfg.decode_seconds = 74.0 / 50e6;
+  cfg.read_rate_per_second = 1e5;  // rho ~ 0.15
+  cfg.horizon_seconds = 4.0;
+  const AccessLatencyReport plain = simulate_access_latency(cfg);
+
+  cfg.scrub_period_seconds = 0.5;
+  cfg.words_per_scrub = 50'000;  // batch ~ 74 ms every 500 ms
+  const AccessLatencyReport scrubbed = simulate_access_latency(cfg);
+  EXPECT_GT(scrubbed.utilization, plain.utilization + 0.1);
+  // Reads caught behind a scrub batch wait ~ the batch length.
+  EXPECT_GT(scrubbed.max_latency_seconds, 0.05);
+  EXPECT_LT(plain.max_latency_seconds, 0.01);
+  EXPECT_GT(scrubbed.mean_wait_seconds, 5.0 * plain.mean_wait_seconds);
+}
+
+TEST(AccessLatency, SpreadScrubbingRemovesTheTailSpike) {
+  AccessLatencyConfig cfg;
+  cfg.decode_seconds = 74.0 / 50e6;
+  cfg.read_rate_per_second = 1e5;
+  cfg.horizon_seconds = 4.0;
+  cfg.scrub_period_seconds = 0.5;
+  cfg.words_per_scrub = 50'000;
+  const AccessLatencyReport batch = simulate_access_latency(cfg);
+  cfg.spread_scrub = true;
+  const AccessLatencyReport spread = simulate_access_latency(cfg);
+  // Identical duty, drastically shorter tail.
+  EXPECT_NEAR(spread.utilization, batch.utilization, 0.02);
+  EXPECT_LT(spread.max_latency_seconds, batch.max_latency_seconds / 100.0);
+  EXPECT_LT(spread.mean_wait_seconds, batch.mean_wait_seconds / 10.0);
+}
+
+TEST(AccessLatency, DeterministicGivenSeed) {
+  AccessLatencyConfig cfg;
+  cfg.horizon_seconds = 0.2;
+  const AccessLatencyReport a = simulate_access_latency(cfg);
+  const AccessLatencyReport b = simulate_access_latency(cfg);
+  EXPECT_EQ(a.reads_served, b.reads_served);
+  EXPECT_DOUBLE_EQ(a.mean_latency_seconds, b.mean_latency_seconds);
+}
+
+}  // namespace
+}  // namespace rsmem::memory

@@ -1,0 +1,123 @@
+// Tests for the experiment sweeps and the table / ASCII plot emitters.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "analysis/ascii_plot.h"
+#include "analysis/experiment.h"
+#include "analysis/table.h"
+
+namespace rsmem::analysis {
+namespace {
+
+TEST(Experiment, SeuSweepShapes) {
+  const double rates[] = {1.7e-5, 3.6e-6};
+  const auto series = seu_rate_sweep(Arrangement::kSimplex, CodeSpec{},
+                                     rates, 48.0, 7);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].label, "lambda=1.7E-05/bit/day");
+  ASSERT_EQ(series[0].x.size(), 7u);
+  EXPECT_DOUBLE_EQ(series[0].x.front(), 0.0);
+  EXPECT_DOUBLE_EQ(series[0].x.back(), 48.0);
+  EXPECT_DOUBLE_EQ(series[0].y.front(), 0.0);
+  EXPECT_GT(series[0].y.back(), series[1].y.back());
+}
+
+TEST(Experiment, ScrubSweepImproves) {
+  const double periods[] = {3600.0, 900.0};
+  const auto series = scrub_period_sweep(Arrangement::kDuplex, CodeSpec{},
+                                         1.7e-5, periods, 48.0, 5);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].label, "Tsc=3600 s");
+  EXPECT_GT(series[0].y.back(), series[1].y.back());
+}
+
+TEST(Experiment, PermanentSweepUsesMonths) {
+  const double rates[] = {1e-4};
+  const auto series = permanent_rate_sweep(Arrangement::kSimplex, CodeSpec{},
+                                           rates, 24.0, 5);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0].x.back(), 24.0);  // months on the x axis
+  EXPECT_GT(series[0].y.back(), 0.0);
+  EXPECT_THROW(
+      permanent_rate_sweep(Arrangement::kSimplex, CodeSpec{}, rates, -1.0, 5),
+      std::invalid_argument);
+}
+
+TEST(Experiment, ArrangementNames) {
+  EXPECT_STREQ(to_string(Arrangement::kSimplex), "simplex");
+  EXPECT_STREQ(to_string(Arrangement::kDuplex), "duplex");
+}
+
+TEST(Table, RendersAlignedText) {
+  Table t{{"name", "value"}};
+  t.add_row({"alpha", "1"});
+  t.add_row({"much-longer-name", "2.5"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("| name "), std::string::npos);
+  EXPECT_NE(text.find("much-longer-name"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+}
+
+TEST(Table, ValidatesShape) {
+  EXPECT_THROW(Table{std::vector<std::string>{}}, std::invalid_argument);
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t{{"x", "note"}};
+  t.add_row({"1", "plain"});
+  t.add_row({"2", "has,comma"});
+  t.add_row({"3", "has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("x,note\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(format_sci(1.2345e-5, 2), "1.23E-05");
+  EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+}
+
+TEST(AsciiPlot, RendersSeriesAndLegend) {
+  Series s1{"one", {0.0, 1.0, 2.0}, {1e-9, 1e-6, 1e-3}};
+  Series s2{"two", {0.0, 1.0, 2.0}, {1e-10, 1e-8, 1e-6}};
+  PlotOptions opt;
+  opt.title = "demo";
+  const std::string plot = render_plot({s1, s2}, opt);
+  EXPECT_NE(plot.find("demo"), std::string::npos);
+  EXPECT_NE(plot.find("* = one"), std::string::npos);
+  EXPECT_NE(plot.find("o = two"), std::string::npos);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, HandlesEmptyAndDegenerate) {
+  EXPECT_EQ(render_plot({}, PlotOptions{}), "(no series)\n");
+  // All-zero series on a log axis: every point is below the floor.
+  Series zero{"z", {0.0, 1.0}, {0.0, 0.0}};
+  const std::string plot = render_plot({zero}, PlotOptions{});
+  EXPECT_NE(plot.find("below plot floor"), std::string::npos);
+}
+
+TEST(AsciiPlot, ValidatesShape) {
+  Series bad{"b", {0.0, 1.0}, {1.0}};
+  EXPECT_THROW(render_plot({bad}, PlotOptions{}), std::invalid_argument);
+  PlotOptions tiny;
+  tiny.width = 2;
+  Series ok{"o", {0.0}, {1.0}};
+  EXPECT_THROW(render_plot({ok}, tiny), std::invalid_argument);
+}
+
+TEST(AsciiPlot, LinearScaleOption) {
+  Series s{"lin", {0.0, 1.0, 2.0}, {0.0, 0.5, 1.0}};
+  PlotOptions opt;
+  opt.log_y = false;
+  const std::string plot = render_plot({s}, opt);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsmem::analysis

@@ -1,0 +1,88 @@
+// Tests for the chip-kill correlation model, including a direct functional
+// cross-check of the correlated-vs-independent array behaviour.
+#include "models/chipkill.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace rsmem::models {
+namespace {
+
+TEST(ChipKill, Validation) {
+  EXPECT_THROW(chipkill_array_survival(16, 16, 1e-6, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(chipkill_array_survival(18, 16, -1.0, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(chip_fail_probability(1e-6, -1.0), std::invalid_argument);
+}
+
+TEST(ChipKill, Limits) {
+  EXPECT_DOUBLE_EQ(chipkill_array_survival(18, 16, 1e-6, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(chip_fail_probability(0.0, 1e9), 0.0);
+  // All chips certainly failed: survival 0 (budget 2 < 18 failures).
+  EXPECT_NEAR(chipkill_array_survival(18, 16, 1.0, 1e6), 0.0, 1e-12);
+}
+
+TEST(ChipKill, MatchesExplicitBinomialSum) {
+  const double rate = 1e-5;
+  const double t = 10000.0;
+  const double p = 1.0 - std::exp(-rate * t);
+  // Direct sum for n=18, budget=2.
+  double expected = 0.0;
+  double c = 1.0;  // C(18, j)
+  for (unsigned j = 0; j <= 2; ++j) {
+    expected += c * std::pow(p, j) * std::pow(1.0 - p, 18.0 - j);
+    c *= static_cast<double>(18 - j) / static_cast<double>(j + 1);
+  }
+  EXPECT_NEAR(chipkill_array_survival(18, 16, rate, t), expected, 1e-12);
+}
+
+TEST(ChipKill, IndependentApproximationIsPessimisticByW) {
+  // Small p regime: P_loss(chipkill) ~ p_word;
+  // P_loss(independent) ~ W * p_word.
+  const double rate = 1e-7;
+  const double t = 8760.0;
+  const std::size_t words = 4096;
+  const double correlated =
+      1.0 - chipkill_array_survival(18, 16, rate, t);
+  const double independent =
+      1.0 - independent_word_array_survival(18, 16, rate, t, words);
+  EXPECT_GT(correlated, 0.0);
+  EXPECT_NEAR(independent / correlated, static_cast<double>(words),
+              0.05 * words);
+}
+
+TEST(ChipKill, FunctionalCrossCheck) {
+  // Direct simulation: 18 chips fail as Poisson first-arrivals; the array
+  // (any W) is lost iff > 2 chips failed by t. Compare the closed form.
+  const double rate = 5e-5;
+  const double t = 10000.0;
+  sim::Rng rng{909};
+  int lost = 0;
+  const int kTrials = 20000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    int failed = 0;
+    for (int chip = 0; chip < 18; ++chip) {
+      if (rng.uniform() < 1.0 - std::exp(-rate * t)) ++failed;
+    }
+    lost += (failed > 2);
+  }
+  const double p_hat = static_cast<double>(lost) / kTrials;
+  const double predicted = 1.0 - chipkill_array_survival(18, 16, rate, t);
+  const double se = std::sqrt(predicted * (1.0 - predicted) / kTrials);
+  EXPECT_NEAR(p_hat, predicted, 4.0 * se + 1e-4);
+}
+
+TEST(ChipKill, WiderCodeToleratesMoreChipDeaths) {
+  const double rate = 1e-4;
+  const double t = 5000.0;
+  EXPECT_GT(chipkill_array_survival(36, 16, rate, t),
+            chipkill_array_survival(18, 16, rate, t));
+}
+
+}  // namespace
+}  // namespace rsmem::models

@@ -1,0 +1,226 @@
+// Tests for the CLI argument parser and the command layer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "cli/args.h"
+#include "cli/commands.h"
+
+namespace rsmem::cli {
+namespace {
+
+Args parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"rsmem_cli"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, ParsesCommandFlagsAndSwitches) {
+  const Args args = parse({"analyze", "--n", "18", "--csv", "--seu",
+                           "1.7e-5"});
+  EXPECT_EQ(args.command(), "analyze");
+  EXPECT_EQ(args.get_long("n"), 18);
+  EXPECT_TRUE(args.get_switch("csv"));
+  EXPECT_FALSE(args.get_switch("periodic"));
+  EXPECT_DOUBLE_EQ(args.get_double("seu"), 1.7e-5);
+  EXPECT_TRUE(args.has("n"));
+  EXPECT_FALSE(args.has("k"));
+}
+
+TEST(Args, DefaultsAndRequired) {
+  const Args args = parse({"mttf"});
+  EXPECT_EQ(args.get_long_or("n", 18), 18);
+  EXPECT_DOUBLE_EQ(args.get_double_or("seu", 0.5), 0.5);
+  EXPECT_EQ(args.get_string_or("arrangement", "simplex"), "simplex");
+  EXPECT_THROW(args.get_string("missing"), ArgError);
+  EXPECT_THROW(args.get_double("missing"), ArgError);
+}
+
+TEST(Args, ParseErrors) {
+  EXPECT_THROW(parse({}), ArgError);                       // no command
+  EXPECT_THROW(parse({"--flag", "x"}), ArgError);          // flag first
+  EXPECT_THROW(parse({"cmd", "bare"}), ArgError);          // non-flag token
+  EXPECT_THROW(parse({"cmd", "--a", "1", "--a", "2"}), ArgError);  // dup
+  const Args bad_num = parse({"cmd", "--x", "12abc"});
+  EXPECT_THROW(bad_num.get_double("x"), ArgError);
+  EXPECT_THROW(bad_num.get_long("x"), ArgError);
+  const Args has_value = parse({"cmd", "--x", "1"});
+  EXPECT_THROW(has_value.get_switch("x"), ArgError);  // switch with value
+}
+
+TEST(Args, DoubleList) {
+  const Args args = parse({"sweep", "--values", "1e-5,2e-6,3"});
+  const std::vector<double> values = args.get_double_list("values");
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], 1e-5);
+  EXPECT_DOUBLE_EQ(values[2], 3.0);
+  const Args bad = parse({"sweep", "--values", "1,,2"});
+  EXPECT_THROW(bad.get_double_list("values"), ArgError);
+}
+
+TEST(Args, RequireKnownCatchesTypos) {
+  const Args args = parse({"analyze", "--huors", "48"});
+  EXPECT_THROW(args.require_known({"hours"}), ArgError);
+  const Args ok = parse({"analyze", "--hours", "48"});
+  EXPECT_NO_THROW(ok.require_known({"hours"}));
+}
+
+// ---- command layer ----
+
+int run(std::initializer_list<const char*> tokens, std::string* out_text,
+        std::string* err_text = nullptr) {
+  std::vector<const char*> argv{"rsmem_cli"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  std::ostringstream out, err;
+  const int code =
+      run_cli(static_cast<int>(argv.size()), argv.data(), out, err);
+  if (out_text) *out_text = out.str();
+  if (err_text) *err_text = err.str();
+  return code;
+}
+
+TEST(Cli, HelpListsCommands) {
+  std::string out;
+  EXPECT_EQ(run({"help"}, &out), 0);
+  EXPECT_NE(out.find("analyze"), std::string::npos);
+  EXPECT_NE(out.find("simulate"), std::string::npos);
+  EXPECT_NE(out.find("mttf"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  std::string out, err;
+  EXPECT_EQ(run({"frobnicate"}, &out, &err), 2);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeProducesCurve) {
+  std::string out;
+  EXPECT_EQ(run({"analyze", "--seu", "1.7e-5", "--hours", "48", "--points",
+                 "3"},
+                &out),
+            0);
+  EXPECT_NE(out.find("48.00"), std::string::npos);
+  EXPECT_NE(out.find("P_fail"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeCsvAndPeriodic) {
+  std::string out;
+  EXPECT_EQ(run({"analyze", "--seu", "1e-2", "--tsc", "1800", "--periodic",
+                 "--csv", "--points", "3"},
+                &out),
+            0);
+  EXPECT_NE(out.find("hours,P_fail,BER"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeRejectsBadFlags) {
+  std::string out, err;
+  EXPECT_EQ(run({"analyze", "--bogus", "1"}, &out, &err), 2);
+  EXPECT_NE(err.find("unknown flag"), std::string::npos);
+  EXPECT_EQ(run({"analyze", "--points", "1"}, &out, &err), 2);
+  EXPECT_EQ(run({"analyze", "--arrangement", "triplex"}, &out, &err), 2);
+}
+
+TEST(Cli, MttfOutputsHours) {
+  std::string out;
+  EXPECT_EQ(run({"mttf", "--perm", "1e-3"}, &out), 0);
+  EXPECT_NE(out.find("MTTF"), std::string::npos);
+  EXPECT_NE(out.find("months"), std::string::npos);
+  // Zero-rate spec: library throws, CLI reports exit code 1.
+  std::string err;
+  EXPECT_EQ(run({"mttf"}, &out, &err), 1);
+}
+
+TEST(Cli, SimulateReportsEstimate) {
+  std::string out;
+  EXPECT_EQ(run({"simulate", "--seu", "2e-3", "--trials", "50", "--hours",
+                 "48", "--seed", "9"},
+                &out),
+            0);
+  EXPECT_NE(out.find("P_fail estimate"), std::string::npos);
+  EXPECT_NE(out.find("Markov prediction"), std::string::npos);
+  std::string err;
+  EXPECT_EQ(run({"simulate", "--policy", "nonsense"}, &out, &err), 2);
+}
+
+TEST(Cli, CostPrintsBothModels) {
+  std::string out;
+  EXPECT_EQ(run({"cost", "--n", "36"}, &out), 0);
+  EXPECT_NE(out.find("308"), std::string::npos);  // the paper fit
+  EXPECT_NE(out.find("structural"), std::string::npos);
+}
+
+TEST(Cli, SensitivityCommand) {
+  std::string out;
+  EXPECT_EQ(run({"sensitivity", "--seu", "1.7e-5", "--hours", "48"}, &out),
+            0);
+  EXPECT_NE(out.find("E[seu rate]"), std::string::npos);
+  // Elasticity ~ 2: printed as 1.99x or 2.00x.
+  EXPECT_TRUE(out.find("1.99") != std::string::npos ||
+              out.find("2.00") != std::string::npos)
+      << out;
+}
+
+TEST(Cli, SparingCommand) {
+  std::string out;
+  EXPECT_EQ(run({"sparing", "--modules", "8", "--spares-max", "2",
+                 "--module-rate", "1e-5", "--hours", "10000"},
+                &out),
+            0);
+  EXPECT_NE(out.find("reliability"), std::string::npos);
+  std::string err;
+  EXPECT_EQ(run({"sparing", "--spares-max", "2"}, &out, &err), 2);  // rate
+  EXPECT_EQ(run({"sparing", "--module-rate", "1e-5", "--spares-max", "-1"},
+                &out, &err),
+            2);
+}
+
+TEST(Cli, ParetoCommand) {
+  std::string out;
+  EXPECT_EQ(run({"pareto", "--seu", "1.7e-5", "--perm", "1e-6", "--hours",
+                 "48"},
+                &out),
+            0);
+  EXPECT_NE(out.find("(36,16)"), std::string::npos);
+  EXPECT_NE(out.find("*"), std::string::npos);  // some Pareto point
+}
+
+TEST(Cli, LatencyCommand) {
+  std::string out;
+  EXPECT_EQ(run({"latency", "--read-rate", "1e5", "--cycles", "74",
+                 "--horizon", "0.2"},
+                &out),
+            0);
+  EXPECT_NE(out.find("mean latency [us]"), std::string::npos);
+  std::string err;
+  EXPECT_EQ(run({"latency", "--cycles", "74"}, &out, &err), 2);  // rate req
+  // Diverging load reported as an error, not a hang.
+  EXPECT_EQ(run({"latency", "--read-rate", "1e9", "--cycles", "74"}, &out,
+                &err),
+            1);
+}
+
+TEST(Cli, ChipkillCommand) {
+  std::string out;
+  EXPECT_EQ(run({"chipkill", "--chip-rate", "1e-7", "--words", "1024",
+                 "--hours", "8760"},
+                &out),
+            0);
+  EXPECT_NE(out.find("chip-kill (correlated)"), std::string::npos);
+  EXPECT_NE(out.find("independent words"), std::string::npos);
+}
+
+TEST(Cli, SweepOverSeuRates) {
+  std::string out;
+  EXPECT_EQ(run({"sweep", "--param", "seu", "--values",
+                 "7.3e-7,3.6e-6,1.7e-5", "--hours", "48"},
+                &out),
+            0);
+  EXPECT_NE(out.find("7.3"), std::string::npos);
+  std::string err;
+  EXPECT_EQ(run({"sweep", "--param", "bogus", "--values", "1"}, &out, &err),
+            2);
+}
+
+}  // namespace
+}  // namespace rsmem::cli

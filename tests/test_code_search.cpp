@@ -1,0 +1,110 @@
+// Tests for the code/arrangement design-space search.
+#include "analysis/code_search.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rsmem::analysis {
+namespace {
+
+CodeSearchSpec base_search() {
+  CodeSearchSpec spec;
+  spec.base.seu_rate_per_bit_day = 1.7e-5;
+  spec.base.erasure_rate_per_symbol_day = 1e-6;
+  spec.t_hours = 48.0;
+  return spec;
+}
+
+TEST(CodeSearch, DefaultCandidateFamily) {
+  const auto candidates = default_candidates(16);
+  EXPECT_EQ(candidates.size(), 10u);
+  EXPECT_EQ(candidates.front().n, 18u);
+  EXPECT_EQ(candidates.back().n, 36u);
+}
+
+TEST(CodeSearch, Validation) {
+  const CodeSearchSpec spec = base_search();
+  EXPECT_THROW(evaluate_candidates(spec, {}), std::invalid_argument);
+  CodeSearchSpec bad = spec;
+  bad.t_hours = 0.0;
+  EXPECT_THROW(evaluate_candidates(bad, default_candidates(16)),
+               std::invalid_argument);
+  // A candidate with n <= k is rejected by spec validation.
+  EXPECT_THROW(
+      evaluate_candidates(spec, {{Arrangement::kSimplex, 16}}),
+      std::invalid_argument);
+}
+
+TEST(CodeSearch, EvaluationsCarryTheExpectedCosts) {
+  const CodeSearchSpec spec = base_search();
+  const auto evals = evaluate_candidates(
+      spec, {{Arrangement::kSimplex, 18}, {Arrangement::kDuplex, 18},
+             {Arrangement::kSimplex, 36}});
+  ASSERT_EQ(evals.size(), 3u);
+  EXPECT_DOUBLE_EQ(evals[0].storage_overhead, 18.0 / 16.0);
+  EXPECT_DOUBLE_EQ(evals[1].storage_overhead, 2.0 * 18.0 / 16.0);
+  EXPECT_DOUBLE_EQ(evals[0].decode_cycles, 74.0);
+  EXPECT_DOUBLE_EQ(evals[2].decode_cycles, 308.0);
+  EXPECT_GT(evals[1].area_gates, evals[0].area_gates);  // two decoders
+  for (const auto& e : evals) EXPECT_GT(e.ber, 0.0);
+}
+
+TEST(CodeSearch, ParetoInvariants) {
+  const CodeSearchSpec spec = base_search();
+  const auto evals =
+      evaluate_candidates(spec, default_candidates(16));
+  // At least one candidate is efficient, and not all of them.
+  unsigned efficient = 0;
+  for (const auto& e : evals) efficient += e.pareto_efficient;
+  EXPECT_GE(efficient, 1u);
+  EXPECT_LT(efficient, evals.size());
+  // No efficient candidate is dominated by any other (re-check directly).
+  for (const auto& a : evals) {
+    if (!a.pareto_efficient) continue;
+    for (const auto& b : evals) {
+      const bool dominates =
+          b.ber <= a.ber && b.storage_overhead <= a.storage_overhead &&
+          b.decode_cycles <= a.decode_cycles &&
+          b.area_gates <= a.area_gates &&
+          (b.ber < a.ber || b.storage_overhead < a.storage_overhead ||
+           b.decode_cycles < a.decode_cycles ||
+           b.area_gates < a.area_gates);
+      EXPECT_FALSE(dominates);
+    }
+  }
+  // Every dominated candidate really has a dominator.
+  for (const auto& a : evals) {
+    if (a.pareto_efficient) continue;
+    bool found = false;
+    for (const auto& b : evals) {
+      if (b.ber <= a.ber && b.storage_overhead <= a.storage_overhead &&
+          b.decode_cycles <= a.decode_cycles &&
+          b.area_gates <= a.area_gates &&
+          (b.ber < a.ber || b.storage_overhead < a.storage_overhead ||
+           b.decode_cycles < a.decode_cycles ||
+           b.area_gates < a.area_gates)) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(CodeSearch, CheapestSimplexIsAlwaysEfficient) {
+  // The (k+2) simplex minimizes overhead, cycles and area simultaneously,
+  // so nothing can dominate it (it would need strictly better BER at equal
+  // cost, impossible with fewer parity symbols).
+  const CodeSearchSpec spec = base_search();
+  const auto evals = evaluate_candidates(spec, default_candidates(16));
+  for (const auto& e : evals) {
+    if (e.candidate.arrangement == Arrangement::kSimplex &&
+        e.candidate.n == 18) {
+      EXPECT_TRUE(e.pareto_efficient);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rsmem::analysis

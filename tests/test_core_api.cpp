@@ -1,0 +1,142 @@
+// Tests for units, the top-level configuration struct, and the facade API.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/api.h"
+#include "core/units.h"
+
+namespace rsmem {
+namespace {
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(core::per_day_to_per_hour(24.0), 1.0);
+  EXPECT_DOUBLE_EQ(core::per_hour_to_per_day(1.0), 24.0);
+  EXPECT_DOUBLE_EQ(core::seconds_to_hours(1800.0), 0.5);
+  EXPECT_DOUBLE_EQ(core::hours_to_seconds(2.0), 7200.0);
+  EXPECT_DOUBLE_EQ(core::days_to_hours(2.0), 48.0);
+  EXPECT_NEAR(core::months_to_hours(12.0), 8760.0, 1e-9);
+  EXPECT_NEAR(core::hours_to_months(core::months_to_hours(7.0)), 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(core::scrub_rate_per_hour(900.0), 4.0);
+  EXPECT_DOUBLE_EQ(core::scrub_rate_per_hour(0.0), 0.0);
+}
+
+TEST(MemorySystemSpec, Validation) {
+  core::MemorySystemSpec spec;
+  spec.code = {18, 18, 8, 1};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.code = {18, 16, 4, 1};  // n > 2^4-1
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.code = {18, 16, 8, 1};
+  spec.scrub_period_seconds = -1.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.scrub_period_seconds = 0.0;
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(MemorySystemSpec, ConvertsUnitsToModelParams) {
+  core::MemorySystemSpec spec;
+  spec.seu_rate_per_bit_day = 2.4;
+  spec.erasure_rate_per_symbol_day = 4.8;
+  spec.scrub_period_seconds = 1800.0;
+  const models::SimplexParams sp = spec.to_simplex_params();
+  EXPECT_DOUBLE_EQ(sp.seu_rate_per_bit_hour, 0.1);
+  EXPECT_DOUBLE_EQ(sp.erasure_rate_per_symbol_hour, 0.2);
+  EXPECT_DOUBLE_EQ(sp.scrub_rate_per_hour, 2.0);
+  const models::DuplexParams dp = spec.to_duplex_params();
+  EXPECT_DOUBLE_EQ(dp.seu_rate_per_bit_hour, 0.1);
+  EXPECT_EQ(dp.convention, models::RateConvention::kPaper);
+}
+
+TEST(MemorySystemSpec, ConvertsToSystemConfigs) {
+  core::MemorySystemSpec spec;
+  spec.scrub_period_seconds = 900.0;
+  const memory::SimplexSystemConfig cfg = spec.to_simplex_system_config(42);
+  EXPECT_EQ(cfg.seed, 42u);
+  EXPECT_EQ(cfg.scrub_policy, memory::ScrubPolicy::kExponential);
+  EXPECT_DOUBLE_EQ(cfg.scrub_period_hours, 0.25);
+
+  core::MemorySystemSpec no_scrub;
+  const memory::DuplexSystemConfig dcfg =
+      no_scrub.to_duplex_system_config(7, memory::ScrubPolicy::kPeriodic);
+  EXPECT_EQ(dcfg.scrub_policy, memory::ScrubPolicy::kNone);
+}
+
+TEST(Api, VersionIsSemantic) {
+  const std::string v = version();
+  EXPECT_EQ(std::count(v.begin(), v.end(), '.'), 2);
+}
+
+TEST(Api, AnalyzeBerSimplexVsDuplex) {
+  core::MemorySystemSpec spec;
+  spec.seu_rate_per_bit_day = 1.7e-5;
+  const double times[] = {24.0, 48.0};
+  const models::BerCurve simplex = analyze_ber(spec, times);
+  spec.arrangement = analysis::Arrangement::kDuplex;
+  const models::BerCurve duplex = analyze_ber(spec, times);
+  ASSERT_EQ(simplex.ber.size(), 2u);
+  ASSERT_EQ(duplex.ber.size(), 2u);
+  EXPECT_GT(simplex.ber[1], 0.0);
+  EXPECT_GT(duplex.ber[1], 0.0);
+}
+
+TEST(Api, FailProbabilityMatchesCurve) {
+  core::MemorySystemSpec spec;
+  spec.seu_rate_per_bit_day = 1.7e-5;
+  const double times[] = {48.0};
+  EXPECT_DOUBLE_EQ(fail_probability(spec, 48.0),
+                   analyze_ber(spec, times).fail_probability[0]);
+}
+
+TEST(Api, SimulateRunsBothArrangements) {
+  core::MemorySystemSpec spec;
+  spec.seu_rate_per_bit_day = 1e-2;  // accelerated
+  analysis::MonteCarloConfig mc;
+  mc.trials = 50;
+  mc.t_end_hours = 48.0;
+  const analysis::MonteCarloResult s = simulate(spec, mc);
+  EXPECT_EQ(s.failure.trials, 50u);
+  spec.arrangement = analysis::Arrangement::kDuplex;
+  const analysis::MonteCarloResult d = simulate(spec, mc);
+  EXPECT_EQ(d.failure.trials, 50u);
+}
+
+TEST(Api, MttfHours) {
+  core::MemorySystemSpec spec;
+  spec.erasure_rate_per_symbol_day = 1e-3;
+  const double simplex = mttf_hours(spec);
+  EXPECT_GT(simplex, 0.0);
+  spec.arrangement = analysis::Arrangement::kDuplex;
+  EXPECT_GT(mttf_hours(spec), simplex);
+  core::MemorySystemSpec no_faults;
+  EXPECT_THROW(mttf_hours(no_faults), std::domain_error);
+}
+
+TEST(Api, PeriodicScrubFacade) {
+  core::MemorySystemSpec spec;
+  spec.seu_rate_per_bit_day = 1e-2;
+  spec.scrub_period_seconds = 1800.0;
+  const double times[] = {48.0};
+  const models::BerCurve periodic = analyze_ber_periodic_scrub(spec, times);
+  const models::BerCurve exponential = analyze_ber(spec, times);
+  EXPECT_GT(periodic.ber[0], 0.0);
+  EXPECT_LT(periodic.ber[0], exponential.ber[0]);
+  spec.scrub_period_seconds = 0.0;
+  EXPECT_THROW(analyze_ber_periodic_scrub(spec, times),
+               std::invalid_argument);
+}
+
+TEST(Api, CodecCostMatchesPaper) {
+  core::MemorySystemSpec duplex1816;
+  duplex1816.arrangement = analysis::Arrangement::kDuplex;
+  core::MemorySystemSpec simplex3616;
+  simplex3616.code = {36, 16, 8, 1};
+  const auto d = codec_cost(duplex1816);
+  const auto s = codec_cost(simplex3616);
+  EXPECT_DOUBLE_EQ(d.decode_cycles, 74.0);
+  EXPECT_DOUBLE_EQ(s.decode_cycles, 308.0);
+  EXPECT_GT(s.area_gates, d.area_gates);
+}
+
+}  // namespace
+}  // namespace rsmem

@@ -1,0 +1,290 @@
+// Tests for the duplex memory-system Markov chain (paper Figs. 3 and 4).
+#include "models/duplex_model.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+#include "core/units.h"
+#include "markov/rk45.h"
+#include "markov/uniformization.h"
+#include "models/ber.h"
+#include "models/simplex_model.h"
+
+namespace rsmem::models {
+namespace {
+
+using markov::PackedState;
+
+DuplexParams base_params() {
+  DuplexParams p;
+  p.n = 18;
+  p.k = 16;
+  p.m = 8;
+  return p;
+}
+
+std::map<PackedState, double> transitions_of(const DuplexModel& model,
+                                             PackedState from) {
+  std::map<PackedState, double> out;
+  model.for_each_transition(from, [&](double rate, PackedState to) {
+    out[to] += rate;
+  });
+  return out;
+}
+
+PackedState pk(unsigned x, unsigned y, unsigned b, unsigned e1, unsigned e2,
+               unsigned ec) {
+  return DuplexModel::pack(DuplexState{x, y, b, e1, e2, ec});
+}
+
+TEST(DuplexModel, PackUnpackRoundTrip) {
+  const DuplexState s{1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(DuplexModel::unpack(DuplexModel::pack(s)), s);
+  EXPECT_TRUE(DuplexModel::is_fail(DuplexModel::fail_state()));
+  EXPECT_FALSE(DuplexModel::is_fail(DuplexModel::pack(s)));
+}
+
+TEST(DuplexModel, ValidatesParams) {
+  DuplexParams p = base_params();
+  p.k = 20;
+  EXPECT_THROW(DuplexModel{p}, std::invalid_argument);
+  p = base_params();
+  p.erasure_rate_per_symbol_hour = -2.0;
+  EXPECT_THROW(DuplexModel{p}, std::invalid_argument);
+}
+
+TEST(DuplexModel, RecoverableUsesBothWordBudgets) {
+  const DuplexModel model{base_params()};  // n-k = 2
+  EXPECT_TRUE(model.recoverable({0, 0, 0, 0, 0, 0}));
+  EXPECT_TRUE(model.recoverable({2, 0, 0, 0, 0, 0}));   // X = 2 ok
+  EXPECT_FALSE(model.recoverable({3, 0, 0, 0, 0, 0}));  // X = 3 fails
+  EXPECT_TRUE(model.recoverable({0, 18, 0, 0, 0, 0}));  // Y is maskable
+  EXPECT_TRUE(model.recoverable({0, 0, 1, 0, 0, 0}));   // 2b = 2 ok
+  EXPECT_FALSE(model.recoverable({1, 0, 1, 0, 0, 0}));  // X + 2b = 3
+  EXPECT_TRUE(model.recoverable({0, 0, 0, 1, 1, 0}));   // each word sees 2
+  EXPECT_FALSE(model.recoverable({0, 0, 0, 2, 0, 0}));  // word1 sees 4
+  EXPECT_FALSE(model.recoverable({0, 0, 0, 0, 0, 2}));  // both words see 4
+}
+
+TEST(DuplexModel, GoodStateTransitions) {
+  DuplexParams p = base_params();
+  p.seu_rate_per_bit_hour = 2.0;    // lambda; per-symbol rate m*lambda = 16
+  p.erasure_rate_per_symbol_hour = 3.0;
+  const DuplexModel model{p};
+  const auto t = transitions_of(model, pk(0, 0, 0, 0, 0, 0));
+  // C: erasure on untouched pair (rate 3*18); L/M: bit flips (16*18 each).
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(pk(0, 1, 0, 0, 0, 0)), 3.0 * 18.0);
+  EXPECT_DOUBLE_EQ(t.at(pk(0, 0, 0, 1, 0, 0)), 16.0 * 18.0);
+  EXPECT_DOUBLE_EQ(t.at(pk(0, 0, 0, 0, 1, 0)), 16.0 * 18.0);
+}
+
+TEST(DuplexModel, Figure4TransitionFamilyFromGenericState) {
+  // Use a wide code so no destination hits the Fail boundary, and a state
+  // with every class populated: (X,Y,b,e1,e2,ec) = (1,2,1,1,1,1), n = 36.
+  DuplexParams p = base_params();
+  p.n = 36;
+  p.seu_rate_per_bit_hour = 1.0;  // m*lambda = 8
+  p.erasure_rate_per_symbol_hour = 1.0;
+  p.scrub_rate_per_hour = 11.0;
+  const DuplexModel model{p};
+  const PackedState from = pk(1, 2, 1, 1, 1, 1);
+  const auto t = transitions_of(model, from);
+  const unsigned untouched = 36 - 7;
+  // A: (X+1, Y-1) at le*Y = 2.
+  EXPECT_DOUBLE_EQ(t.at(pk(2, 1, 1, 1, 1, 1)), 2.0);
+  // B: (X+1, b-1) at le*b = 1 (Fig. 4 rate).
+  EXPECT_DOUBLE_EQ(t.at(pk(2, 2, 0, 1, 1, 1)), 1.0);
+  // C: (Y+1) at le*untouched.
+  EXPECT_DOUBLE_EQ(t.at(pk(1, 3, 1, 1, 1, 1)), 1.0 * untouched);
+  // D: (Y+1, e1-1) at le*e1 = 1.
+  EXPECT_DOUBLE_EQ(t.at(pk(1, 3, 1, 0, 1, 1)), 1.0);
+  // E: (Y+1, e2-1) at le*e2 = 1.
+  EXPECT_DOUBLE_EQ(t.at(pk(1, 3, 1, 1, 0, 1)), 1.0);
+  // F: (b+1, ec-1) at le*ec = 1.
+  EXPECT_DOUBLE_EQ(t.at(pk(1, 2, 2, 1, 1, 0)), 1.0);
+  // G: (b+1, e1-1) at le*e1 = 1.
+  EXPECT_DOUBLE_EQ(t.at(pk(1, 2, 2, 0, 1, 1)), 1.0);
+  // H: (b+1, e2-1) at le*e2 = 1.
+  EXPECT_DOUBLE_EQ(t.at(pk(1, 2, 2, 1, 0, 1)), 1.0);
+  // I: (Y-1, b+1) at m*lambda*Y = 16.
+  EXPECT_DOUBLE_EQ(t.at(pk(1, 1, 2, 1, 1, 1)), 16.0);
+  // L/M: (e1+1) and (e2+1) at m*lambda*untouched.
+  EXPECT_DOUBLE_EQ(t.at(pk(1, 2, 1, 2, 1, 1)), 8.0 * untouched);
+  EXPECT_DOUBLE_EQ(t.at(pk(1, 2, 1, 1, 2, 1)), 8.0 * untouched);
+  // N/O: (e1-1, ec+1) / (e2-1, ec+1) at m*lambda*e1/e2 = 8.
+  EXPECT_DOUBLE_EQ(t.at(pk(1, 2, 1, 0, 1, 2)), 8.0);
+  EXPECT_DOUBLE_EQ(t.at(pk(1, 2, 1, 1, 0, 2)), 8.0);
+  // Scrub: (X, Y+b, 0,0,0,0) at sigma.
+  EXPECT_DOUBLE_EQ(t.at(pk(1, 3, 0, 0, 0, 0)), 11.0);
+  EXPECT_EQ(t.size(), 14u);
+}
+
+TEST(DuplexModel, TextErratumVariantUsesYForB) {
+  DuplexParams p = base_params();
+  p.n = 36;
+  p.erasure_rate_per_symbol_hour = 1.0;
+  p.use_text_rate_for_b = true;
+  const DuplexModel model{p};
+  const auto t = transitions_of(model, pk(0, 3, 2, 0, 0, 0));
+  // B at the TEXT's rate le*Y = 3 instead of Fig. 4's le*b = 2.
+  EXPECT_DOUBLE_EQ(t.at(pk(1, 3, 1, 0, 0, 0)), 3.0);
+}
+
+TEST(DuplexModel, PerPhysicalSymbolConventionDoublesCAndF) {
+  DuplexParams p = base_params();
+  p.n = 36;
+  p.erasure_rate_per_symbol_hour = 1.0;
+  p.convention = RateConvention::kPerPhysicalSymbol;
+  const DuplexModel model{p};
+  const auto t0 = transitions_of(model, pk(0, 0, 0, 0, 0, 0));
+  EXPECT_DOUBLE_EQ(t0.at(pk(0, 1, 0, 0, 0, 0)), 2.0 * 36.0);  // C doubled
+  const auto t1 = transitions_of(model, pk(0, 0, 0, 0, 0, 1));
+  EXPECT_DOUBLE_EQ(t1.at(pk(0, 0, 1, 0, 0, 0)), 2.0);  // F doubled
+}
+
+TEST(DuplexModel, BoundaryViolationsRouteToFail) {
+  DuplexParams p = base_params();  // n-k = 2
+  p.seu_rate_per_bit_hour = 1.0;
+  p.erasure_rate_per_symbol_hour = 1.0;
+  const DuplexModel model{p};
+  // From X=2 (budget full), C keeps Y growing (fine) but A would need Y>0;
+  // an erasure on an e1 pair is fine... but from (2,0,0,0,0,0) an extra
+  // erasure on an untouched pair -> Y (recoverable), L/M -> e1/e2 make
+  // word budgets X + 2e = 4 > 2 -> Fail.
+  const auto t = transitions_of(model, pk(2, 0, 0, 0, 0, 0));
+  // 16 untouched pairs remain once X = 2.
+  EXPECT_DOUBLE_EQ(t.at(pk(2, 1, 0, 0, 0, 0)), 1.0 * 16.0);
+  // Both L and M funnel to Fail: 2 * m*lambda*untouched = 2*8*16.
+  EXPECT_DOUBLE_EQ(t.at(DuplexModel::fail_state()), 2.0 * 8.0 * 16.0);
+}
+
+TEST(DuplexModel, FailIsAbsorbing) {
+  DuplexParams p = base_params();
+  p.seu_rate_per_bit_hour = 1.0;
+  const DuplexModel model{p};
+  EXPECT_TRUE(transitions_of(model, DuplexModel::fail_state()).empty());
+}
+
+TEST(DuplexModel, ScrubTargetKeepsPermanentDamage) {
+  DuplexParams p = base_params();
+  p.n = 36;
+  p.scrub_rate_per_hour = 4.0;
+  p.seu_rate_per_bit_hour = 1.0;
+  const DuplexModel model{p};
+  const auto t = transitions_of(model, pk(2, 1, 3, 1, 0, 1));
+  // (X, Y+b, 0, 0, 0, 0) = (2, 4, 0, 0, 0, 0).
+  EXPECT_DOUBLE_EQ(t.at(pk(2, 4, 0, 0, 0, 0)), 4.0);
+}
+
+TEST(DuplexModel, NoScrubTransitionFromCleanStates) {
+  DuplexParams p = base_params();
+  p.scrub_rate_per_hour = 4.0;
+  p.erasure_rate_per_symbol_hour = 1.0;
+  const DuplexModel model{p};
+  // (1,2,0,0,0,0): no transient damage, so the scrub target IS the source
+  // state; the model must not emit that self-loop, and every emitted
+  // transition must be an erasure event (the only active fault stream).
+  const auto t = transitions_of(model, pk(1, 2, 0, 0, 0, 0));
+  EXPECT_EQ(t.count(pk(1, 2, 0, 0, 0, 0)), 0u);
+  // Erasure events from (1,2,0,...): A -> (2,1,...) and C -> (1,3,...).
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(pk(2, 1, 0, 0, 0, 0)), 1.0 * 2.0);
+  EXPECT_DOUBLE_EQ(t.at(pk(1, 3, 0, 0, 0, 0)), 1.0 * 15.0);
+}
+
+TEST(DuplexBer, StateSpaceStaysModest) {
+  DuplexParams p = base_params();
+  p.seu_rate_per_bit_hour = 1.0;
+  p.erasure_rate_per_symbol_hour = 1.0;
+  p.scrub_rate_per_hour = 1.0;
+  const markov::StateSpace space = DuplexModel{p}.build();
+  // Y ranges over 0..18 with small (X,b,e1,e2,ec): roughly 19*9 states.
+  EXPECT_GT(space.size(), 50u);
+  EXPECT_LT(space.size(), 400u);
+}
+
+TEST(DuplexBer, DuplexBeatsSimplexUnderPermanentFaults) {
+  // The paper's headline claim (Figs. 8 vs 9).
+  const markov::UniformizationSolver solver;
+  const std::vector<double> times{core::months_to_hours(6),
+                                  core::months_to_hours(12),
+                                  core::months_to_hours(24)};
+  for (const double le_day : {1e-4, 1e-6}) {
+    SimplexParams sp;
+    sp.n = 18;
+    sp.k = 16;
+    sp.m = 8;
+    sp.erasure_rate_per_symbol_hour = core::per_day_to_per_hour(le_day);
+    DuplexParams dp = base_params();
+    dp.erasure_rate_per_symbol_hour = core::per_day_to_per_hour(le_day);
+    const BerCurve s = simplex_ber_curve(sp, times, solver);
+    const BerCurve d = duplex_ber_curve(dp, times, solver);
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      EXPECT_LT(d.fail_probability[i], s.fail_probability[i]);
+    }
+  }
+}
+
+TEST(DuplexBer, SeuOnlyDuplexAndSimplexSameRange) {
+  // Paper Figs. 5 vs 6: with SEU only, both arrangements have BER "in the
+  // same range" (within ~2x of each other here).
+  const markov::UniformizationSolver solver;
+  const std::vector<double> times{48.0};
+  SimplexParams sp;
+  sp.n = 18;
+  sp.k = 16;
+  sp.m = 8;
+  sp.seu_rate_per_bit_hour = core::per_day_to_per_hour(1.7e-5);
+  DuplexParams dp = base_params();
+  dp.seu_rate_per_bit_hour = sp.seu_rate_per_bit_hour;
+  const double s = simplex_ber_curve(sp, times, solver).ber[0];
+  const double d = duplex_ber_curve(dp, times, solver).ber[0];
+  EXPECT_GT(d, s / 3.0);
+  EXPECT_LT(d, s * 3.0);
+}
+
+TEST(DuplexBer, ScrubbingMonotonicallyImproves) {
+  const markov::UniformizationSolver solver;
+  const std::vector<double> times{48.0};
+  double prev = 1.0;
+  for (const double tsc_s : {0.0, 3600.0, 1800.0, 900.0}) {
+    DuplexParams p = base_params();
+    p.seu_rate_per_bit_hour = core::per_day_to_per_hour(1.7e-5);
+    p.scrub_rate_per_hour = core::scrub_rate_per_hour(tsc_s);
+    const double ber = duplex_ber_curve(p, times, solver).ber[0];
+    EXPECT_LT(ber, prev);
+    prev = ber;
+  }
+}
+
+TEST(DuplexBer, UniformizationAgreesWithRk45) {
+  DuplexParams p = base_params();
+  p.seu_rate_per_bit_hour = core::per_day_to_per_hour(1.7e-5);
+  p.erasure_rate_per_symbol_hour = core::per_day_to_per_hour(1e-5);
+  p.scrub_rate_per_hour = 1.0;
+  const std::vector<double> times{12.0, 48.0};
+  const BerCurve a = duplex_ber_curve(p, times, markov::UniformizationSolver{});
+  const BerCurve b = duplex_ber_curve(p, times, markov::Rk45Solver{});
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_NEAR(a.fail_probability[i], b.fail_probability[i], 1e-9);
+  }
+}
+
+TEST(DuplexBer, AblationConventionsBracketPaperRates) {
+  // Per-physical-symbol doubles two erasure exposures, so its BER under
+  // permanent faults must be >= the paper convention's.
+  const markov::UniformizationSolver solver;
+  const std::vector<double> times{core::months_to_hours(12)};
+  DuplexParams p = base_params();
+  p.erasure_rate_per_symbol_hour = core::per_day_to_per_hour(1e-4);
+  const double paper = duplex_ber_curve(p, times, solver).ber[0];
+  p.convention = RateConvention::kPerPhysicalSymbol;
+  const double phys = duplex_ber_curve(p, times, solver).ber[0];
+  EXPECT_GT(phys, paper);
+}
+
+}  // namespace
+}  // namespace rsmem::models

@@ -1,0 +1,166 @@
+// Unit and property tests for GF(2^m) arithmetic.
+#include "gf/galois_field.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace rsmem::gf {
+namespace {
+
+TEST(GaloisField, RejectsOutOfRangeM) {
+  EXPECT_THROW(GaloisField{1u}, std::invalid_argument);
+  EXPECT_THROW(GaloisField{17u}, std::invalid_argument);
+  EXPECT_THROW(GaloisField{0u}, std::invalid_argument);
+}
+
+TEST(GaloisField, RejectsWrongDegreePolynomial) {
+  // degree != m
+  EXPECT_THROW(GaloisField(8, 0x1D), std::invalid_argument);
+  EXPECT_THROW(GaloisField(8, 0x21D), std::invalid_argument);
+}
+
+TEST(GaloisField, RejectsNonPrimitivePolynomial) {
+  // x^4 + x^3 + x^2 + x + 1 has degree 4 but order-5 roots: not primitive.
+  EXPECT_THROW(GaloisField(4, 0x1F), std::invalid_argument);
+  // x^8 + x^4 + x^3 + x + 1 (0x11B, the AES polynomial) is irreducible but
+  // NOT primitive: alpha=2's order is 51.
+  EXPECT_THROW(GaloisField(8, 0x11B), std::invalid_argument);
+}
+
+TEST(GaloisField, BasicSizes) {
+  const GaloisField f{8};
+  EXPECT_EQ(f.m(), 8u);
+  EXPECT_EQ(f.size(), 256u);
+  EXPECT_EQ(f.order(), 255u);
+  EXPECT_EQ(f.primitive_poly(), 0x11Du);
+}
+
+TEST(GaloisField, AdditionIsXor) {
+  EXPECT_EQ(GaloisField::add(0x53, 0xCA), 0x99u);
+  EXPECT_EQ(GaloisField::sub(0x53, 0xCA), 0x99u);
+  EXPECT_EQ(GaloisField::add(0xFF, 0xFF), 0u);
+}
+
+TEST(GaloisField, KnownGf256Products) {
+  const GaloisField f{8};
+  // Classic GF(256)/0x11D table entries.
+  EXPECT_EQ(f.mul(0, 0x57), 0u);
+  EXPECT_EQ(f.mul(1, 0x57), 0x57u);
+  EXPECT_EQ(f.mul(2, 0x80), 0x1Du);  // overflow wraps through the poly
+  EXPECT_EQ(f.mul(3, 5), 0x0Fu);     // carry-free: (x+1)(x^2+1)
+  EXPECT_EQ(f.mul(4, 0x40), 0x1Du);  // x^2 * x^6 = x^8 -> poly tail
+}
+
+TEST(GaloisField, AlphaPowersCycle) {
+  const GaloisField f{4};
+  EXPECT_EQ(f.alpha_pow(0), 1u);
+  EXPECT_EQ(f.alpha_pow(1), 2u);
+  EXPECT_EQ(f.alpha_pow(15), 1u);   // alpha^order == 1
+  EXPECT_EQ(f.alpha_pow(-1), f.inv(2));
+  EXPECT_EQ(f.alpha_pow(16), 2u);
+}
+
+TEST(GaloisField, LogExpRoundTrip) {
+  const GaloisField f{8};
+  for (Element a = 1; a < f.size(); ++a) {
+    EXPECT_EQ(f.alpha_pow(f.log(a)), a);
+  }
+}
+
+TEST(GaloisField, DivisionAndInverse) {
+  const GaloisField f{8};
+  EXPECT_THROW(f.div(5, 0), std::domain_error);
+  EXPECT_THROW(f.inv(0), std::domain_error);
+  EXPECT_THROW(f.log(0), std::domain_error);
+  for (Element a = 1; a < f.size(); ++a) {
+    EXPECT_EQ(f.mul(a, f.inv(a)), 1u);
+    EXPECT_EQ(f.div(a, a), 1u);
+    EXPECT_EQ(f.div(0, a), 0u);
+  }
+}
+
+TEST(GaloisField, PowEdgeCases) {
+  const GaloisField f{8};
+  EXPECT_EQ(f.pow(0, 0), 1u);  // convention
+  EXPECT_EQ(f.pow(0, 5), 0u);
+  EXPECT_THROW(f.pow(0, -1), std::domain_error);
+  EXPECT_EQ(f.pow(7, 0), 1u);
+  EXPECT_EQ(f.pow(7, 1), 7u);
+  EXPECT_EQ(f.pow(7, 255), 1u);   // Fermat
+  EXPECT_EQ(f.pow(7, -255), 1u);
+  EXPECT_EQ(f.pow(7, -1), f.inv(7));
+}
+
+// Property sweep: full field axioms on every GF(2^m) small enough to
+// enumerate exhaustively.
+class GaloisFieldAxioms : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GaloisFieldAxioms, MultiplicationIsCommutativeAndAssociative) {
+  const GaloisField f{GetParam()};
+  for (Element a = 0; a < f.size(); ++a) {
+    for (Element b = 0; b < f.size(); ++b) {
+      EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    }
+  }
+  // Associativity on a subsample (cubic blowup otherwise).
+  for (Element a = 0; a < f.size(); a += 3) {
+    for (Element b = 1; b < f.size(); b += 5) {
+      for (Element c = 2; c < f.size(); c += 7) {
+        EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+      }
+    }
+  }
+}
+
+TEST_P(GaloisFieldAxioms, DistributesOverAddition) {
+  const GaloisField f{GetParam()};
+  for (Element a = 0; a < f.size(); a += 2) {
+    for (Element b = 0; b < f.size(); b += 3) {
+      for (Element c = 0; c < f.size(); c += 5) {
+        EXPECT_EQ(f.mul(a, GaloisField::add(b, c)),
+                  GaloisField::add(f.mul(a, b), f.mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST_P(GaloisFieldAxioms, MultiplicativeGroupIsCyclic) {
+  const GaloisField f{GetParam()};
+  std::set<Element> seen;
+  for (std::uint32_t e = 0; e < f.order(); ++e) {
+    EXPECT_TRUE(seen.insert(f.alpha_pow(e)).second)
+        << "alpha^" << e << " repeated";
+  }
+  EXPECT_EQ(seen.size(), f.order());
+  EXPECT_EQ(seen.count(0), 0u);
+}
+
+TEST_P(GaloisFieldAxioms, FrobeniusSquareIsLinear) {
+  const GaloisField f{GetParam()};
+  // (a+b)^2 == a^2 + b^2 in characteristic 2.
+  for (Element a = 0; a < f.size(); a += 2) {
+    for (Element b = 0; b < f.size(); b += 3) {
+      EXPECT_EQ(f.pow(GaloisField::add(a, b), 2),
+                GaloisField::add(f.pow(a, 2), f.pow(b, 2)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallFields, GaloisFieldAxioms,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 8u));
+
+TEST(GaloisField, LargeFieldsConstructAndInvert) {
+  for (const unsigned m : {10u, 12u, 16u}) {
+    const GaloisField f{m};
+    EXPECT_EQ(f.size(), 1u << m);
+    // Spot-check inverses across the field.
+    for (Element a = 1; a < f.size(); a += 997) {
+      EXPECT_EQ(f.mul(a, f.inv(a)), 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rsmem::gf

@@ -1,0 +1,119 @@
+// Tests for the structural codec hardware model.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hw/codec_hw_model.h"
+#include "reliability/decoder_cost.h"
+
+namespace rsmem::hw {
+namespace {
+
+TEST(GfGateModel, Validation) {
+  GfGateModel bad;
+  bad.m = 1;
+  EXPECT_THROW(bad.adder_gates(), std::invalid_argument);
+  bad.m = 8;
+  bad.gates_per_flop = 0.0;
+  EXPECT_THROW(bad.register_gates(), std::invalid_argument);
+}
+
+TEST(GfGateModel, OperatorCostOrdering) {
+  GfGateModel gf;
+  gf.m = 8;
+  EXPECT_LT(gf.adder_gates(), gf.const_multiplier_gates());
+  EXPECT_LT(gf.const_multiplier_gates(), gf.multiplier_gates());
+  EXPECT_LT(gf.multiplier_gates(), gf.inverter_gates());
+  // Adder is exactly m XORs; multiplier ~ 2 m^2.
+  EXPECT_DOUBLE_EQ(gf.adder_gates(), 8.0);
+  EXPECT_DOUBLE_EQ(gf.multiplier_gates(), 64.0 + 63.0);
+}
+
+TEST(GfGateModel, ItohTsujiiChainLengths) {
+  // Known addition-chain lengths: m=8 -> e=7=111b: 2+3-1=4 mults;
+  // m=16 -> e=15: 3+4-1=6; m=4 -> e=3: 1+2-1=2.
+  EXPECT_EQ(GfGateModel::itoh_tsujii_multiplications(8), 4u);
+  EXPECT_EQ(GfGateModel::itoh_tsujii_multiplications(16), 6u);
+  EXPECT_EQ(GfGateModel::itoh_tsujii_multiplications(4), 2u);
+  EXPECT_THROW(GfGateModel::itoh_tsujii_multiplications(1),
+               std::invalid_argument);
+}
+
+TEST(CodecHw, ValidatesCode) {
+  EXPECT_THROW(encoder_estimate(16, 16, 8), std::invalid_argument);
+  EXPECT_THROW(decoder_estimate(300, 16, 8), std::invalid_argument);
+}
+
+TEST(CodecHw, EncoderShape) {
+  const HwEstimate e = encoder_estimate(18, 16, 8);
+  EXPECT_DOUBLE_EQ(e.latency_cycles, 16.0);  // symbol-serial data feed
+  EXPECT_EQ(e.register_bits, 2.0 * 8);
+  EXPECT_GT(e.gate_count, 0.0);
+  // Parity stages scale the area.
+  const HwEstimate wide = encoder_estimate(36, 16, 8);
+  EXPECT_NEAR(wide.gate_count / e.gate_count, 10.0, 0.5);  // 20 vs 2 stages
+}
+
+TEST(CodecHw, DecodeLatencyHasThePapersAffineShape) {
+  // latency = 2n + 4(n-k) + c with erasure support: same 'a*n + b*(n-k)'
+  // form as the paper's Td = 3n + 10(n-k).
+  const DecodeLatencyBreakdown b1816 = decode_latency_breakdown(18, 16, 8);
+  EXPECT_DOUBLE_EQ(b1816.syndrome, 18.0);
+  EXPECT_DOUBLE_EQ(b1816.key_equation, 4.0);  // 2 * 2t with erasures
+  EXPECT_DOUBLE_EQ(b1816.chien_forney, 18.0);
+  const DecodeLatencyBreakdown b3616 = decode_latency_breakdown(36, 16, 8);
+  // Fixed k: both n and n-k terms grow.
+  EXPECT_GT(b3616.total(), b1816.total());
+  // Latency ratio between the paper's two codes: the paper's fit gives
+  // 308/74 = 4.16; the structural model must land in the same regime
+  // (the exact b coefficient depends on the key-equation architecture).
+  const double ratio = b3616.total() / b1816.total();
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST(CodecHw, DecoderAreaScalesLikeThePaperSays) {
+  // "The number of logic gates ... is almost linearly dependent on m and
+  // the number of check symbols n-k."
+  const double a1816 = decoder_estimate(18, 16, 8).gate_count;
+  const double a3616 = decoder_estimate(36, 16, 8).gate_count;
+  // 10x the check symbols: close-to-linear growth in n-k.
+  EXPECT_GT(a3616 / a1816, 5.0);
+  EXPECT_LT(a3616 / a1816, 15.0);
+  // One RS(36,16) decoder out-areas two RS(18,16) decoders (paper claim).
+  EXPECT_GT(a3616, 2.0 * a1816);
+
+  // m scaling at fixed (n, k): close to quadratic per multiplier but the
+  // paper's "almost linear in m" refers to the dominant register/cell
+  // count; verify monotonicity at least.
+  CodecHwOptions opt;
+  const double m6 = decoder_estimate(18, 16, 6, opt).gate_count;
+  const double m10 = decoder_estimate(18, 16, 10, opt).gate_count;
+  EXPECT_GT(m10, m6);
+}
+
+TEST(CodecHw, ErasureSupportCostsLatencyAndArea) {
+  CodecHwOptions with;
+  CodecHwOptions without;
+  without.erasure_support = false;
+  const HwEstimate w = decoder_estimate(36, 16, 8, with);
+  const HwEstimate wo = decoder_estimate(36, 16, 8, without);
+  EXPECT_GT(w.latency_cycles, wo.latency_cycles);
+  EXPECT_GT(w.gate_count, wo.gate_count);
+  EXPECT_DOUBLE_EQ(w.latency_cycles - wo.latency_cycles, 20.0);  // +2t
+}
+
+TEST(CodecHw, StructuralModelBracketsThePaperFit) {
+  // The fitted DecoderCostModel and the structural model must agree on the
+  // ORDERING and rough magnitude of the two paper codes' latencies.
+  const reliability::DecoderCostModel fit;
+  for (const unsigned n : {18u, 36u}) {
+    const double fitted = fit.decode_cycles(n, 16);
+    const double structural = decoder_estimate(n, 16, 8).latency_cycles;
+    EXPECT_GT(structural, fitted * 0.2) << "n=" << n;
+    EXPECT_LT(structural, fitted * 5.0) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace rsmem::hw

@@ -1,0 +1,183 @@
+// Tests for the dense/sparse linear algebra substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/csr_matrix.h"
+#include "linalg/dense_matrix.h"
+#include "sim/rng.h"
+
+namespace rsmem::linalg {
+namespace {
+
+TEST(DenseMatrix, IdentityAndApply) {
+  const DenseMatrix eye = DenseMatrix::identity(3);
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  EXPECT_EQ(eye.apply(x), x);
+  EXPECT_EQ(eye.apply_transpose(x), x);
+}
+
+TEST(DenseMatrix, ApplyRejectsBadSize) {
+  const DenseMatrix a(2, 3);
+  const std::vector<double> wrong{1.0, 2.0};
+  EXPECT_THROW(a.apply(wrong), std::invalid_argument);
+}
+
+TEST(DenseMatrix, MulMatchesManual) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  DenseMatrix b(2, 2);
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  const DenseMatrix c = DenseMatrix::mul(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(DenseMatrix, TransposeRoundTrip) {
+  sim::Rng rng{5};
+  DenseMatrix a(4, 7);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 7; ++c) a.at(r, c) = rng.uniform();
+  }
+  const DenseMatrix att = a.transpose().transpose();
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 7; ++c) {
+      EXPECT_DOUBLE_EQ(att.at(r, c), a.at(r, c));
+    }
+  }
+}
+
+TEST(LuFactorization, SolvesKnownSystem) {
+  DenseMatrix a(3, 3);
+  // [[2,1,1],[1,3,2],[1,0,0]] x = [4,5,6] -> x = [6, 15, -23]
+  a.at(0, 0) = 2; a.at(0, 1) = 1; a.at(0, 2) = 1;
+  a.at(1, 0) = 1; a.at(1, 1) = 3; a.at(1, 2) = 2;
+  a.at(2, 0) = 1; a.at(2, 1) = 0; a.at(2, 2) = 0;
+  const LuFactorization lu{a};
+  const std::vector<double> b{4.0, 5.0, 6.0};
+  const std::vector<double> x = lu.solve(b);
+  EXPECT_NEAR(x[0], 6.0, 1e-12);
+  EXPECT_NEAR(x[1], 15.0, 1e-12);
+  EXPECT_NEAR(x[2], -23.0, 1e-12);
+}
+
+TEST(LuFactorization, RandomRoundTrip) {
+  sim::Rng rng{42};
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(12);
+    DenseMatrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a.at(r, c) = rng.uniform() - 0.5;
+      a.at(r, r) += 2.0;  // diagonally dominant: non-singular
+    }
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = rng.uniform() * 10.0 - 5.0;
+    const std::vector<double> b = a.apply(x_true);
+    const std::vector<double> x = LuFactorization{a}.solve(b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(LuFactorization, DetectsSingular) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  EXPECT_THROW(LuFactorization{a}, std::domain_error);
+}
+
+TEST(LuFactorization, DeterminantWithPivoting) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 0;
+  EXPECT_NEAR(LuFactorization{a}.determinant(), -1.0, 1e-12);
+}
+
+TEST(CsrMatrix, BuildsAndSumsDuplicates) {
+  const CsrMatrix m(2, 2,
+                    {{0, 0, 1.0}, {0, 0, 2.0}, {1, 0, 4.0}, {0, 1, -1.0}});
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+}
+
+TEST(CsrMatrix, DropsExplicitZeroSums) {
+  const CsrMatrix m(1, 1, {{0, 0, 1.0}, {0, 0, -1.0}});
+  EXPECT_EQ(m.nnz(), 0u);
+}
+
+TEST(CsrMatrix, RejectsOutOfRange) {
+  EXPECT_THROW(CsrMatrix(2, 2, {{2, 0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(CsrMatrix(2, 2, {{0, 2, 1.0}}), std::invalid_argument);
+}
+
+TEST(CsrMatrix, ApplyMatchesDense) {
+  sim::Rng rng{9};
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t rows = 1 + rng.uniform_int(10);
+    const std::size_t cols = 1 + rng.uniform_int(10);
+    std::vector<Triplet> triplets;
+    for (int e = 0; e < 30; ++e) {
+      triplets.push_back({rng.uniform_int(rows), rng.uniform_int(cols),
+                          rng.uniform() - 0.5});
+    }
+    const CsrMatrix sparse(rows, cols, triplets);
+    const DenseMatrix dense = sparse.to_dense();
+    std::vector<double> x(cols), y(rows);
+    for (auto& v : x) v = rng.uniform();
+    for (auto& v : y) v = rng.uniform();
+    const auto ax_s = sparse.apply(x);
+    const auto ax_d = dense.apply(x);
+    for (std::size_t i = 0; i < rows; ++i) EXPECT_NEAR(ax_s[i], ax_d[i], 1e-12);
+    const auto aty_s = sparse.apply_transpose(y);
+    const auto aty_d = dense.apply_transpose(y);
+    for (std::size_t i = 0; i < cols; ++i) {
+      EXPECT_NEAR(aty_s[i], aty_d[i], 1e-12);
+    }
+  }
+}
+
+TEST(CsrMatrix, MaxAbsDiagonal) {
+  const CsrMatrix m(3, 3, {{0, 0, -5.0}, {1, 1, 2.0}, {2, 0, 100.0}});
+  EXPECT_DOUBLE_EQ(m.max_abs_diagonal(), 5.0);
+}
+
+TEST(VectorOps, DotAndNorms) {
+  const std::vector<double> a{1.0, -2.0, 3.0};
+  const std::vector<double> b{4.0, 5.0, -6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0 - 10.0 - 18.0);
+  EXPECT_DOUBLE_EQ(norm1(a), 6.0);
+  EXPECT_DOUBLE_EQ(norm_inf(a), 3.0);
+  std::vector<double> y = b;
+  axpy(2.0, a, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 1.0);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+  scale(0.5, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+}
+
+TEST(VectorOps, DimensionChecks) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(dot(a, b), std::invalid_argument);
+  std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW(axpy(1.0, a, y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsmem::linalg

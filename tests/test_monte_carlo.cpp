@@ -1,0 +1,233 @@
+// Tests for the Monte-Carlo estimator, including the headline
+// cross-validation: functional simulation vs Markov-chain prediction.
+#include "analysis/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "markov/uniformization.h"
+#include "models/ber.h"
+
+namespace rsmem::analysis {
+namespace {
+
+TEST(BinomialEstimate, BasicStatistics) {
+  BinomialEstimate e;
+  e.trials = 1000;
+  e.failures = 100;
+  EXPECT_DOUBLE_EQ(e.p_hat(), 0.1);
+  EXPECT_NEAR(e.std_error(), 0.00949, 1e-4);
+  EXPECT_LT(e.wilson_low(), 0.1);
+  EXPECT_GT(e.wilson_high(), 0.1);
+  EXPECT_TRUE(e.covers(0.1));
+  EXPECT_FALSE(e.covers(0.2));
+  EXPECT_FALSE(e.covers(0.05));
+}
+
+TEST(BinomialEstimate, ZeroFailuresWellBehaved) {
+  BinomialEstimate e;
+  e.trials = 500;
+  e.failures = 0;
+  EXPECT_DOUBLE_EQ(e.p_hat(), 0.0);
+  EXPECT_DOUBLE_EQ(e.wilson_low(), 0.0);
+  EXPECT_GT(e.wilson_high(), 0.0);
+  EXPECT_LT(e.wilson_high(), 0.02);
+  EXPECT_TRUE(e.covers(0.001));
+}
+
+TEST(BinomialEstimate, EmptyTrials) {
+  const BinomialEstimate e;
+  EXPECT_DOUBLE_EQ(e.p_hat(), 0.0);
+  EXPECT_DOUBLE_EQ(e.wilson_low(), 0.0);
+  EXPECT_DOUBLE_EQ(e.wilson_high(), 1.0);
+}
+
+TEST(MonteCarlo, RejectsZeroTrials) {
+  const memory::SimplexSystemConfig cfg;
+  MonteCarloConfig mc;
+  mc.trials = 0;
+  EXPECT_THROW(run_simplex_trials(cfg, mc), std::invalid_argument);
+  const memory::DuplexSystemConfig dcfg;
+  EXPECT_THROW(run_duplex_trials(dcfg, mc), std::invalid_argument);
+}
+
+TEST(MonteCarlo, NoFaultsNoFailures) {
+  const memory::SimplexSystemConfig cfg;  // zero rates
+  MonteCarloConfig mc;
+  mc.trials = 50;
+  const MonteCarloResult r = run_simplex_trials(cfg, mc);
+  EXPECT_EQ(r.failure.failures, 0u);
+  EXPECT_DOUBLE_EQ(r.mean_seu_per_trial, 0.0);
+}
+
+TEST(MonteCarlo, DeterministicGivenSeed) {
+  memory::SimplexSystemConfig cfg;
+  cfg.rates.seu_rate_per_bit_hour = 1e-3;
+  MonteCarloConfig mc;
+  mc.trials = 100;
+  mc.seed = 5;
+  const MonteCarloResult a = run_simplex_trials(cfg, mc);
+  const MonteCarloResult b = run_simplex_trials(cfg, mc);
+  EXPECT_EQ(a.failure.failures, b.failure.failures);
+  EXPECT_DOUBLE_EQ(a.mean_seu_per_trial, b.mean_seu_per_trial);
+}
+
+// ---- The cross-validation tests (DESIGN.md section 6, item 4). ----
+
+TEST(McVsMarkov, SimplexSeuOnlyAccelerated) {
+  // Accelerated SEU rate so failures are observable in 600 trials.
+  const double lambda_hour = 1e-4;
+  memory::SimplexSystemConfig cfg;
+  cfg.rates.seu_rate_per_bit_hour = lambda_hour;
+  MonteCarloConfig mc;
+  mc.trials = 600;
+  mc.t_end_hours = 48.0;
+  mc.seed = 303;
+  const MonteCarloResult sim = run_simplex_trials(cfg, mc);
+
+  models::SimplexParams params;
+  params.n = 18;
+  params.k = 16;
+  params.m = 8;
+  params.seu_rate_per_bit_hour = lambda_hour;
+  const std::vector<double> times{48.0};
+  const double predicted =
+      models::simplex_ber_curve(params, times,
+                                markov::UniformizationSolver{})
+          .fail_probability[0];
+  EXPECT_GT(predicted, 0.01);  // the acceleration worked
+  EXPECT_TRUE(sim.failure.covers(predicted))
+      << "MC " << sim.failure.p_hat() << " CI [" << sim.failure.wilson_low()
+      << ", " << sim.failure.wilson_high() << "] vs Markov " << predicted;
+}
+
+TEST(McVsMarkov, SimplexWithPermanentFaults) {
+  const double le_hour = 2e-3;
+  memory::SimplexSystemConfig cfg;
+  cfg.rates.perm_rate_per_symbol_hour = le_hour;
+  MonteCarloConfig mc;
+  mc.trials = 600;
+  mc.t_end_hours = 48.0;
+  mc.seed = 404;
+  const MonteCarloResult sim = run_simplex_trials(cfg, mc);
+
+  models::SimplexParams params;
+  params.n = 18;
+  params.k = 16;
+  params.m = 8;
+  params.erasure_rate_per_symbol_hour = le_hour;
+  const std::vector<double> times{48.0};
+  const double predicted =
+      models::simplex_ber_curve(params, times,
+                                markov::UniformizationSolver{})
+          .fail_probability[0];
+  EXPECT_GT(predicted, 0.02);
+  EXPECT_TRUE(sim.failure.covers(predicted))
+      << "MC " << sim.failure.p_hat() << " vs Markov " << predicted;
+}
+
+TEST(McVsMarkov, SimplexWithExponentialScrubbing) {
+  const double lambda_hour = 5e-4;
+  memory::SimplexSystemConfig cfg;
+  cfg.rates.seu_rate_per_bit_hour = lambda_hour;
+  cfg.scrub_policy = memory::ScrubPolicy::kExponential;  // matches the chain
+  cfg.scrub_period_hours = 0.5;
+  MonteCarloConfig mc;
+  mc.trials = 600;
+  mc.t_end_hours = 48.0;
+  mc.seed = 505;
+  const MonteCarloResult sim = run_simplex_trials(cfg, mc);
+
+  models::SimplexParams params;
+  params.n = 18;
+  params.k = 16;
+  params.m = 8;
+  params.seu_rate_per_bit_hour = lambda_hour;
+  params.scrub_rate_per_hour = 2.0;
+  const std::vector<double> times{48.0};
+  const double predicted =
+      models::simplex_ber_curve(params, times,
+                                markov::UniformizationSolver{})
+          .fail_probability[0];
+  EXPECT_GT(predicted, 0.005);
+  EXPECT_TRUE(sim.failure.covers(predicted))
+      << "MC " << sim.failure.p_hat() << " vs Markov " << predicted;
+}
+
+TEST(McVsMarkov, DuplexPermanentFaultsAccelerated) {
+  const double le_hour = 8e-3;  // aggressive so X reaches 3 sometimes
+  memory::DuplexSystemConfig cfg;
+  cfg.rates.perm_rate_per_symbol_hour = le_hour;
+  MonteCarloConfig mc;
+  mc.trials = 2000;
+  mc.t_end_hours = 48.0;
+  mc.seed = 606;
+  const MonteCarloResult sim = run_duplex_trials(cfg, mc);
+
+  models::DuplexParams params;
+  params.n = 18;
+  params.k = 16;
+  params.m = 8;
+  params.erasure_rate_per_symbol_hour = le_hour;
+  // The functional system exposes each physical symbol to erasures, which
+  // is the per-physical-symbol convention (paper's Fig. 4 halves the
+  // two-sided exposures; see DESIGN.md).
+  params.convention = models::RateConvention::kPerPhysicalSymbol;
+  const std::vector<double> times{48.0};
+  const double predicted =
+      models::duplex_ber_curve(params, times, markov::UniformizationSolver{})
+          .fail_probability[0];
+  EXPECT_GT(predicted, 0.01);
+  // 4-sigma binomial band around the simulated estimate.
+  const double band = 4.0 * sim.failure.std_error();
+  EXPECT_NEAR(sim.failure.p_hat(), predicted, band)
+      << "MC " << sim.failure.p_hat() << " vs Markov " << predicted;
+  // With erasures only, both words see the same damage, so the two fail
+  // criteria must coincide exactly.
+  models::DuplexParams both = params;
+  both.fail_criterion = models::FailCriterion::kBothWordsUnrecoverable;
+  const double predicted_both =
+      models::duplex_ber_curve(both, times, markov::UniformizationSolver{})
+          .fail_probability[0];
+  EXPECT_NEAR(predicted_both, predicted, 1e-12);
+}
+
+TEST(McVsMarkov, DuplexSeuOnlyBracketedByFailCriteria) {
+  // Under SEU-only loads the paper's conservative chain (fail as soon as
+  // EITHER word exceeds its budget) over-predicts the physical arbiter,
+  // which survives one lost word via the other module; the optimistic
+  // chain (fail only when BOTH words are lost) under-predicts it slightly
+  // because a mis-correcting word can outvote a recoverable one (rule 4).
+  // The functional system must land between the two chains.
+  const double lambda_hour = 1.2e-4;
+  memory::DuplexSystemConfig cfg;
+  cfg.rates.seu_rate_per_bit_hour = lambda_hour;
+  MonteCarloConfig mc;
+  mc.trials = 2000;
+  mc.t_end_hours = 48.0;
+  mc.seed = 707;
+  const MonteCarloResult sim = run_duplex_trials(cfg, mc);
+
+  models::DuplexParams params;
+  params.n = 18;
+  params.k = 16;
+  params.m = 8;
+  params.seu_rate_per_bit_hour = lambda_hour;
+  const std::vector<double> times{48.0};
+  const double conservative =
+      models::duplex_ber_curve(params, times, markov::UniformizationSolver{})
+          .fail_probability[0];
+  params.fail_criterion = models::FailCriterion::kBothWordsUnrecoverable;
+  const double optimistic =
+      models::duplex_ber_curve(params, times, markov::UniformizationSolver{})
+          .fail_probability[0];
+  EXPECT_GT(conservative, 0.01);
+  EXPECT_LT(optimistic, conservative);
+  const double band = 4.0 * sim.failure.std_error() + 1e-3;
+  EXPECT_LT(sim.failure.p_hat(), conservative + band);
+  EXPECT_GT(sim.failure.p_hat(), optimistic - band);
+}
+
+}  // namespace
+}  // namespace rsmem::analysis

@@ -1,0 +1,154 @@
+// Unit and property tests for polynomials over GF(2^m).
+#include "gf/poly.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace rsmem::gf {
+namespace {
+
+Poly random_poly(const GaloisField& f, sim::Rng& rng, std::size_t max_len) {
+  const std::size_t len = rng.uniform_int(max_len + 1);
+  std::vector<Element> c(len);
+  for (auto& x : c) x = static_cast<Element>(rng.uniform_int(f.size()));
+  return Poly{std::move(c)};
+}
+
+TEST(Poly, ZeroAndConstant) {
+  EXPECT_TRUE(Poly::zero().is_zero());
+  EXPECT_EQ(Poly::zero().degree(), -1);
+  EXPECT_EQ(Poly::constant(0).degree(), -1);
+  EXPECT_EQ(Poly::constant(7).degree(), 0);
+  EXPECT_EQ(Poly::one().coeff(0), 1u);
+}
+
+TEST(Poly, MonomialAndShift) {
+  const Poly p = Poly::monomial(3, 4);
+  EXPECT_EQ(p.degree(), 4);
+  EXPECT_EQ(p.coeff(4), 3u);
+  EXPECT_EQ(p.coeff(3), 0u);
+  const Poly q = p.shifted_up(2);
+  EXPECT_EQ(q.degree(), 6);
+  EXPECT_EQ(q.coeff(6), 3u);
+  EXPECT_TRUE(Poly::zero().shifted_up(5).is_zero());
+}
+
+TEST(Poly, NormalizeTrimsTrailingZeros) {
+  Poly p{std::vector<Element>{1, 2, 0, 0}};
+  EXPECT_EQ(p.degree(), 1);
+  p.normalize();
+  EXPECT_EQ(p.coeffs().size(), 2u);
+}
+
+TEST(Poly, EvalHorner) {
+  const GaloisField f{8};
+  // p(x) = 5 + 3x + x^2 at x=2: 5 ^ (3*2) ^ (2*2) = 5 ^ 6 ^ 4.
+  const Poly p{std::vector<Element>{5, 3, 1}};
+  const Element expected =
+      GaloisField::add(GaloisField::add(5, f.mul(3, 2)), f.mul(2, 2));
+  EXPECT_EQ(p.eval(f, 2), expected);
+  EXPECT_EQ(p.eval(f, 0), 5u);
+  EXPECT_EQ(Poly::zero().eval(f, 123), 0u);
+}
+
+TEST(Poly, DerivativeCharacteristic2) {
+  // d/dx (c0 + c1 x + c2 x^2 + c3 x^3) = c1 + c3 x^2 (even terms vanish).
+  const Poly p{std::vector<Element>{9, 7, 5, 3}};
+  const Poly d = p.derivative();
+  EXPECT_EQ(d.coeff(0), 7u);
+  EXPECT_EQ(d.coeff(1), 0u);
+  EXPECT_EQ(d.coeff(2), 3u);
+  EXPECT_EQ(d.degree(), 2);
+  EXPECT_TRUE(Poly::one().derivative().is_zero());
+}
+
+TEST(Poly, TruncatedKeepsLowOrder) {
+  const Poly p{std::vector<Element>{1, 2, 3, 4}};
+  const Poly t = p.truncated(2);
+  EXPECT_EQ(t.degree(), 1);
+  EXPECT_EQ(t.coeff(0), 1u);
+  EXPECT_EQ(t.coeff(1), 2u);
+}
+
+TEST(Poly, AddCancels) {
+  const Poly p{std::vector<Element>{1, 2, 3}};
+  EXPECT_TRUE(Poly::add(p, p).is_zero());
+}
+
+TEST(Poly, MulByZeroAndOne) {
+  const GaloisField f{4};
+  const Poly p{std::vector<Element>{1, 2, 3}};
+  EXPECT_TRUE(Poly::mul(f, p, Poly::zero()).is_zero());
+  EXPECT_EQ(Poly::mul(f, p, Poly::one()), p);
+}
+
+TEST(Poly, DivmodThrowsOnZeroDivisor) {
+  const GaloisField f{4};
+  const Poly p{std::vector<Element>{1, 2}};
+  EXPECT_THROW(Poly::divmod(f, p, Poly::zero()), std::domain_error);
+}
+
+TEST(Poly, DivmodKnownCase) {
+  const GaloisField f{4};
+  // (x^2 + 1) / (x + 1): in GF(2^m), x^2+1 = (x+1)^2.
+  const Poly num{std::vector<Element>{1, 0, 1}};
+  const Poly den{std::vector<Element>{1, 1}};
+  const auto [q, r] = Poly::divmod(f, num, den);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(q, den);
+}
+
+// Property: a == q*b + r with deg r < deg b, over random inputs.
+class PolyDivisionProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PolyDivisionProperty, DivmodReconstructs) {
+  const GaloisField f{GetParam()};
+  sim::Rng rng{GetParam() * 1000 + 17};
+  for (int iter = 0; iter < 300; ++iter) {
+    const Poly a = random_poly(f, rng, 12);
+    Poly b = random_poly(f, rng, 6);
+    if (b.is_zero()) b = Poly::one();
+    const auto [q, r] = Poly::divmod(f, a, b);
+    EXPECT_LT(r.degree(), b.degree() == -1 ? 0 : b.degree());
+    const Poly recon = Poly::add(Poly::mul(f, q, b), r);
+    EXPECT_EQ(recon, a);
+  }
+}
+
+TEST_P(PolyDivisionProperty, MulDegreeAdds) {
+  const GaloisField f{GetParam()};
+  sim::Rng rng{GetParam() * 977 + 3};
+  for (int iter = 0; iter < 300; ++iter) {
+    const Poly a = random_poly(f, rng, 10);
+    const Poly b = random_poly(f, rng, 10);
+    const Poly ab = Poly::mul(f, a, b);
+    if (a.is_zero() || b.is_zero()) {
+      EXPECT_TRUE(ab.is_zero());
+    } else {
+      EXPECT_EQ(ab.degree(), a.degree() + b.degree());
+    }
+  }
+}
+
+TEST_P(PolyDivisionProperty, EvalIsRingHomomorphism) {
+  const GaloisField f{GetParam()};
+  sim::Rng rng{GetParam() * 31 + 8};
+  for (int iter = 0; iter < 200; ++iter) {
+    const Poly a = random_poly(f, rng, 8);
+    const Poly b = random_poly(f, rng, 8);
+    const Element x = static_cast<Element>(rng.uniform_int(f.size()));
+    EXPECT_EQ(Poly::add(a, b).eval(f, x),
+              GaloisField::add(a.eval(f, x), b.eval(f, x)));
+    EXPECT_EQ(Poly::mul(f, a, b).eval(f, x),
+              f.mul(a.eval(f, x), b.eval(f, x)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fields, PolyDivisionProperty,
+                         ::testing::Values(3u, 4u, 8u));
+
+}  // namespace
+}  // namespace rsmem::gf

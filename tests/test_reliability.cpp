@@ -1,0 +1,111 @@
+// Tests for the decoder cost models and the MIL-HDBK-217-style rate model.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "reliability/decoder_cost.h"
+#include "reliability/milhdbk217.h"
+
+namespace rsmem::reliability {
+namespace {
+
+TEST(DecoderCost, PaperHeadlineNumbers) {
+  // Paper Section 6: Td(36,16) ~= 308, Td(18,16) ~= 74 cycles.
+  const DecoderCostModel model;
+  EXPECT_DOUBLE_EQ(model.decode_cycles(36, 16), 308.0);
+  EXPECT_DOUBLE_EQ(model.decode_cycles(18, 16), 74.0);
+  // "more than four times higher"
+  EXPECT_GT(model.decode_cycles(36, 16) / model.decode_cycles(18, 16), 4.0);
+}
+
+TEST(DecoderCost, Validation) {
+  const DecoderCostModel model;
+  EXPECT_THROW(model.decode_cycles(16, 16), std::invalid_argument);
+  EXPECT_THROW(model.area_gates(18, 0, 8), std::invalid_argument);
+  EXPECT_THROW(model.area_gates(18, 16, 0), std::invalid_argument);
+}
+
+TEST(DecoderCost, AreaGrowsWithParityAndSymbolWidth) {
+  const DecoderCostModel model;
+  EXPECT_GT(model.area_gates(36, 16, 8), model.area_gates(18, 16, 8));
+  EXPECT_GT(model.area_gates(18, 16, 10), model.area_gates(18, 16, 8));
+}
+
+TEST(DecoderCost, ArrangementCosts) {
+  const DecoderCostModel model;
+  const ArrangementCost simplex3616 = simplex_cost(model, 36, 16, 8);
+  const ArrangementCost duplex1816 = duplex_cost(model, 18, 16, 8);
+  // Paper: one RS(36,16) decoder needs MORE area than two RS(18,16).
+  EXPECT_GT(simplex3616.area_gates, duplex1816.area_gates);
+  // And its access latency is > 4x the duplex's (parallel decoders).
+  EXPECT_GT(simplex3616.decode_cycles / duplex1816.decode_cycles, 4.0);
+}
+
+TEST(MilHdbk217, FactorMonotonicity) {
+  // Temperature acceleration grows with junction temperature.
+  EXPECT_GT(MilHdbk217Model::pi_temperature(85.0),
+            MilHdbk217Model::pi_temperature(25.0));
+  EXPECT_NEAR(MilHdbk217Model::pi_temperature(25.0), 1.0, 1e-12);
+  // Die complexity grows with capacity.
+  EXPECT_GT(MilHdbk217Model::c1_die_complexity(16e6),
+            MilHdbk217Model::c1_die_complexity(1e6));
+  // Extrapolated bracket beyond the table keeps growing.
+  EXPECT_GT(MilHdbk217Model::c1_die_complexity(1e9),
+            MilHdbk217Model::c1_die_complexity(64e6));
+  // COTS quality is worse (larger factor) than space-certified.
+  EXPECT_GT(MilHdbk217Model::pi_quality(Quality::kCommercial),
+            MilHdbk217Model::pi_quality(Quality::kSpaceCertified));
+  // Package factor grows with pins.
+  EXPECT_GT(MilHdbk217Model::c2_package(64), MilHdbk217Model::c2_package(16));
+  // Mature parts have lower learning factor, clamped at 1.
+  EXPECT_GT(MilHdbk217Model::pi_learning(0.0),
+            MilHdbk217Model::pi_learning(2.0));
+  EXPECT_DOUBLE_EQ(MilHdbk217Model::pi_learning(20.0), 1.0);
+}
+
+TEST(MilHdbk217, Validation) {
+  EXPECT_THROW(MilHdbk217Model::c1_die_complexity(0.0),
+               std::invalid_argument);
+  EXPECT_THROW(MilHdbk217Model::c2_package(0), std::invalid_argument);
+  EXPECT_THROW(MilHdbk217Model::pi_temperature(-300.0),
+               std::invalid_argument);
+  EXPECT_THROW(MilHdbk217Model::pi_learning(-1.0), std::invalid_argument);
+  EXPECT_THROW(
+      MilHdbk217Model::erasure_rate_per_symbol_day(MemoryChipSpec{}, 0, 1.0),
+      std::invalid_argument);
+}
+
+TEST(MilHdbk217, ChipRateInPlausibleRange) {
+  // A 16 Mbit COTS SRAM around 40 C in space flight: published 217F rates
+  // for MOS memories land between ~0.01 and ~10 failures/1e6 h.
+  const MemoryChipSpec spec;
+  const double rate = MilHdbk217Model::chip_failures_per_1e6_hours(spec);
+  EXPECT_GT(rate, 0.01);
+  EXPECT_LT(rate, 50.0);
+}
+
+TEST(MilHdbk217, SymbolRateCoversThePaperSweepRange) {
+  // The paper sweeps lambda_e in [1e-10, 1e-4] per symbol per day
+  // (Figs. 8-10). The parametric model must be able to generate rates at
+  // both ends of that range with physically sensible knobs.
+  MemoryChipSpec benign;
+  benign.quality = Quality::kSpaceCertified;
+  benign.junction_temp_celsius = 20.0;
+  benign.years_in_production = 10.0;
+  const double low = MilHdbk217Model::erasure_rate_per_symbol_day(
+      benign, 8, /*words_per_chip=*/2.0 * 1024 * 1024);
+  EXPECT_LT(low, 1e-8);
+  EXPECT_GT(low, 1e-16);
+
+  MemoryChipSpec harsh;
+  harsh.quality = Quality::kCommercial;
+  harsh.junction_temp_celsius = 110.0;
+  harsh.years_in_production = 0.0;
+  harsh.capacity_bits = 1e9;
+  const double high = MilHdbk217Model::erasure_rate_per_symbol_day(
+      harsh, 8, /*words_per_chip=*/64.0);
+  EXPECT_GT(high, 1e-5);
+}
+
+}  // namespace
+}  // namespace rsmem::reliability

@@ -1,0 +1,84 @@
+// Tests for the elasticity analysis: the measured log-log slopes must match
+// the combinatorial structure of the chains.
+#include "analysis/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rsmem::analysis {
+namespace {
+
+TEST(Sensitivity, Validation) {
+  const core::MemorySystemSpec spec;
+  EXPECT_THROW(ber_sensitivity(spec, 0.0), std::invalid_argument);
+  EXPECT_THROW(ber_sensitivity(spec, 48.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ber_sensitivity(spec, 48.0, 0.9), std::invalid_argument);
+}
+
+TEST(Sensitivity, ZeroKnobsReportNaN) {
+  core::MemorySystemSpec spec;
+  spec.seu_rate_per_bit_day = 1e-5;  // only the SEU knob is active
+  const SensitivityReport r = ber_sensitivity(spec, 48.0);
+  EXPECT_FALSE(std::isnan(r.seu_elasticity));
+  EXPECT_TRUE(std::isnan(r.erasure_elasticity));
+  EXPECT_TRUE(std::isnan(r.scrub_period_elasticity));
+}
+
+TEST(Sensitivity, SimplexSeuElasticityIsTwo) {
+  // Fail needs 2 random errors: BER ~ lambda^2 -> elasticity ~ 2.
+  core::MemorySystemSpec spec;
+  spec.seu_rate_per_bit_day = 1.7e-5;
+  const SensitivityReport r = ber_sensitivity(spec, 48.0);
+  EXPECT_NEAR(r.seu_elasticity, 2.0, 0.02);
+}
+
+TEST(Sensitivity, SimplexErasureElasticityIsThree) {
+  core::MemorySystemSpec spec;
+  spec.erasure_rate_per_symbol_day = 1e-6;
+  const SensitivityReport r = ber_sensitivity(spec, 730.0 * 24.0 / 12.0);
+  EXPECT_NEAR(r.erasure_elasticity, 3.0, 0.05);
+}
+
+TEST(Sensitivity, DuplexErasureElasticityIsSix) {
+  // Three double-erasures = six erasure events.
+  core::MemorySystemSpec spec;
+  spec.arrangement = Arrangement::kDuplex;
+  spec.erasure_rate_per_symbol_day = 1e-6;
+  const SensitivityReport r = ber_sensitivity(spec, 730.0 * 24.0 / 12.0);
+  EXPECT_NEAR(r.erasure_elasticity, 6.0, 0.1);
+}
+
+TEST(Sensitivity, Rs3616ErasureElasticityIsTwentyOne) {
+  // The wide code dies at the 21st erasure.
+  core::MemorySystemSpec spec;
+  spec.code = {36, 16, 8, 1};
+  spec.erasure_rate_per_symbol_day = 1e-4;
+  const SensitivityReport r = ber_sensitivity(spec, 730.0);
+  EXPECT_NEAR(r.erasure_elasticity, 21.0, 0.5);
+}
+
+TEST(Sensitivity, ScrubPeriodElasticityNearOne) {
+  // Quasi-steady hazard ~ proportional to the double-hit-per-window
+  // probability ~ Tsc, so BER moves ~1:1 with the scrub period.
+  core::MemorySystemSpec spec;
+  spec.seu_rate_per_bit_day = 1.7e-5;
+  spec.scrub_period_seconds = 1800.0;
+  const SensitivityReport r = ber_sensitivity(spec, 48.0);
+  EXPECT_NEAR(r.scrub_period_elasticity, 1.0, 0.1);
+  // And the SEU elasticity stays ~2 (two flips inside one window kill).
+  EXPECT_NEAR(r.seu_elasticity, 2.0, 0.1);
+}
+
+TEST(Sensitivity, SaturationShrinksElasticity) {
+  // Near BER ~ 1 the curve flattens: elasticity falls well below the
+  // small-rate exponent.
+  core::MemorySystemSpec spec;
+  spec.erasure_rate_per_symbol_day = 1e-3;  // saturating over 24 months
+  const SensitivityReport r = ber_sensitivity(spec, 730.0 * 24.0);
+  EXPECT_LT(r.erasure_elasticity, 1.0);
+}
+
+}  // namespace
+}  // namespace rsmem::analysis

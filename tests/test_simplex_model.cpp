@@ -1,0 +1,254 @@
+// Tests for the simplex memory-system Markov chain (paper Fig. 2).
+#include "models/simplex_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "core/units.h"
+#include "markov/rk45.h"
+#include "markov/uniformization.h"
+#include "models/ber.h"
+
+namespace rsmem::models {
+namespace {
+
+using markov::PackedState;
+
+SimplexParams base_params() {
+  SimplexParams p;
+  p.n = 18;
+  p.k = 16;
+  p.m = 8;
+  return p;
+}
+
+std::map<PackedState, double> transitions_of(const SimplexModel& model,
+                                             PackedState from) {
+  std::map<PackedState, double> out;
+  model.for_each_transition(from, [&](double rate, PackedState to) {
+    out[to] += rate;
+  });
+  return out;
+}
+
+TEST(SimplexModel, ValidatesParams) {
+  SimplexParams p = base_params();
+  p.k = 18;
+  EXPECT_THROW(SimplexModel{p}, std::invalid_argument);
+  p = base_params();
+  p.m = 4;  // n=18 > 2^4-1
+  EXPECT_THROW(SimplexModel{p}, std::invalid_argument);
+  p = base_params();
+  p.seu_rate_per_bit_hour = -1.0;
+  EXPECT_THROW(SimplexModel{p}, std::invalid_argument);
+}
+
+TEST(SimplexModel, PackUnpackRoundTrip) {
+  const PackedState s = SimplexModel::pack(3, 7);
+  EXPECT_EQ(SimplexModel::erasures_of(s), 3u);
+  EXPECT_EQ(SimplexModel::random_errors_of(s), 7u);
+  EXPECT_FALSE(SimplexModel::is_fail(s));
+  EXPECT_TRUE(SimplexModel::is_fail(SimplexModel::fail_state()));
+}
+
+TEST(SimplexModel, Rs1816StateSpaceIsExactlyFiveStates) {
+  // er + 2 re <= 2 admits (0,0), (1,0), (2,0), (0,1); plus Fail.
+  SimplexParams p = base_params();
+  p.seu_rate_per_bit_hour = 1e-3;
+  p.erasure_rate_per_symbol_hour = 1e-3;
+  const markov::StateSpace space = SimplexModel{p}.build();
+  EXPECT_EQ(space.size(), 5u);
+  EXPECT_TRUE(space.contains(SimplexModel::pack(0, 0)));
+  EXPECT_TRUE(space.contains(SimplexModel::pack(1, 0)));
+  EXPECT_TRUE(space.contains(SimplexModel::pack(2, 0)));
+  EXPECT_TRUE(space.contains(SimplexModel::pack(0, 1)));
+  EXPECT_TRUE(space.contains(SimplexModel::fail_state()));
+}
+
+TEST(SimplexModel, Rs3616StateSpaceSize) {
+  // #{(er,re): er + 2re <= 20} = sum_{re=0..10} (21 - 2re) = 121, + Fail.
+  SimplexParams p = base_params();
+  p.n = 36;
+  p.seu_rate_per_bit_hour = 1e-3;
+  p.erasure_rate_per_symbol_hour = 1e-3;
+  const markov::StateSpace space = SimplexModel{p}.build();
+  EXPECT_EQ(space.size(), 122u);
+}
+
+TEST(SimplexModel, GoodStateTransitionRates) {
+  SimplexParams p = base_params();
+  p.seu_rate_per_bit_hour = 2.0;
+  p.erasure_rate_per_symbol_hour = 3.0;
+  p.scrub_rate_per_hour = 5.0;
+  const SimplexModel model{p};
+  const auto t = transitions_of(model, SimplexModel::pack(0, 0));
+  // From (0,0): SEU -> (0,1) at m*lambda*n = 8*2*18; erasure -> (1,0) at
+  // lambda_e*n = 3*18. No scrub self-loop (re == 0).
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(SimplexModel::pack(0, 1)), 8.0 * 2.0 * 18.0);
+  EXPECT_DOUBLE_EQ(t.at(SimplexModel::pack(1, 0)), 3.0 * 18.0);
+}
+
+TEST(SimplexModel, BoundaryStateFeedsFail) {
+  SimplexParams p = base_params();
+  p.seu_rate_per_bit_hour = 2.0;
+  p.erasure_rate_per_symbol_hour = 3.0;
+  p.scrub_rate_per_hour = 5.0;
+  const SimplexModel model{p};
+  // (0,1): er+2re = 2 (full budget). SEU or erasure on untouched -> Fail;
+  // erasure on the hit symbol -> (1,0); scrub -> (0,0).
+  const auto t = transitions_of(model, SimplexModel::pack(0, 1));
+  ASSERT_EQ(t.size(), 3u);
+  const double fail_rate = 8.0 * 2.0 * 17.0 + 3.0 * 17.0;
+  EXPECT_DOUBLE_EQ(t.at(SimplexModel::fail_state()), fail_rate);
+  EXPECT_DOUBLE_EQ(t.at(SimplexModel::pack(1, 0)), 3.0 * 1.0);
+  EXPECT_DOUBLE_EQ(t.at(SimplexModel::pack(0, 0)), 5.0);
+}
+
+TEST(SimplexModel, ScrubbingClearsOnlyTransients) {
+  SimplexParams p = base_params();
+  p.n = 36;  // wider budget to reach deeper states
+  p.seu_rate_per_bit_hour = 1.0;
+  p.erasure_rate_per_symbol_hour = 1.0;
+  p.scrub_rate_per_hour = 7.0;
+  const SimplexModel model{p};
+  const auto t = transitions_of(model, SimplexModel::pack(3, 4));
+  EXPECT_DOUBLE_EQ(t.at(SimplexModel::pack(3, 0)), 7.0);
+}
+
+TEST(SimplexModel, FailIsAbsorbing) {
+  SimplexParams p = base_params();
+  p.seu_rate_per_bit_hour = 1.0;
+  const SimplexModel model{p};
+  EXPECT_TRUE(transitions_of(model, SimplexModel::fail_state()).empty());
+}
+
+TEST(SimplexModel, ErasureOnHitSymbolConvertsErrorToErasure) {
+  SimplexParams p = base_params();
+  p.n = 36;
+  p.erasure_rate_per_symbol_hour = 2.0;
+  const SimplexModel model{p};
+  const auto t = transitions_of(model, SimplexModel::pack(1, 3));
+  // 3 hit symbols each at rate lambda_e -> (2, 2).
+  EXPECT_DOUBLE_EQ(t.at(SimplexModel::pack(2, 2)), 2.0 * 3.0);
+}
+
+TEST(SimplexBer, ZeroRatesGiveZeroBer) {
+  const SimplexParams p = base_params();  // all rates zero
+  const markov::UniformizationSolver solver;
+  const std::vector<double> times{0.0, 24.0, 48.0};
+  const BerCurve curve = simplex_ber_curve(p, times, solver);
+  for (const double b : curve.ber) EXPECT_DOUBLE_EQ(b, 0.0);
+}
+
+TEST(SimplexBer, ScaleFactorAppliedPerEquationOne) {
+  EXPECT_DOUBLE_EQ(ber_scale(18, 16, 8), 1.0);   // the paper's main code
+  EXPECT_DOUBLE_EQ(ber_scale(36, 16, 8), 10.0);  // the comparison code
+  EXPECT_THROW(ber_scale(16, 16, 8), std::invalid_argument);
+  SimplexParams p = base_params();
+  p.seu_rate_per_bit_hour = 1e-4;
+  const markov::UniformizationSolver solver;
+  const std::vector<double> times{10.0};
+  const BerCurve curve = simplex_ber_curve(p, times, solver);
+  EXPECT_DOUBLE_EQ(curve.ber[0], curve.fail_probability[0] * 1.0);
+}
+
+TEST(SimplexBer, MatchesClosedFormErasureOnlyChain) {
+  // With lambda = 0 and no scrubbing, the RS(18,16) chain is a pure birth
+  // chain (0,0) -> (1,0) -> (2,0) -> Fail with rates 18le, 17le, 16le.
+  // P_Fail(t) has the hypoexponential closed form.
+  SimplexParams p = base_params();
+  const double le = 0.01;
+  p.erasure_rate_per_symbol_hour = le;
+  const markov::UniformizationSolver solver;
+  const std::vector<double> times{5.0, 20.0, 80.0};
+  const BerCurve curve = simplex_ber_curve(p, times, solver);
+  const double a = 18 * le, b = 17 * le, c = 16 * le;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double t = times[i];
+    // Density convolution result for hypoexponential(a,b,c) CDF.
+    const double pa = std::exp(-a * t) * b * c / ((b - a) * (c - a));
+    const double pb = std::exp(-b * t) * a * c / ((a - b) * (c - b));
+    const double pc = std::exp(-c * t) * a * b / ((a - c) * (b - c));
+    const double p_fail = 1.0 - pa - pb - pc;
+    EXPECT_NEAR(curve.fail_probability[i], p_fail, 1e-10) << "t=" << t;
+  }
+}
+
+TEST(SimplexBer, MonotoneInTimeAndRate) {
+  const markov::UniformizationSolver solver;
+  const std::vector<double> times{0.0, 12.0, 24.0, 48.0};
+  double prev_end = -1.0;
+  for (const double lam_day : {7.3e-7, 3.6e-6, 1.7e-5}) {
+    SimplexParams p = base_params();
+    p.seu_rate_per_bit_hour = core::per_day_to_per_hour(lam_day);
+    const BerCurve curve = simplex_ber_curve(p, times, solver);
+    for (std::size_t i = 1; i < curve.ber.size(); ++i) {
+      EXPECT_GE(curve.ber[i], curve.ber[i - 1]);
+    }
+    EXPECT_GT(curve.ber.back(), prev_end);
+    prev_end = curve.ber.back();
+  }
+}
+
+TEST(SimplexBer, ScrubbingMonotonicallyImproves) {
+  const markov::UniformizationSolver solver;
+  const std::vector<double> times{48.0};
+  double prev = 1.0;
+  // Faster scrubbing (larger rate) must lower BER(48h).
+  for (const double scrub_rate : {0.0, 1.0, 2.0, 4.0}) {
+    SimplexParams p = base_params();
+    p.seu_rate_per_bit_hour = core::per_day_to_per_hour(1.7e-5);
+    p.scrub_rate_per_hour = scrub_rate;
+    const BerCurve curve = simplex_ber_curve(p, times, solver);
+    EXPECT_LT(curve.ber[0], prev);
+    prev = curve.ber[0];
+  }
+}
+
+TEST(SimplexBer, UniformizationAgreesWithRk45) {
+  SimplexParams p = base_params();
+  p.seu_rate_per_bit_hour = core::per_day_to_per_hour(1.7e-5);
+  p.erasure_rate_per_symbol_hour = core::per_day_to_per_hour(1e-4);
+  p.scrub_rate_per_hour = 1.0;
+  const std::vector<double> times{6.0, 24.0, 48.0};
+  const BerCurve a =
+      simplex_ber_curve(p, times, markov::UniformizationSolver{});
+  const BerCurve b = simplex_ber_curve(p, times, markov::Rk45Solver{});
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_NEAR(a.fail_probability[i], b.fail_probability[i], 1e-9);
+  }
+}
+
+TEST(SimplexBer, ResolvesTinyTailProbabilities) {
+  // Figs. 8-10 of the paper plot BER down to 1e-30 and beyond. For the
+  // erasure-only RS(18,16) chain, P_Fail(t) ~ 18*17*16/6 * (le*t)^3 for
+  // small le*t; the solver must resolve these far-tail values accurately,
+  // not truncate them to zero.
+  const markov::UniformizationSolver solver;
+  for (const double let : {1e-4, 1e-6, 1e-8}) {
+    SimplexParams p = base_params();
+    p.erasure_rate_per_symbol_hour = let;  // with t = 1 h below
+    const std::vector<double> times{1.0};
+    const double p_fail =
+        simplex_ber_curve(p, times, solver).fail_probability[0];
+    const double leading = 816.0 * let * let * let;
+    EXPECT_NEAR(p_fail / leading, 1.0, 0.01) << "le*t=" << let;
+  }
+}
+
+TEST(SimplexBer, TimeGridHelper) {
+  const auto grid = time_grid_hours(48.0, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 48.0);
+  EXPECT_DOUBLE_EQ(grid[1], 12.0);
+  EXPECT_THROW(time_grid_hours(48.0, 1), std::invalid_argument);
+  EXPECT_THROW(time_grid_hours(-1.0, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsmem::models

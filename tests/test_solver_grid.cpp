@@ -1,0 +1,71 @@
+// Parameterized solver-consistency grid: uniformization, RK45 and the
+// dense matrix exponential must agree on BOTH paper chains across a grid
+// of operating points spanning slow, mixed and stiff (scrubbed) regimes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "markov/expm.h"
+#include "markov/rk45.h"
+#include "markov/uniformization.h"
+#include "models/ber.h"
+
+namespace rsmem::models {
+namespace {
+
+// (seu per bit-hour, erasure per symbol-hour, scrub per hour)
+using GridPoint = std::tuple<double, double, double>;
+
+class SolverGrid : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(SolverGrid, SimplexThreeWayAgreement) {
+  const auto [lambda, le, sigma] = GetParam();
+  SimplexParams p;
+  p.n = 18;
+  p.k = 16;
+  p.m = 8;
+  p.seu_rate_per_bit_hour = lambda;
+  p.erasure_rate_per_symbol_hour = le;
+  p.scrub_rate_per_hour = sigma;
+  const std::vector<double> times{6.0, 48.0};
+  const BerCurve uni =
+      simplex_ber_curve(p, times, markov::UniformizationSolver{});
+  const BerCurve rk = simplex_ber_curve(p, times, markov::Rk45Solver{});
+  const BerCurve ex = simplex_ber_curve(p, times, markov::ExpmSolver{});
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_NEAR(uni.fail_probability[i], rk.fail_probability[i], 1e-8);
+    EXPECT_NEAR(uni.fail_probability[i], ex.fail_probability[i], 1e-8);
+  }
+}
+
+TEST_P(SolverGrid, DuplexUniformizationVsRk45) {
+  const auto [lambda, le, sigma] = GetParam();
+  DuplexParams p;
+  p.n = 18;
+  p.k = 16;
+  p.m = 8;
+  p.seu_rate_per_bit_hour = lambda;
+  p.erasure_rate_per_symbol_hour = le;
+  p.scrub_rate_per_hour = sigma;
+  const std::vector<double> times{6.0, 48.0};
+  const BerCurve uni =
+      duplex_ber_curve(p, times, markov::UniformizationSolver{});
+  const BerCurve rk = duplex_ber_curve(p, times, markov::Rk45Solver{});
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_NEAR(uni.fail_probability[i], rk.fail_probability[i], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperatingPoints, SolverGrid,
+    ::testing::Values(
+        GridPoint{7.3e-7 / 24, 0.0, 0.0},      // Fig. 5/6 slow
+        GridPoint{1.7e-5 / 24, 0.0, 0.0},      // Fig. 5/6 fast
+        GridPoint{1.7e-5 / 24, 0.0, 4.0},      // Fig. 7 stiff (Tsc=900s)
+        GridPoint{0.0, 1e-4 / 24, 0.0},        // Fig. 8/9 permanent
+        GridPoint{1e-4, 1e-3, 0.0},            // accelerated mixed
+        GridPoint{1e-4, 1e-3, 1.0},            // accelerated + scrub
+        GridPoint{1e-3, 1e-2, 10.0}));         // hot and stiff
+
+}  // namespace
+}  // namespace rsmem::models

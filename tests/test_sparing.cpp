@@ -1,0 +1,131 @@
+// Tests for the modular-sparing (dynamic redundancy) model.
+#include "models/sparing_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "markov/absorption.h"
+
+namespace rsmem::models {
+namespace {
+
+TEST(SparingModel, Validation) {
+  SparingParams p;
+  p.active_modules = 0;
+  EXPECT_THROW(SparingModel{p}, std::invalid_argument);
+  p.active_modules = 4;
+  p.coverage = 1.5;
+  EXPECT_THROW(SparingModel{p}, std::invalid_argument);
+  p.coverage = 1.0;
+  p.spare_ageing_fraction = -0.5;
+  EXPECT_THROW(SparingModel{p}, std::invalid_argument);
+  p.spare_ageing_fraction = 0.0;
+  p.module_fail_rate_per_hour = -1.0;
+  EXPECT_THROW(SparingModel{p}, std::invalid_argument);
+}
+
+TEST(SparingModel, NoSparesIsSeriesSystem) {
+  // S = 0: first failure of any of M modules is fatal:
+  // R(t) = exp(-M lambda t), MTTF = 1/(M lambda).
+  SparingParams p;
+  p.active_modules = 8;
+  p.spares = 0;
+  p.module_fail_rate_per_hour = 1e-3;
+  const SparingModel model{p};
+  const double t = 200.0;
+  EXPECT_NEAR(model.reliability_at(t), std::exp(-8e-3 * t), 1e-12);
+  EXPECT_NEAR(model.mttf_hours(), 1.0 / 8e-3, 1e-9);
+}
+
+TEST(SparingModel, ColdSparesPerfectCoverageIsErlang) {
+  // Cold spares, c = 1: time to Down is the sum of S+1 iid exp(M lambda)
+  // stages -> Erlang(S+1, M lambda): MTTF = (S+1)/(M lambda).
+  SparingParams p;
+  p.active_modules = 4;
+  p.spares = 3;
+  p.module_fail_rate_per_hour = 2e-3;
+  const SparingModel model{p};
+  EXPECT_NEAR(model.mttf_hours(), 4.0 / (4.0 * 2e-3), 1e-9);
+  // Erlang CDF check at one point: P(N_Poisson(M lambda t) >= S+1).
+  const double t = 300.0;
+  const double mu = 4.0 * 2e-3 * t;
+  double cdf = 0.0;  // P(fewer than 4 events)
+  double term = std::exp(-mu);
+  for (int i = 0; i < 4; ++i) {
+    cdf += term;
+    term *= mu / (i + 1);
+  }
+  EXPECT_NEAR(model.reliability_at(t), cdf, 1e-10);
+}
+
+TEST(SparingModel, MoreSparesNeverHurt) {
+  double prev = 0.0;
+  for (const unsigned spares : {0u, 1u, 2u, 4u}) {
+    SparingParams p;
+    p.active_modules = 8;
+    p.spares = spares;
+    p.module_fail_rate_per_hour = 1e-3;
+    const double r = SparingModel{p}.reliability_at(500.0);
+    EXPECT_GT(r, prev) << "spares=" << spares;
+    prev = r;
+  }
+}
+
+TEST(SparingModel, ImperfectCoverageCapsTheGain) {
+  // With c < 1, even infinite spares cannot beat the uncovered-failure
+  // exposure: R(t) <= exp(-M lambda (1-c) t) in the limit... check the
+  // ordering c=0.9 < c=1.0 and that c=0 makes spares useless.
+  SparingParams p;
+  p.active_modules = 8;
+  p.spares = 4;
+  p.module_fail_rate_per_hour = 1e-3;
+  p.coverage = 1.0;
+  const double perfect = SparingModel{p}.reliability_at(500.0);
+  p.coverage = 0.9;
+  const double partial = SparingModel{p}.reliability_at(500.0);
+  p.coverage = 0.0;
+  const double none = SparingModel{p}.reliability_at(500.0);
+  EXPECT_GT(perfect, partial);
+  EXPECT_GT(partial, none);
+  // c = 0: every failure is fatal regardless of spares.
+  EXPECT_NEAR(none, std::exp(-8e-3 * 500.0), 1e-12);
+}
+
+TEST(SparingModel, HotSparesAgeAndCostReliability) {
+  SparingParams p;
+  p.active_modules = 8;
+  p.spares = 3;
+  p.module_fail_rate_per_hour = 1e-3;
+  p.spare_ageing_fraction = 0.0;
+  const double cold = SparingModel{p}.reliability_at(800.0);
+  p.spare_ageing_fraction = 1.0;
+  const double hot = SparingModel{p}.reliability_at(800.0);
+  EXPECT_GT(cold, hot);
+  // Hot spares still beat no spares.
+  SparingParams bare = p;
+  bare.spares = 0;
+  EXPECT_GT(hot, SparingModel{bare}.reliability_at(800.0));
+}
+
+TEST(SparingModel, ZeroRateNeverFails) {
+  SparingParams p;
+  p.active_modules = 4;
+  p.spares = 1;
+  const SparingModel model{p};
+  EXPECT_DOUBLE_EQ(model.reliability_at(1e6), 1.0);
+  EXPECT_THROW(model.mttf_hours(), std::domain_error);
+}
+
+TEST(SparingModel, StateSpaceIsSparesPlusTwo) {
+  SparingParams p;
+  p.active_modules = 4;
+  p.spares = 5;
+  p.module_fail_rate_per_hour = 1e-3;
+  const markov::StateSpace space = SparingModel{p}.build();
+  EXPECT_EQ(space.size(), 7u);  // spares 5..0 plus Down
+}
+
+}  // namespace
+}  // namespace rsmem::models

@@ -1,0 +1,117 @@
+// Tests for the byte-stream codec layer.
+#include "rs/stream_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace rsmem::rs {
+namespace {
+
+std::vector<std::uint8_t> random_payload(sim::Rng& rng, std::size_t bytes) {
+  std::vector<std::uint8_t> p(bytes);
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+  return p;
+}
+
+TEST(StreamCodec, RequiresByteSymbols) {
+  EXPECT_THROW(StreamCodec(CodeParams{15, 11, 4, 1, 0}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(StreamCodec(CodeParams{18, 16, 8, 1, 0}));
+}
+
+TEST(StreamCodec, SizesAndFraming) {
+  const StreamCodec codec{CodeParams{18, 16, 8, 1, 0}};
+  EXPECT_EQ(codec.frames_for(0), 1u);
+  EXPECT_EQ(codec.frames_for(1), 1u);
+  EXPECT_EQ(codec.frames_for(16), 1u);
+  EXPECT_EQ(codec.frames_for(17), 2u);
+  EXPECT_EQ(codec.encoded_size(100), 7u * 18);
+}
+
+TEST(StreamCodec, RoundTripVariousSizes) {
+  const StreamCodec codec{CodeParams{18, 16, 8, 1, 0}};
+  sim::Rng rng{1};
+  for (const std::size_t bytes : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{16}, std::size_t{17},
+                                  std::size_t{1000}}) {
+    const auto payload = random_payload(rng, bytes);
+    const auto encoded = codec.encode(payload);
+    EXPECT_EQ(encoded.size(), codec.encoded_size(bytes));
+    const auto result = codec.decode(encoded, bytes);
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.frames_corrected, 0u);
+    EXPECT_EQ(result.payload, payload);
+  }
+}
+
+TEST(StreamCodec, CorrectsScatteredCorruption) {
+  const StreamCodec codec{CodeParams{18, 16, 8, 1, 0}};
+  sim::Rng rng{2};
+  const auto payload = random_payload(rng, 1000);  // 63 frames
+  auto encoded = codec.encode(payload);
+  // One corrupted byte per frame: always within the t=1 budget.
+  const std::size_t frames = codec.frames_for(payload.size());
+  for (std::size_t f = 0; f < frames; ++f) {
+    encoded[f * 18 + rng.uniform_int(18)] ^= 0xFF;
+  }
+  const auto result = codec.decode(encoded, payload.size());
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.frames_corrected, frames);
+  EXPECT_EQ(result.payload, payload);
+}
+
+TEST(StreamCodec, ReportsFailedFramesAndKeepsGoing) {
+  const StreamCodec codec{CodeParams{18, 16, 8, 1, 0}};
+  sim::Rng rng{3};
+  const auto payload = random_payload(rng, 160);  // 10 frames
+  auto encoded = codec.encode(payload);
+  // Destroy frame 4 beyond repair (many corrupted symbols).
+  for (unsigned i = 0; i < 9; ++i) encoded[4 * 18 + 2 * i] ^= 0xA5;
+  const auto result = codec.decode(encoded, payload.size());
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.frames, 10u);
+  EXPECT_GE(result.frames_failed, 1u);
+  // Other frames still decoded correctly.
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(result.payload[i], payload[i]) << i;
+  }
+  for (std::size_t i = 5 * 16; i < payload.size(); ++i) {
+    EXPECT_EQ(result.payload[i], payload[i]) << i;
+  }
+}
+
+TEST(StreamCodec, ErasureFlagsExtendTheBudget) {
+  const StreamCodec codec{CodeParams{18, 16, 8, 1, 0}};
+  sim::Rng rng{4};
+  const auto payload = random_payload(rng, 32);  // 2 frames
+  auto encoded = codec.encode(payload);
+  std::vector<std::uint8_t> flags(encoded.size(), 0);
+  // Two corrupted bytes in frame 0, both flagged as erasures: correctable
+  // only thanks to the flags (2 random errors would exceed t=1).
+  encoded[3] ^= 0x11;
+  encoded[9] ^= 0x22;
+  flags[3] = 1;
+  flags[9] = 1;
+  const auto result = codec.decode(encoded, payload.size(), flags);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.payload, payload);
+  // Over-budget erasures in a frame are a clean failure, not a throw.
+  std::fill(flags.begin(), flags.begin() + 3, 1);
+  const auto overloaded = codec.decode(encoded, payload.size(), flags);
+  EXPECT_FALSE(overloaded.ok);
+}
+
+TEST(StreamCodec, Validation) {
+  const StreamCodec codec{CodeParams{18, 16, 8, 1, 0}};
+  std::vector<std::uint8_t> bad(17, 0);
+  EXPECT_THROW(codec.decode(bad, 16), std::invalid_argument);
+  std::vector<std::uint8_t> encoded(18, 0);
+  std::vector<std::uint8_t> flags(17, 0);
+  EXPECT_THROW(codec.decode(encoded, 16, flags), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsmem::rs

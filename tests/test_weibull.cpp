@@ -1,0 +1,132 @@
+// Tests for the Weibull NHPP process and wearout fault injection.
+#include "sim/weibull.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "memory/simplex_system.h"
+
+namespace rsmem::sim {
+namespace {
+
+TEST(WeibullProcess, Validation) {
+  EXPECT_THROW(WeibullProcess(0.0, 1.0, Rng{1}), std::invalid_argument);
+  EXPECT_THROW(WeibullProcess(1.0, -1.0, Rng{1}), std::invalid_argument);
+  WeibullProcess p{1.0, 1.0, Rng{1}};
+  EXPECT_THROW(p.next_after(-1.0), std::invalid_argument);
+  EXPECT_THROW(p.cumulative_hazard(-1.0), std::invalid_argument);
+}
+
+TEST(WeibullProcess, CumulativeHazard) {
+  const WeibullProcess p{2.0, 10.0, Rng{1}};
+  EXPECT_DOUBLE_EQ(p.cumulative_hazard(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.cumulative_hazard(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.cumulative_hazard(20.0), 4.0);
+}
+
+TEST(WeibullProcess, ShapeOneIsExponential) {
+  // beta = 1: inter-arrival times are iid Exp(1/eta); check the mean.
+  WeibullProcess p{1.0, 2.0, Rng{7}};
+  double t = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) t = p.next_after(t);
+  EXPECT_NEAR(t / n, 2.0, 0.05);  // mean gap = eta
+}
+
+TEST(WeibullProcess, CountsMatchCumulativeHazard) {
+  // E[N(0,T)] = (T/eta)^beta for any beta.
+  for (const double beta : {0.5, 1.0, 2.0, 3.0}) {
+    WeibullProcess p{beta, 50.0, Rng{static_cast<std::uint64_t>(beta * 10)}};
+    double total = 0.0;
+    const int reps = 2000;
+    for (int r = 0; r < reps; ++r) {
+      WeibullProcess fresh{beta, 50.0,
+                           Rng{static_cast<std::uint64_t>(beta * 1000 + r)}};
+      total += static_cast<double>(fresh.arrivals_in(0.0, 100.0).size());
+    }
+    const double expected = std::pow(100.0 / 50.0, beta);
+    EXPECT_NEAR(total / reps, expected, expected * 0.05 + 0.02)
+        << "beta=" << beta;
+  }
+}
+
+TEST(WeibullProcess, WearoutClustersLate) {
+  // beta = 3: over [0, T], 7/8 of the expected arrivals land in the second
+  // half ((1 - (1/2)^3) of the cumulative hazard).
+  WeibullProcess p{3.0, 10.0, Rng{77}};
+  int early = 0, late = 0;
+  for (int r = 0; r < 3000; ++r) {
+    WeibullProcess fresh{3.0, 10.0, Rng{static_cast<std::uint64_t>(r)}};
+    for (const double t : fresh.arrivals_in(0.0, 20.0)) {
+      (t < 10.0 ? early : late) += 1;
+    }
+  }
+  const double late_fraction =
+      static_cast<double>(late) / std::max(1, early + late);
+  EXPECT_NEAR(late_fraction, 7.0 / 8.0, 0.02);
+}
+
+TEST(WearoutInjection, ShapeValidation) {
+  memory::SimplexSystemConfig cfg;
+  cfg.rates.perm_rate_per_symbol_hour = 1e-3;
+  cfg.rates.perm_weibull_shape = 0.0;
+  EXPECT_THROW(memory::SimplexSystem{cfg}, std::invalid_argument);
+}
+
+TEST(WearoutInjection, MatchedCountsAtCharacteristicLife) {
+  // At t = 1/rate the expected per-symbol fault count is 1 for EVERY shape;
+  // compare injected totals between beta = 1 and beta = 2 at that horizon.
+  const double rate = 0.01;  // characteristic life = 100 h
+  double total_const = 0.0, total_wear = 0.0;
+  const int reps = 400;
+  for (int r = 0; r < reps; ++r) {
+    memory::SimplexSystemConfig cfg;
+    cfg.rates.perm_rate_per_symbol_hour = rate;
+    cfg.seed = 10'000 + r;
+    memory::SimplexSystem constant{cfg};
+    std::vector<gf::Element> data(16, 1);
+    constant.store(data);
+    constant.advance_to(100.0);
+    total_const += constant.stats().permanent_injected;
+
+    cfg.rates.perm_weibull_shape = 2.0;
+    memory::SimplexSystem wearing{cfg};
+    wearing.store(data);
+    wearing.advance_to(100.0);
+    total_wear += wearing.stats().permanent_injected;
+  }
+  // Both should average ~18 faults (n symbols, 1 per symbol).
+  EXPECT_NEAR(total_const / reps, 18.0, 1.0);
+  EXPECT_NEAR(total_wear / reps, 18.0, 1.0);
+}
+
+TEST(WearoutInjection, EarlyLifeIsQuieterUnderWearout) {
+  // At t = (1/rate)/4, beta=2 has only 1/4 the cumulative hazard of the
+  // constant-rate process.
+  const double rate = 0.01;
+  double total_const = 0.0, total_wear = 0.0;
+  const int reps = 400;
+  for (int r = 0; r < reps; ++r) {
+    memory::SimplexSystemConfig cfg;
+    cfg.rates.perm_rate_per_symbol_hour = rate;
+    cfg.seed = 20'000 + r;
+    memory::SimplexSystem constant{cfg};
+    std::vector<gf::Element> data(16, 1);
+    constant.store(data);
+    constant.advance_to(25.0);
+    total_const += constant.stats().permanent_injected;
+
+    cfg.rates.perm_weibull_shape = 2.0;
+    memory::SimplexSystem wearing{cfg};
+    wearing.store(data);
+    wearing.advance_to(25.0);
+    total_wear += wearing.stats().permanent_injected;
+  }
+  EXPECT_NEAR(total_const / reps, 18.0 * 0.25, 0.5);
+  EXPECT_NEAR(total_wear / reps, 18.0 * 0.0625, 0.3);
+}
+
+}  // namespace
+}  // namespace rsmem::sim

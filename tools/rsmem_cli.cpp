@@ -1,0 +1,8 @@
+// rsmem_cli: command-line front end for the rsmem library.
+#include <iostream>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  return rsmem::cli::run_cli(argc, argv, std::cout, std::cerr);
+}
