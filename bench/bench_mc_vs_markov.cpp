@@ -4,6 +4,8 @@
 //
 // For each scenario the Monte-Carlo estimate and its 95% Wilson interval
 // are printed against the chain prediction(s).
+#include <thread>
+
 #include "bench_common.h"
 #include "analysis/monte_carlo.h"
 #include "core/api.h"
@@ -92,5 +94,53 @@ int main() {
       "note: the paper's chain fails as soon as EITHER duplex word exceeds\n"
       "its budget; the real arbiter usually survives one lost word, so the\n"
       "functional system lands between the two criteria (see EXPERIMENTS.md).\n");
+
+  // ---- Campaign throughput: single-threaded seed path vs parallel. ----
+  const unsigned hw = std::thread::hardware_concurrency();
+  core::MemorySystemSpec spec;
+  spec.arrangement = analysis::Arrangement::kSimplex;
+  spec.seu_rate_per_bit_day = 2.4e-3;
+
+  analysis::MonteCarloConfig mc;
+  mc.trials = 60000;
+  mc.t_end_hours = 48.0;
+  mc.seed = 20240707;
+
+  analysis::CampaignReport single_report;
+  mc.threads = 1;
+  const analysis::MonteCarloResult single =
+      simulate(spec, mc, memory::ScrubPolicy::kExponential, &single_report);
+
+  analysis::CampaignReport parallel_report;
+  mc.threads = 0;  // hardware concurrency
+  const analysis::MonteCarloResult parallel =
+      simulate(spec, mc, memory::ScrubPolicy::kExponential, &parallel_report);
+
+  const double speedup =
+      single_report.trials_per_second > 0.0
+          ? parallel_report.trials_per_second / single_report.trials_per_second
+          : 0.0;
+  analysis::Table perf{{"threads", "shards", "trials/s", "speedup"}};
+  perf.add_row({"1", std::to_string(single_report.chunks),
+                analysis::format_sci(single_report.trials_per_second), "1.00"});
+  perf.add_row({std::to_string(parallel_report.threads_used),
+                std::to_string(parallel_report.chunks),
+                analysis::format_sci(parallel_report.trials_per_second),
+                analysis::format_fixed(speedup, 2)});
+  std::printf("%s", perf.to_text().c_str());
+
+  checks.expect(single.failure.failures == parallel.failure.failures &&
+                    single.failure.trials == parallel.failure.trials &&
+                    single.mean_seu_per_trial == parallel.mean_seu_per_trial &&
+                    single.scrub_failures == parallel.scrub_failures,
+                "campaign result bit-identical across thread counts");
+  if (hw >= 4) {
+    checks.expect(speedup >= 3.0,
+                  "parallel campaign >= 3x trials/s on 4+ hardware threads");
+  } else {
+    std::printf(
+        "note: %u hardware thread(s) available; >= 3x speedup check needs 4+\n",
+        hw);
+  }
   return checks.exit_code();
 }

@@ -1,0 +1,81 @@
+#include "analysis/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+
+#include "sim/thread_pool.h"
+
+namespace rsmem::analysis {
+
+std::size_t campaign_chunk_count(const CampaignConfig& config) {
+  if (config.trials == 0) {
+    throw std::invalid_argument("campaign: need at least 1 trial");
+  }
+  if (config.chunk_trials == 0) {
+    throw std::invalid_argument("campaign: chunk_trials must be > 0");
+  }
+  return (config.trials + config.chunk_trials - 1) / config.chunk_trials;
+}
+
+void run_chunked(const CampaignConfig& config, const ChunkRunner& run_chunk,
+                 CampaignReport* report, CampaignProgress* progress) {
+  const std::size_t chunks = campaign_chunk_count(config);
+  const unsigned threads = static_cast<unsigned>(
+      std::min<std::size_t>(sim::ThreadPool::resolve(config.threads), chunks));
+
+  // First failing chunk by INDEX, so the rethrown error is deterministic
+  // even when several chunks fail on different workers.
+  std::mutex error_mutex;
+  std::size_t error_chunk = chunks;
+  std::exception_ptr error;
+
+  const auto guarded_chunk = [&](std::size_t chunk) {
+    const std::size_t first = chunk * config.chunk_trials;
+    const std::size_t last =
+        std::min(config.trials, first + config.chunk_trials);
+    try {
+      run_chunk(chunk, first, last);
+      if (progress != nullptr) {
+        progress->trials_completed.fetch_add(last - first,
+                                             std::memory_order_relaxed);
+        progress->chunks_completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (chunk < error_chunk) {
+        error_chunk = chunk;
+        error = std::current_exception();
+      }
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  if (threads <= 1) {
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) guarded_chunk(chunk);
+  } else {
+    sim::ThreadPool pool{threads};
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+      pool.submit([&guarded_chunk, chunk] { guarded_chunk(chunk); });
+    }
+    pool.wait_idle();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (error) std::rethrow_exception(error);
+
+  if (report != nullptr) {
+    report->trials = config.trials;
+    report->chunks = chunks;
+    report->threads_used = threads;
+    report->elapsed_seconds = elapsed;
+    report->trials_per_second =
+        elapsed > 0.0 ? static_cast<double>(config.trials) / elapsed : 0.0;
+  }
+}
+
+}  // namespace rsmem::analysis

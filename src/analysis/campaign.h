@@ -1,0 +1,90 @@
+// Sharded Monte-Carlo campaign runner.
+//
+// Partitions a campaign of `trials` independent trials into fixed-size
+// chunks, runs the chunks on a sim::ThreadPool, and folds the per-chunk
+// accumulators IN CHUNK-INDEX ORDER. Together with per-trial RNG streams
+// keyed by the GLOBAL trial index (not by shard or thread), this makes the
+// campaign result bit-identical for every thread count, including 1:
+//
+//  * which trials exist, and each trial's random stream, depend only on the
+//    campaign seed and the global trial index;
+//  * chunk boundaries depend only on `chunk_trials`, never on `threads`;
+//  * the merge fold visits chunks in ascending index order, so even
+//    non-associative accumulator arithmetic (floating-point sums) combines
+//    in one fixed order.
+//
+// The scheduler is free to run chunks in any order on any worker; only the
+// fold order is pinned.
+#ifndef RSMEM_ANALYSIS_CAMPAIGN_H
+#define RSMEM_ANALYSIS_CAMPAIGN_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rsmem::analysis {
+
+struct CampaignConfig {
+  std::size_t trials = 0;
+  // Shard granularity. Results do not depend on it (see fold-order note
+  // above), but it trades scheduling slack against task overhead.
+  std::size_t chunk_trials = 1024;
+  // Worker threads; 0 selects the hardware concurrency. Never more threads
+  // than chunks are spawned.
+  unsigned threads = 0;
+};
+
+// Live per-shard progress, safe to read from other threads while the
+// campaign runs (e.g. for a bench progress line).
+struct CampaignProgress {
+  std::atomic<std::uint64_t> trials_completed{0};
+  std::atomic<std::uint64_t> chunks_completed{0};
+};
+
+// Filled in after the campaign finishes.
+struct CampaignReport {
+  std::size_t trials = 0;
+  std::size_t chunks = 0;
+  unsigned threads_used = 0;
+  double elapsed_seconds = 0.0;
+  double trials_per_second = 0.0;
+};
+
+// Number of chunks the config partitions into (ceil division).
+std::size_t campaign_chunk_count(const CampaignConfig& config);
+
+// Type-erased core: calls `run_chunk(chunk_index, first_trial, last_trial)`
+// for every chunk (half-open trial range), using `config.threads` workers.
+// The single-thread path runs inline with no pool. Exceptions thrown by a
+// chunk are captured and the FIRST one (by chunk index) is rethrown after
+// all other chunks finish. Throws std::invalid_argument for an empty
+// campaign or zero chunk size.
+using ChunkRunner = std::function<void(
+    std::size_t chunk_index, std::size_t first_trial, std::size_t last_trial)>;
+void run_chunked(const CampaignConfig& config, const ChunkRunner& run_chunk,
+                 CampaignReport* report = nullptr,
+                 CampaignProgress* progress = nullptr);
+
+// Accumulator-typed front end. `chunk_fn(first, last, shard)` fills a
+// default-constructed shard accumulator for its trial range; `merge(total,
+// shard)` folds shards into the running total in chunk order.
+template <typename Accumulator, typename ChunkFn, typename MergeFn>
+Accumulator run_sharded(const CampaignConfig& config, ChunkFn&& chunk_fn,
+                        MergeFn&& merge, CampaignReport* report = nullptr,
+                        CampaignProgress* progress = nullptr) {
+  std::vector<Accumulator> shards(campaign_chunk_count(config));
+  run_chunked(
+      config,
+      [&](std::size_t chunk, std::size_t first, std::size_t last) {
+        chunk_fn(first, last, shards[chunk]);
+      },
+      report, progress);
+  Accumulator total{};
+  for (const Accumulator& shard : shards) merge(total, shard);
+  return total;
+}
+
+}  // namespace rsmem::analysis
+
+#endif  // RSMEM_ANALYSIS_CAMPAIGN_H

@@ -18,6 +18,59 @@ std::vector<gf::Element> random_data(sim::Rng& rng, unsigned k, unsigned m) {
   return data;
 }
 
+void count_outcome(MonteCarloAccumulator& acc, const MonteCarloConfig& config,
+                   bool success, bool data_correct,
+                   const memory::SystemStats& stats) {
+  ++acc.trials;
+  if (!success) {
+    ++acc.failures;
+    ++acc.no_output_failures;
+  } else if (config.wrong_data_is_failure && !data_correct) {
+    ++acc.failures;
+    ++acc.wrong_data_failures;
+  }
+  acc.seu_sum += stats.seu_injected;
+  acc.permanent_sum += stats.permanent_injected;
+  acc.scrub_failures += stats.scrub_failures;
+  acc.scrub_miscorrections += stats.scrub_miscorrections;
+}
+
+void fill_word(WordObservation& word, const rs::DecodeOutcome& outcome,
+               unsigned erasures_supplied,
+               const memory::DamageSummary& damage) {
+  word.decode_ok = outcome.ok();
+  word.errors_corrected = outcome.errors_corrected;
+  word.erasures_corrected = outcome.erasures_corrected;
+  word.erasures_supplied = erasures_supplied;
+  word.erased_symbols = damage.erased;
+  word.corrupted_symbols = damage.corrupted;
+}
+
+// One trial's RNG streams are keyed by the GLOBAL trial index, never by the
+// shard, so shard layout cannot change any trial's fault history.
+sim::Rng trial_data_rng(const sim::Rng& root, std::size_t trial) {
+  return root.split(2 * trial);
+}
+std::uint64_t trial_system_seed(const sim::Rng& root, std::size_t trial) {
+  return root.split(2 * trial + 1).next_u64();
+}
+
+MonteCarloResult run_campaign(const MonteCarloConfig& config,
+                              const ChunkRunner& chunk_with_acc,
+                              CampaignReport* report,
+                              CampaignProgress* progress,
+                              std::vector<MonteCarloAccumulator>& shards) {
+  CampaignConfig campaign;
+  campaign.trials = config.trials;
+  campaign.chunk_trials = config.chunk_trials;
+  campaign.threads = config.threads;
+  shards.assign(campaign_chunk_count(campaign), MonteCarloAccumulator{});
+  run_chunked(campaign, chunk_with_acc, report, progress);
+  MonteCarloAccumulator total;
+  for (const MonteCarloAccumulator& shard : shards) total.merge_from(shard);
+  return total.finalize();
+}
+
 }  // namespace
 
 double BinomialEstimate::p_hat() const {
@@ -60,70 +113,113 @@ bool BinomialEstimate::covers(double p) const {
   return p >= wilson_low() && p <= wilson_high();
 }
 
-MonteCarloResult run_simplex_trials(const memory::SimplexSystemConfig& system,
-                                    const MonteCarloConfig& config) {
-  if (config.trials == 0) {
-    throw std::invalid_argument("run_simplex_trials: need at least 1 trial");
-  }
+void MonteCarloAccumulator::merge_from(const MonteCarloAccumulator& other) {
+  trials += other.trials;
+  failures += other.failures;
+  seu_sum += other.seu_sum;
+  permanent_sum += other.permanent_sum;
+  scrub_failures += other.scrub_failures;
+  scrub_miscorrections += other.scrub_miscorrections;
+  no_output_failures += other.no_output_failures;
+  wrong_data_failures += other.wrong_data_failures;
+}
+
+MonteCarloResult MonteCarloAccumulator::finalize() const {
   MonteCarloResult result;
-  result.failure.trials = config.trials;
-  const sim::Rng root{config.seed};
-  for (std::size_t trial = 0; trial < config.trials; ++trial) {
-    sim::Rng data_rng = root.split(2 * trial);
-    memory::SimplexSystemConfig cfg = system;
-    cfg.seed = root.split(2 * trial + 1).next_u64();
-    memory::SimplexSystem sys{cfg};
-    sys.store(random_data(data_rng, cfg.code.k, cfg.code.m));
-    sys.advance_to(config.t_end_hours);
-    const memory::ReadResult read = sys.read();
-    if (!read.success) {
-      ++result.failure.failures;
-      ++result.no_output_failures;
-    } else if (config.wrong_data_is_failure && !read.data_correct) {
-      ++result.failure.failures;
-      ++result.wrong_data_failures;
-    }
-    result.mean_seu_per_trial += sys.stats().seu_injected;
-    result.mean_permanent_per_trial += sys.stats().permanent_injected;
-    result.scrub_failures += sys.stats().scrub_failures;
-    result.scrub_miscorrections += sys.stats().scrub_miscorrections;
+  result.failure.trials = trials;
+  result.failure.failures = failures;
+  if (trials > 0) {
+    result.mean_seu_per_trial = seu_sum / static_cast<double>(trials);
+    result.mean_permanent_per_trial =
+        permanent_sum / static_cast<double>(trials);
   }
-  result.mean_seu_per_trial /= static_cast<double>(config.trials);
-  result.mean_permanent_per_trial /= static_cast<double>(config.trials);
+  result.scrub_failures = scrub_failures;
+  result.scrub_miscorrections = scrub_miscorrections;
+  result.no_output_failures = no_output_failures;
+  result.wrong_data_failures = wrong_data_failures;
   return result;
 }
 
+MonteCarloResult run_simplex_trials(const memory::SimplexSystemConfig& system,
+                                    const MonteCarloConfig& config,
+                                    CampaignReport* report,
+                                    CampaignProgress* progress) {
+  if (config.trials == 0) {
+    throw std::invalid_argument("run_simplex_trials: need at least 1 trial");
+  }
+  const sim::Rng root{config.seed};
+  std::vector<MonteCarloAccumulator> shards;
+  const auto chunk = [&](std::size_t chunk_index, std::size_t first,
+                         std::size_t last) {
+    MonteCarloAccumulator& acc = shards[chunk_index];
+    for (std::size_t trial = first; trial < last; ++trial) {
+      sim::Rng data_rng = trial_data_rng(root, trial);
+      memory::SimplexSystemConfig cfg = system;
+      cfg.seed = trial_system_seed(root, trial);
+      memory::SimplexSystem sys{cfg};
+      sys.store(random_data(data_rng, cfg.code.k, cfg.code.m));
+      sys.advance_to(config.t_end_hours);
+      const memory::ReadResult read = sys.read();
+      count_outcome(acc, config, read.success, read.data_correct,
+                    sys.stats());
+      if (config.observer) {
+        TrialRecord record;
+        record.trial_index = trial;
+        record.success = read.success;
+        record.data_correct = read.data_correct;
+        record.word_count = 1;
+        const memory::DamageSummary damage = sys.damage();
+        fill_word(record.words[0], read.outcome, damage.erased, damage);
+        record.seu_injected = sys.stats().seu_injected;
+        record.permanent_injected = sys.stats().permanent_injected;
+        config.observer(record);
+      }
+    }
+  };
+  return run_campaign(config, chunk, report, progress, shards);
+}
+
 MonteCarloResult run_duplex_trials(const memory::DuplexSystemConfig& system,
-                                   const MonteCarloConfig& config) {
+                                   const MonteCarloConfig& config,
+                                   CampaignReport* report,
+                                   CampaignProgress* progress) {
   if (config.trials == 0) {
     throw std::invalid_argument("run_duplex_trials: need at least 1 trial");
   }
-  MonteCarloResult result;
-  result.failure.trials = config.trials;
   const sim::Rng root{config.seed};
-  for (std::size_t trial = 0; trial < config.trials; ++trial) {
-    sim::Rng data_rng = root.split(2 * trial);
-    memory::DuplexSystemConfig cfg = system;
-    cfg.seed = root.split(2 * trial + 1).next_u64();
-    memory::DuplexSystem sys{cfg};
-    sys.store(random_data(data_rng, cfg.code.k, cfg.code.m));
-    sys.advance_to(config.t_end_hours);
-    const memory::DuplexReadResult read = sys.read();
-    if (!read.read.success) {
-      ++result.failure.failures;
-      ++result.no_output_failures;
-    } else if (config.wrong_data_is_failure && !read.read.data_correct) {
-      ++result.failure.failures;
-      ++result.wrong_data_failures;
+  std::vector<MonteCarloAccumulator> shards;
+  const auto chunk = [&](std::size_t chunk_index, std::size_t first,
+                         std::size_t last) {
+    MonteCarloAccumulator& acc = shards[chunk_index];
+    for (std::size_t trial = first; trial < last; ++trial) {
+      sim::Rng data_rng = trial_data_rng(root, trial);
+      memory::DuplexSystemConfig cfg = system;
+      cfg.seed = trial_system_seed(root, trial);
+      memory::DuplexSystem sys{cfg};
+      sys.store(random_data(data_rng, cfg.code.k, cfg.code.m));
+      sys.advance_to(config.t_end_hours);
+      const memory::DuplexReadResult read = sys.read();
+      count_outcome(acc, config, read.read.success, read.read.data_correct,
+                    sys.stats());
+      if (config.observer) {
+        TrialRecord record;
+        record.trial_index = trial;
+        record.success = read.read.success;
+        record.data_correct = read.read.data_correct;
+        record.word_count = 2;
+        const unsigned common = static_cast<unsigned>(
+            read.arbitration.common_erasures.size());
+        fill_word(record.words[0], read.arbitration.outcome1, common,
+                  sys.damage(0));
+        fill_word(record.words[1], read.arbitration.outcome2, common,
+                  sys.damage(1));
+        record.seu_injected = sys.stats().seu_injected;
+        record.permanent_injected = sys.stats().permanent_injected;
+        config.observer(record);
+      }
     }
-    result.mean_seu_per_trial += sys.stats().seu_injected;
-    result.mean_permanent_per_trial += sys.stats().permanent_injected;
-    result.scrub_failures += sys.stats().scrub_failures;
-    result.scrub_miscorrections += sys.stats().scrub_miscorrections;
-  }
-  result.mean_seu_per_trial /= static_cast<double>(config.trials);
-  result.mean_permanent_per_trial /= static_cast<double>(config.trials);
-  return result;
+  };
+  return run_campaign(config, chunk, report, progress, shards);
 }
 
 }  // namespace rsmem::analysis

@@ -62,6 +62,8 @@ int cmd_help(std::ostream& out) {
          "  mttf      mean time to data loss  [spec]\n"
          "  simulate  functional Monte-Carlo  [spec] --hours H --trials N\n"
          "            [--seed S] [--policy periodic|exponential]\n"
+         "            [--threads T (0 = all cores)] [--chunk trials/shard]\n"
+         "            (same seed => same result for every thread count)\n"
          "  cost      codec latency/area (fit + structural)  [spec]\n"
          "  sweep     BER at --hours H across --param seu|perm|tsc\n"
          "            with --values a,b,c  [spec]\n"
@@ -118,12 +120,19 @@ int cmd_mttf(const Args& args, std::ostream& out) {
 
 int cmd_simulate(const Args& args, std::ostream& out) {
   args.require_known(
-      with_spec({"hours", "trials", "seed", "policy"}));
+      with_spec({"hours", "trials", "seed", "policy", "threads", "chunk"}));
   const core::MemorySystemSpec spec = spec_from(args);
   analysis::MonteCarloConfig mc;
   mc.t_end_hours = args.get_double_or("hours", 48.0);
   mc.trials = static_cast<std::size_t>(args.get_long_or("trials", 1000));
   mc.seed = static_cast<std::uint64_t>(args.get_long_or("seed", 42));
+  const long threads = args.get_long_or("threads", 0);
+  const long chunk = args.get_long_or("chunk", 1024);
+  if (threads < 0 || chunk < 1) {
+    throw ArgError("--threads must be >= 0 and --chunk >= 1");
+  }
+  mc.threads = static_cast<unsigned>(threads);
+  mc.chunk_trials = static_cast<std::size_t>(chunk);
   const std::string policy = args.get_string_or("policy", "exponential");
   memory::ScrubPolicy scrub_policy;
   if (policy == "periodic") {
@@ -133,7 +142,9 @@ int cmd_simulate(const Args& args, std::ostream& out) {
   } else {
     throw ArgError("--policy must be 'periodic' or 'exponential'");
   }
-  const analysis::MonteCarloResult result = simulate(spec, mc, scrub_policy);
+  analysis::CampaignReport report;
+  const analysis::MonteCarloResult result =
+      simulate(spec, mc, scrub_policy, &report);
   out << "trials:            " << result.failure.trials << "\n"
       << "failures:          " << result.failure.failures << " ("
       << result.no_output_failures << " no-output, "
@@ -143,7 +154,10 @@ int cmd_simulate(const Args& args, std::ostream& out) {
       << analysis::format_sci(result.failure.wilson_low()) << ", "
       << analysis::format_sci(result.failure.wilson_high()) << "]\n"
       << "Markov prediction: "
-      << analysis::format_sci(fail_probability(spec, mc.t_end_hours)) << "\n";
+      << analysis::format_sci(fail_probability(spec, mc.t_end_hours)) << "\n"
+      << "campaign:          " << report.threads_used << " thread(s), "
+      << report.chunks << " shard(s), "
+      << analysis::format_sci(report.trials_per_second) << " trials/s\n";
   return 0;
 }
 

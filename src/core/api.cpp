@@ -28,13 +28,14 @@ double fail_probability(const core::MemorySystemSpec& spec, double t_hours) {
 
 analysis::MonteCarloResult simulate(const core::MemorySystemSpec& spec,
                                     const analysis::MonteCarloConfig& config,
-                                    memory::ScrubPolicy policy) {
+                                    memory::ScrubPolicy policy,
+                                    analysis::CampaignReport* report) {
   if (spec.arrangement == analysis::Arrangement::kSimplex) {
     return analysis::run_simplex_trials(
-        spec.to_simplex_system_config(config.seed, policy), config);
+        spec.to_simplex_system_config(config.seed, policy), config, report);
   }
   return analysis::run_duplex_trials(
-      spec.to_duplex_system_config(config.seed, policy), config);
+      spec.to_duplex_system_config(config.seed, policy), config, report);
 }
 
 reliability::ArrangementCost codec_cost(

@@ -34,10 +34,14 @@ double fail_probability(const core::MemorySystemSpec& spec, double t_hours);
 // The spec's scrubbing is simulated with the exponential policy by default
 // so results are directly comparable with the Markov chain; pass
 // memory::ScrubPolicy::kPeriodic to mirror real hardware instead.
+// Trials run on the sharded parallel campaign engine (config.threads; the
+// result is bit-identical for every thread count). Pass `report` to get
+// shard/throughput counters for the run.
 analysis::MonteCarloResult simulate(
     const core::MemorySystemSpec& spec,
     const analysis::MonteCarloConfig& config,
-    memory::ScrubPolicy policy = memory::ScrubPolicy::kExponential);
+    memory::ScrubPolicy policy = memory::ScrubPolicy::kExponential,
+    analysis::CampaignReport* report = nullptr);
 
 // Decode latency and codec area of the arrangement.
 reliability::ArrangementCost codec_cost(

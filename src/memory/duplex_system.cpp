@@ -99,6 +99,26 @@ DuplexReadResult DuplexSystem::read() const {
   return result;
 }
 
+DamageSummary DuplexSystem::damage(unsigned module_index) const {
+  if (!stored_) {
+    throw std::logic_error("DuplexSystem::damage: nothing stored");
+  }
+  if (module_index > 1) {
+    throw std::invalid_argument("DuplexSystem::damage: module must be 0 or 1");
+  }
+  const MemoryModule& module = module_index == 0 ? module1_ : module2_;
+  DamageSummary summary;
+  const std::vector<Element> word = module.read();
+  for (unsigned p = 0; p < code_.n(); ++p) {
+    if (module.symbol_has_detected_fault(p)) {
+      ++summary.erased;
+    } else if (word[p] != stored_codeword_[p]) {
+      ++summary.corrupted;
+    }
+  }
+  return summary;
+}
+
 DuplexSystem::PairClassification DuplexSystem::classify_pairs() const {
   PairClassification c;
   const std::vector<Element> w1 = module1_.read();

@@ -49,6 +49,9 @@ class DuplexSystem {
 
   DuplexReadResult read() const;
 
+  // Ground-truth damage of one module (0 or 1) versus the stored codeword.
+  DamageSummary damage(unsigned module_index) const;
+
   // Instrumentation: classify the current symbol-pair damage into the
   // paper's 6-tuple (X, Y, b, e1, e2, ec) against the stored ground truth.
   struct PairClassification {

@@ -84,4 +84,20 @@ ReadResult SimplexSystem::read() const {
   return result;
 }
 
+DamageSummary SimplexSystem::damage() const {
+  if (!stored_) {
+    throw std::logic_error("SimplexSystem::damage: nothing stored");
+  }
+  DamageSummary summary;
+  const std::vector<Element> word = module_.read();
+  for (unsigned p = 0; p < code_.n(); ++p) {
+    if (module_.symbol_has_detected_fault(p)) {
+      ++summary.erased;
+    } else if (word[p] != stored_codeword_[p]) {
+      ++summary.corrupted;
+    }
+  }
+  return summary;
+}
+
 }  // namespace rsmem::memory

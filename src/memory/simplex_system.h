@@ -28,6 +28,17 @@ struct ReadResult {
   rs::DecodeOutcome outcome;  // decoder detail (simplex) / word-1 detail
 };
 
+// Ground-truth damage of one module at the current instant, classified
+// against the stored codeword: `erased` counts symbols the module reports
+// as erasures (detected permanent faults); `corrupted` counts the OTHER
+// symbols whose read value differs from the stored codeword (SEU damage
+// plus undetected stuck bits). The word is guaranteed recoverable while
+// erased + 2*corrupted <= n - k.
+struct DamageSummary {
+  unsigned erased = 0;
+  unsigned corrupted = 0;
+};
+
 struct SystemStats {
   unsigned seu_injected = 0;
   unsigned permanent_injected = 0;
@@ -60,6 +71,9 @@ class SimplexSystem {
 
   // Decodes the current memory content (non-destructive).
   ReadResult read() const;
+
+  // Ground-truth damage versus the stored codeword (instrumentation).
+  DamageSummary damage() const;
 
  private:
   void scrub();

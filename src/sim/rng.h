@@ -6,6 +6,16 @@
 // libraries). Streams can be split so that independent subsystems (fault
 // injection per module, scrubbing jitter, ...) draw from decorrelated
 // sequences while staying reproducible from one root seed.
+//
+// THREAD-SAFETY INVARIANT (parallel Monte-Carlo campaigns): an Rng holds a
+// mutable engine and is NOT safe for concurrent draws. The library keeps
+// every generator strictly SHARD-LOCAL: there are no global/static
+// generators anywhere in rsmem, each simulated system owns the Rngs it
+// draws from, and a campaign derives each trial's streams from the root
+// seed via split() keyed by the GLOBAL trial index (split() is const and
+// safe to call concurrently -- it only mixes seeds, touching no engine
+// state). Worker threads therefore never share engine state, and trial
+// results are independent of the thread or shard that ran them.
 #ifndef RSMEM_SIM_RNG_H
 #define RSMEM_SIM_RNG_H
 

@@ -1,0 +1,61 @@
+#include "sim/thread_pool.h"
+
+namespace rsmem::sim {
+
+unsigned ThreadPool::resolve(unsigned requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned count = resolve(threads);
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace rsmem::sim

@@ -1,0 +1,57 @@
+// A small fixed-size worker pool for CPU-bound simulation campaigns.
+//
+// Tasks are closures executed FIFO by `threads` workers. The pool makes no
+// ordering guarantee between tasks running on different workers, so callers
+// that need deterministic results must make tasks independent and combine
+// their outputs in a fixed order (see analysis/campaign.h, which does
+// exactly that for Monte-Carlo shards).
+#ifndef RSMEM_SIM_THREAD_POOL_H
+#define RSMEM_SIM_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rsmem::sim {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers; 0 selects the hardware concurrency (at least
+  // 1 even when the runtime cannot report it).
+  explicit ThreadPool(unsigned threads = 0);
+  // Joins the workers after draining already-submitted tasks.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Enqueues a task. Tasks must not throw (wrap and capture exceptions on
+  // the caller's side; analysis::run_chunked does this for campaigns).
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished running.
+  void wait_idle();
+
+  // 0 -> std::thread::hardware_concurrency(), clamped to >= 1.
+  static unsigned resolve(unsigned requested);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_idle_;
+  std::size_t in_flight_ = 0;  // queued + currently running tasks
+  bool stop_ = false;
+};
+
+}  // namespace rsmem::sim
+
+#endif  // RSMEM_SIM_THREAD_POOL_H

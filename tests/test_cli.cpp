@@ -143,6 +143,37 @@ TEST(Cli, SimulateReportsEstimate) {
   EXPECT_EQ(run({"simulate", "--policy", "nonsense"}, &out, &err), 2);
 }
 
+TEST(Cli, SimulateParallelMatchesSingleThread) {
+  // The campaign engine guarantees bit-identical results for every thread
+  // count; everything above the campaign/throughput footer must match.
+  const std::vector<const char*> base{"simulate", "--seu",  "2e-3",
+                                      "--trials", "400",    "--hours", "24",
+                                      "--seed",   "9",      "--chunk", "64"};
+  const auto run_with_threads = [&](const char* threads, std::string* out) {
+    std::vector<const char*> cmd{base};
+    cmd.push_back("--threads");
+    cmd.push_back(threads);
+    std::vector<const char*> argv{"rsmem_cli"};
+    argv.insert(argv.end(), cmd.begin(), cmd.end());
+    std::ostringstream os, es;
+    const int rc = run_cli(static_cast<int>(argv.size()), argv.data(), os, es);
+    *out = os.str();
+    return rc;
+  };
+  std::string out1, out8;
+  EXPECT_EQ(run_with_threads("1", &out1), 0);
+  EXPECT_EQ(run_with_threads("8", &out8), 0);
+  const auto strip_footer = [](const std::string& s) {
+    return s.substr(0, s.find("campaign:"));
+  };
+  EXPECT_FALSE(strip_footer(out1).empty());
+  EXPECT_EQ(strip_footer(out1), strip_footer(out8));
+  EXPECT_NE(out8.find("trials/s"), std::string::npos);
+  // Invalid shard size is a usage error.
+  std::string out, err;
+  EXPECT_EQ(run({"simulate", "--chunk", "0"}, &out, &err), 2);
+}
+
 TEST(Cli, CostPrintsBothModels) {
   std::string out;
   EXPECT_EQ(run({"cost", "--n", "36"}, &out), 0);

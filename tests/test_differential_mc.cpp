@@ -1,0 +1,290 @@
+// High-trial-count differential tests: the functional memory systems (real
+// decoder, real arbiter, Poisson fault injection) against the paper's CTMC
+// models, at accelerated fault rates, with >= 200k trials per scenario on
+// the parallel campaign engine (label: mc_heavy).
+//
+// Because every campaign is bit-identical for any thread count, these
+// assertions are exact regressions pins, not flaky statistical checks: a
+// fixed seed always reproduces the same estimate on any machine.
+//
+// Where the chain abstraction is exact (permanent faults: sticking a bit is
+// idempotent at symbol granularity; low-fluence SEUs), the Wilson 95%
+// interval of the simulated failure probability must COVER the chain's
+// P_Fail(t). Where the abstraction is knowingly one-sided, the suite pins
+// the direction and size of the gap instead:
+//  * high-fluence SEU: the functional system cancels a bit flip when a
+//    second upset hits the same bit, which the chain does not model, so the
+//    chain over-predicts by a small bounded margin (RS(36,16) needs ~11+
+//    corrupted symbols to fail, forcing high fluence);
+//  * duplex SEU: the paper's chain fails as soon as EITHER word exceeds its
+//    budget, while the real arbiter usually survives one lost word, so the
+//    functional system lands strictly between the paper criterion and the
+//    both-words-lost criterion.
+//
+// Every trial also feeds an RS-bound property check through the campaign
+// observer hook: no word decode may ever claim corrections beyond the
+// code's guaranteed capability er + 2*re <= n - k, and (simplex) any trial
+// whose ground-truth damage is within the bound must decode to the correct
+// data.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "analysis/monte_carlo.h"
+#include "markov/uniformization.h"
+#include "models/ber.h"
+
+namespace rsmem::analysis {
+namespace {
+
+constexpr std::size_t kTrials = 200000;
+constexpr std::uint64_t kSeed = 20260806;
+constexpr double kHours = 48.0;
+
+// Thread-safe RS-bound property monitor, installed as the campaign
+// observer; all counters are atomic because shards report concurrently.
+struct BoundMonitor {
+  unsigned parity_symbols;  // n - k
+  std::atomic<std::uint64_t> trials_seen{0};
+  std::atomic<std::uint64_t> claim_violations{0};
+  std::atomic<std::uint64_t> guarantee_violations{0};
+
+  void install(MonteCarloConfig& config) {
+    config.observer = [this](const TrialRecord& record) { observe(record); };
+  }
+
+  void observe(const TrialRecord& record) {
+    trials_seen.fetch_add(1, std::memory_order_relaxed);
+    for (unsigned w = 0; w < record.word_count; ++w) {
+      const WordObservation& word = record.words[w];
+      if (!word.decode_ok) continue;
+      // A successful decode can never claim a pattern beyond the bound:
+      // with er erasures supplied, at most floor((n-k-er)/2) random errors
+      // are correctable.
+      if (word.erasures_supplied + 2 * word.errors_corrected >
+              parity_symbols ||
+          word.erasures_corrected > word.erasures_supplied) {
+        claim_violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // Simplex guarantee: ground-truth damage within the bound MUST decode,
+    // and to the right data. (Not asserted for duplex words: erasure
+    // masking can import a symbol from the other module, so per-module
+    // damage does not bound the decoded word's error pattern.)
+    if (record.word_count == 1) {
+      const WordObservation& word = record.words[0];
+      if (word.erased_symbols + 2 * word.corrupted_symbols <=
+              parity_symbols &&
+          !(record.success && record.data_correct)) {
+        guarantee_violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void expect_clean(std::size_t expected_trials) const {
+    EXPECT_EQ(trials_seen.load(), expected_trials);
+    EXPECT_EQ(claim_violations.load(), 0u)
+        << "a decode claimed corrections beyond er + 2*re <= n - k";
+    EXPECT_EQ(guarantee_violations.load(), 0u)
+        << "a within-bound pattern failed to decode to the stored data";
+  }
+};
+
+double simplex_prediction(unsigned n, double seu_per_hour,
+                          double perm_per_hour) {
+  models::SimplexParams params;
+  params.n = n;
+  params.k = 16;
+  params.m = 8;
+  params.seu_rate_per_bit_hour = seu_per_hour;
+  params.erasure_rate_per_symbol_hour = perm_per_hour;
+  const std::vector<double> times{kHours};
+  return models::simplex_ber_curve(params, times,
+                                   markov::UniformizationSolver{})
+      .fail_probability[0];
+}
+
+double duplex_prediction(double seu_per_hour, double perm_per_hour,
+                         models::RateConvention convention,
+                         models::FailCriterion criterion) {
+  models::DuplexParams params;
+  params.n = 18;
+  params.k = 16;
+  params.m = 8;
+  params.seu_rate_per_bit_hour = seu_per_hour;
+  params.erasure_rate_per_symbol_hour = perm_per_hour;
+  params.convention = convention;
+  params.fail_criterion = criterion;
+  const std::vector<double> times{kHours};
+  return models::duplex_ber_curve(params, times,
+                                  markov::UniformizationSolver{})
+      .fail_probability[0];
+}
+
+// ---- Simplex RS(36,16) ----
+
+TEST(DifferentialMc, SimplexRs3616PermanentWilsonCoverage) {
+  // Permanent faults are exact at the chain's symbol granularity (sticking
+  // a second bit of an erased symbol changes nothing), so the 200k-trial
+  // Wilson interval must cover the chain prediction outright.
+  const double perm_per_hour = 0.30 / 24.0;
+  memory::SimplexSystemConfig cfg;
+  cfg.code = rs::CodeParams{36, 16, 8, 1};
+  cfg.rates.perm_rate_per_symbol_hour = perm_per_hour;
+
+  MonteCarloConfig mc;
+  mc.trials = kTrials;
+  mc.t_end_hours = kHours;
+  mc.seed = kSeed;
+  BoundMonitor monitor{cfg.code.n - cfg.code.k};
+  monitor.install(mc);
+
+  const MonteCarloResult sim = run_simplex_trials(cfg, mc);
+  monitor.expect_clean(mc.trials);
+
+  const double predicted = simplex_prediction(36, 0.0, perm_per_hour);
+  EXPECT_GT(predicted, 0.05);  // acceleration makes failures observable
+  EXPECT_GT(sim.failure.failures, 10000u);
+  EXPECT_TRUE(sim.failure.covers(predicted))
+      << "MC " << sim.failure.p_hat() << " CI [" << sim.failure.wilson_low()
+      << ", " << sim.failure.wilson_high() << "] vs Markov " << predicted;
+}
+
+TEST(DifferentialMc, SimplexRs3616SeuChainIsConservativelyTight) {
+  // RS(36,16) fails only after ~11 corrupted symbols, so any observable
+  // failure rate needs enough SEU fluence that some flips land on already
+  // flipped bits and cancel. The chain does not model cancellation, so it
+  // must over-predict -- but only by a bounded margin. Both sides of that
+  // gap are pinned: a decoder or injector regression that makes the
+  // functional system MORE failure-prone than the chain, or drifts the gap
+  // beyond the cancellation physics, trips this test.
+  const double seu_per_hour = 0.010 / 24.0;
+  memory::SimplexSystemConfig cfg;
+  cfg.code = rs::CodeParams{36, 16, 8, 1};
+  cfg.rates.seu_rate_per_bit_hour = seu_per_hour;
+
+  MonteCarloConfig mc;
+  mc.trials = kTrials;
+  mc.t_end_hours = kHours;
+  mc.seed = kSeed;
+  BoundMonitor monitor{cfg.code.n - cfg.code.k};
+  monitor.install(mc);
+
+  const MonteCarloResult sim = run_simplex_trials(cfg, mc);
+  monitor.expect_clean(mc.trials);
+
+  const double predicted = simplex_prediction(36, seu_per_hour, 0.0);
+  EXPECT_GT(predicted, 0.005);
+  EXPECT_GT(sim.failure.failures, 1000u);
+  EXPECT_LT(sim.failure.wilson_high(), predicted)
+      << "the chain stopped being conservative: MC " << sim.failure.p_hat()
+      << " vs Markov " << predicted;
+  EXPECT_LT(predicted, 1.3 * sim.failure.wilson_high())
+      << "chain/simulator gap grew beyond the cancellation margin";
+}
+
+// ---- Simplex RS(18,16) at accelerated SEU rates ----
+
+TEST(DifferentialMc, SimplexRs1816SeuWilsonCoverage) {
+  // Low-fluence regime: RS(18,16) fails at 2 corrupted symbols, so the
+  // accelerated rate keeps the mean fluence near one upset per word and
+  // same-bit cancellation is negligible. Here the Wilson interval must
+  // cover the chain exactly even at 200k trials.
+  const double seu_per_hour = 1.2e-3 / 24.0;
+  memory::SimplexSystemConfig cfg;
+  cfg.rates.seu_rate_per_bit_hour = seu_per_hour;
+
+  MonteCarloConfig mc;
+  mc.trials = kTrials;
+  mc.t_end_hours = kHours;
+  mc.seed = kSeed;
+  BoundMonitor monitor{cfg.code.n - cfg.code.k};
+  monitor.install(mc);
+
+  const MonteCarloResult sim = run_simplex_trials(cfg, mc);
+  monitor.expect_clean(mc.trials);
+
+  const double predicted = simplex_prediction(18, seu_per_hour, 0.0);
+  EXPECT_GT(predicted, 0.01);
+  EXPECT_GT(sim.failure.failures, 5000u);
+  EXPECT_TRUE(sim.failure.covers(predicted))
+      << "MC " << sim.failure.p_hat() << " CI [" << sim.failure.wilson_low()
+      << ", " << sim.failure.wilson_high() << "] vs Markov " << predicted;
+}
+
+// ---- Duplex RS(18,16) ----
+
+TEST(DifferentialMc, DuplexRs1816PermanentWilsonCoverage) {
+  // With permanent faults both words see the same erasure damage, so the
+  // paper's fail criterion and the both-words-lost criterion coincide and
+  // the chain (per-physical-symbol convention: the functional system
+  // exposes each physical symbol to its own fault stream) must be covered
+  // by the Wilson interval.
+  const double perm_per_hour = 0.192 / 24.0;
+  memory::DuplexSystemConfig cfg;
+  cfg.rates.perm_rate_per_symbol_hour = perm_per_hour;
+
+  MonteCarloConfig mc;
+  mc.trials = kTrials;
+  mc.t_end_hours = kHours;
+  mc.seed = kSeed;
+  BoundMonitor monitor{cfg.code.n - cfg.code.k};
+  monitor.install(mc);
+
+  const MonteCarloResult sim = run_duplex_trials(cfg, mc);
+  monitor.expect_clean(mc.trials);
+
+  const double predicted = duplex_prediction(
+      0.0, perm_per_hour, models::RateConvention::kPerPhysicalSymbol,
+      models::FailCriterion::kAnyWordUnrecoverable);
+  const double both_lost = duplex_prediction(
+      0.0, perm_per_hour, models::RateConvention::kPerPhysicalSymbol,
+      models::FailCriterion::kBothWordsUnrecoverable);
+  EXPECT_NEAR(predicted, both_lost, 1e-12);  // criteria coincide
+  EXPECT_GT(predicted, 0.1);
+  EXPECT_TRUE(sim.failure.covers(predicted))
+      << "MC " << sim.failure.p_hat() << " CI [" << sim.failure.wilson_low()
+      << ", " << sim.failure.wilson_high() << "] vs Markov " << predicted;
+}
+
+TEST(DifferentialMc, DuplexRs1816SeuStrictlyInsideCriteriaBracket) {
+  // SEU-only duplex: the Wilson interval must land STRICTLY inside the
+  // (both-words-lost, either-word-lost) bracket -- at 200k trials the
+  // interval is tight enough to resolve both gaps, so this pins the
+  // arbiter's discrimination behaviour from both sides: surviving one lost
+  // word (below the paper criterion) while occasionally losing a
+  // flag-comparison to a mis-correcting word (above the both-lost floor).
+  const double seu_per_hour = 2.9e-3 / 24.0;
+  memory::DuplexSystemConfig cfg;
+  cfg.rates.seu_rate_per_bit_hour = seu_per_hour;
+
+  MonteCarloConfig mc;
+  mc.trials = kTrials;
+  mc.t_end_hours = kHours;
+  mc.seed = kSeed;
+  BoundMonitor monitor{cfg.code.n - cfg.code.k};
+  monitor.install(mc);
+
+  const MonteCarloResult sim = run_duplex_trials(cfg, mc);
+  monitor.expect_clean(mc.trials);
+
+  const double conservative = duplex_prediction(
+      seu_per_hour, 0.0, models::RateConvention::kPaper,
+      models::FailCriterion::kAnyWordUnrecoverable);
+  const double optimistic = duplex_prediction(
+      seu_per_hour, 0.0, models::RateConvention::kPaper,
+      models::FailCriterion::kBothWordsUnrecoverable);
+  EXPECT_GT(conservative, 0.1);
+  EXPECT_LT(optimistic, conservative);
+  EXPECT_GT(sim.failure.failures, 5000u);
+  EXPECT_GT(sim.failure.wilson_low(), optimistic)
+      << "arbiter stopped losing any flag comparisons: MC "
+      << sim.failure.p_hat() << " vs both-lost " << optimistic;
+  EXPECT_LT(sim.failure.wilson_high(), conservative)
+      << "arbiter stopped surviving single lost words: MC "
+      << sim.failure.p_hat() << " vs either-lost " << conservative;
+}
+
+}  // namespace
+}  // namespace rsmem::analysis
