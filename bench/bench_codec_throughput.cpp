@@ -2,6 +2,12 @@
 // throughput for the paper's codes, chain construction, and transient
 // solves. These are engineering numbers for library users, not paper
 // artifacts.
+//
+// Every RS codec case is reported for BOTH implementations side by side:
+//   *_legacy    -- the Poly-based reference path (encode_legacy/decode_legacy)
+//   *_workspace -- the allocation-free DecoderWorkspace fast path
+// tools/run_bench.sh snapshots this binary's JSON output into
+// BENCH_codec.json at the repo root to track the perf trajectory.
 #include <benchmark/benchmark.h>
 
 #include "markov/uniformization.h"
@@ -15,6 +21,8 @@
 namespace {
 
 using namespace rsmem;
+
+enum class Path { kLegacy, kWorkspace };
 
 const rs::ReedSolomon& code1816() {
   static const rs::ReedSolomon code{18, 16, 8};
@@ -39,53 +47,116 @@ std::vector<gf::Element> random_data(const rs::ReedSolomon& code,
   return data;
 }
 
-void BM_Encode(benchmark::State& state, const rs::ReedSolomon& code) {
+void BM_Encode(benchmark::State& state, const rs::ReedSolomon& code,
+               Path path) {
   const auto data = random_data(code, 1);
   std::vector<gf::Element> cw(code.n());
+  rs::DecoderWorkspace ws;
+  ws.reserve(code);
   for (auto _ : state) {
-    code.encode(data, cw);
+    if (path == Path::kWorkspace) {
+      code.encode(ws, data, cw);
+    } else {
+      code.encode_legacy(data, cw);
+    }
     benchmark::DoNotOptimize(cw.data());
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           code.k() * code.m() / 8);
 }
 
-void BM_DecodeClean(benchmark::State& state, const rs::ReedSolomon& code) {
+rs::DecodeOutcome run_decode(const rs::ReedSolomon& code,
+                             rs::DecoderWorkspace& ws, Path path,
+                             std::vector<gf::Element>& word,
+                             std::span<const unsigned> erasures = {}) {
+  return path == Path::kWorkspace ? code.decode(ws, word, erasures)
+                                  : code.decode_legacy(word, erasures);
+}
+
+void BM_DecodeClean(benchmark::State& state, const rs::ReedSolomon& code,
+                    Path path) {
   const auto cw = code.encode(random_data(code, 2));
   std::vector<gf::Element> word = cw;
+  rs::DecoderWorkspace ws;
+  ws.reserve(code);
   for (auto _ : state) {
     word = cw;
-    const auto outcome = code.decode(word);
+    const auto outcome = run_decode(code, ws, path, word);
     benchmark::DoNotOptimize(outcome);
   }
 }
 
-void BM_DecodeOneError(benchmark::State& state, const rs::ReedSolomon& code) {
+void BM_DecodeOneError(benchmark::State& state, const rs::ReedSolomon& code,
+                       Path path) {
   const auto cw = code.encode(random_data(code, 3));
   std::vector<gf::Element> word;
+  rs::DecoderWorkspace ws;
+  ws.reserve(code);
   unsigned pos = 0;
   for (auto _ : state) {
     word = cw;
     word[pos % code.n()] ^= 0x2A;
     ++pos;
-    const auto outcome = code.decode(word);
+    const auto outcome = run_decode(code, ws, path, word);
     benchmark::DoNotOptimize(outcome);
   }
 }
 
 void BM_DecodeErasuresPlusError(benchmark::State& state,
-                                const rs::ReedSolomon& code) {
+                                const rs::ReedSolomon& code, Path path) {
   const auto cw = code.encode(random_data(code, 4));
   const unsigned budget = code.parity_symbols();
   const unsigned erasure_count = budget > 2 ? budget - 2 : 0;
   std::vector<unsigned> erasures;
   for (unsigned i = 0; i < erasure_count; ++i) erasures.push_back(i);
   std::vector<gf::Element> word;
+  rs::DecoderWorkspace ws;
+  ws.reserve(code);
   for (auto _ : state) {
     word = cw;
     for (const unsigned p : erasures) word[p] ^= 0x11;
     word[code.n() - 1] ^= 0x55;
-    const auto outcome = code.decode(word, erasures);
+    const auto outcome = run_decode(code, ws, path, word, erasures);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+
+// Erasure-heavy: the entire parity budget spent on erasures (er = n-k,
+// re = 0), every erased symbol actually corrupted.
+void BM_DecodeErasureOnlyFull(benchmark::State& state,
+                              const rs::ReedSolomon& code, Path path) {
+  const auto cw = code.encode(random_data(code, 6));
+  std::vector<unsigned> erasures;
+  for (unsigned i = 0; i < code.parity_symbols(); ++i) erasures.push_back(i);
+  std::vector<gf::Element> word;
+  rs::DecoderWorkspace ws;
+  ws.reserve(code);
+  for (auto _ : state) {
+    word = cw;
+    for (const unsigned p : erasures) word[p] ^= 0x11;
+    const auto outcome = run_decode(code, ws, path, word, erasures);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+
+// At-capability: 2*re + er = n-k exactly, mixing both fault kinds (the
+// decoder's worst case: longest locators, fullest Chien/Forney pass).
+void BM_DecodeAtCapability(benchmark::State& state,
+                           const rs::ReedSolomon& code, Path path) {
+  const auto cw = code.encode(random_data(code, 7));
+  const unsigned budget = code.parity_symbols();
+  const unsigned re = budget >= 4 ? budget / 4 : budget / 2;
+  const unsigned er = budget - 2 * re;
+  std::vector<unsigned> erasures;
+  for (unsigned i = 0; i < er; ++i) erasures.push_back(i);
+  std::vector<gf::Element> word;
+  rs::DecoderWorkspace ws;
+  ws.reserve(code);
+  for (auto _ : state) {
+    word = cw;
+    for (const unsigned p : erasures) word[p] ^= 0x11;
+    for (unsigned i = 0; i < re; ++i) word[er + 2 * i] ^= 0x2A;
+    const auto outcome = run_decode(code, ws, path, word, erasures);
     benchmark::DoNotOptimize(outcome);
   }
 }
@@ -150,17 +221,27 @@ void BM_SolveDuplex48hScrubbed(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK_CAPTURE(BM_Encode, rs1816, code1816());
-BENCHMARK_CAPTURE(BM_Encode, rs3616, code3616());
-BENCHMARK_CAPTURE(BM_Encode, rs255_223, code255223());
-BENCHMARK_CAPTURE(BM_DecodeClean, rs1816, code1816());
-BENCHMARK_CAPTURE(BM_DecodeClean, rs3616, code3616());
-BENCHMARK_CAPTURE(BM_DecodeClean, rs255_223, code255223());
-BENCHMARK_CAPTURE(BM_DecodeOneError, rs1816, code1816());
-BENCHMARK_CAPTURE(BM_DecodeOneError, rs3616, code3616());
-BENCHMARK_CAPTURE(BM_DecodeOneError, rs255_223, code255223());
-BENCHMARK_CAPTURE(BM_DecodeErasuresPlusError, rs3616, code3616());
-BENCHMARK_CAPTURE(BM_DecodeErasuresPlusError, rs255_223, code255223());
+#define RSMEM_BENCH_BOTH_PATHS(fn, tag, code_fn)                     \
+  BENCHMARK_CAPTURE(fn, tag##_legacy, code_fn(), Path::kLegacy);     \
+  BENCHMARK_CAPTURE(fn, tag##_workspace, code_fn(), Path::kWorkspace)
+
+RSMEM_BENCH_BOTH_PATHS(BM_Encode, rs1816, code1816);
+RSMEM_BENCH_BOTH_PATHS(BM_Encode, rs3616, code3616);
+RSMEM_BENCH_BOTH_PATHS(BM_Encode, rs255_223, code255223);
+RSMEM_BENCH_BOTH_PATHS(BM_DecodeClean, rs1816, code1816);
+RSMEM_BENCH_BOTH_PATHS(BM_DecodeClean, rs3616, code3616);
+RSMEM_BENCH_BOTH_PATHS(BM_DecodeClean, rs255_223, code255223);
+RSMEM_BENCH_BOTH_PATHS(BM_DecodeOneError, rs1816, code1816);
+RSMEM_BENCH_BOTH_PATHS(BM_DecodeOneError, rs3616, code3616);
+RSMEM_BENCH_BOTH_PATHS(BM_DecodeOneError, rs255_223, code255223);
+RSMEM_BENCH_BOTH_PATHS(BM_DecodeErasuresPlusError, rs3616, code3616);
+RSMEM_BENCH_BOTH_PATHS(BM_DecodeErasuresPlusError, rs255_223, code255223);
+RSMEM_BENCH_BOTH_PATHS(BM_DecodeErasureOnlyFull, rs1816, code1816);
+RSMEM_BENCH_BOTH_PATHS(BM_DecodeErasureOnlyFull, rs3616, code3616);
+RSMEM_BENCH_BOTH_PATHS(BM_DecodeErasureOnlyFull, rs255_223, code255223);
+RSMEM_BENCH_BOTH_PATHS(BM_DecodeAtCapability, rs1816, code1816);
+RSMEM_BENCH_BOTH_PATHS(BM_DecodeAtCapability, rs3616, code3616);
+RSMEM_BENCH_BOTH_PATHS(BM_DecodeAtCapability, rs255_223, code255223);
 BENCHMARK_CAPTURE(BM_BerlekampDecodeOneError, rs1816, code1816());
 BENCHMARK_CAPTURE(BM_BerlekampDecodeOneError, rs255_223, code255223());
 BENCHMARK(BM_BuildSimplexChain);

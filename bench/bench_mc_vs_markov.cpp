@@ -142,5 +142,56 @@ int main() {
         "note: %u hardware thread(s) available; >= 3x speedup check needs 4+\n",
         hw);
   }
+
+  // ---- Codec fast path: legacy per-trial codec vs shared codec + workspace
+  // (single-threaded, so only the codec path differs). Measured on a
+  // SCRUBBED RS(36,16) campaign -- each scrub pass is a read + decode +
+  // rewrite, and the SEU rate is tuned to ~1 flip per 30-minute scrub
+  // interval, so the ~96 decodes per 48 h trial mostly run the full
+  // locator/Chien/Forney pipeline (t = 10 keeps them correctable). That is
+  // the decoder-bound regime the paper's scrubbing analysis exercises.
+  core::MemorySystemSpec codec_spec = spec;
+  codec_spec.code = rs::CodeParams{36, 16, 8, 1};
+  codec_spec.seu_rate_per_bit_day = 0.167;  // ~1 SEU per scrub interval
+  codec_spec.scrub_period_seconds = 1800.0;
+  analysis::MonteCarloConfig codec_mc = mc;
+  codec_mc.trials = 4000;
+  codec_mc.threads = 1;
+
+  analysis::CampaignReport legacy_report;
+  codec_mc.legacy_codec = true;
+  const analysis::MonteCarloResult legacy = simulate(
+      codec_spec, codec_mc, memory::ScrubPolicy::kExponential, &legacy_report);
+
+  analysis::CampaignReport fast_report;
+  codec_mc.legacy_codec = false;
+  const analysis::MonteCarloResult fast = simulate(
+      codec_spec, codec_mc, memory::ScrubPolicy::kExponential, &fast_report);
+
+  const double codec_speedup =
+      legacy_report.trials_per_second > 0.0
+          ? fast_report.trials_per_second / legacy_report.trials_per_second
+          : 0.0;
+  analysis::Table codec{{"codec path", "trials/s", "speedup"}};
+  codec.add_row({"legacy (per-trial codec)",
+                 analysis::format_sci(legacy_report.trials_per_second),
+                 "1.00"});
+  codec.add_row({"workspace fast path",
+                 analysis::format_sci(fast_report.trials_per_second),
+                 analysis::format_fixed(codec_speedup, 2)});
+  std::printf("%s", codec.to_text().c_str());
+
+  checks.expect(
+      legacy.failure.failures == fast.failure.failures &&
+          legacy.failure.trials == fast.failure.trials &&
+          legacy.mean_seu_per_trial == fast.mean_seu_per_trial &&
+          legacy.mean_permanent_per_trial == fast.mean_permanent_per_trial &&
+          legacy.scrub_failures == fast.scrub_failures &&
+          legacy.scrub_miscorrections == fast.scrub_miscorrections &&
+          legacy.no_output_failures == fast.no_output_failures &&
+          legacy.wrong_data_failures == fast.wrong_data_failures,
+      "campaign result bit-identical across codec paths");
+  checks.expect(codec_speedup >= 1.5,
+                "workspace codec >= 1.5x end-to-end trials/s");
   return checks.exit_code();
 }

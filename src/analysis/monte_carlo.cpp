@@ -148,14 +148,34 @@ MonteCarloResult run_simplex_trials(const memory::SimplexSystemConfig& system,
     throw std::invalid_argument("run_simplex_trials: need at least 1 trial");
   }
   const sim::Rng root{config.seed};
+  // One codec for the whole campaign (unless the legacy baseline was
+  // requested): building GF tables + generator per trial is pure overhead,
+  // and the codec is immutable so sharing across workers is safe. Warm the
+  // dense mul table here, before the pool threads race for it.
+  std::shared_ptr<const rs::ReedSolomon> shared_code;
+  if (!config.legacy_codec) {
+    shared_code = system.shared_code
+                      ? system.shared_code
+                      : std::make_shared<const rs::ReedSolomon>(system.code);
+    rs::DecoderWorkspace warm;
+    warm.reserve(*shared_code);
+  }
   std::vector<MonteCarloAccumulator> shards;
   const auto chunk = [&](std::size_t chunk_index, std::size_t first,
                          std::size_t last) {
+    // One workspace per pool thread (the thread-safety rule of the fast
+    // path); it persists across chunks so steady-state trials allocate no
+    // codec scratch at all.
+    thread_local rs::DecoderWorkspace ws;
     MonteCarloAccumulator& acc = shards[chunk_index];
     for (std::size_t trial = first; trial < last; ++trial) {
       sim::Rng data_rng = trial_data_rng(root, trial);
       memory::SimplexSystemConfig cfg = system;
       cfg.seed = trial_system_seed(root, trial);
+      if (!config.legacy_codec) {
+        cfg.shared_code = shared_code;
+        cfg.workspace = &ws;
+      }
       memory::SimplexSystem sys{cfg};
       sys.store(random_data(data_rng, cfg.code.k, cfg.code.m));
       sys.advance_to(config.t_end_hours);
@@ -187,14 +207,27 @@ MonteCarloResult run_duplex_trials(const memory::DuplexSystemConfig& system,
     throw std::invalid_argument("run_duplex_trials: need at least 1 trial");
   }
   const sim::Rng root{config.seed};
+  std::shared_ptr<const rs::ReedSolomon> shared_code;
+  if (!config.legacy_codec) {
+    shared_code = system.shared_code
+                      ? system.shared_code
+                      : std::make_shared<const rs::ReedSolomon>(system.code);
+    rs::DecoderWorkspace warm;
+    warm.reserve(*shared_code);
+  }
   std::vector<MonteCarloAccumulator> shards;
   const auto chunk = [&](std::size_t chunk_index, std::size_t first,
                          std::size_t last) {
+    thread_local rs::DecoderWorkspace ws;
     MonteCarloAccumulator& acc = shards[chunk_index];
     for (std::size_t trial = first; trial < last; ++trial) {
       sim::Rng data_rng = trial_data_rng(root, trial);
       memory::DuplexSystemConfig cfg = system;
       cfg.seed = trial_system_seed(root, trial);
+      if (!config.legacy_codec) {
+        cfg.shared_code = shared_code;
+        cfg.workspace = &ws;
+      }
       memory::DuplexSystem sys{cfg};
       sys.store(random_data(data_rng, cfg.code.k, cfg.code.m));
       sys.advance_to(config.t_end_hours);

@@ -62,6 +62,15 @@ struct MonteCarloConfig {
   unsigned threads = 0;
   std::size_t chunk_trials = 1024;
 
+  // When false (default) all trials share one pre-built codec and route
+  // encode/decode through the allocation-free workspace fast path, one
+  // workspace per pool thread. When true every trial builds its own codec
+  // and uses the legacy reference path — the pre-PR-2 behaviour, kept for
+  // differential tests and benchmark baselines. Estimates are bit-identical
+  // either way (the codec paths produce identical outputs and neither
+  // touches the trial RNG streams).
+  bool legacy_codec = false;
+
   // Optional per-trial hook, invoked after each trial completes. Called
   // CONCURRENTLY from shard workers in no particular order (records carry
   // their trial_index); the callee must be thread-safe.

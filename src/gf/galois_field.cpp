@@ -70,7 +70,27 @@ Element GaloisField::div(Element a, Element b) const {
   if (b == 0) throw std::domain_error("GaloisField::div: division by zero");
   if (a == 0) return 0;
   const std::uint32_t ord = order();
-  return exp_[(log_[a] + ord - log_[b]) % ord + 0];
+  return exp_[(log_[a] + ord - log_[b]) % ord];
+}
+
+const Element* GaloisField::dense_mul_table() const {
+  if (m_ > 8) return nullptr;
+  const Element* table = dense_mul_ptr_.load(std::memory_order_acquire);
+  if (table != nullptr) return table;
+  const std::lock_guard<std::mutex> lock(dense_mul_build_);
+  if (dense_mul_ptr_.load(std::memory_order_relaxed) == nullptr) {
+    std::vector<Element> dense(std::size_t{1} << (2 * m_), 0);
+    for (std::uint32_t a = 1; a < size_; ++a) {
+      const std::uint32_t la = log_[a];
+      Element* row = dense.data() + (static_cast<std::size_t>(a) << m_);
+      for (std::uint32_t b = 1; b < size_; ++b) {
+        row[b] = exp_[la + log_[b]];
+      }
+    }
+    dense_mul_ = std::move(dense);
+    dense_mul_ptr_.store(dense_mul_.data(), std::memory_order_release);
+  }
+  return dense_mul_ptr_.load(std::memory_order_relaxed);
 }
 
 Element GaloisField::inv(Element a) const {

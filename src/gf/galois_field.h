@@ -12,7 +12,9 @@
 #ifndef RSMEM_GF_GALOIS_FIELD_H
 #define RSMEM_GF_GALOIS_FIELD_H
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace rsmem::gf {
@@ -75,6 +77,15 @@ class GaloisField {
   // Default primitive polynomial used for GF(2^m).
   static std::uint32_t default_primitive_poly(unsigned m);
 
+  // Dense 2^m x 2^m multiplication table for m <= 8, built lazily on first
+  // request (thread-safe; at most one build per field instance) and cached
+  // for the lifetime of the field. Entry (a << m) | b holds a*b with no
+  // zero branch and no log/exp indirection; the RS decoder fast path reads
+  // it directly in its inner loops. Returns nullptr for m > 8, where the
+  // table would be prohibitively large. The lazy build keeps construction
+  // cheap for the many short-lived fields the simulators create.
+  const Element* dense_mul_table() const;
+
  private:
   void build_tables();
 
@@ -84,6 +95,11 @@ class GaloisField {
   // exp_ has 2*(size-1) entries so mul can skip the mod(order) reduction.
   std::vector<Element> exp_;
   std::vector<std::uint32_t> log_;
+  // Lazily built dense product table (see dense_mul_table()). The mutex
+  // and atomic make the field non-copyable, which nothing relies on.
+  mutable std::vector<Element> dense_mul_;
+  mutable std::atomic<const Element*> dense_mul_ptr_{nullptr};
+  mutable std::mutex dense_mul_build_;
 };
 
 }  // namespace rsmem::gf

@@ -9,7 +9,8 @@ namespace rsmem::memory {
 ArbiterResult Arbiter::arbitrate(std::span<const Element> word1,
                                  std::span<const Element> word2,
                                  std::span<const unsigned> erasures1,
-                                 std::span<const unsigned> erasures2) const {
+                                 std::span<const unsigned> erasures2,
+                                 rs::DecoderWorkspace* ws) const {
   const unsigned n = code_->n();
   if (word1.size() != n || word2.size() != n) {
     throw std::invalid_argument("Arbiter::arbitrate: word size != n");
@@ -44,8 +45,13 @@ ArbiterResult Arbiter::arbitrate(std::span<const Element> word1,
   }
 
   // Step 2: independent decoding with the common erasures.
-  result.outcome1 = code_->decode(w1, result.common_erasures);
-  result.outcome2 = code_->decode(w2, result.common_erasures);
+  if (ws != nullptr) {
+    result.outcome1 = code_->decode(*ws, w1, result.common_erasures);
+    result.outcome2 = code_->decode(*ws, w2, result.common_erasures);
+  } else {
+    result.outcome1 = code_->decode_legacy(w1, result.common_erasures);
+    result.outcome2 = code_->decode_legacy(w2, result.common_erasures);
+  }
   result.flag1 = result.outcome1.correction_flag();
   result.flag2 = result.outcome2.correction_flag();
   const bool ok1 = result.outcome1.ok();

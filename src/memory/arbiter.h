@@ -71,10 +71,14 @@ class Arbiter {
 
   // `word1`/`word2` are the raw module reads (length n);
   // `erasures1`/`erasures2` the modules' detected-fault symbol positions.
+  // When `ws` is non-null the decodes route through the allocation-free
+  // workspace fast path; when null they use the legacy reference decoder.
+  // Outcomes are bit-identical either way.
   ArbiterResult arbitrate(std::span<const Element> word1,
                           std::span<const Element> word2,
                           std::span<const unsigned> erasures1,
-                          std::span<const unsigned> erasures2) const;
+                          std::span<const unsigned> erasures2,
+                          rs::DecoderWorkspace* ws = nullptr) const;
 
  private:
   const rs::ReedSolomon* code_;

@@ -6,12 +6,32 @@
 
 namespace rsmem::memory {
 
+namespace {
+
+std::shared_ptr<const rs::ReedSolomon> resolve_code(
+    const std::shared_ptr<const rs::ReedSolomon>& shared,
+    const rs::CodeParams& params) {
+  if (!shared) return std::make_shared<const rs::ReedSolomon>(params);
+  if (shared->n() != params.n || shared->k() != params.k ||
+      shared->m() != params.m || shared->fcr() != params.fcr) {
+    throw std::invalid_argument(
+        "DuplexSystem: shared_code parameters do not match code");
+  }
+  return shared;
+}
+
+}  // namespace
+
 DuplexSystem::DuplexSystem(const DuplexSystemConfig& config)
     : config_(config),
-      code_(config.code),
-      arbiter_(code_),
+      code_(resolve_code(config.shared_code, config.code)),
+      arbiter_(*code_),
       module1_(config.code.n, config.code.m),
-      module2_(config.code.n, config.code.m) {
+      module2_(config.code.n, config.code.m),
+      word1_scratch_(config.code.n, 0),
+      word2_scratch_(config.code.n, 0) {
+  erasures1_scratch_.reserve(config.code.n);
+  erasures2_scratch_.reserve(config.code.n);
   const sim::Rng root{config.seed};
   injector1_ = std::make_unique<FaultInjector>(config.rates, root.split(1),
                                                queue_, module1_);
@@ -28,7 +48,12 @@ void DuplexSystem::store(std::span<const Element> data) {
     throw std::logic_error("DuplexSystem::store: already stored");
   }
   stored_data_.assign(data.begin(), data.end());
-  stored_codeword_ = code_.encode(stored_data_);
+  stored_codeword_.assign(code_->n(), 0);
+  if (config_.workspace != nullptr) {
+    code_->encode(*config_.workspace, stored_data_, stored_codeword_);
+  } else {
+    code_->encode_legacy(stored_data_, stored_codeword_);
+  }
   module1_.write(stored_codeword_);
   module2_.write(stored_codeword_);
   stored_ = true;
@@ -49,10 +74,13 @@ void DuplexSystem::schedule_next_scrub() {
 
 void DuplexSystem::scrub() {
   ++stats_.scrubs_attempted;
+  module1_.read_into(word1_scratch_);
+  module2_.read_into(word2_scratch_);
+  module1_.detected_erasures_into(erasures1_scratch_);
+  module2_.detected_erasures_into(erasures2_scratch_);
   const ArbiterResult result =
-      arbiter_.arbitrate(module1_.read(), module2_.read(),
-                         module1_.detected_erasures(),
-                         module2_.detected_erasures());
+      arbiter_.arbitrate(word1_scratch_, word2_scratch_, erasures1_scratch_,
+                         erasures2_scratch_, config_.workspace);
   if (!result.has_output()) {
     ++stats_.scrub_failures;
     return;
@@ -84,14 +112,17 @@ DuplexReadResult DuplexSystem::read() const {
     throw std::logic_error("DuplexSystem::read: nothing stored");
   }
   DuplexReadResult result;
+  module1_.read_into(word1_scratch_);
+  module2_.read_into(word2_scratch_);
+  module1_.detected_erasures_into(erasures1_scratch_);
+  module2_.detected_erasures_into(erasures2_scratch_);
   result.arbitration =
-      arbiter_.arbitrate(module1_.read(), module2_.read(),
-                         module1_.detected_erasures(),
-                         module2_.detected_erasures());
+      arbiter_.arbitrate(word1_scratch_, word2_scratch_, erasures1_scratch_,
+                         erasures2_scratch_, config_.workspace);
   result.read.outcome = result.arbitration.outcome1;
   result.read.success = result.arbitration.has_output();
   if (result.read.success) {
-    result.read.data = code_.extract_data(result.arbitration.output);
+    result.read.data = code_->extract_data(result.arbitration.output);
     result.read.data_correct =
         std::equal(result.read.data.begin(), result.read.data.end(),
                    stored_data_.begin(), stored_data_.end());
@@ -109,7 +140,7 @@ DamageSummary DuplexSystem::damage(unsigned module_index) const {
   const MemoryModule& module = module_index == 0 ? module1_ : module2_;
   DamageSummary summary;
   const std::vector<Element> word = module.read();
-  for (unsigned p = 0; p < code_.n(); ++p) {
+  for (unsigned p = 0; p < code_->n(); ++p) {
     if (module.symbol_has_detected_fault(p)) {
       ++summary.erased;
     } else if (word[p] != stored_codeword_[p]) {
@@ -123,7 +154,7 @@ DuplexSystem::PairClassification DuplexSystem::classify_pairs() const {
   PairClassification c;
   const std::vector<Element> w1 = module1_.read();
   const std::vector<Element> w2 = module2_.read();
-  for (unsigned p = 0; p < code_.n(); ++p) {
+  for (unsigned p = 0; p < code_->n(); ++p) {
     const bool er1 = module1_.symbol_has_stuck_bit(p);
     const bool er2 = module2_.symbol_has_stuck_bit(p);
     const bool err1 = !er1 && w1[p] != stored_codeword_[p];

@@ -29,6 +29,9 @@ struct DuplexSystemConfig {
   ScrubPolicy scrub_policy = ScrubPolicy::kNone;
   double scrub_period_hours = 0.0;
   std::uint64_t seed = 1;
+  // Optional codec sharing / fast-path routing; see SimplexSystemConfig.
+  std::shared_ptr<const rs::ReedSolomon> shared_code;
+  rs::DecoderWorkspace* workspace = nullptr;
 };
 
 struct DuplexReadResult {
@@ -40,7 +43,7 @@ class DuplexSystem {
  public:
   explicit DuplexSystem(const DuplexSystemConfig& config);
 
-  const rs::ReedSolomon& code() const { return code_; }
+  const rs::ReedSolomon& code() const { return *code_; }
   double now_hours() const { return queue_.now(); }
   const SystemStats& stats() const { return stats_; }
 
@@ -64,7 +67,7 @@ class DuplexSystem {
   void schedule_next_scrub();
 
   DuplexSystemConfig config_;
-  rs::ReedSolomon code_;
+  std::shared_ptr<const rs::ReedSolomon> code_;  // must precede arbiter_
   Arbiter arbiter_;
   sim::EventQueue queue_;
   MemoryModule module1_;
@@ -76,6 +79,12 @@ class DuplexSystem {
   std::vector<Element> stored_codeword_;
   bool stored_ = false;
   SystemStats stats_;
+  // Reused module-read buffers for scrub/read passes (mutable: read() is
+  // logically const). The arbiter takes spans, so these feed it directly.
+  mutable std::vector<Element> word1_scratch_;
+  mutable std::vector<Element> word2_scratch_;
+  mutable std::vector<unsigned> erasures1_scratch_;
+  mutable std::vector<unsigned> erasures2_scratch_;
 };
 
 }  // namespace rsmem::memory

@@ -39,8 +39,17 @@ void MemoryModule::write_symbol(unsigned symbol, Element value) {
 
 std::vector<Element> MemoryModule::read() const {
   std::vector<Element> out(n_);
-  for (unsigned i = 0; i < n_; ++i) out[i] = read_symbol(i);
+  read_into(out);
   return out;
+}
+
+void MemoryModule::read_into(std::span<Element> out) const {
+  if (out.size() != n_) {
+    throw std::invalid_argument("MemoryModule::read_into: size mismatch");
+  }
+  for (unsigned i = 0; i < n_; ++i) {
+    out[i] = (value_[i] & ~stuck_mask_[i]) | (stuck_level_[i] & stuck_mask_[i]);
+  }
 }
 
 Element MemoryModule::read_symbol(unsigned symbol) const {
@@ -83,10 +92,15 @@ bool MemoryModule::symbol_has_detected_fault(unsigned symbol) const {
 
 std::vector<unsigned> MemoryModule::detected_erasures() const {
   std::vector<unsigned> out;
+  detected_erasures_into(out);
+  return out;
+}
+
+void MemoryModule::detected_erasures_into(std::vector<unsigned>& out) const {
+  out.clear();
   for (unsigned i = 0; i < n_; ++i) {
     if (detected_mask_[i] != 0) out.push_back(i);
   }
-  return out;
 }
 
 std::vector<unsigned> MemoryModule::stuck_symbols() const {

@@ -36,6 +36,8 @@ class MemoryModule {
 
   // Reads all symbols, with stuck bits masked in.
   std::vector<Element> read() const;
+  // Allocation-free variant for hot simulation loops: out.size() must be n.
+  void read_into(std::span<Element> out) const;
   Element read_symbol(unsigned symbol) const;
 
   // Transient fault: inverts the stored value of one bit. A flip on a stuck
@@ -55,6 +57,8 @@ class MemoryModule {
   // Positions of symbols with at least one *detected* permanent fault --
   // exactly the erasure information available to the decoder/arbiter.
   std::vector<unsigned> detected_erasures() const;
+  // Allocation-free variant: clears `out` and refills it (capacity reused).
+  void detected_erasures_into(std::vector<unsigned>& out) const;
   // Ground-truth stuck symbols (detected or not), for instrumentation.
   std::vector<unsigned> stuck_symbols() const;
 

@@ -2,13 +2,32 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace rsmem::memory {
 
+namespace {
+
+std::shared_ptr<const rs::ReedSolomon> resolve_code(
+    const std::shared_ptr<const rs::ReedSolomon>& shared,
+    const rs::CodeParams& params, const char* what) {
+  if (!shared) return std::make_shared<const rs::ReedSolomon>(params);
+  if (shared->n() != params.n || shared->k() != params.k ||
+      shared->m() != params.m || shared->fcr() != params.fcr) {
+    throw std::invalid_argument(std::string(what) +
+                                ": shared_code parameters do not match code");
+  }
+  return shared;
+}
+
+}  // namespace
+
 SimplexSystem::SimplexSystem(const SimplexSystemConfig& config)
     : config_(config),
-      code_(config.code),
-      module_(config.code.n, config.code.m) {
+      code_(resolve_code(config.shared_code, config.code, "SimplexSystem")),
+      module_(config.code.n, config.code.m),
+      word_scratch_(config.code.n, 0) {
+  erasure_scratch_.reserve(config.code.n);
   const sim::Rng root{config.seed};
   injector_ = std::make_unique<FaultInjector>(config.rates, root.split(1),
                                               queue_, module_);
@@ -23,7 +42,12 @@ void SimplexSystem::store(std::span<const Element> data) {
     throw std::logic_error("SimplexSystem::store: already stored");
   }
   stored_data_.assign(data.begin(), data.end());
-  stored_codeword_ = code_.encode(stored_data_);
+  stored_codeword_.assign(code_->n(), 0);
+  if (config_.workspace != nullptr) {
+    code_->encode(*config_.workspace, stored_data_, stored_codeword_);
+  } else {
+    code_->encode_legacy(stored_data_, stored_codeword_);
+  }
   module_.write(stored_codeword_);
   stored_ = true;
   injector_->start();
@@ -42,16 +66,17 @@ void SimplexSystem::schedule_next_scrub() {
 
 void SimplexSystem::scrub() {
   ++stats_.scrubs_attempted;
-  std::vector<Element> word = module_.read();
-  const std::vector<unsigned> erasures = module_.detected_erasures();
-  const rs::DecodeOutcome outcome = code_.decode(word, erasures);
+  module_.read_into(word_scratch_);
+  module_.detected_erasures_into(erasure_scratch_);
+  const rs::DecodeOutcome outcome = run_decode(word_scratch_, erasure_scratch_);
   if (!outcome.ok()) {
     // Unrecoverable content: scrubbing cannot help (the chain's Fail).
     ++stats_.scrub_failures;
     return;
   }
-  module_.write(word);  // rewrite the corrected codeword
-  if (!std::equal(word.begin(), word.end(), stored_codeword_.begin())) {
+  module_.write(word_scratch_);  // rewrite the corrected codeword
+  if (!std::equal(word_scratch_.begin(), word_scratch_.end(),
+                  stored_codeword_.begin())) {
     // The decoder "corrected" to a wrong codeword and the scrub latched it.
     ++stats_.scrub_miscorrections;
   }
@@ -66,17 +91,25 @@ void SimplexSystem::advance_to(double t_hours) {
   stats_.permanent_injected = injector_->permanent_injected();
 }
 
+rs::DecodeOutcome SimplexSystem::run_decode(
+    std::span<Element> word, std::span<const unsigned> erasures) const {
+  if (config_.workspace != nullptr) {
+    return code_->decode(*config_.workspace, word, erasures);
+  }
+  return code_->decode_legacy(word, erasures);
+}
+
 ReadResult SimplexSystem::read() const {
   if (!stored_) {
     throw std::logic_error("SimplexSystem::read: nothing stored");
   }
   ReadResult result;
-  std::vector<Element> word = module_.read();
-  const std::vector<unsigned> erasures = module_.detected_erasures();
-  result.outcome = code_.decode(word, erasures);
+  module_.read_into(word_scratch_);
+  module_.detected_erasures_into(erasure_scratch_);
+  result.outcome = run_decode(word_scratch_, erasure_scratch_);
   result.success = result.outcome.ok();
   if (result.success) {
-    result.data = code_.extract_data(word);
+    result.data = code_->extract_data(word_scratch_);
     result.data_correct =
         std::equal(result.data.begin(), result.data.end(),
                    stored_data_.begin(), stored_data_.end());
@@ -90,7 +123,7 @@ DamageSummary SimplexSystem::damage() const {
   }
   DamageSummary summary;
   const std::vector<Element> word = module_.read();
-  for (unsigned p = 0; p < code_.n(); ++p) {
+  for (unsigned p = 0; p < code_->n(); ++p) {
     if (module_.symbol_has_detected_fault(p)) {
       ++summary.erased;
     } else if (word[p] != stored_codeword_[p]) {

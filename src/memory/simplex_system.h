@@ -53,13 +53,22 @@ struct SimplexSystemConfig {
   ScrubPolicy scrub_policy = ScrubPolicy::kNone;
   double scrub_period_hours = 0.0;
   std::uint64_t seed = 1;
+  // Optional codec sharing for campaign workers: when set, the system uses
+  // this codec instead of constructing its own (parameters must match
+  // `code`; mismatch throws). Saves the per-trial field/generator build.
+  std::shared_ptr<const rs::ReedSolomon> shared_code;
+  // Optional decoder scratch arena: non-null routes every encode/decode
+  // through the allocation-free fast path; null keeps the legacy reference
+  // codec. Results are bit-identical either way. The workspace must outlive
+  // the system and must not be shared across threads.
+  rs::DecoderWorkspace* workspace = nullptr;
 };
 
 class SimplexSystem {
  public:
   explicit SimplexSystem(const SimplexSystemConfig& config);
 
-  const rs::ReedSolomon& code() const { return code_; }
+  const rs::ReedSolomon& code() const { return *code_; }
   double now_hours() const { return queue_.now(); }
   const SystemStats& stats() const { return stats_; }
 
@@ -78,9 +87,12 @@ class SimplexSystem {
  private:
   void scrub();
   void schedule_next_scrub();
+  // Routes through the workspace fast path when configured, else legacy.
+  rs::DecodeOutcome run_decode(std::span<Element> word,
+                               std::span<const unsigned> erasures) const;
 
   SimplexSystemConfig config_;
-  rs::ReedSolomon code_;
+  std::shared_ptr<const rs::ReedSolomon> code_;
   sim::EventQueue queue_;
   MemoryModule module_;
   std::unique_ptr<FaultInjector> injector_;
@@ -89,6 +101,10 @@ class SimplexSystem {
   std::vector<Element> stored_codeword_;  // ground truth codeword
   bool stored_ = false;
   SystemStats stats_;
+  // Reused read/erasure buffers so scrub passes (the hot loop of scrubbed
+  // campaigns) do not allocate. Mutable: read() is logically const.
+  mutable std::vector<Element> word_scratch_;
+  mutable std::vector<unsigned> erasure_scratch_;
 };
 
 }  // namespace rsmem::memory

@@ -10,6 +10,36 @@ namespace rsmem::rs {
 using gf::GaloisField;
 using gf::Poly;
 
+namespace {
+
+// Degree of the polynomial stored in a[0..len), -1 for zero.
+inline int degree_in(const Element* a, std::size_t len) {
+  for (std::size_t i = len; i > 0; --i) {
+    if (a[i - 1] != 0) return static_cast<int>(i - 1);
+  }
+  return -1;
+}
+
+// Field multiplication for the fast path: either one dense-table load
+// (m <= 8) or the log/exp route. Dispatched statically so the inner loops
+// carry no per-mul branch.
+template <bool kDense>
+struct FieldOps {
+  const GaloisField& f;
+  const Element* dense;
+  unsigned m;
+
+  Element mul(Element a, Element b) const {
+    if constexpr (kDense) {
+      return dense[(static_cast<std::size_t>(a) << m) | b];
+    } else {
+      return f.mul(a, b);
+    }
+  }
+};
+
+}  // namespace
+
 ReedSolomon::ReedSolomon(const CodeParams& params)
     : params_(params),
       field_(params.m, params.prim_poly != 0
@@ -31,10 +61,49 @@ ReedSolomon::ReedSolomon(const CodeParams& params)
     Poly factor{std::vector<Element>{root, 1}};  // (x + root)
     generator_ = Poly::mul(field_, generator_, factor);
   }
+  // Per-code tables for the fast path.
+  const unsigned two_t = parity_symbols();
+  syndrome_root_.resize(two_t);
+  gen_lfsr_.resize(two_t);
+  for (unsigned j = 0; j < two_t; ++j) {
+    syndrome_root_[j] = field_.alpha_pow(params_.fcr + j);
+    // Parity position k+j holds coeff of x^(n-k-1-j); store the matching
+    // generator coefficient so the LFSR walks the table forward.
+    gen_lfsr_[j] = generator_.coeff(two_t - 1 - j);
+  }
+  pos_locator_.resize(params_.n);
+  pos_locator_inv_.resize(params_.n);
+  forney_scale_.resize(params_.n);
+  for (unsigned p = 0; p < params_.n; ++p) {
+    const Element X = locator_of_position(p);
+    pos_locator_[p] = X;
+    pos_locator_inv_[p] = field_.inv(X);
+    forney_scale_[p] =
+        field_.pow(X, 1 - static_cast<long long>(params_.fcr));
+  }
 }
 
-void ReedSolomon::encode(std::span<const Element> data,
-                         std::span<Element> codeword) const {
+void DecoderWorkspace::reserve(const ReedSolomon& code) {
+  const std::size_t two_t = code.parity_symbols();
+  const std::size_t n = code.n();
+  synd.reserve(two_t);
+  gamma.reserve(two_t + 1);
+  xi.reserve(two_t);
+  r0.reserve(two_t + 1);
+  r1.reserve(two_t + 1);
+  u0.reserve(two_t + 1);
+  u1.reserve(two_t + 1);
+  psi.reserve(two_t + 1);
+  psi_deriv.reserve(two_t);
+  omega.reserve(two_t);
+  corrected.reserve(n);
+  erasure_mark.reserve(n);
+  erasure_scratch.reserve(n);
+  if (code.m() <= 8) code.field().dense_mul_table();  // force the lazy build
+}
+
+void ReedSolomon::validate_encode_args(std::span<const Element> data,
+                                       std::span<Element> codeword) const {
   if (data.size() != params_.k) {
     throw std::invalid_argument("ReedSolomon::encode: data size != k");
   }
@@ -46,6 +115,56 @@ void ReedSolomon::encode(std::span<const Element> data,
       throw std::invalid_argument("ReedSolomon::encode: symbol out of field");
     }
   }
+}
+
+void ReedSolomon::encode(std::span<const Element> data,
+                         std::span<Element> codeword) const {
+  validate_encode_args(data, codeword);
+  // Systematic LFSR division by the monic generator: feed the data symbols
+  // highest-degree first, keeping the running remainder in the parity slots
+  // (parity[j] = coeff of x^(n-k-1-j), already in external order).
+  const unsigned two_t = parity_symbols();
+  std::copy(data.begin(), data.end(), codeword.begin());
+  Element* parity = codeword.data() + params_.k;
+  std::fill(parity, parity + two_t, 0);
+  const Element* gr = gen_lfsr_.data();
+  const Element* dense =
+      params_.m <= 8 ? field_.dense_mul_table() : nullptr;
+  if (dense != nullptr) {
+    const unsigned m = params_.m;
+    for (unsigned p = 0; p < params_.k; ++p) {
+      const Element fb = data[p] ^ parity[0];
+      if (fb == 0) {
+        for (unsigned j = 0; j + 1 < two_t; ++j) parity[j] = parity[j + 1];
+        parity[two_t - 1] = 0;
+        continue;
+      }
+      const Element* row = dense + (static_cast<std::size_t>(fb) << m);
+      for (unsigned j = 0; j + 1 < two_t; ++j) {
+        parity[j] = parity[j + 1] ^ row[gr[j]];
+      }
+      parity[two_t - 1] = row[gr[two_t - 1]];
+    }
+  } else {
+    for (unsigned p = 0; p < params_.k; ++p) {
+      const Element fb = data[p] ^ parity[0];
+      for (unsigned j = 0; j + 1 < two_t; ++j) {
+        parity[j] = parity[j + 1] ^ field_.mul(fb, gr[j]);
+      }
+      parity[two_t - 1] = field_.mul(fb, gr[two_t - 1]);
+    }
+  }
+}
+
+void ReedSolomon::encode(DecoderWorkspace& /*ws*/,
+                         std::span<const Element> data,
+                         std::span<Element> codeword) const {
+  encode(data, codeword);
+}
+
+void ReedSolomon::encode_legacy(std::span<const Element> data,
+                                std::span<Element> codeword) const {
+  validate_encode_args(data, codeword);
   // Message polynomial with data[0] as the highest-degree coefficient:
   // M(x) = sum_p data[p] * x^(k-1-p); codeword poly c(x) = M(x)*x^(n-k) - R,
   // R = (M(x)*x^(n-k)) mod g(x). External position p holds coeff of x^(n-1-p).
@@ -66,6 +185,56 @@ std::vector<Element> ReedSolomon::encode(std::span<const Element> data) const {
   std::vector<Element> cw(params_.n, 0);
   encode(data, cw);
   return cw;
+}
+
+void ReedSolomon::encode_batch(DecoderWorkspace& /*ws*/,
+                               std::span<const Element> data_plane,
+                               std::span<Element> codeword_plane) const {
+  const std::size_t k = params_.k;
+  const std::size_t n = params_.n;
+  if (data_plane.size() % k != 0) {
+    throw std::invalid_argument(
+        "ReedSolomon::encode_batch: data plane is not a multiple of k");
+  }
+  const std::size_t count = data_plane.size() / k;
+  if (codeword_plane.size() != count * n) {
+    throw std::invalid_argument(
+        "ReedSolomon::encode_batch: codeword plane size mismatch");
+  }
+  for (std::size_t w = 0; w < count; ++w) {
+    encode(data_plane.subspan(w * k, k), codeword_plane.subspan(w * n, n));
+  }
+}
+
+void ReedSolomon::decode_batch(
+    DecoderWorkspace& ws, std::span<Element> word_plane,
+    std::span<DecodeOutcome> outcomes,
+    std::span<const std::uint8_t> erasure_flags) const {
+  const std::size_t n = params_.n;
+  if (word_plane.size() % n != 0) {
+    throw std::invalid_argument(
+        "ReedSolomon::decode_batch: word plane is not a multiple of n");
+  }
+  const std::size_t count = word_plane.size() / n;
+  if (outcomes.size() != count) {
+    throw std::invalid_argument(
+        "ReedSolomon::decode_batch: outcomes size mismatch");
+  }
+  if (!erasure_flags.empty() && erasure_flags.size() != word_plane.size()) {
+    throw std::invalid_argument(
+        "ReedSolomon::decode_batch: erasure_flags size mismatch");
+  }
+  for (std::size_t w = 0; w < count; ++w) {
+    ws.erasure_scratch.clear();
+    if (!erasure_flags.empty()) {
+      const std::uint8_t* flags = erasure_flags.data() + w * n;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (flags[i]) ws.erasure_scratch.push_back(static_cast<unsigned>(i));
+      }
+    }
+    outcomes[w] = decode(ws, word_plane.subspan(w * n, n),
+                         ws.erasure_scratch);
+  }
 }
 
 bool ReedSolomon::syndromes(std::span<const Element> word,
@@ -100,6 +269,258 @@ std::vector<Element> ReedSolomon::extract_data(
 }
 
 DecodeOutcome ReedSolomon::decode(
+    std::span<Element> word, std::span<const unsigned> erasure_positions) const {
+  DecoderWorkspace ws;
+  return decode(ws, word, erasure_positions);
+}
+
+DecodeOutcome ReedSolomon::decode(
+    DecoderWorkspace& ws, std::span<Element> word,
+    std::span<const unsigned> erasure_positions) const {
+  const Element* dense =
+      params_.m <= 8 ? field_.dense_mul_table() : nullptr;
+  if (dense != nullptr) {
+    return decode_fast<true>(ws, word, erasure_positions, dense);
+  }
+  return decode_fast<false>(ws, word, erasure_positions, nullptr);
+}
+
+// The allocation-free pipeline. Mirrors decode_legacy step for step; every
+// field operation computes the same element values in the same per-chain
+// order, so outcomes AND corrected words are bit-identical — the only
+// reorderings are across independent computations (syndrome chains,
+// commutative locator products).
+template <bool kDense>
+DecodeOutcome ReedSolomon::decode_fast(
+    DecoderWorkspace& ws, std::span<Element> word,
+    std::span<const unsigned> erasure_positions, const Element* dense) const {
+  const unsigned n = params_.n;
+  const unsigned two_t = parity_symbols();
+  const FieldOps<kDense> op{field_, dense, params_.m};
+
+  if (word.size() != n) {
+    throw std::invalid_argument("ReedSolomon::decode: word size != n");
+  }
+  // Erasure validation via a per-position mark buffer (no std::set).
+  ws.erasure_mark.assign(n, 0);
+  for (const unsigned p : erasure_positions) {
+    if (p >= n) {
+      throw std::invalid_argument(
+          "ReedSolomon::decode: erasure position out of range");
+    }
+    if (ws.erasure_mark[p] != 0) {
+      throw std::invalid_argument(
+          "ReedSolomon::decode: duplicate erasure position");
+    }
+    ws.erasure_mark[p] = 1;
+  }
+  for (const Element w : word) {
+    if (!field_.contains(w)) {
+      throw std::invalid_argument("ReedSolomon::decode: symbol out of field");
+    }
+  }
+
+  const unsigned rho = static_cast<unsigned>(erasure_positions.size());
+  if (rho > two_t) {
+    return {DecodeStatus::kFailure, 0, 0};
+  }
+
+  // Syndromes, iterated position-major so the 2t Horner chains advance in
+  // parallel (each chain's operation order is unchanged).
+  ws.synd.assign(two_t, 0);
+  Element* synd = ws.synd.data();
+  const Element* roots = syndrome_root_.data();
+  for (unsigned p = 0; p < n; ++p) {
+    const Element w = word[p];
+    for (unsigned j = 0; j < two_t; ++j) {
+      synd[j] = op.mul(synd[j], roots[j]) ^ w;
+    }
+  }
+  bool clean = true;
+  for (unsigned j = 0; j < two_t; ++j) clean = clean && synd[j] == 0;
+  if (clean) {
+    // Already a codeword: with no erasures this matches the legacy early
+    // exit; with erasures the legacy pipeline walks Chien/Forney only to
+    // compute all-zero magnitudes and land on the same kNoError.
+    return {DecodeStatus::kNoError, 0, 0};
+  }
+
+  // Erasure locator Gamma(x) = prod_i (1 + X_i x), built in place.
+  ws.gamma.assign(two_t + 1, 0);
+  Element* gamma = ws.gamma.data();
+  gamma[0] = 1;
+  unsigned dgamma = 0;
+  for (const unsigned p : erasure_positions) {
+    const Element X = pos_locator_[p];
+    for (unsigned j = dgamma + 1; j > 0; --j) {
+      gamma[j] ^= op.mul(gamma[j - 1], X);
+    }
+    ++dgamma;
+  }
+
+  // Modified syndrome Xi(x) = S(x) * Gamma(x) mod x^(2t).
+  ws.xi.assign(two_t, 0);
+  Element* xi = ws.xi.data();
+  for (unsigned i = 0; i < two_t; ++i) {
+    if (synd[i] == 0) continue;
+    const unsigned jmax = std::min(dgamma, two_t - 1 - i);
+    for (unsigned j = 0; j <= jmax; ++j) {
+      xi[i + j] ^= op.mul(synd[i], gamma[j]);
+    }
+  }
+  const int dxi = degree_in(xi, two_t);
+
+  // Error locator Lambda ends up in u1 (monic-normalized by u1[0]); the
+  // Xi-cofactor evaluator in r1.
+  ws.r0.assign(two_t + 1, 0);
+  ws.r1.assign(two_t + 1, 0);
+  ws.u0.assign(two_t + 1, 0);
+  ws.u1.assign(two_t + 1, 0);
+  Element* r0 = ws.r0.data();
+  Element* r1 = ws.r1.data();
+  Element* u0 = ws.u0.data();
+  Element* u1 = ws.u1.data();
+  unsigned dlambda = 0;
+  if (dxi >= 0) {
+    // Sugiyama: extended Euclid on (x^(2t), Xi), tracking the Xi-cofactor.
+    // Stop at the first remainder with 2*deg(r) < 2t + rho.
+    r0[two_t] = 1;
+    std::copy(xi, xi + two_t, r1);
+    u1[0] = 1;
+    int dr1 = dxi;
+    while (dr1 >= 0 && 2 * static_cast<unsigned>(dr1) >= two_t + rho) {
+      // One Euclid step, in place: divide r0 by r1 (remainder replaces r0)
+      // while accumulating u0 += q * u1, then swap the pairs.
+      const Element lead_inv = field_.inv(r1[dr1]);
+      const int du1 = degree_in(u1, two_t + 1);
+      for (int d = degree_in(r0, two_t + 1); d >= dr1;
+           d = degree_in(r0, static_cast<std::size_t>(d) + 1)) {
+        const Element c = op.mul(r0[d], lead_inv);
+        const unsigned shift = static_cast<unsigned>(d - dr1);
+        for (int i = 0; i <= dr1; ++i) r0[i + shift] ^= op.mul(c, r1[i]);
+        for (int i = 0; i <= du1; ++i) u0[i + shift] ^= op.mul(c, u1[i]);
+      }
+      std::swap(r0, r1);
+      std::swap(u0, u1);
+      dr1 = degree_in(r1, two_t + 1);
+    }
+    const Element ucoef0 = u1[0];
+    if (ucoef0 == 0) {
+      return {DecodeStatus::kFailure, 0, 0};
+    }
+    const Element u0_inv = field_.inv(ucoef0);
+    const int du = degree_in(u1, two_t + 1);
+    for (int i = 0; i <= du; ++i) u1[i] = op.mul(u1[i], u0_inv);
+    const int drem = degree_in(r1, two_t + 1);
+    for (int i = 0; i <= drem; ++i) r1[i] = op.mul(r1[i], u0_inv);
+    dlambda = static_cast<unsigned>(std::max(0, du));
+    // Capability check: nu <= (2t - rho) / 2.
+    if (2 * dlambda + rho > two_t) {
+      return {DecodeStatus::kFailure, 0, 0};
+    }
+  } else {
+    // Errors are confined to the erasure positions (if any): Lambda = 1.
+    u1[0] = 1;
+  }
+
+  // Combined locator Psi = Lambda * Gamma and its evaluator
+  // Omega = Psi * S mod x^(2t) (correct also for the pure-erasure case).
+  ws.psi.assign(two_t + 1, 0);
+  Element* psi = ws.psi.data();
+  for (unsigned i = 0; i <= dlambda; ++i) {
+    if (u1[i] == 0) continue;
+    for (unsigned j = 0; j <= dgamma; ++j) {
+      psi[i + j] ^= op.mul(u1[i], gamma[j]);
+    }
+  }
+  const unsigned dpsi = dlambda + dgamma;
+  const unsigned expected_roots = dpsi;
+  if (expected_roots == 0) {
+    // Non-zero syndromes but empty locator: detected failure (the clean
+    // case already returned above).
+    return {DecodeStatus::kFailure, 0, 0};
+  }
+
+  ws.omega.assign(two_t, 0);
+  Element* omega = ws.omega.data();
+  for (unsigned i = 0; i <= dpsi && i < two_t; ++i) {
+    if (psi[i] == 0) continue;
+    const unsigned jmax = two_t - 1 - i;
+    for (unsigned j = 0; j <= jmax; ++j) {
+      if (synd[j] != 0) omega[i + j] ^= op.mul(psi[i], synd[j]);
+    }
+  }
+  const int domega = degree_in(omega, two_t);
+
+  ws.psi_deriv.assign(two_t, 0);
+  Element* psi_deriv = ws.psi_deriv.data();
+  for (unsigned i = 1; i <= dpsi; i += 2) psi_deriv[i - 1] = psi[i];
+  const int dderiv = degree_in(psi_deriv, two_t);
+
+  // Chien search restricted to the n valid positions of the shortened code,
+  // with Forney magnitudes at every root.
+  ws.corrected.assign(word.begin(), word.end());
+  Element* corrected = ws.corrected.data();
+  unsigned roots_found = 0;
+  unsigned errors_corrected = 0;
+  unsigned erasures_corrected = 0;
+  for (unsigned p = 0; p < n; ++p) {
+    const Element X_inv = pos_locator_inv_[p];
+    Element acc = 0;
+    for (int i = static_cast<int>(dpsi); i >= 0; --i) {
+      acc = op.mul(acc, X_inv) ^ psi[i];
+    }
+    if (acc != 0) continue;
+    ++roots_found;
+    Element denom = 0;
+    for (int i = dderiv; i >= 0; --i) {
+      denom = op.mul(denom, X_inv) ^ psi_deriv[i];
+    }
+    if (denom == 0) {
+      return {DecodeStatus::kFailure, 0, 0};
+    }
+    // Forney with first consecutive root fcr:
+    // e = X^(1-fcr) * Omega(X^-1) / Psi'(X^-1).
+    Element num = 0;
+    for (int i = domega; i >= 0; --i) {
+      num = op.mul(num, X_inv) ^ omega[i];
+    }
+    Element magnitude = field_.div(num, denom);
+    magnitude = op.mul(magnitude, forney_scale_[p]);
+    if (magnitude != 0) {
+      corrected[p] ^= magnitude;
+      if (ws.erasure_mark[p] != 0) {
+        ++erasures_corrected;
+      } else {
+        ++errors_corrected;
+      }
+    }
+  }
+  if (roots_found != expected_roots) {
+    // Locator has roots outside the valid position range (or repeated
+    // roots): the error pattern is uncorrectable and detected as such.
+    return {DecodeStatus::kFailure, 0, 0};
+  }
+
+  // Final verification: the corrected word must be a true codeword.
+  std::fill(synd, synd + two_t, 0);
+  for (unsigned p = 0; p < n; ++p) {
+    const Element w = corrected[p];
+    for (unsigned j = 0; j < two_t; ++j) {
+      synd[j] = op.mul(synd[j], roots[j]) ^ w;
+    }
+  }
+  for (unsigned j = 0; j < two_t; ++j) {
+    if (synd[j] != 0) return {DecodeStatus::kFailure, 0, 0};
+  }
+  std::copy(corrected, corrected + n, word.begin());
+  if (errors_corrected == 0 && erasures_corrected == 0) {
+    return {DecodeStatus::kNoError, 0, 0};
+  }
+  return {DecodeStatus::kCorrected, errors_corrected, erasures_corrected};
+}
+
+DecodeOutcome ReedSolomon::decode_legacy(
     std::span<Element> word, std::span<const unsigned> erasure_positions) const {
   if (word.size() != params_.n) {
     throw std::invalid_argument("ReedSolomon::decode: word size != n");

@@ -13,6 +13,17 @@
 //   syndromes -> erasure locator -> modified syndromes -> Sugiyama
 //   (extended Euclid) key-equation solver -> Chien search -> Forney.
 //
+// Two implementations of that pipeline coexist:
+//  * the WORKSPACE fast path (`decode(ws, ...)`) — an allocation-free
+//    steady-state codec: all temporaries live in a reusable DecoderWorkspace,
+//    the encoder is a table-driven systematic LFSR, clean words exit straight
+//    from the syndrome pass, and for m <= 8 the inner loops read the field's
+//    dense multiplication table (no log/exp indirection, no zero branches);
+//  * the LEGACY reference path (`encode_legacy`/`decode_legacy`) — the
+//    original Poly-based implementation, kept verbatim as the differential-
+//    testing baseline. Outputs are bit-identical between the two paths for
+//    every input, including beyond-capability mis-corrections.
+//
 // Failure semantics matter to the duplex arbiter (paper Section 3):
 //  * kNoError   - the word is already a codeword; nothing changed.
 //  * kCorrected - a correction was performed; the "flag" of the paper.
@@ -63,6 +74,43 @@ struct CodeParams {
   std::uint32_t prim_poly = 0;
 };
 
+class ReedSolomon;
+
+// Reusable scratch arena for the allocation-free codec fast path. Every
+// decode temporary (syndromes, erasure/error locators, Sugiyama remainder
+// and cofactor buffers, the corrected-word image) lives here and is
+// re-initialized — never reallocated — on each call, so steady-state
+// decodes perform ZERO heap allocations once the buffers have grown to the
+// largest code seen (or after reserve()).
+//
+// THREAD SAFETY: a workspace is per-call mutable state; use one workspace
+// per thread. One workspace may be shared freely across different codes and
+// interleaved calls on the same thread — buffers adapt per call, and no
+// state (including failed-decode state) leaks between calls.
+class DecoderWorkspace {
+ public:
+  DecoderWorkspace() = default;
+
+  // Pre-sizes every buffer for `code` (and forces the field's dense
+  // multiplication table for m <= 8), so even the first decode through this
+  // workspace allocates nothing.
+  void reserve(const ReedSolomon& code);
+
+ private:
+  friend class ReedSolomon;
+  std::vector<Element> synd;       // 2t syndromes / final re-check
+  std::vector<Element> gamma;      // erasure locator Gamma(x)
+  std::vector<Element> xi;         // modified syndromes Xi(x)
+  std::vector<Element> r0, r1;     // Sugiyama remainder pair
+  std::vector<Element> u0, u1;     // Sugiyama cofactor pair
+  std::vector<Element> psi;        // combined locator Lambda*Gamma
+  std::vector<Element> psi_deriv;  // formal derivative of psi
+  std::vector<Element> omega;      // combined evaluator
+  std::vector<Element> corrected;  // corrected-word image
+  std::vector<unsigned char> erasure_mark;  // per-position erasure flags
+  std::vector<unsigned> erasure_scratch;    // batch erasure gathering
+};
+
 class ReedSolomon {
  public:
   // Throws std::invalid_argument for inconsistent parameters
@@ -89,17 +137,51 @@ class ReedSolomon {
   }
 
   // Systematic encoding: codeword = [data (k symbols) | parity (n-k)].
+  // Implemented as a table-driven LFSR over the precomputed generator
+  // coefficients; allocation-free, bit-identical to encode_legacy.
   // Throws std::invalid_argument on size mismatch or out-of-field symbols.
   void encode(std::span<const Element> data, std::span<Element> codeword) const;
   std::vector<Element> encode(std::span<const Element> data) const;
+  // Workspace overload for API symmetry with decode (the encoder itself
+  // needs no scratch).
+  void encode(DecoderWorkspace& ws, std::span<const Element> data,
+              std::span<Element> codeword) const;
 
-  // In-place errors-and-erasures decoding. `erasure_positions` lists indices
-  // in [0, n) whose content is untrusted (located permanent faults); the
-  // stored value at those positions is irrelevant. Duplicate positions are
-  // rejected with std::invalid_argument.
-  // On kNoError/kCorrected the word is a valid codeword afterwards.
+  // In-place errors-and-erasures decoding through a workspace: the
+  // allocation-free fast path. `erasure_positions` lists indices in [0, n)
+  // whose content is untrusted (located permanent faults); the stored value
+  // at those positions is irrelevant. Duplicate positions are rejected with
+  // std::invalid_argument. On kNoError/kCorrected the word is a valid
+  // codeword afterwards; on kFailure the word is left untouched.
+  DecodeOutcome decode(DecoderWorkspace& ws, std::span<Element> word,
+                       std::span<const unsigned> erasure_positions = {}) const;
+
+  // Convenience wrapper over the workspace path using a per-call scratch
+  // workspace. Prefer holding a DecoderWorkspace for hot loops.
   DecodeOutcome decode(std::span<Element> word,
                        std::span<const unsigned> erasure_positions = {}) const;
+
+  // Batch API over contiguous symbol planes: `data_plane` is `count`
+  // datawords of k symbols back to back; `codeword_plane` receives `count`
+  // codewords of n symbols. Sizes must match exactly (count is derived from
+  // the plane sizes).
+  void encode_batch(DecoderWorkspace& ws, std::span<const Element> data_plane,
+                    std::span<Element> codeword_plane) const;
+  // Decodes `count = word_plane.size()/n` words in place, one outcome per
+  // word. `erasure_flags`, when non-empty, marks untrusted symbol positions
+  // (size must equal word_plane.size()). Allocation-free in steady state.
+  void decode_batch(DecoderWorkspace& ws, std::span<Element> word_plane,
+                    std::span<DecodeOutcome> outcomes,
+                    std::span<const std::uint8_t> erasure_flags = {}) const;
+
+  // Legacy Poly-based reference implementations, kept verbatim as the
+  // baseline for differential tests and BENCH_codec.json comparisons.
+  // Bit-identical to the fast path on every input.
+  void encode_legacy(std::span<const Element> data,
+                     std::span<Element> codeword) const;
+  DecodeOutcome decode_legacy(
+      std::span<Element> word,
+      std::span<const unsigned> erasure_positions = {}) const;
 
   // Extracts the k data symbols from a (corrected) codeword.
   std::vector<Element> extract_data(std::span<const Element> codeword) const;
@@ -114,10 +196,22 @@ class ReedSolomon {
   Element locator_of_position(unsigned p) const {
     return field_.alpha_pow(static_cast<long long>(params_.n - 1 - p));
   }
+  void validate_encode_args(std::span<const Element> data,
+                            std::span<Element> codeword) const;
+  template <bool kDense>
+  DecodeOutcome decode_fast(DecoderWorkspace& ws, std::span<Element> word,
+                            std::span<const unsigned> erasure_positions,
+                            const Element* dense) const;
 
   CodeParams params_;
   gf::GaloisField field_;
   gf::Poly generator_;
+  // Precomputed per-code tables for the fast path (all O(n) small):
+  std::vector<Element> syndrome_root_;    // alpha^(fcr+j), j in [0, n-k)
+  std::vector<Element> pos_locator_;      // X_p = alpha^(n-1-p)
+  std::vector<Element> pos_locator_inv_;  // X_p^-1 (Chien search)
+  std::vector<Element> forney_scale_;     // X_p^(1-fcr) (Forney)
+  std::vector<Element> gen_lfsr_;         // g coeff of x^(n-k-1-j) at [j]
 };
 
 }  // namespace rsmem::rs

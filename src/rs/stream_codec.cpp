@@ -23,21 +23,18 @@ std::size_t StreamCodec::encoded_size(std::size_t payload_bytes) const {
 std::vector<std::uint8_t> StreamCodec::encode(
     std::span<const std::uint8_t> payload) const {
   const std::size_t k = code_.k();
+  const std::size_t n = code_.n();
   const std::size_t frames = frames_for(payload.size());
-  std::vector<std::uint8_t> out;
-  out.reserve(frames * code_.n());
-  std::vector<gf::Element> data(k, 0);
-  std::vector<gf::Element> word(code_.n());
-  for (std::size_t f = 0; f < frames; ++f) {
-    for (std::size_t i = 0; i < k; ++i) {
-      const std::size_t pos = f * k + i;
-      data[i] = pos < payload.size() ? payload[pos] : 0;
-    }
-    code_.encode(data, word);
-    for (const gf::Element s : word) {
-      out.push_back(static_cast<std::uint8_t>(s));
-    }
-  }
+  // Widen the payload into a contiguous dataword plane (zero-padding the
+  // last frame) and run the batch encoder over it.
+  std::vector<gf::Element> data_plane(frames * k, 0);
+  std::copy(payload.begin(), payload.end(), data_plane.begin());
+  std::vector<gf::Element> word_plane(frames * n);
+  DecoderWorkspace ws;
+  code_.encode_batch(ws, data_plane, word_plane);
+  std::vector<std::uint8_t> out(word_plane.size());
+  std::transform(word_plane.begin(), word_plane.end(), out.begin(),
+                 [](gf::Element s) { return static_cast<std::uint8_t>(s); });
   return out;
 }
 
@@ -60,24 +57,14 @@ StreamCodec::StreamResult StreamCodec::decode(
   result.frames = frames;
   result.payload.assign(payload_bytes, 0);
   result.ok = true;
-  std::vector<gf::Element> word(n);
-  std::vector<unsigned> erasures;
+  // Widen into a symbol plane; the per-frame erasure flags map 1:1 onto the
+  // batch decoder's flag plane.
+  std::vector<gf::Element> word_plane(encoded.begin(), encoded.end());
+  std::vector<DecodeOutcome> outcomes(frames);
+  DecoderWorkspace ws;
+  code_.decode_batch(ws, word_plane, outcomes, erasure_flags);
   for (std::size_t f = 0; f < frames; ++f) {
-    for (std::size_t i = 0; i < n; ++i) word[i] = encoded[f * n + i];
-    erasures.clear();
-    if (!erasure_flags.empty()) {
-      for (std::size_t i = 0; i < n; ++i) {
-        if (erasure_flags[f * n + i]) {
-          erasures.push_back(static_cast<unsigned>(i));
-        }
-      }
-    }
-    DecodeOutcome outcome;
-    if (erasures.size() > code_.parity_symbols()) {
-      outcome.status = DecodeStatus::kFailure;
-    } else {
-      outcome = code_.decode(word, erasures);
-    }
+    const DecodeOutcome& outcome = outcomes[f];
     if (!outcome.ok()) {
       ++result.frames_failed;
       result.ok = false;
@@ -89,7 +76,8 @@ StreamCodec::StreamResult StreamCodec::decode(
     const std::size_t copy =
         std::min(k, payload_bytes - std::min(payload_bytes, f * k));
     for (std::size_t i = 0; i < copy; ++i) {
-      result.payload[f * k + i] = static_cast<std::uint8_t>(word[i]);
+      result.payload[f * k + i] =
+          static_cast<std::uint8_t>(word_plane[f * n + i]);
     }
   }
   return result;

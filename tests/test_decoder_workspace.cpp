@@ -1,0 +1,348 @@
+// Tests for the allocation-free DecoderWorkspace fast path: differential
+// equivalence with the legacy Poly-based decoder over every fault regime
+// (including beyond-capability mis-corrections), workspace reuse hygiene,
+// the batch API, and Monte-Carlo campaign bit-identicality.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/monte_carlo.h"
+#include "rs/reed_solomon.h"
+#include "sim/rng.h"
+
+namespace rsmem::rs {
+namespace {
+
+std::vector<Element> random_data(const ReedSolomon& code, sim::Rng& rng) {
+  std::vector<Element> data(code.k());
+  for (auto& d : data) {
+    d = static_cast<Element>(rng.uniform_int(code.field().size()));
+  }
+  return data;
+}
+
+// Picks `count` distinct positions in [0, n).
+std::vector<unsigned> random_positions(unsigned n, unsigned count,
+                                       sim::Rng& rng) {
+  std::vector<unsigned> all(n);
+  for (unsigned i = 0; i < n; ++i) all[i] = i;
+  for (unsigned i = 0; i < count; ++i) {
+    const unsigned j =
+        i + static_cast<unsigned>(rng.uniform_int(n - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  return all;
+}
+
+void corrupt_symbol(std::vector<Element>& word, unsigned pos,
+                    const ReedSolomon& code, sim::Rng& rng) {
+  const Element old = word[pos];
+  Element nv;
+  do {
+    nv = static_cast<Element>(rng.uniform_int(code.field().size()));
+  } while (nv == old);
+  word[pos] = nv;
+}
+
+// Runs one fault pattern through both decoder paths and asserts the outcome
+// AND the resulting word are identical.
+void expect_paths_identical(const ReedSolomon& code, DecoderWorkspace& ws,
+                            const std::vector<Element>& damaged,
+                            const std::vector<unsigned>& erasures) {
+  std::vector<Element> fast_word = damaged;
+  std::vector<Element> legacy_word = damaged;
+  const DecodeOutcome fast = code.decode(ws, fast_word, erasures);
+  const DecodeOutcome legacy = code.decode_legacy(legacy_word, erasures);
+  ASSERT_EQ(fast.status, legacy.status);
+  ASSERT_EQ(fast.errors_corrected, legacy.errors_corrected);
+  ASSERT_EQ(fast.erasures_corrected, legacy.erasures_corrected);
+  ASSERT_EQ(fast_word, legacy_word);
+}
+
+// Differential sweep: for each code, randomized fault patterns spanning
+// every (er, re) regime from clean through at-capability to well beyond
+// capability, where the legacy decoder's real behaviour (failure detection
+// or silent mis-correction) must be reproduced bit for bit.
+TEST(DecoderWorkspace, DifferentialAgainstLegacyAllRegimes) {
+  const CodeParams shapes[] = {
+      {18, 16, 8, 1, 0},   // paper's t=1 code
+      {36, 16, 8, 1, 0},   // paper's t=10 code
+      {15, 9, 4, 1, 0},    // small field, odd parity count
+      {18, 16, 8, 0, 0},   // fcr=0 exercises the Forney scale table
+  };
+  DecoderWorkspace ws;  // ONE workspace across all codes and patterns
+  for (const CodeParams& p : shapes) {
+    const ReedSolomon code{p};
+    const unsigned budget = code.parity_symbols();
+    sim::Rng rng{40000 + p.n * 100 + p.k * 10 + p.fcr};
+    for (unsigned er = 0; er <= std::min(budget + 2, code.n()); ++er) {
+      for (unsigned re = 0; 2 * re <= budget + 4 && er + re <= code.n();
+           ++re) {
+        for (int rep = 0; rep < 8; ++rep) {
+          const auto data = random_data(code, rng);
+          std::vector<Element> word = code.encode(data);
+          const auto positions = random_positions(code.n(), er + re, rng);
+          const std::vector<unsigned> erasures(positions.begin(),
+                                               positions.begin() + er);
+          // Erased positions get corrupted with probability ~1/2 (erasure
+          // decoding must not rely on the content); error positions always.
+          for (unsigned i = 0; i < er; ++i) {
+            if (rng.uniform_int(2) == 0) {
+              corrupt_symbol(word, positions[i], code, rng);
+            }
+          }
+          for (unsigned i = er; i < er + re; ++i) {
+            corrupt_symbol(word, positions[i], code, rng);
+          }
+          expect_paths_identical(code, ws, word, erasures);
+        }
+      }
+    }
+  }
+}
+
+TEST(DecoderWorkspace, ValidationErrorsMatchLegacy) {
+  const ReedSolomon code{18, 16, 8};
+  DecoderWorkspace ws;
+  std::vector<Element> word(18, 0);
+
+  std::vector<Element> short_word(17, 0);
+  EXPECT_THROW(code.decode(ws, short_word), std::invalid_argument);
+
+  const std::vector<unsigned> out_of_range{18};
+  EXPECT_THROW(code.decode(ws, word, out_of_range), std::invalid_argument);
+
+  const std::vector<unsigned> duplicate{3, 3};
+  EXPECT_THROW(code.decode(ws, word, duplicate), std::invalid_argument);
+
+  word[5] = 256;  // out of GF(256)
+  EXPECT_THROW(code.decode(ws, word), std::invalid_argument);
+}
+
+// One workspace serving decodes of DIFFERENT codes back to back: buffers
+// must adapt per call with no cross-talk.
+TEST(DecoderWorkspace, InterleavedCodesShareOneWorkspace) {
+  const ReedSolomon small{18, 16, 8};
+  const ReedSolomon large{255, 223, 8};
+  const ReedSolomon tiny{15, 9, 4};
+  const ReedSolomon* codes[] = {&small, &large, &tiny};
+  DecoderWorkspace ws;
+  sim::Rng rng{99};
+  for (int round = 0; round < 30; ++round) {
+    const ReedSolomon& code = *codes[round % 3];
+    const auto data = random_data(code, rng);
+    std::vector<Element> word = code.encode(data);
+    const unsigned t = code.t();
+    const unsigned re = t == 0 ? 0 : 1 + static_cast<unsigned>(
+                                             rng.uniform_int(t));
+    const auto positions = random_positions(code.n(), re, rng);
+    for (const unsigned p : positions) corrupt_symbol(word, p, code, rng);
+    const DecodeOutcome outcome = code.decode(ws, word);
+    ASSERT_EQ(outcome.status, re == 0 ? DecodeStatus::kNoError
+                                      : DecodeStatus::kCorrected);
+    EXPECT_EQ(code.extract_data(word), data);
+  }
+}
+
+// A failed decode must leave no state that perturbs the next call through
+// the same workspace (and must leave the failed word untouched).
+TEST(DecoderWorkspace, DecodeAfterFailureIsClean) {
+  const ReedSolomon code{36, 16, 8};
+  DecoderWorkspace ws;
+  sim::Rng rng{123};
+  for (int round = 0; round < 20; ++round) {
+    // 1. Overwhelm the decoder: 2t+1 erasures is a guaranteed kFailure.
+    const auto junk_data = random_data(code, rng);
+    std::vector<Element> failed = code.encode(junk_data);
+    std::vector<unsigned> too_many(code.parity_symbols() + 1);
+    for (unsigned i = 0; i < too_many.size(); ++i) too_many[i] = i;
+    for (const unsigned p : too_many) corrupt_symbol(failed, p, code, rng);
+    const std::vector<Element> failed_before = failed;
+    ASSERT_EQ(code.decode(ws, failed, too_many).status,
+              DecodeStatus::kFailure);
+    EXPECT_EQ(failed, failed_before);  // kFailure leaves the word untouched
+
+    // 2. The very next decode through the same workspace must be perfect.
+    const auto data = random_data(code, rng);
+    std::vector<Element> word = code.encode(data);
+    const auto positions = random_positions(code.n(), code.t(), rng);
+    for (const unsigned p : positions) corrupt_symbol(word, p, code, rng);
+    ASSERT_EQ(code.decode(ws, word).status, DecodeStatus::kCorrected);
+    EXPECT_EQ(code.extract_data(word), data);
+  }
+}
+
+// Clean word with erasure hints still short-circuits to kNoError (matching
+// the legacy pipeline, which walks Chien/Forney to zero magnitudes).
+TEST(DecoderWorkspace, CleanWordWithErasuresIsNoError) {
+  const ReedSolomon code{18, 16, 8};
+  DecoderWorkspace ws;
+  sim::Rng rng{5};
+  const auto data = random_data(code, rng);
+  const std::vector<Element> cw = code.encode(data);
+  for (const std::vector<unsigned>& erasures :
+       {std::vector<unsigned>{}, std::vector<unsigned>{0},
+        std::vector<unsigned>{2, 17}}) {
+    std::vector<Element> word = cw;
+    const DecodeOutcome outcome = code.decode(ws, word, erasures);
+    EXPECT_EQ(outcome.status, DecodeStatus::kNoError);
+    EXPECT_EQ(outcome.errors_corrected, 0u);
+    EXPECT_EQ(outcome.erasures_corrected, 0u);
+    EXPECT_EQ(word, cw);
+    expect_paths_identical(code, ws, cw, erasures);
+  }
+}
+
+TEST(DecoderWorkspace, EncodeBatchMatchesSingleEncodes) {
+  const ReedSolomon code{18, 16, 8};
+  DecoderWorkspace ws;
+  sim::Rng rng{17};
+  const std::size_t count = 25;
+  std::vector<Element> data_plane(count * code.k());
+  for (auto& d : data_plane) {
+    d = static_cast<Element>(rng.uniform_int(code.field().size()));
+  }
+  std::vector<Element> plane(count * code.n());
+  code.encode_batch(ws, data_plane, plane);
+  for (std::size_t w = 0; w < count; ++w) {
+    const std::vector<Element> data(
+        data_plane.begin() + w * code.k(),
+        data_plane.begin() + (w + 1) * code.k());
+    const std::vector<Element> expect = code.encode(data);
+    const std::vector<Element> got(plane.begin() + w * code.n(),
+                                   plane.begin() + (w + 1) * code.n());
+    ASSERT_EQ(got, expect) << "word " << w;
+  }
+
+  std::vector<Element> bad_plane(count * code.n() + 1);
+  EXPECT_THROW(code.encode_batch(ws, data_plane, bad_plane),
+               std::invalid_argument);
+  std::vector<Element> ragged(code.k() + 1, 0);
+  EXPECT_THROW(code.encode_batch(ws, ragged, plane), std::invalid_argument);
+}
+
+TEST(DecoderWorkspace, DecodeBatchMatchesSingleDecodes) {
+  const ReedSolomon code{36, 16, 8};
+  DecoderWorkspace ws;
+  sim::Rng rng{31};
+  const std::size_t count = 40;
+  const unsigned n = code.n();
+  std::vector<Element> plane(count * n);
+  std::vector<std::uint8_t> flags(count * n, 0);
+  std::vector<std::vector<Element>> singles(count);
+  std::vector<std::vector<unsigned>> single_erasures(count);
+  for (std::size_t w = 0; w < count; ++w) {
+    const auto data = random_data(code, rng);
+    std::vector<Element> word = code.encode(data);
+    // Mix of regimes across the batch, some beyond capability.
+    const unsigned er = static_cast<unsigned>(rng.uniform_int(8));
+    const unsigned re = static_cast<unsigned>(rng.uniform_int(12));
+    const auto positions = random_positions(n, er + re, rng);
+    for (unsigned i = 0; i < er; ++i) {
+      flags[w * n + positions[i]] = 1;
+      single_erasures[w].push_back(positions[i]);
+      if (rng.uniform_int(2) == 0) {
+        corrupt_symbol(word, positions[i], code, rng);
+      }
+    }
+    for (unsigned i = er; i < er + re; ++i) {
+      corrupt_symbol(word, positions[i], code, rng);
+    }
+    std::copy(word.begin(), word.end(), plane.begin() + w * n);
+    singles[w] = std::move(word);
+  }
+
+  std::vector<DecodeOutcome> outcomes(count);
+  code.decode_batch(ws, plane, outcomes, flags);
+
+  DecoderWorkspace single_ws;
+  for (std::size_t w = 0; w < count; ++w) {
+    // decode_batch gathers flags in ascending position order; the reference
+    // list was built the same way, so outputs must match exactly.
+    std::sort(single_erasures[w].begin(), single_erasures[w].end());
+    const DecodeOutcome expect =
+        code.decode(single_ws, singles[w], single_erasures[w]);
+    ASSERT_EQ(outcomes[w].status, expect.status) << "word " << w;
+    ASSERT_EQ(outcomes[w].errors_corrected, expect.errors_corrected);
+    ASSERT_EQ(outcomes[w].erasures_corrected, expect.erasures_corrected);
+    const std::vector<Element> got(plane.begin() + w * n,
+                                   plane.begin() + (w + 1) * n);
+    ASSERT_EQ(got, singles[w]) << "word " << w;
+  }
+
+  std::vector<DecodeOutcome> wrong_count(count + 1);
+  EXPECT_THROW(code.decode_batch(ws, plane, wrong_count, flags),
+               std::invalid_argument);
+  std::vector<std::uint8_t> wrong_flags(count * n - 1, 0);
+  EXPECT_THROW(code.decode_batch(ws, plane, outcomes, wrong_flags),
+               std::invalid_argument);
+}
+
+TEST(DecoderWorkspace, ReserveMakesFirstDecodeAllocationStable) {
+  // Functional half of the zero-allocation story (the counting-allocator
+  // check lives in test_zero_alloc.cpp): reserve() then decode works and
+  // the workspace survives arbitrary reuse.
+  const ReedSolomon code{255, 223, 8};
+  DecoderWorkspace ws;
+  ws.reserve(code);
+  sim::Rng rng{77};
+  const auto data = random_data(code, rng);
+  std::vector<Element> word = code.encode(data);
+  const auto positions = random_positions(code.n(), code.t(), rng);
+  for (const unsigned p : positions) corrupt_symbol(word, p, code, rng);
+  ASSERT_EQ(code.decode(ws, word).status, DecodeStatus::kCorrected);
+  EXPECT_EQ(code.extract_data(word), data);
+}
+
+// The campaign engine with the shared-codec fast path must reproduce the
+// legacy per-trial-codec campaign EXACTLY — same failure counts, same fault
+// tallies — for simplex and duplex, across thread counts.
+TEST(DecoderWorkspace, MonteCarloFastPathBitIdenticalToLegacy) {
+  analysis::MonteCarloConfig mc;
+  mc.trials = 600;
+  mc.t_end_hours = 200.0;
+  mc.seed = 2026;
+  mc.chunk_trials = 64;
+
+  memory::SimplexSystemConfig simplex;
+  simplex.code = {18, 16, 8, 1};
+  simplex.rates.seu_rate_per_bit_hour = 2e-4;
+  simplex.rates.perm_rate_per_symbol_hour = 2e-5;
+
+  memory::DuplexSystemConfig duplex;
+  duplex.code = {18, 16, 8, 1};
+  duplex.rates = simplex.rates;
+
+  for (const unsigned threads : {1u, 4u}) {
+    mc.threads = threads;
+    mc.legacy_codec = true;
+    const analysis::MonteCarloResult s_legacy =
+        analysis::run_simplex_trials(simplex, mc);
+    const analysis::MonteCarloResult d_legacy =
+        analysis::run_duplex_trials(duplex, mc);
+    mc.legacy_codec = false;
+    const analysis::MonteCarloResult s_fast =
+        analysis::run_simplex_trials(simplex, mc);
+    const analysis::MonteCarloResult d_fast =
+        analysis::run_duplex_trials(duplex, mc);
+
+    EXPECT_EQ(s_fast.failure.failures, s_legacy.failure.failures);
+    EXPECT_EQ(s_fast.no_output_failures, s_legacy.no_output_failures);
+    EXPECT_EQ(s_fast.wrong_data_failures, s_legacy.wrong_data_failures);
+    EXPECT_EQ(s_fast.mean_seu_per_trial, s_legacy.mean_seu_per_trial);
+    EXPECT_EQ(s_fast.mean_permanent_per_trial,
+              s_legacy.mean_permanent_per_trial);
+
+    EXPECT_EQ(d_fast.failure.failures, d_legacy.failure.failures);
+    EXPECT_EQ(d_fast.no_output_failures, d_legacy.no_output_failures);
+    EXPECT_EQ(d_fast.wrong_data_failures, d_legacy.wrong_data_failures);
+    EXPECT_EQ(d_fast.mean_seu_per_trial, d_legacy.mean_seu_per_trial);
+    EXPECT_EQ(d_fast.mean_permanent_per_trial,
+              d_legacy.mean_permanent_per_trial);
+  }
+}
+
+}  // namespace
+}  // namespace rsmem::rs

@@ -151,6 +151,58 @@ TEST_P(GaloisFieldAxioms, FrobeniusSquareIsLinear) {
 INSTANTIATE_TEST_SUITE_P(SmallFields, GaloisFieldAxioms,
                          ::testing::Values(2u, 3u, 4u, 5u, 6u, 8u));
 
+// Exhaustive cross-check of the dense multiplication table (the RS fast
+// path's inner-loop primitive) against the log/exp reference, and of the
+// div/inv identities it must be consistent with.
+class DenseMulTable : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DenseMulTable, MatchesLogExpPathExhaustively) {
+  const GaloisField f{GetParam()};
+  const Element* dense = f.dense_mul_table();
+  ASSERT_NE(dense, nullptr);
+  const unsigned m = f.m();
+  for (Element a = 0; a < f.size(); ++a) {
+    for (Element b = 0; b < f.size(); ++b) {
+      const Element via_table = dense[(static_cast<std::size_t>(a) << m) | b];
+      ASSERT_EQ(via_table, f.mul(a, b)) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST_P(DenseMulTable, ConsistentWithDivAndInv) {
+  const GaloisField f{GetParam()};
+  const Element* dense = f.dense_mul_table();
+  ASSERT_NE(dense, nullptr);
+  const unsigned m = f.m();
+  const auto tmul = [&](Element a, Element b) {
+    return dense[(static_cast<std::size_t>(a) << m) | b];
+  };
+  for (Element a = 1; a < f.size(); ++a) {
+    EXPECT_EQ(tmul(a, f.inv(a)), 1u);
+    for (Element b = 1; b < f.size(); ++b) {
+      // div is the table product with the inverse; round-trips exactly.
+      EXPECT_EQ(f.div(tmul(a, b), b), a);
+      EXPECT_EQ(tmul(f.div(a, b), b), a);
+    }
+  }
+}
+
+TEST_P(DenseMulTable, IsStableAcrossCalls) {
+  const GaloisField f{GetParam()};
+  const Element* first = f.dense_mul_table();
+  EXPECT_EQ(f.dense_mul_table(), first);  // built once, cached
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallFields, DenseMulTable,
+                         ::testing::Values(2u, 4u, 8u));
+
+TEST(GaloisField, DenseMulTableUnavailableAboveM8) {
+  const GaloisField f{9};
+  EXPECT_EQ(f.dense_mul_table(), nullptr);
+  const GaloisField g{16};
+  EXPECT_EQ(g.dense_mul_table(), nullptr);
+}
+
 TEST(GaloisField, LargeFieldsConstructAndInvert) {
   for (const unsigned m : {10u, 12u, 16u}) {
     const GaloisField f{m};

@@ -72,6 +72,30 @@ TEST(ReedSolomon, EncodeIsSystematic) {
   EXPECT_EQ(code.extract_data(cw), data);
 }
 
+// The table-driven LFSR encoder must reproduce the Poly::mod reference
+// exactly, for every code shape the paper uses plus an m > 8 code (no dense
+// multiplication table) and a non-default fcr.
+TEST(ReedSolomon, FastEncodeMatchesLegacyEncode) {
+  const CodeParams shapes[] = {
+      {18, 16, 8, 1, 0},  {36, 16, 8, 1, 0}, {255, 223, 8, 1, 0},
+      {15, 11, 4, 1, 0},  {3, 1, 2, 1, 0},   {18, 16, 8, 0, 0},
+      {100, 88, 10, 1, 0},
+  };
+  for (const CodeParams& p : shapes) {
+    const ReedSolomon code{p};
+    sim::Rng rng{p.n * 1000 + p.k};
+    for (int rep = 0; rep < 50; ++rep) {
+      const auto data = random_data(code, rng);
+      std::vector<Element> fast(code.n()), legacy(code.n());
+      code.encode(data, fast);
+      code.encode_legacy(data, legacy);
+      ASSERT_EQ(fast, legacy) << "n=" << p.n << " k=" << p.k << " m=" << p.m
+                              << " fcr=" << p.fcr << " rep=" << rep;
+      EXPECT_TRUE(code.is_codeword(fast));
+    }
+  }
+}
+
 TEST(ReedSolomon, EncodeRejectsBadSizes) {
   const ReedSolomon code{18, 16, 8};
   std::vector<Element> short_data(15, 0);

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Benchmark snapshot driver.
+#
+# Configures/builds the `bench` preset, runs the codec microbenchmarks with
+# google-benchmark's JSON reporter, and records the result as
+# BENCH_codec.json at the repo root so the codec perf trajectory is tracked
+# in-tree. Also runs bench_mc_vs_markov for the end-to-end Monte-Carlo
+# throughput numbers (its PASS/FAIL lines gate the >= 1.5x codec speedup).
+#
+# Usage: tools/run_bench.sh [extra google-benchmark args...]
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD="$ROOT/build-bench"
+
+cmake --preset bench -S "$ROOT" >/dev/null
+cmake --build "$BUILD" --target bench_codec_throughput bench_mc_vs_markov \
+    -j "$(nproc)"
+
+"$BUILD/bench/bench_codec_throughput" \
+    --benchmark_format=json \
+    --benchmark_out="$ROOT/BENCH_codec.json" \
+    --benchmark_out_format=json \
+    "$@"
+
+"$BUILD/bench/bench_mc_vs_markov"
+
+echo "wrote $ROOT/BENCH_codec.json"
