@@ -78,4 +78,15 @@ void run_chunked(const CampaignConfig& config, const ChunkRunner& run_chunk,
   }
 }
 
+void parallel_for_indexed(std::size_t count, unsigned threads,
+                          const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  CampaignConfig config;
+  config.trials = count;
+  config.chunk_trials = 1;  // one index per chunk
+  config.threads = threads;
+  run_chunked(config, [&fn](std::size_t chunk, std::size_t /*first*/,
+                            std::size_t /*last*/) { fn(chunk); });
+}
+
 }  // namespace rsmem::analysis

@@ -66,6 +66,14 @@ void run_chunked(const CampaignConfig& config, const ChunkRunner& run_chunk,
                  CampaignReport* report = nullptr,
                  CampaignProgress* progress = nullptr);
 
+// Index-parallel helper (used by the Markov sweep engine): runs fn(i) for
+// every i in [0, count) on `threads` workers (0 = hardware concurrency;
+// never more workers than indices; 1 runs inline). Deterministic whenever
+// fn(i) writes only its own slot i. Exceptions are captured and the first
+// one by index is rethrown; count == 0 is a no-op.
+void parallel_for_indexed(std::size_t count, unsigned threads,
+                          const std::function<void(std::size_t)>& fn);
+
 // Accumulator-typed front end. `chunk_fn(first, last, shard)` fills a
 // default-constructed shard accumulator for its trial range; `merge(total,
 // shard)` folds shards into the running total in chunk order.

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "analysis/campaign.h"
 #include "core/api.h"
 
 namespace rsmem::analysis {
@@ -25,27 +26,32 @@ std::vector<CandidateEvaluation> evaluate_candidates(
     throw std::invalid_argument("evaluate_candidates: t_hours must be > 0");
   }
 
-  std::vector<CandidateEvaluation> results;
-  results.reserve(candidates.size());
-  for (const CodeCandidate& c : candidates) {
-    core::MemorySystemSpec s = spec.base;
-    s.arrangement = c.arrangement;
-    s.code.n = c.n;
-    s.validate();  // throws for n <= k or n > 2^m - 1
+  // Candidates are independent: evaluate them in parallel, each filling
+  // its own slot. A validation failure surfaces as the first-by-index
+  // exception, matching the serial loop's error for the same input.
+  std::vector<CandidateEvaluation> results(candidates.size());
+  parallel_for_indexed(
+      candidates.size(), spec.threads, [&](std::size_t i) {
+        const CodeCandidate& c = candidates[i];
+        core::MemorySystemSpec s = spec.base;
+        s.arrangement = c.arrangement;
+        s.code.n = c.n;
+        s.validate();  // throws for n <= k or n > 2^m - 1
 
-    CandidateEvaluation eval;
-    eval.candidate = c;
-    eval.ber = rsmem::analyze_ber(s, std::vector<double>{spec.t_hours})
-                   .ber.front();
-    const bool duplex = c.arrangement == Arrangement::kDuplex;
-    eval.storage_overhead = (duplex ? 2.0 : 1.0) * static_cast<double>(c.n) /
-                            static_cast<double>(s.code.k);
-    const reliability::ArrangementCost cost =
-        rsmem::codec_cost(s, spec.cost_model);
-    eval.decode_cycles = cost.decode_cycles;
-    eval.area_gates = cost.area_gates;
-    results.push_back(eval);
-  }
+        CandidateEvaluation eval;
+        eval.candidate = c;
+        eval.ber = rsmem::analyze_ber(s, std::vector<double>{spec.t_hours})
+                       .ber.front();
+        const bool duplex = c.arrangement == Arrangement::kDuplex;
+        eval.storage_overhead = (duplex ? 2.0 : 1.0) *
+                                static_cast<double>(c.n) /
+                                static_cast<double>(s.code.k);
+        const reliability::ArrangementCost cost =
+            rsmem::codec_cost(s, spec.cost_model);
+        eval.decode_cycles = cost.decode_cycles;
+        eval.area_gates = cost.area_gates;
+        results[i] = eval;
+      });
 
   // Pareto marking: minimize (ber, overhead, cycles, area).
   for (std::size_t i = 0; i < results.size(); ++i) {

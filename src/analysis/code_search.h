@@ -36,6 +36,10 @@ struct CodeSearchSpec {
   core::MemorySystemSpec base;
   double t_hours = 48.0;
   reliability::DecoderCostModel cost_model{};
+  // Workers for the per-candidate Markov evaluations (0 = hardware
+  // concurrency). Candidates are independent and each writes only its own
+  // result slot, so the output is identical for every thread count.
+  unsigned threads = 0;
 };
 
 // Evaluates every candidate and marks the Pareto set (minimizing all four

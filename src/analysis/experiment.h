@@ -32,25 +32,41 @@ struct CodeSpec {
   unsigned m = 8;
 };
 
+// Sweep execution knobs. The default is the engine path: chains come from
+// the process-wide ChainCache, each point solves through a per-thread
+// SolverWorkspace with dense step operators on the evenly spaced grid, and
+// points are distributed over a sim::ThreadPool. Engine results are
+// deterministic -- identical for every thread count, since each point is
+// computed independently and written to its own slot -- and agree with the
+// legacy path to solver accuracy (<= 1e-12 relative). use_engine = false
+// selects the legacy per-point build-and-solve, run serially (`threads` is
+// ignored); it is kept as the reference for tests and benchmarks.
+struct SweepOptions {
+  unsigned threads = 0;    // 0 = hardware concurrency
+  bool use_engine = true;  // false: legacy serial reference path
+};
+
 // Figs. 5 & 6: one curve per SEU rate (per bit per day); no permanent
 // faults, no scrubbing; x axis in hours.
 std::vector<Series> seu_rate_sweep(Arrangement arrangement, CodeSpec code,
                                    std::span<const double> seu_per_bit_day,
-                                   double t_end_hours, std::size_t points);
+                                   double t_end_hours, std::size_t points,
+                                   const SweepOptions& options = {});
 
 // Fig. 7: one curve per scrubbing period (seconds) at a fixed SEU rate;
 // x axis in hours.
 std::vector<Series> scrub_period_sweep(Arrangement arrangement, CodeSpec code,
                                        double seu_per_bit_day,
                                        std::span<const double> periods_seconds,
-                                       double t_end_hours, std::size_t points);
+                                       double t_end_hours, std::size_t points,
+                                       const SweepOptions& options = {});
 
 // Figs. 8-10: one curve per permanent-fault (erasure) rate (per symbol per
 // day); no SEUs, no scrubbing; x axis in MONTHS.
 std::vector<Series> permanent_rate_sweep(
     Arrangement arrangement, CodeSpec code,
     std::span<const double> erasure_per_symbol_day, double t_end_months,
-    std::size_t points);
+    std::size_t points, const SweepOptions& options = {});
 
 }  // namespace rsmem::analysis
 

@@ -3,7 +3,9 @@
 #include <stdexcept>
 
 #include "core/units.h"
+#include "markov/solver_workspace.h"
 #include "markov/uniformization.h"
+#include "models/chain_cache.h"
 #include "models/metrics.h"
 
 namespace rsmem {
@@ -12,13 +14,20 @@ const char* version() { return "1.0.0"; }
 
 models::BerCurve analyze_ber(const core::MemorySystemSpec& spec,
                              std::span<const double> times_hours) {
+  // Chain from the process-wide cache, solved through a per-thread
+  // workspace with the default StepPolicy: bitwise identical to building
+  // and solving from scratch, but repeated queries (sweeps, code search)
+  // skip the BFS enumeration, the Poisson windows, and the per-call
+  // allocations.
+  static thread_local markov::SolverWorkspace workspace;
   const markov::UniformizationSolver solver;
   if (spec.arrangement == analysis::Arrangement::kSimplex) {
     return models::simplex_ber_curve(spec.to_simplex_params(), times_hours,
-                                     solver);
+                                     solver, models::global_chain_cache(),
+                                     workspace);
   }
-  return models::duplex_ber_curve(spec.to_duplex_params(), times_hours,
-                                  solver);
+  return models::duplex_ber_curve(spec.to_duplex_params(), times_hours, solver,
+                                  models::global_chain_cache(), workspace);
 }
 
 double fail_probability(const core::MemorySystemSpec& spec, double t_hours) {

@@ -37,6 +37,37 @@ CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
     }
   }
   for (std::size_t r = 0; r < rows_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+
+  // Diagonal cache.
+  const std::size_t n = std::min(rows_, cols_);
+  diag_.assign(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      if (col_idx_[i] == r) {
+        diag_[r] = values_[i];
+        break;
+      }
+    }
+    max_abs_diag_ = std::max(max_abs_diag_, std::fabs(diag_[r]));
+  }
+
+  // Transposed (CSC) mirror by counting sort over columns. The sort is
+  // stable in the row index, so each column lists its rows in ascending
+  // order -- the invariant apply_transpose relies on for bitwise-identical
+  // accumulation.
+  col_ptr_.assign(cols_ + 1, 0);
+  for (const std::size_t c : col_idx_) ++col_ptr_[c + 1];
+  for (std::size_t c = 0; c < cols_; ++c) col_ptr_[c + 1] += col_ptr_[c];
+  row_idx_.resize(values_.size());
+  csc_values_.resize(values_.size());
+  std::vector<std::size_t> cursor(col_ptr_.begin(), col_ptr_.end() - 1);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      const std::size_t slot = cursor[col_idx_[i]]++;
+      row_idx_[slot] = r;
+      csc_values_[slot] = values_[i];
+    }
+  }
 }
 
 void CsrMatrix::apply(std::span<const double> x, std::span<double> y) const {
@@ -64,13 +95,12 @@ void CsrMatrix::apply_transpose(std::span<const double> x,
     throw std::invalid_argument(
         "CsrMatrix::apply_transpose: dimension mismatch");
   }
-  std::fill(y.begin(), y.end(), 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double xr = x[r];
-    if (xr == 0.0) continue;
-    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
-      y[col_idx_[i]] += values_[i] * xr;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    double acc = 0.0;
+    for (std::size_t i = col_ptr_[c]; i < col_ptr_[c + 1]; ++i) {
+      acc += csc_values_[i] * x[row_idx_[i]];
     }
+    y[c] = acc;
   }
 }
 
@@ -90,13 +120,6 @@ double CsrMatrix::at(std::size_t r, std::size_t c) const {
   const auto it = std::lower_bound(begin, end, c);
   if (it == end || *it != c) return 0.0;
   return values_[static_cast<std::size_t>(it - col_idx_.begin())];
-}
-
-double CsrMatrix::max_abs_diagonal() const {
-  double m = 0.0;
-  const std::size_t n = std::min(rows_, cols_);
-  for (std::size_t r = 0; r < n; ++r) m = std::max(m, std::fabs(at(r, r)));
-  return m;
 }
 
 DenseMatrix CsrMatrix::to_dense() const {

@@ -37,7 +37,11 @@ class CsrMatrix {
   std::vector<double> apply(std::span<const double> x) const;
   void apply(std::span<const double> x, std::span<double> y) const;
 
-  // y = A^T x (used for row-vector propagation pi' = pi P).
+  // y = A^T x (used for row-vector propagation pi' = pi P). Runs on the
+  // transposed (CSC) mirror built at construction, so the output is written
+  // sequentially instead of scattered; within each column the row order of
+  // the CSR layout is preserved, which keeps the accumulation order -- and
+  // therefore the result -- bitwise identical to the scatter formulation.
   std::vector<double> apply_transpose(std::span<const double> x) const;
   void apply_transpose(std::span<const double> x, std::span<double> y) const;
 
@@ -45,7 +49,11 @@ class CsrMatrix {
   double at(std::size_t r, std::size_t c) const;
 
   // Largest absolute diagonal entry (uniformization rate bound helper).
-  double max_abs_diagonal() const;
+  // Cached at construction.
+  double max_abs_diagonal() const { return max_abs_diag_; }
+
+  // Diagonal entries, cached at construction; size min(rows, cols).
+  std::span<const double> diagonal() const { return diag_; }
 
   DenseMatrix to_dense() const;
 
@@ -53,12 +61,25 @@ class CsrMatrix {
   std::span<const std::size_t> col_indices() const { return col_idx_; }
   std::span<const double> values() const { return values_; }
 
+  // Transposed (CSC) mirror: entries of column c of A live at
+  // [col_ptr()[c], col_ptr()[c+1]) in row_indices()/transposed_values().
+  std::span<const std::size_t> col_pointers() const { return col_ptr_; }
+  std::span<const std::size_t> row_indices() const { return row_idx_; }
+  std::span<const double> transposed_values() const { return csc_values_; }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<std::size_t> row_ptr_;
   std::vector<std::size_t> col_idx_;
   std::vector<double> values_;
+  // Transposed mirror for streaming row-vector propagation.
+  std::vector<std::size_t> col_ptr_;
+  std::vector<std::size_t> row_idx_;
+  std::vector<double> csc_values_;
+  // Diagonal cache (avoids a binary search per row on every query).
+  std::vector<double> diag_;
+  double max_abs_diag_ = 0.0;
 };
 
 }  // namespace rsmem::linalg

@@ -1,8 +1,13 @@
 #include "markov/ctmc.h"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "markov/solver_workspace.h"
 
 namespace rsmem::markov {
 
@@ -63,6 +68,17 @@ std::vector<double> TransientSolver::solve(const Ctmc& chain, double t) const {
   return solve(chain, pi0, t);
 }
 
+void TransientSolver::solve_into(const Ctmc& chain,
+                                 std::span<const double> pi0, double t,
+                                 SolverWorkspace& /*ws*/,
+                                 std::span<double> out) const {
+  const std::vector<double> pi = solve(chain, pi0, t);
+  if (out.size() != pi.size()) {
+    throw std::invalid_argument("solve_into: output size mismatch");
+  }
+  std::copy(pi.begin(), pi.end(), out.begin());
+}
+
 std::vector<double> TransientSolver::occupancy_curve(
     const Ctmc& chain, std::size_t state,
     std::span<const double> times) const {
@@ -82,6 +98,69 @@ std::vector<double> TransientSolver::occupancy_curve(
       t_prev = t;
     }
     result.push_back(pi[state]);
+  }
+  return result;
+}
+
+std::vector<double> TransientSolver::occupancy_curve(
+    const Ctmc& chain, std::size_t state, std::span<const double> times,
+    SolverWorkspace& ws, const StepPolicy& policy) const {
+  if (state >= chain.num_states()) {
+    throw std::invalid_argument("occupancy_curve: state out of range");
+  }
+  const std::size_t n = chain.num_states();
+
+  // Pre-pass: validate ordering and count how often each distinct step
+  // width occurs, so widths repeated more than n times can share a dense
+  // operator. Keys are exact doubles -- evenly spaced grids can produce
+  // step widths one ulp apart, and each such value is its own key.
+  struct DtUse {
+    double dt;
+    std::size_t count;
+    std::optional<StepOperator> op;
+  };
+  std::vector<DtUse> widths;
+  double t_prev = 0.0;
+  for (const double t : times) {
+    if (t < t_prev) {
+      throw std::invalid_argument("occupancy_curve: times must be sorted");
+    }
+    if (t > t_prev) {
+      const double dt = t - t_prev;
+      auto it = std::find_if(widths.begin(), widths.end(),
+                             [dt](const DtUse& u) { return u.dt == dt; });
+      if (it == widths.end()) {
+        widths.push_back({dt, 1, std::nullopt});
+      } else {
+        ++it->count;
+      }
+      t_prev = t;
+    }
+  }
+  const bool dense_allowed =
+      policy.max_dense_states > 0 && n <= policy.max_dense_states;
+
+  std::vector<double> result;
+  result.reserve(times.size());
+  ws.pi_a.assign(n, 0.0);
+  ws.pi_a[chain.initial_state()] = 1.0;
+  ws.pi_b.assign(n, 0.0);
+  t_prev = 0.0;
+  for (const double t : times) {
+    if (t > t_prev) {
+      const double dt = t - t_prev;
+      const auto it = std::find_if(widths.begin(), widths.end(),
+                                   [dt](const DtUse& u) { return u.dt == dt; });
+      if (dense_allowed && it->count > n) {
+        if (!it->op) it->op.emplace(chain, dt, *this, ws);
+        it->op->advance(ws.pi_a, ws.pi_b);
+      } else {
+        solve_into(chain, ws.pi_a, dt, ws, ws.pi_b);
+      }
+      std::swap(ws.pi_a, ws.pi_b);
+      t_prev = t;
+    }
+    result.push_back(ws.pi_a[state]);
   }
   return result;
 }

@@ -15,6 +15,19 @@
 
 namespace rsmem::markov {
 
+class SolverWorkspace;
+
+// Controls the dense step-operator optimisation in the workspace grid
+// paths. Chains with at most max_dense_states states may be advanced
+// through a dense exp(Q dt) operator when one step width repeats often
+// enough to amortise its construction (more repeats than states). The
+// default 0 disables dense stepping, keeping results bitwise identical to
+// the per-step solver path; the sweep engine passes a nonzero bound and
+// accepts ~1e-13 relative agreement instead.
+struct StepPolicy {
+  std::size_t max_dense_states = 0;
+};
+
 class Ctmc {
  public:
   // Throws std::invalid_argument if Q is not square, has negative
@@ -51,10 +64,28 @@ class TransientSolver {
   // Convenience: start from the chain's own initial state.
   std::vector<double> solve(const Ctmc& chain, double t) const;
 
+  // Zero-allocation variant: writes pi(t) into `out` (size num_states)
+  // using workspace buffers and cached Poisson windows. The base
+  // implementation falls back to the allocating solve(); the concrete
+  // solvers override it. Results are bitwise identical to solve().
+  virtual void solve_into(const Ctmc& chain, std::span<const double> pi0,
+                          double t, SolverWorkspace& ws,
+                          std::span<double> out) const;
+
   // Probability of occupying `state` at each time in `times`
   // (times must be non-decreasing; solved incrementally).
   std::vector<double> occupancy_curve(const Ctmc& chain, std::size_t state,
                                       std::span<const double> times) const;
+
+  // Workspace variant: same incremental walk through solve_into, so with
+  // the default StepPolicy the curve is bitwise identical to the
+  // allocating overload while reusing the workspace's buffers and window
+  // cache. A nonzero policy.max_dense_states lets repeated step widths run
+  // through a dense StepOperator (engine accuracy, ~1e-13 relative).
+  std::vector<double> occupancy_curve(const Ctmc& chain, std::size_t state,
+                                      std::span<const double> times,
+                                      SolverWorkspace& ws,
+                                      const StepPolicy& policy = {}) const;
 };
 
 }  // namespace rsmem::markov

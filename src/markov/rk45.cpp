@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "markov/solver_workspace.h"
+
 namespace rsmem::markov {
 
 namespace {
@@ -37,25 +39,54 @@ Rk45Solver::Rk45Solver(double rel_tol, double abs_tol)
 std::vector<double> Rk45Solver::solve(const Ctmc& chain,
                                       std::span<const double> pi0,
                                       double t) const {
+  SolverWorkspace ws;
+  std::vector<double> out(pi0.size());
+  solve_into(chain, pi0, t, ws, out);
+  return out;
+}
+
+void Rk45Solver::solve_into(const Ctmc& chain, std::span<const double> pi0,
+                            double t, SolverWorkspace& ws,
+                            std::span<double> out) const {
   if (pi0.size() != chain.num_states()) {
     throw std::invalid_argument("Rk45Solver: pi0 size mismatch");
+  }
+  if (out.size() != chain.num_states()) {
+    throw std::invalid_argument("Rk45Solver: output size mismatch");
   }
   if (t < 0.0) throw std::invalid_argument("Rk45Solver: negative time");
 
   const std::size_t n = pi0.size();
-  std::vector<double> y(pi0.begin(), pi0.end());
-  if (t == 0.0) return y;
+  std::vector<double>& y = ws.v;
+  y.assign(pi0.begin(), pi0.end());
+  if (t == 0.0) {
+    std::copy(y.begin(), y.end(), out.begin());
+    return;
+  }
 
   const linalg::CsrMatrix& gen = chain.generator();
   const double q = chain.max_exit_rate();
-  if (q == 0.0) return y;
+  if (q == 0.0) {
+    std::copy(y.begin(), y.end(), out.begin());
+    return;
+  }
 
   const auto deriv = [&](const std::vector<double>& x, std::vector<double>& dx) {
     gen.apply_transpose(x, dx);
   };
 
-  std::vector<double> k1(n), k2(n), k3(n), k4(n), k5(n), k6(n), k7(n);
-  std::vector<double> tmp(n), y5(n);
+  std::vector<double>&k1 = ws.k1, &k2 = ws.k2, &k3 = ws.k3, &k4 = ws.k4,
+                     &k5 = ws.k5, &k6 = ws.k6, &k7 = ws.k7;
+  std::vector<double>&tmp = ws.tmp, &y5 = ws.y5;
+  k1.resize(n);
+  k2.resize(n);
+  k3.resize(n);
+  k4.resize(n);
+  k5.resize(n);
+  k6.resize(n);
+  k7.resize(n);
+  tmp.resize(n);
+  y5.resize(n);
 
   double time = 0.0;
   double h = std::min(t, 0.1 / q);  // initial step ~ a tenth of a transition
@@ -119,8 +150,7 @@ std::vector<double> Rk45Solver::solve(const Ctmc& chain,
   if (time < t) {
     throw std::runtime_error("Rk45Solver: max step count exceeded");
   }
-  for (double& x : y) x = std::max(x, 0.0);
-  return y;
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::max(y[i], 0.0);
 }
 
 }  // namespace rsmem::markov

@@ -19,6 +19,12 @@ class Rk45Solver final : public TransientSolver {
   std::vector<double> solve(const Ctmc& chain, std::span<const double> pi0,
                             double t) const override;
 
+  // Zero-allocation path: the integration state (y, the seven stages, the
+  // step candidate) lives in ws.v / ws.k1..k7 / ws.tmp / ws.y5. Bitwise
+  // identical to solve() (which delegates here with a local workspace).
+  void solve_into(const Ctmc& chain, std::span<const double> pi0, double t,
+                  SolverWorkspace& ws, std::span<double> out) const override;
+
  private:
   double rel_tol_;
   double abs_tol_;

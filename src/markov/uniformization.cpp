@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "markov/solver_workspace.h"
+
 namespace rsmem::markov {
 
 UniformizationSolver::UniformizationSolver(double truncation_error)
@@ -66,9 +68,11 @@ PoissonWindow poisson_window(double lambda, double truncation_error,
   // below tail_floor, so far-tail transition counts (the only path to Fail
   // in slow chains) contribute their exact positive mass.
   while (right_pmf >= tail_floor) {
-    right_pmf = right_pmf * lambda / static_cast<double>(right_k + 1);
+    const double next = right_pmf * lambda / static_cast<double>(right_k + 1);
+    if (next < tail_floor) break;
+    right.push_back(next);
+    right_pmf = next;
     ++right_k;
-    if (right_pmf >= tail_floor) right.push_back(right_pmf);
   }
 
   PoissonWindow window;
@@ -84,26 +88,45 @@ PoissonWindow poisson_window(double lambda, double truncation_error,
 std::vector<double> UniformizationSolver::solve(const Ctmc& chain,
                                                 std::span<const double> pi0,
                                                 double t) const {
+  SolverWorkspace ws;
+  std::vector<double> out(pi0.size());
+  solve_into(chain, pi0, t, ws, out);
+  return out;
+}
+
+void UniformizationSolver::solve_into(const Ctmc& chain,
+                                      std::span<const double> pi0, double t,
+                                      SolverWorkspace& ws,
+                                      std::span<double> out) const {
   if (pi0.size() != chain.num_states()) {
     throw std::invalid_argument("UniformizationSolver: pi0 size mismatch");
+  }
+  if (out.size() != chain.num_states()) {
+    throw std::invalid_argument("UniformizationSolver: output size mismatch");
   }
   if (t < 0.0) {
     throw std::invalid_argument("UniformizationSolver: negative time");
   }
-  std::vector<double> v(pi0.begin(), pi0.end());
   const double q = chain.max_exit_rate();
-  if (t == 0.0 || q == 0.0) return v;
+  if (t == 0.0 || q == 0.0) {
+    std::copy(pi0.begin(), pi0.end(), out.begin());
+    return;
+  }
 
-  const PoissonWindow window = poisson_window(q * t, truncation_error_);
+  const PoissonWindow& window =
+      ws.poisson(q * t, truncation_error_, kPoissonTailFloor);
   const std::size_t last_k = window.first_k + window.weights.size() - 1;
 
   const linalg::CsrMatrix& gen = chain.generator();
-  std::vector<double> result(v.size(), 0.0);
-  std::vector<double> qv(v.size());
+  std::vector<double>& v = ws.v;
+  std::vector<double>& qv = ws.qv;
+  v.assign(pi0.begin(), pi0.end());
+  qv.resize(v.size());
+  std::fill(out.begin(), out.end(), 0.0);
   for (std::size_t k = 0; k <= last_k; ++k) {
     if (k >= window.first_k) {
       const double w = window.weights[k - window.first_k];
-      for (std::size_t i = 0; i < v.size(); ++i) result[i] += w * v[i];
+      for (std::size_t i = 0; i < v.size(); ++i) out[i] += w * v[i];
     }
     if (k == last_k) break;
     // v <- v P = v + (v Q) / q   (row-vector propagation).
@@ -111,8 +134,7 @@ std::vector<double> UniformizationSolver::solve(const Ctmc& chain,
     for (std::size_t i = 0; i < v.size(); ++i) v[i] += qv[i] / q;
   }
   // Clamp away tiny negative round-off.
-  for (double& x : result) x = std::max(x, 0.0);
-  return result;
+  for (double& x : out) x = std::max(x, 0.0);
 }
 
 }  // namespace rsmem::markov

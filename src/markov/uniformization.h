@@ -13,6 +13,10 @@
 
 namespace rsmem::markov {
 
+// Default pmf floor for the right-tail extension of poisson_window; see
+// the PoissonWindow comment below.
+inline constexpr double kPoissonTailFloor = 1e-320;
+
 class UniformizationSolver final : public TransientSolver {
  public:
   // `truncation_error` bounds the total discarded Poisson mass.
@@ -21,6 +25,12 @@ class UniformizationSolver final : public TransientSolver {
   using TransientSolver::solve;
   std::vector<double> solve(const Ctmc& chain, std::span<const double> pi0,
                             double t) const override;
+
+  // Zero-allocation path: uses ws.v / ws.qv for the propagation iterates
+  // and ws.poisson() for the window, writing pi(t) into `out`. Bitwise
+  // identical to solve() (which delegates here with a local workspace).
+  void solve_into(const Ctmc& chain, std::span<const double> pi0, double t,
+                  SolverWorkspace& ws, std::span<double> out) const override;
 
  private:
   double truncation_error_;
@@ -40,7 +50,7 @@ struct PoissonWindow {
   std::vector<double> weights;
 };
 PoissonWindow poisson_window(double lambda, double truncation_error,
-                             double tail_floor = 1e-320);
+                             double tail_floor = kPoissonTailFloor);
 
 }  // namespace rsmem::markov
 

@@ -52,6 +52,52 @@ BerCurve duplex_ber_curve(const DuplexParams& params,
                    solver);
 }
 
+BerCurve ber_curve(const markov::StateSpace& space,
+                   markov::PackedState fail_packed, double scale,
+                   std::span<const double> times_hours,
+                   const markov::TransientSolver& solver,
+                   markov::SolverWorkspace& ws,
+                   const markov::StepPolicy& policy) {
+  BerCurve curve;
+  curve.times_hours.assign(times_hours.begin(), times_hours.end());
+  if (!space.contains(fail_packed)) {
+    curve.fail_probability.assign(times_hours.size(), 0.0);
+    curve.ber.assign(times_hours.size(), 0.0);
+    return curve;
+  }
+  const std::size_t fail_index = space.index_of(fail_packed);
+  curve.fail_probability =
+      solver.occupancy_curve(space.chain, fail_index, times_hours, ws, policy);
+  curve.ber.reserve(curve.fail_probability.size());
+  for (const double p : curve.fail_probability) {
+    curve.ber.push_back(scale * p);
+  }
+  return curve;
+}
+
+BerCurve simplex_ber_curve(const SimplexParams& params,
+                           std::span<const double> times_hours,
+                           const markov::TransientSolver& solver,
+                           ChainCache& cache, markov::SolverWorkspace& ws,
+                           const markov::StepPolicy& policy) {
+  const std::shared_ptr<const markov::StateSpace> space =
+      cache.simplex(params);
+  return ber_curve(*space, SimplexModel::fail_state(),
+                   ber_scale(params.n, params.k, params.m), times_hours,
+                   solver, ws, policy);
+}
+
+BerCurve duplex_ber_curve(const DuplexParams& params,
+                          std::span<const double> times_hours,
+                          const markov::TransientSolver& solver,
+                          ChainCache& cache, markov::SolverWorkspace& ws,
+                          const markov::StepPolicy& policy) {
+  const std::shared_ptr<const markov::StateSpace> space = cache.duplex(params);
+  return ber_curve(*space, DuplexModel::fail_state(),
+                   ber_scale(params.n, params.k, params.m), times_hours,
+                   solver, ws, policy);
+}
+
 std::vector<double> time_grid_hours(double t_end_hours, std::size_t points) {
   if (points < 2 || t_end_hours <= 0.0) {
     throw std::invalid_argument("time_grid_hours: need >=2 points, t_end>0");

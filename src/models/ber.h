@@ -13,6 +13,7 @@
 
 #include "markov/ctmc.h"
 #include "markov/state_space.h"
+#include "models/chain_cache.h"
 #include "models/duplex_model.h"
 #include "models/simplex_model.h"
 
@@ -43,6 +44,28 @@ BerCurve simplex_ber_curve(const SimplexParams& params,
 BerCurve duplex_ber_curve(const DuplexParams& params,
                           std::span<const double> times_hours,
                           const markov::TransientSolver& solver);
+
+// Engine variants: the occupancy curve runs through the workspace (cached
+// Poisson windows, reused buffers) and the chain comes from `cache`
+// instead of a per-call build. With the default StepPolicy the curves are
+// bitwise identical to the overloads above; a nonzero
+// policy.max_dense_states enables dense step operators (~1e-13 relative).
+BerCurve ber_curve(const markov::StateSpace& space,
+                   markov::PackedState fail_packed, double scale,
+                   std::span<const double> times_hours,
+                   const markov::TransientSolver& solver,
+                   markov::SolverWorkspace& ws,
+                   const markov::StepPolicy& policy = {});
+BerCurve simplex_ber_curve(const SimplexParams& params,
+                           std::span<const double> times_hours,
+                           const markov::TransientSolver& solver,
+                           ChainCache& cache, markov::SolverWorkspace& ws,
+                           const markov::StepPolicy& policy = {});
+BerCurve duplex_ber_curve(const DuplexParams& params,
+                          std::span<const double> times_hours,
+                          const markov::TransientSolver& solver,
+                          ChainCache& cache, markov::SolverWorkspace& ws,
+                          const markov::StepPolicy& policy = {});
 
 // Evenly spaced time grid helper: `points` samples in [0, t_end_hours].
 std::vector<double> time_grid_hours(double t_end_hours, std::size_t points);

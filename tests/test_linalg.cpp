@@ -156,6 +156,87 @@ TEST(CsrMatrix, MaxAbsDiagonal) {
   EXPECT_DOUBLE_EQ(m.max_abs_diagonal(), 5.0);
 }
 
+TEST(CsrMatrix, CachedDiagonalMatchesLookup) {
+  sim::Rng rng{17};
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t rows = 1 + rng.uniform_int(8);
+    const std::size_t cols = 1 + rng.uniform_int(8);
+    std::vector<Triplet> triplets;
+    for (int e = 0; e < 20; ++e) {
+      triplets.push_back({rng.uniform_int(rows), rng.uniform_int(cols),
+                          rng.uniform() - 0.5});
+    }
+    const CsrMatrix m(rows, cols, triplets);
+    const auto diag = m.diagonal();
+    ASSERT_EQ(diag.size(), std::min(rows, cols));
+    double max_abs = 0.0;
+    for (std::size_t i = 0; i < diag.size(); ++i) {
+      EXPECT_DOUBLE_EQ(diag[i], m.at(i, i));
+      max_abs = std::max(max_abs, std::fabs(diag[i]));
+    }
+    EXPECT_DOUBLE_EQ(m.max_abs_diagonal(), max_abs);
+  }
+}
+
+TEST(CsrMatrix, CscMirrorMatchesCsr) {
+  const CsrMatrix m(
+      3, 4, {{0, 1, 2.0}, {0, 3, -1.0}, {1, 0, 4.0}, {2, 1, 5.0}, {2, 2, 6.0}});
+  const auto col_ptr = m.col_pointers();
+  const auto row_idx = m.row_indices();
+  const auto csc_vals = m.transposed_values();
+  ASSERT_EQ(col_ptr.size(), m.cols() + 1);
+  ASSERT_EQ(row_idx.size(), m.nnz());
+  ASSERT_EQ(csc_vals.size(), m.nnz());
+  // Every CSC entry must agree with element lookup, rows ascending within
+  // each column (the order that keeps apply_transpose bitwise identical to
+  // the scatter formulation).
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    for (std::size_t i = col_ptr[c]; i < col_ptr[c + 1]; ++i) {
+      EXPECT_DOUBLE_EQ(csc_vals[i], m.at(row_idx[i], c));
+      if (i > col_ptr[c]) {
+        EXPECT_LT(row_idx[i - 1], row_idx[i]);
+      }
+    }
+  }
+  EXPECT_EQ(col_ptr[0], 0u);
+  EXPECT_EQ(col_ptr[m.cols()], m.nnz());
+}
+
+TEST(CsrMatrix, ApplyTransposeBitwiseMatchesScatter) {
+  // The CSC gather must reproduce the historical scatter loop exactly --
+  // same per-output accumulation order -- for arbitrary sign/zero patterns.
+  sim::Rng rng{23};
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t rows = 1 + rng.uniform_int(12);
+    const std::size_t cols = 1 + rng.uniform_int(12);
+    std::vector<Triplet> triplets;
+    for (int e = 0; e < 40; ++e) {
+      double v = rng.uniform() - 0.5;
+      if (rng.uniform() < 0.2) v = 0.0;  // explicit zeros after summing
+      triplets.push_back({rng.uniform_int(rows), rng.uniform_int(cols), v});
+    }
+    const CsrMatrix m(rows, cols, triplets);
+    std::vector<double> x(rows);
+    for (auto& v : x) v = rng.uniform() - 0.5;
+
+    // Reference: scatter over the CSR layout (the pre-CSC implementation).
+    std::vector<double> expected(cols, 0.0);
+    const auto row_ptr = m.row_pointers();
+    const auto col_idx = m.col_indices();
+    const auto vals = m.values();
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+        expected[col_idx[i]] += vals[i] * x[r];
+      }
+    }
+    const std::vector<double> got = m.apply_transpose(x);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t c = 0; c < cols; ++c) {
+      EXPECT_EQ(got[c], expected[c]) << "trial=" << trial << " col=" << c;
+    }
+  }
+}
+
 TEST(VectorOps, DotAndNorms) {
   const std::vector<double> a{1.0, -2.0, 3.0};
   const std::vector<double> b{4.0, 5.0, -6.0};

@@ -89,6 +89,52 @@ TEST(PoissonWindow, RejectsNegative) {
   EXPECT_THROW(poisson_window(-1.0, 1e-10), std::invalid_argument);
 }
 
+TEST(PoissonWindow, EdgeLambdasMassWeightsAndSupport) {
+  // The regimes the sweeps actually hit: degenerate (lambda = 0),
+  // sub-unit (short scrub cycles), and very large (long horizons on stiff
+  // chains). In every case the window must hold >= 1 - eps of the mass in
+  // nonnegative weights on a support that straddles the mode.
+  constexpr double kEps = 1e-12;
+  for (const double lambda : {0.0, 0.05, 0.7, 1e4}) {
+    const PoissonWindow w = poisson_window(lambda, kEps);
+    ASSERT_FALSE(w.weights.empty()) << "lambda=" << lambda;
+    double total = 0.0;
+    for (const double x : w.weights) {
+      EXPECT_GE(x, 0.0) << "lambda=" << lambda;
+      total += x;
+    }
+    EXPECT_GE(total, 1.0 - 1e-11) << "lambda=" << lambda;
+    EXPECT_LE(total, 1.0 + 1e-11) << "lambda=" << lambda;
+    const auto mode = static_cast<std::size_t>(lambda);
+    EXPECT_LE(w.first_k, mode) << "lambda=" << lambda;
+    EXPECT_GT(w.first_k + w.weights.size(), mode) << "lambda=" << lambda;
+  }
+  // first_k stays within a few standard deviations of the mode (sanity
+  // check that the left scan terminates where it should, not at 0).
+  const PoissonWindow big = poisson_window(1e4, kEps);
+  EXPECT_GT(big.first_k, static_cast<std::size_t>(1e4 - 20.0 * 100.0));
+  // Width is O(sigma * sqrt(-ln(tail_floor))): ~700 left of the mode for
+  // eps = 1e-12 plus ~3900 right of it to reach the 1e-320 tail floor --
+  // far from the O(lambda) cost of summing from k = 0.
+  EXPECT_LT(big.weights.size(), 6000u);
+}
+
+TEST(PoissonWindow, TailExtensionMonotoneAboveFloor) {
+  // The far tail is extended until the pmf falls below the tail floor so
+  // absorbing-state masses ~1e-30 are not truncated away. Every extended
+  // term must keep the pmf recurrence (strictly decreasing past the mode)
+  // and stay above the floor.
+  const PoissonWindow w = poisson_window(50.0, 1e-12);
+  const std::size_t mode = 50 - w.first_k;
+  for (std::size_t i = mode + 1; i < w.weights.size(); ++i) {
+    EXPECT_LT(w.weights[i], w.weights[i - 1]) << "k=" << w.first_k + i;
+    EXPECT_GE(w.weights[i], 1e-320);
+  }
+  // With eps = 1e-12 alone the window would stop ~7 sigma out
+  // (pmf ~ 1e-14); the floor pushes it far beyond.
+  EXPECT_LT(w.weights.back(), 1e-250);
+}
+
 TEST(Uniformization, MatchesTwoStateClosedForm) {
   const UniformizationSolver solver;
   const double mu = 0.7;

@@ -5,7 +5,10 @@
 # google-benchmark's JSON reporter, and records the result as
 # BENCH_codec.json at the repo root so the codec perf trajectory is tracked
 # in-tree. Also runs bench_mc_vs_markov for the end-to-end Monte-Carlo
-# throughput numbers (its PASS/FAIL lines gate the >= 1.5x codec speedup).
+# throughput numbers (its PASS/FAIL lines gate the >= 1.5x codec speedup)
+# and bench_markov_throughput, which snapshots the Markov sweep-engine
+# numbers as BENCH_markov.json. Finally replays the paper-figure benches
+# under the bench preset so the snapshot reflects a green figure suite.
 #
 # Usage: tools/run_bench.sh [extra google-benchmark args...]
 set -eu
@@ -14,7 +17,12 @@ ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 BUILD="$ROOT/build-bench"
 
 cmake --preset bench -S "$ROOT" >/dev/null
-cmake --build "$BUILD" --target bench_codec_throughput bench_mc_vs_markov \
+cmake --build "$BUILD" \
+    --target bench_codec_throughput bench_mc_vs_markov \
+             bench_markov_throughput \
+             bench_fig5_simplex_seu bench_fig6_duplex_seu \
+             bench_fig7_duplex_scrubbing bench_fig8_simplex_perm \
+             bench_fig9_duplex_perm bench_fig10_rs3616_perm \
     -j "$(nproc)"
 
 "$BUILD/bench/bench_codec_throughput" \
@@ -25,4 +33,10 @@ cmake --build "$BUILD" --target bench_codec_throughput bench_mc_vs_markov \
 
 "$BUILD/bench/bench_mc_vs_markov"
 
+"$BUILD/bench/bench_markov_throughput" --out "$ROOT/BENCH_markov.json"
+
+ctest --test-dir "$BUILD" -R 'shape\.bench_fig' --output-on-failure \
+    -j "$(nproc)"
+
 echo "wrote $ROOT/BENCH_codec.json"
+echo "wrote $ROOT/BENCH_markov.json"
