@@ -1,0 +1,128 @@
+// Adversarial fault-injection campaigns over the functional memory systems.
+//
+// Where the Monte-Carlo simulator samples faults from the paper's Poisson
+// processes, this engine SCRIPTS them: each FaultScenario deterministically
+// places a worst-case fault pattern (seeded MBU bursts, growing stuck-at
+// banks, scrubber stall windows, decoder mis-correction traps, arbiter
+// disagreement, forced solver divergence) into a Simplex/Duplex/TMR system
+// or the guarded Markov solver chain, then grades the outcome:
+//
+//   survived          the system never RETURNED WRONG DATA -- either the
+//                     output was correct or the failure was detected
+//                     (decode failure, arbiter no-output, DegradedMode);
+//   silent_corruption wrong data delivered without any flag -- the one
+//                     outcome a highly reliable memory must not produce;
+//   degradation_engaged  the graceful-degradation chain (memory/
+//                     degradation.h) did work during the scenario;
+//   counters_consistent  the system's degradation/scrub counters match the
+//                     scenario's scripted fault arithmetic.
+//
+// Scenarios carry an EXPECTED verdict (expect_survival): the campaign
+// passes when every outcome matches its expectation, which lets the preset
+// include known-vulnerable baselines (simplex mis-correction) next to the
+// duplex scenarios that mask them. Campaigns are bit-deterministic for a
+// fixed seed and any thread count: scenario i derives its random streams
+// from (seed, i) alone and writes only outcome slot i.
+#ifndef RSMEM_ANALYSIS_FAULT_CAMPAIGN_H
+#define RSMEM_ANALYSIS_FAULT_CAMPAIGN_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "memory/degradation.h"
+#include "rs/reed_solomon.h"
+
+namespace rsmem::analysis {
+
+enum class ScenarioKind : std::uint8_t {
+  kMbuBurst,            // multi-bit upset burst in one module
+  kStuckBankGrowth,     // detected stuck-at faults growing over one bank
+  kScrubStall,          // scrubber stall window while transients accumulate
+  kMiscorrectionTrap,   // beyond-capability pattern that decodes wrong
+  kArbiterDisagreement, // both duplex modules mis-correct differently
+  kDeadModuleDemotion,  // one poisoned copy; rung-3 demotion must recover
+  kRetirement,          // persistent failure; rung-4 must retire the word
+  kSolverDivergence,    // forced guard trips through the fallback chain
+};
+const char* to_string(ScenarioKind kind);
+
+enum class TargetSystem : std::uint8_t { kSimplex, kDuplex, kTmr, kSolver };
+const char* to_string(TargetSystem target);
+
+struct FaultScenario {
+  std::string name;
+  ScenarioKind kind = ScenarioKind::kMbuBurst;
+  TargetSystem target = TargetSystem::kDuplex;
+  unsigned module_index = 0;  // attacked module (duplex: 0/1, TMR: 0..2)
+  unsigned bank_start = 0;    // first symbol of the attacked bank
+  unsigned bank_symbols = 3;  // bank width in symbols
+  unsigned intensity = 1;     // kind-specific magnitude (see scenarios.cpp)
+  bool expect_survival = true;
+};
+
+struct ScenarioOutcome {
+  FaultScenario scenario;
+  bool ran = false;              // executed (false: setup search failed)
+  bool produced_output = false;  // the system delivered data (availability)
+  bool data_correct = false;     // ... matching the stored data
+  bool silent_corruption = false;
+  bool survived = false;             // !silent_corruption
+  bool as_expected = false;          // survived == scenario.expect_survival
+  bool degradation_engaged = false;  // any degradation counter moved
+  bool counters_consistent = true;   // scripted-fault cross-check
+  unsigned faults_injected = 0;
+  memory::DegradationCounters counters;
+  std::string detail;  // one-line human-readable account
+};
+
+struct FaultCampaignConfig {
+  rs::CodeParams code{18, 16, 8, 1};
+  std::uint64_t seed = 2005;
+  unsigned threads = 1;  // 0 = hardware concurrency
+  // Policy under test for the degradation scenarios. Scenario kinds that
+  // exercise a specific rung enable that rung themselves when it is off.
+  memory::DegradationPolicy degradation;
+  double scrub_period_hours = 1.0;  // for the scrub-stall scenarios
+};
+
+struct FaultCampaignReport {
+  std::vector<ScenarioOutcome> outcomes;
+  unsigned scenarios = 0;
+  unsigned survived = 0;
+  unsigned silent_corruptions = 0;
+  unsigned degraded = 0;      // outcomes with degradation engaged
+  unsigned unexpected = 0;    // outcomes not matching expect_survival
+  unsigned inconsistent = 0;  // counter cross-checks that failed
+  // The campaign verdict: every scenario ran, matched its expected
+  // verdict, and kept its counters consistent.
+  bool passed() const {
+    return scenarios > 0 && unexpected == 0 && inconsistent == 0;
+  }
+};
+
+// The paper-duplex preset: MBU bursts, every single-module permanent-bank
+// growth (each bank x each module), scrub stalls, mis-correction traps
+// (simplex baseline expected-vulnerable, duplex expected-masked), arbiter
+// disagreement, dead-module demotion, retirement, and the forced
+// solver-divergence chain.
+std::vector<FaultScenario> paper_duplex_scenarios(const rs::CodeParams& code);
+
+// Runs one scenario (deterministic given config.seed and scenario_index).
+ScenarioOutcome run_scenario(const FaultCampaignConfig& config,
+                             const FaultScenario& scenario,
+                             std::size_t scenario_index);
+
+// Runs every scenario on config.threads workers; outcome i is produced by
+// scenario i alone, so the report is identical for any thread count.
+FaultCampaignReport run_fault_campaign(
+    const FaultCampaignConfig& config,
+    std::span<const FaultScenario> scenarios);
+
+// Scenario-by-scenario text report (fixed-width table plus verdict line).
+std::string format_campaign_report(const FaultCampaignReport& report);
+
+}  // namespace rsmem::analysis
+
+#endif  // RSMEM_ANALYSIS_FAULT_CAMPAIGN_H

@@ -6,10 +6,12 @@
 #include <cmath>
 
 #include "analysis/code_search.h"
+#include "analysis/fault_campaign.h"
 #include "analysis/sensitivity.h"
 #include "analysis/table.h"
 #include "cli/args.h"
 #include "core/api.h"
+#include "core/status.h"
 #include "core/units.h"
 #include "hw/codec_hw_model.h"
 #include "memory/access_latency.h"
@@ -76,6 +78,10 @@ int cmd_help(std::ostream& out) {
          "            [--spread]] [--horizon s]\n"
          "  chipkill  correlated chip faults vs i.i.d.-word model\n"
          "            [spec] --chip-rate r --words W --hours H\n"
+         "  inject    adversarial fault-injection campaign\n"
+         "            --preset paper-duplex [--n --k --m] [--seed S]\n"
+         "            [--threads T] (deterministic per seed; exit 0 iff\n"
+         "            every scenario matches its expected verdict)\n"
          "  help      this text\n"
          "\n"
          "spec flags: --arrangement simplex|duplex  --n 18 --k 16 --m 8\n"
@@ -326,6 +332,37 @@ int cmd_chipkill(const Args& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_inject(const Args& args, std::ostream& out) {
+  args.require_known({"preset", "n", "k", "m", "seed", "threads", "tsc"});
+  const std::string preset = args.get_string_or("preset", "paper-duplex");
+  if (preset != "paper-duplex") {
+    throw ArgError("--preset must be 'paper-duplex'");
+  }
+  analysis::FaultCampaignConfig cfg;
+  cfg.code.n = static_cast<unsigned>(args.get_long_or("n", 18));
+  cfg.code.k = static_cast<unsigned>(args.get_long_or("k", 16));
+  cfg.code.m = static_cast<unsigned>(args.get_long_or("m", 8));
+  cfg.seed = static_cast<std::uint64_t>(args.get_long_or("seed", 2005));
+  const long threads = args.get_long_or("threads", 1);
+  if (threads < 0) throw ArgError("--threads must be >= 0");
+  cfg.threads = static_cast<unsigned>(threads);
+  cfg.scrub_period_hours = args.get_double_or("tsc", 3600.0) / 3600.0;
+
+  // Route geometry errors through the structured taxonomy so a bad --n/--k
+  // reports as InvalidConfig with the actionable message, not a raw throw.
+  core::MemorySystemSpec spec;
+  spec.code = cfg.code;
+  core::Status valid = spec.validate_status();
+  if (!valid.is_ok()) throw core::StatusError(valid.with_context("inject"));
+
+  const std::vector<analysis::FaultScenario> scenarios =
+      analysis::paper_duplex_scenarios(cfg.code);
+  const analysis::FaultCampaignReport report =
+      analysis::run_fault_campaign(cfg, scenarios);
+  out << analysis::format_campaign_report(report);
+  return report.passed() ? 0 : 1;
+}
+
 }  // namespace
 
 int run_cli(int argc, const char* const* argv, std::ostream& out,
@@ -344,11 +381,16 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     if (command == "pareto") return cmd_pareto(args, out);
     if (command == "latency") return cmd_latency(args, out);
     if (command == "chipkill") return cmd_chipkill(args, out);
+    if (command == "inject") return cmd_inject(args, out);
     err << "unknown command '" << command << "'; try 'rsmem_cli help'\n";
     return 2;
   } catch (const ArgError& e) {
     err << "error: " << e.what() << "\n";
     return 2;
+  } catch (const core::StatusError& e) {
+    err << "error [" << core::to_string(e.status().code())
+        << "]: " << e.status().message() << "\n";
+    return e.status().code() == core::StatusCode::kInvalidConfig ? 2 : 1;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     return 1;

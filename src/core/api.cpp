@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/units.h"
+#include "markov/solver_guard.h"
 #include "markov/solver_workspace.h"
 #include "markov/uniformization.h"
 #include "models/chain_cache.h"
@@ -18,9 +19,12 @@ models::BerCurve analyze_ber(const core::MemorySystemSpec& spec,
   // workspace with the default StepPolicy: bitwise identical to building
   // and solving from scratch, but repeated queries (sweeps, code search)
   // skip the BFS enumeration, the Poisson windows, and the per-call
-  // allocations.
+  // allocations. The guarded solver validates every distribution it
+  // returns and falls back uniformization -> RK45 -> dense expm on a
+  // numerical guard trip; with no trip the output is the untouched
+  // uniformization result.
   static thread_local markov::SolverWorkspace workspace;
-  const markov::UniformizationSolver solver;
+  const markov::GuardedTransientSolver solver;
   if (spec.arrangement == analysis::Arrangement::kSimplex) {
     return models::simplex_ber_curve(spec.to_simplex_params(), times_hours,
                                      solver, models::global_chain_cache(),
@@ -74,13 +78,77 @@ models::BerCurve analyze_ber_periodic_scrub(
         "analyze_ber_periodic_scrub: scrub_period_seconds must be > 0");
   }
   const double tsc_hours = core::seconds_to_hours(spec.scrub_period_seconds);
-  const markov::UniformizationSolver solver;
+  const markov::GuardedTransientSolver solver;
   if (spec.arrangement == analysis::Arrangement::kSimplex) {
     return models::simplex_periodic_scrub_ber(spec.to_simplex_params(),
                                               tsc_hours, times_hours, solver);
   }
   return models::duplex_periodic_scrub_ber(spec.to_duplex_params(), tsc_hours,
                                            times_hours, solver);
+}
+
+namespace {
+
+// Shared wrapper for the try_* entry points: validates the spec up front
+// (actionable InvalidConfig instead of a thrown invalid_argument), then
+// maps the legacy exception surface of the underlying computation onto the
+// Status taxonomy.
+template <typename T, typename Fn>
+core::Result<T> run_guarded(const core::MemorySystemSpec& spec,
+                            const char* context, Fn&& fn) {
+  core::Status valid = spec.validate_status();
+  if (!valid.is_ok()) return valid.with_context(context);
+  try {
+    return fn();
+  } catch (const core::StatusError& e) {
+    core::Status status = e.status();
+    return status.with_context(context);
+  } catch (const std::invalid_argument& e) {
+    return core::Status::invalid_config(e.what()).with_context(context);
+  } catch (const std::domain_error& e) {
+    return core::Status::invalid_config(e.what()).with_context(context);
+  } catch (const std::exception& e) {
+    return core::Status::internal(e.what()).with_context(context);
+  }
+}
+
+}  // namespace
+
+core::Result<models::BerCurve> try_analyze_ber(
+    const core::MemorySystemSpec& spec, std::span<const double> times_hours) {
+  return run_guarded<models::BerCurve>(
+      spec, "analyze_ber", [&] { return analyze_ber(spec, times_hours); });
+}
+
+core::Result<double> try_fail_probability(const core::MemorySystemSpec& spec,
+                                          double t_hours) {
+  return run_guarded<double>(spec, "fail_probability", [&] {
+    return fail_probability(spec, t_hours);
+  });
+}
+
+core::Result<double> try_mttf_hours(const core::MemorySystemSpec& spec) {
+  return run_guarded<double>(spec, "mttf_hours",
+                             [&] { return mttf_hours(spec); });
+}
+
+core::Result<models::BerCurve> try_analyze_ber_periodic_scrub(
+    const core::MemorySystemSpec& spec, std::span<const double> times_hours) {
+  core::Status scrubbed = spec.validate_scrubbed_status();
+  if (!scrubbed.is_ok()) {
+    return scrubbed.with_context("analyze_ber_periodic_scrub");
+  }
+  return run_guarded<models::BerCurve>(
+      spec, "analyze_ber_periodic_scrub",
+      [&] { return analyze_ber_periodic_scrub(spec, times_hours); });
+}
+
+core::Result<analysis::MonteCarloResult> try_simulate(
+    const core::MemorySystemSpec& spec,
+    const analysis::MonteCarloConfig& config, memory::ScrubPolicy policy,
+    analysis::CampaignReport* report) {
+  return run_guarded<analysis::MonteCarloResult>(
+      spec, "simulate", [&] { return simulate(spec, config, policy, report); });
 }
 
 }  // namespace rsmem

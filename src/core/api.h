@@ -15,6 +15,7 @@
 
 #include "analysis/monte_carlo.h"
 #include "core/config.h"
+#include "core/status.h"
 #include "reliability/decoder_cost.h"
 
 namespace rsmem {
@@ -58,6 +59,28 @@ double mttf_hours(const core::MemorySystemSpec& spec);
 // scrub_period_seconds selects the period and must be positive.
 models::BerCurve analyze_ber_periodic_scrub(
     const core::MemorySystemSpec& spec, std::span<const double> times_hours);
+
+// ---------------------------------------------------------------------------
+// Structured-failure variants (core/status.h). Same computations as the
+// entry points above, but misconfiguration comes back as an InvalidConfig
+// Status and a solver whose whole fallback chain was rejected comes back as
+// SolverDivergence, instead of exceptions. The throwing entry points remain
+// for existing callers; these are the preferred API for services that must
+// degrade gracefully. All analyze paths route through the
+// markov::GuardedTransientSolver fallback chain (solver_guard.h); results
+// are bitwise identical to the unguarded solver when no guard trips.
+core::Result<models::BerCurve> try_analyze_ber(
+    const core::MemorySystemSpec& spec, std::span<const double> times_hours);
+core::Result<double> try_fail_probability(const core::MemorySystemSpec& spec,
+                                          double t_hours);
+core::Result<double> try_mttf_hours(const core::MemorySystemSpec& spec);
+core::Result<models::BerCurve> try_analyze_ber_periodic_scrub(
+    const core::MemorySystemSpec& spec, std::span<const double> times_hours);
+core::Result<analysis::MonteCarloResult> try_simulate(
+    const core::MemorySystemSpec& spec,
+    const analysis::MonteCarloConfig& config,
+    memory::ScrubPolicy policy = memory::ScrubPolicy::kExponential,
+    analysis::CampaignReport* report = nullptr);
 
 }  // namespace rsmem
 

@@ -1,21 +1,85 @@
 #include "core/config.h"
 
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "core/units.h"
 
 namespace rsmem::core {
 
+namespace {
+
+std::string geometry(const rs::CodeParams& code) {
+  return "n=" + std::to_string(code.n) + ", k=" + std::to_string(code.k) +
+         ", m=" + std::to_string(code.m);
+}
+
+}  // namespace
+
+Status MemorySystemSpec::validate_status() const {
+  if (code.k == 0) {
+    return Status::invalid_config(
+        "RS dataword length k must be positive (got " + geometry(code) +
+        "); the code stores k data symbols per word");
+  }
+  if (code.k >= code.n) {
+    return Status::invalid_config(
+        "RS geometry requires k < n (got " + geometry(code) +
+        "); an RS(n,k) code needs n-k > 0 parity symbols to correct anything");
+  }
+  if (code.m < 2 || code.m > 16) {
+    return Status::invalid_config(
+        "symbol width m must be in [2, 16] bits (got " + geometry(code) + ")");
+  }
+  if (code.n > (1u << code.m) - 1u) {
+    return Status::invalid_config(
+        "codeword length n exceeds the GF(2^m) bound: got " + geometry(code) +
+        " but n must be <= 2^m - 1 = " +
+        std::to_string((1u << code.m) - 1u) +
+        "; raise m or shorten the code");
+  }
+  if (std::isnan(seu_rate_per_bit_day) || seu_rate_per_bit_day < 0.0 ||
+      std::isinf(seu_rate_per_bit_day)) {
+    return Status::invalid_config(
+        "SEU rate must be finite and >= 0 errors/bit/day (got " +
+        std::to_string(seu_rate_per_bit_day) + ")");
+  }
+  if (std::isnan(erasure_rate_per_symbol_day) ||
+      erasure_rate_per_symbol_day < 0.0 ||
+      std::isinf(erasure_rate_per_symbol_day)) {
+    return Status::invalid_config(
+        "permanent-fault rate must be finite and >= 0 erasures/symbol/day "
+        "(got " +
+        std::to_string(erasure_rate_per_symbol_day) + ")");
+  }
+  if (std::isnan(scrub_period_seconds) || scrub_period_seconds < 0.0 ||
+      std::isinf(scrub_period_seconds)) {
+    return Status::invalid_config(
+        "scrub period Tsc must be finite and >= 0 seconds (got " +
+        std::to_string(scrub_period_seconds) +
+        "); use 0 to disable scrubbing");
+  }
+  return Status::ok();
+}
+
+Status MemorySystemSpec::validate_scrubbed_status() const {
+  Status status = validate_status();
+  if (!status.is_ok()) return status;
+  if (scrub_period_seconds <= 0.0) {
+    return Status::invalid_config(
+        "this analysis models an actual scrubbing process, so Tsc must be "
+        "> 0 seconds (got " +
+        std::to_string(scrub_period_seconds) +
+        "); set --tsc / scrub_period_seconds to the scrub interval");
+  }
+  return Status::ok();
+}
+
 void MemorySystemSpec::validate() const {
-  if (code.k == 0 || code.k >= code.n) {
-    throw std::invalid_argument("MemorySystemSpec: require 0 < k < n");
-  }
-  if (code.m < 2 || code.m > 16 || code.n > (1u << code.m) - 1u) {
-    throw std::invalid_argument("MemorySystemSpec: require n <= 2^m - 1");
-  }
-  if (seu_rate_per_bit_day < 0.0 || erasure_rate_per_symbol_day < 0.0 ||
-      scrub_period_seconds < 0.0) {
-    throw std::invalid_argument("MemorySystemSpec: negative rate/period");
+  Status status = validate_status();
+  if (!status.is_ok()) {
+    throw std::invalid_argument("MemorySystemSpec: " + status.message());
   }
 }
 

@@ -5,6 +5,7 @@
 #define RSMEM_CORE_CONFIG_H
 
 #include "analysis/experiment.h"
+#include "core/status.h"
 #include "memory/duplex_system.h"
 #include "memory/simplex_system.h"
 #include "models/duplex_model.h"
@@ -25,7 +26,15 @@ struct MemorySystemSpec {
   // Markov-model knobs (see models/duplex_model.h).
   models::RateConvention convention = models::RateConvention::kPaper;
 
-  // Validates ranges; throws std::invalid_argument with a description.
+  // Structured validation: an actionable InvalidConfig Status naming the
+  // first violated constraint with the offending values, OK otherwise.
+  Status validate_status() const;
+  // Everything validate_status() checks, plus scrub_period_seconds > 0 --
+  // required by analyses that model an actual scrubbing process (periodic-
+  // scrub curves, scrubbed campaigns).
+  Status validate_scrubbed_status() const;
+  // Legacy throwing wrapper around validate_status(); throws
+  // std::invalid_argument with the status message.
   void validate() const;
 
   // Conversions to the layer-specific parameter structs.

@@ -1,0 +1,51 @@
+#include "core/status.h"
+
+namespace rsmem::core {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidConfig:
+      return "InvalidConfig";
+    case StatusCode::kDecodeFailure:
+      return "DecodeFailure";
+    case StatusCode::kMiscorrection:
+      return "Miscorrection";
+    case StatusCode::kArbiterNoOutput:
+      return "ArbiterNoOutput";
+    case StatusCode::kSolverDivergence:
+      return "SolverDivergence";
+    case StatusCode::kDegradedMode:
+      return "DegradedMode";
+    case StatusCode::kRetryExhausted:
+      return "RetryExhausted";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+Status& Status::with_context(std::string_view context) {
+  if (!is_ok()) {
+    std::string prefixed;
+    prefixed.reserve(context.size() + 2 + message_.size());
+    prefixed.append(context);
+    prefixed.append(": ");
+    prefixed.append(message_);
+    message_ = std::move(prefixed);
+  }
+  return *this;
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out = rsmem::core::to_string(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace rsmem::core

@@ -1,0 +1,47 @@
+#include "memory/degradation.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "memory/memory_module.h"
+
+namespace rsmem::memory {
+
+unsigned condemn_banks(const MemoryModule& module,
+                       const DegradationPolicy& policy,
+                       std::vector<unsigned>& erasures) {
+  if (!policy.erasure_only_fallback || policy.bank_symbols == 0) return 0;
+  const unsigned n = module.n();
+  const unsigned bank = policy.bank_symbols;
+  unsigned condemned = 0;
+  std::vector<unsigned char> erased(n, 0);
+  for (const unsigned p : erasures) erased[p] = 1;
+  for (unsigned first = 0; first < n; first += bank) {
+    const unsigned last = std::min(first + bank, n);
+    unsigned stuck = 0;
+    for (unsigned p = first; p < last; ++p) {
+      if (module.symbol_has_detected_fault(p)) ++stuck;
+    }
+    if (stuck >= policy.bank_stuck_threshold && stuck > 0) {
+      // The bank is condemned only if widening actually adds information
+      // (some symbol of it is not already erased).
+      bool widens = false;
+      for (unsigned p = first; p < last; ++p) {
+        if (!erased[p]) {
+          erased[p] = 1;
+          widens = true;
+        }
+      }
+      if (widens) ++condemned;
+    }
+  }
+  if (condemned > 0) {
+    erasures.clear();
+    for (unsigned p = 0; p < n; ++p) {
+      if (erased[p]) erasures.push_back(p);
+    }
+  }
+  return condemned;
+}
+
+}  // namespace rsmem::memory

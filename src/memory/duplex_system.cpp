@@ -73,26 +73,168 @@ void DuplexSystem::schedule_next_scrub() {
 }
 
 void DuplexSystem::scrub() {
+  if (scrub_suspended_ || retired_) {
+    ++stats_.scrubs_skipped;
+    return;
+  }
   ++stats_.scrubs_attempted;
-  module1_.read_into(word1_scratch_);
-  module2_.read_into(word2_scratch_);
-  module1_.detected_erasures_into(erasures1_scratch_);
-  module2_.detected_erasures_into(erasures2_scratch_);
-  const ArbiterResult result =
-      arbiter_.arbitrate(word1_scratch_, word2_scratch_, erasures1_scratch_,
-                         erasures2_scratch_, config_.workspace);
+  const ArbiterResult result = arbitrate_with_recovery();
   if (!result.has_output()) {
     ++stats_.scrub_failures;
     return;
   }
   // Rewrite the agreed codeword into both modules. Stuck bits survive, so
   // permanent faults (X/Y pairs) persist while transient damage is cleared:
-  // exactly the chain's scrub target (X, Y+b, 0, 0, 0, 0).
-  module1_.write(result.output);
-  module2_.write(result.output);
+  // exactly the chain's scrub target (X, Y+b, 0, 0, 0, 0). A dead module is
+  // no longer written: it is out of the configuration.
+  if (dead_module_ != 0) module1_.write(result.output);
+  if (dead_module_ != 1) module2_.write(result.output);
   if (!std::equal(result.output.begin(), result.output.end(),
                   stored_codeword_.begin())) {
     ++stats_.scrub_miscorrections;
+  }
+}
+
+void DuplexSystem::inject_bit_flip(unsigned module_index, unsigned symbol,
+                                   unsigned bit) {
+  if (module_index > 1) {
+    throw std::invalid_argument(
+        "DuplexSystem::inject_bit_flip: module must be 0 or 1");
+  }
+  (module_index == 0 ? module1_ : module2_).flip_bit(symbol, bit);
+}
+
+void DuplexSystem::inject_stuck_bit(unsigned module_index, unsigned symbol,
+                                    unsigned bit, bool level, bool detected) {
+  if (module_index > 1) {
+    throw std::invalid_argument(
+        "DuplexSystem::inject_stuck_bit: module must be 0 or 1");
+  }
+  (module_index == 0 ? module1_ : module2_)
+      .stick_bit(symbol, bit, level, detected);
+}
+
+ArbiterResult DuplexSystem::survivor_arbiter_result() const {
+  const MemoryModule& survivor = dead_module_ == 0 ? module2_ : module1_;
+  survivor.read_into(word1_scratch_);
+  survivor.detected_erasures_into(erasures1_scratch_);
+  ArbiterResult result;
+  const rs::DecodeOutcome outcome =
+      config_.workspace != nullptr
+          ? code_->decode(*config_.workspace, word1_scratch_,
+                          erasures1_scratch_)
+          : code_->decode_legacy(word1_scratch_, erasures1_scratch_);
+  result.outcome1 = outcome;
+  result.flag1 = outcome.correction_flag();
+  if (outcome.ok()) {
+    result.decision = ArbiterDecision::kWord1;
+    result.output.assign(word1_scratch_.begin(), word1_scratch_.end());
+  }
+  return result;
+}
+
+ArbiterResult DuplexSystem::arbitrate_current() const {
+  if (dead_module_ >= 0) return survivor_arbiter_result();
+  module1_.read_into(word1_scratch_);
+  module2_.read_into(word2_scratch_);
+  module1_.detected_erasures_into(erasures1_scratch_);
+  module2_.detected_erasures_into(erasures2_scratch_);
+  return arbiter_.arbitrate(word1_scratch_, word2_scratch_, erasures1_scratch_,
+                            erasures2_scratch_, config_.workspace);
+}
+
+bool DuplexSystem::probe_decode(const MemoryModule& module,
+                                std::vector<Element>& word,
+                                std::vector<unsigned>& erasures) const {
+  module.read_into(word);
+  module.detected_erasures_into(erasures);
+  const rs::DecodeOutcome outcome =
+      config_.workspace != nullptr
+          ? code_->decode(*config_.workspace, word, erasures)
+          : code_->decode_legacy(word, erasures);
+  return outcome.ok();
+}
+
+void DuplexSystem::maybe_demote() const {
+  module1_.detected_erasures_into(erasures1_scratch_);
+  module2_.detected_erasures_into(erasures2_scratch_);
+  const unsigned threshold =
+      config_.degradation.dead_threshold(code_->n(), code_->k());
+  const bool dead1 = erasures1_scratch_.size() >= threshold;
+  const bool dead2 = erasures2_scratch_.size() >= threshold;
+  if (dead1 && dead2) return;  // both beyond hope: a survivor cannot help
+  if (dead1 != dead2) {
+    dead_module_ = dead1 ? 0 : 1;
+    ++degradation_.demotions;
+    return;
+  }
+  // Neither side is past the erasure threshold, yet the pair fails: one
+  // copy's (possibly transient, unlocatable) damage is poisoning the
+  // arbitration through erasure masking. Probe each module alone with its
+  // own erasure info; if exactly one decodes, the other is the dead copy.
+  const bool ok1 = probe_decode(module1_, word1_scratch_, erasures1_scratch_);
+  const bool ok2 = probe_decode(module2_, word2_scratch_, erasures2_scratch_);
+  if (ok1 == ok2) return;
+  dead_module_ = ok1 ? 1 : 0;
+  ++degradation_.demotions;
+}
+
+ArbiterResult DuplexSystem::arbitrate_with_recovery() const {
+  ArbiterResult result = arbitrate_current();
+  const DegradationPolicy& policy = config_.degradation;
+  if (!result.has_output() && policy.retry_with_detection) {
+    // Rung 1: run both modules' self-tests (locating every stuck bit) and
+    // re-arbitrate -- located stuck bits cost 1x as erasures.
+    for (unsigned attempt = 0;
+         attempt < policy.max_retries && !result.has_output(); ++attempt) {
+      ++degradation_.retries_attempted;
+      module1_.detect_all_faults();
+      module2_.detect_all_faults();
+      result = arbitrate_current();
+      if (result.has_output()) ++degradation_.retry_recoveries;
+    }
+  }
+  if (!result.has_output() && policy.erasure_only_fallback &&
+      policy.bank_symbols > 0 && dead_module_ < 0) {
+    // Rung 2: condemn heavily-stuck banks on both sides, then re-arbitrate
+    // with the widened erasure sets.
+    module1_.detected_erasures_into(erasures1_scratch_);
+    module2_.detected_erasures_into(erasures2_scratch_);
+    const unsigned c1 = condemn_banks(module1_, policy, erasures1_scratch_);
+    const unsigned c2 = condemn_banks(module2_, policy, erasures2_scratch_);
+    if (c1 + c2 > 0) {
+      degradation_.banks_condemned += c1 + c2;
+      ++degradation_.erasure_only_decodes;
+      module1_.read_into(word1_scratch_);
+      module2_.read_into(word2_scratch_);
+      result = arbiter_.arbitrate(word1_scratch_, word2_scratch_,
+                                  erasures1_scratch_, erasures2_scratch_,
+                                  config_.workspace);
+      if (result.has_output()) ++degradation_.erasure_only_recoveries;
+    }
+  }
+  if (!result.has_output() && policy.demote_on_dead_module &&
+      dead_module_ < 0) {
+    // Rung 3: cut away a module whose erasure count makes it undecodable on
+    // its own and continue simplex on the survivor.
+    maybe_demote();
+    if (dead_module_ >= 0) result = survivor_arbiter_result();
+  }
+  note_decode_result(result.has_output());
+  return result;
+}
+
+void DuplexSystem::note_decode_result(bool ok) const {
+  if (ok) {
+    consecutive_failures_ = 0;
+    return;
+  }
+  ++consecutive_failures_;
+  ++degradation_.unrecovered_failures;
+  const unsigned retire_after = config_.degradation.retire_after_failures;
+  if (retire_after > 0 && !retired_ && consecutive_failures_ >= retire_after) {
+    retired_ = true;
+    ++degradation_.words_retired;
   }
 }
 
@@ -112,13 +254,14 @@ DuplexReadResult DuplexSystem::read() const {
     throw std::logic_error("DuplexSystem::read: nothing stored");
   }
   DuplexReadResult result;
-  module1_.read_into(word1_scratch_);
-  module2_.read_into(word2_scratch_);
-  module1_.detected_erasures_into(erasures1_scratch_);
-  module2_.detected_erasures_into(erasures2_scratch_);
-  result.arbitration =
-      arbiter_.arbitrate(word1_scratch_, word2_scratch_, erasures1_scratch_,
-                         erasures2_scratch_, config_.workspace);
+  if (retired_) {
+    ++degradation_.reads_in_degraded_mode;
+    result.degraded = true;
+    return result;  // success=false: the word was retired (DegradedMode)
+  }
+  result.arbitration = arbitrate_with_recovery();
+  result.degraded = demoted();
+  if (result.degraded) ++degradation_.reads_in_degraded_mode;
   result.read.outcome = result.arbitration.outcome1;
   result.read.success = result.arbitration.has_output();
   if (result.read.success) {

@@ -32,11 +32,15 @@ struct DuplexSystemConfig {
   // Optional codec sharing / fast-path routing; see SimplexSystemConfig.
   std::shared_ptr<const rs::ReedSolomon> shared_code;
   rs::DecoderWorkspace* workspace = nullptr;
+  // Graceful-degradation escalation chain (memory/degradation.h). All
+  // features default off; the default policy leaves outputs bit-identical.
+  DegradationPolicy degradation;
 };
 
 struct DuplexReadResult {
   ReadResult read;           // aggregate success / data / correctness
   ArbiterResult arbitration; // full arbiter detail
+  bool degraded = false;     // served while demoted to simplex or retired
 };
 
 class DuplexSystem {
@@ -62,16 +66,49 @@ class DuplexSystem {
   };
   PairClassification classify_pairs() const;
 
+  // --- Robustness / fault-injection surface --------------------------------
+  // Scripted fault injection (analysis/fault_campaign.h): damages module 0
+  // or 1 directly, bypassing the Poisson streams.
+  void inject_bit_flip(unsigned module_index, unsigned symbol, unsigned bit);
+  void inject_stuck_bit(unsigned module_index, unsigned symbol, unsigned bit,
+                        bool level, bool detected);
+  // Scrub stall window: due scrub passes are skipped while suspended.
+  void suspend_scrubbing() { scrub_suspended_ = true; }
+  void resume_scrubbing() { scrub_suspended_ = false; }
+  bool scrub_suspended() const { return scrub_suspended_; }
+  // Degradation state. demoted() reports rung-3 duplex->simplex demotion
+  // (dead_module() is then 0 or 1); retired() reports rung-4 retirement.
+  const DegradationCounters& degradation() const { return degradation_; }
+  bool demoted() const { return dead_module_ >= 0; }
+  int dead_module() const { return dead_module_; }
+  bool retired() const { return retired_; }
+
  private:
   void scrub();
   void schedule_next_scrub();
+  // Full arbitration over the current module contents (fills the scratch
+  // buffers). With an active demotion, decodes the survivor alone instead
+  // and synthesizes an equivalent ArbiterResult.
+  ArbiterResult arbitrate_current() const;
+  // arbitrate_current plus the degradation chain: rung-1 retry with
+  // self-test, rung-3 dead-module demotion, rung-4 retire bookkeeping.
+  ArbiterResult arbitrate_with_recovery() const;
+  // Simplex decode of the surviving module, packaged as an ArbiterResult.
+  ArbiterResult survivor_arbiter_result() const;
+  // Simplex decode of one module with its own erasure info (demotion probe).
+  bool probe_decode(const MemoryModule& module, std::vector<Element>& word,
+                    std::vector<unsigned>& erasures) const;
+  void maybe_demote() const;
+  void note_decode_result(bool ok) const;
 
   DuplexSystemConfig config_;
   std::shared_ptr<const rs::ReedSolomon> code_;  // must precede arbiter_
   Arbiter arbiter_;
   sim::EventQueue queue_;
-  MemoryModule module1_;
-  MemoryModule module2_;
+  // Mutable: rung-1 recovery during a logically-const read() triggers the
+  // modules' self-tests (controller-visible device state).
+  mutable MemoryModule module1_;
+  mutable MemoryModule module2_;
   std::unique_ptr<FaultInjector> injector1_;
   std::unique_ptr<FaultInjector> injector2_;
   std::optional<Scrubber> scrubber_;
@@ -85,6 +122,11 @@ class DuplexSystem {
   mutable std::vector<Element> word2_scratch_;
   mutable std::vector<unsigned> erasures1_scratch_;
   mutable std::vector<unsigned> erasures2_scratch_;
+  bool scrub_suspended_ = false;
+  mutable DegradationCounters degradation_;
+  mutable unsigned consecutive_failures_ = 0;
+  mutable int dead_module_ = -1;  // rung 3: index of the demoted module
+  mutable bool retired_ = false;
 };
 
 }  // namespace rsmem::memory

@@ -65,10 +65,15 @@ void SimplexSystem::schedule_next_scrub() {
 }
 
 void SimplexSystem::scrub() {
+  if (scrub_suspended_ || retired_) {
+    ++stats_.scrubs_skipped;
+    return;
+  }
   ++stats_.scrubs_attempted;
   module_.read_into(word_scratch_);
   module_.detected_erasures_into(erasure_scratch_);
-  const rs::DecodeOutcome outcome = run_decode(word_scratch_, erasure_scratch_);
+  const rs::DecodeOutcome outcome =
+      decode_with_recovery(word_scratch_, erasure_scratch_);
   if (!outcome.ok()) {
     // Unrecoverable content: scrubbing cannot help (the chain's Fail).
     ++stats_.scrub_failures;
@@ -80,6 +85,15 @@ void SimplexSystem::scrub() {
     // The decoder "corrected" to a wrong codeword and the scrub latched it.
     ++stats_.scrub_miscorrections;
   }
+}
+
+void SimplexSystem::inject_bit_flip(unsigned symbol, unsigned bit) {
+  module_.flip_bit(symbol, bit);
+}
+
+void SimplexSystem::inject_stuck_bit(unsigned symbol, unsigned bit, bool level,
+                                     bool detected) {
+  module_.stick_bit(symbol, bit, level, detected);
 }
 
 void SimplexSystem::advance_to(double t_hours) {
@@ -99,14 +113,69 @@ rs::DecodeOutcome SimplexSystem::run_decode(
   return code_->decode_legacy(word, erasures);
 }
 
+rs::DecodeOutcome SimplexSystem::decode_with_recovery(
+    std::span<Element> word, std::vector<unsigned>& erasures) const {
+  rs::DecodeOutcome outcome = run_decode(word, erasures);
+  const DegradationPolicy& policy = config_.degradation;
+  if (!outcome.ok() && policy.retry_with_detection) {
+    // Rung 1: trigger the module self-test; located stuck bits become
+    // erasures (1x capability) instead of random errors (2x).
+    for (unsigned attempt = 0; attempt < policy.max_retries && !outcome.ok();
+         ++attempt) {
+      ++degradation_.retries_attempted;
+      module_.detect_all_faults();
+      module_.read_into(word);
+      module_.detected_erasures_into(erasures);
+      outcome = run_decode(word, erasures);
+      if (outcome.ok()) ++degradation_.retry_recoveries;
+    }
+  }
+  if (!outcome.ok() && policy.erasure_only_fallback &&
+      policy.bank_symbols > 0) {
+    // Rung 2: condemn banks with enough reported stuck symbols, widening
+    // the erasure set over the whole bank (covers latent stuck cells the
+    // per-symbol detection has not located).
+    module_.detected_erasures_into(erasures);
+    const unsigned condemned = condemn_banks(module_, policy, erasures);
+    if (condemned > 0 &&
+        erasures.size() <= static_cast<std::size_t>(code_->parity_symbols())) {
+      degradation_.banks_condemned += condemned;
+      ++degradation_.erasure_only_decodes;
+      module_.read_into(word);
+      outcome = run_decode(word, erasures);
+      if (outcome.ok()) ++degradation_.erasure_only_recoveries;
+    }
+  }
+  note_decode_result(outcome.ok());
+  return outcome;
+}
+
+void SimplexSystem::note_decode_result(bool ok) const {
+  if (ok) {
+    consecutive_failures_ = 0;
+    return;
+  }
+  ++consecutive_failures_;
+  ++degradation_.unrecovered_failures;
+  const unsigned retire_after = config_.degradation.retire_after_failures;
+  if (retire_after > 0 && !retired_ && consecutive_failures_ >= retire_after) {
+    retired_ = true;
+    ++degradation_.words_retired;
+  }
+}
+
 ReadResult SimplexSystem::read() const {
   if (!stored_) {
     throw std::logic_error("SimplexSystem::read: nothing stored");
   }
   ReadResult result;
+  if (retired_) {
+    ++degradation_.reads_in_degraded_mode;
+    return result;  // success=false: the word was retired (DegradedMode)
+  }
   module_.read_into(word_scratch_);
   module_.detected_erasures_into(erasure_scratch_);
-  result.outcome = run_decode(word_scratch_, erasure_scratch_);
+  result.outcome = decode_with_recovery(word_scratch_, erasure_scratch_);
   result.success = result.outcome.ok();
   if (result.success) {
     result.data = code_->extract_data(word_scratch_);

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "memory/degradation.h"
 #include "memory/fault_injector.h"
 #include "memory/memory_module.h"
 #include "memory/scrubber.h"
@@ -45,6 +46,7 @@ struct SystemStats {
   unsigned scrubs_attempted = 0;
   unsigned scrub_failures = 0;        // scrub found an unrecoverable word
   unsigned scrub_miscorrections = 0;  // scrub silently rewrote wrong data
+  unsigned scrubs_skipped = 0;        // suspended (stall window) or retired
 };
 
 struct SimplexSystemConfig {
@@ -62,6 +64,10 @@ struct SimplexSystemConfig {
   // codec. Results are bit-identical either way. The workspace must outlive
   // the system and must not be shared across threads.
   rs::DecoderWorkspace* workspace = nullptr;
+  // Graceful-degradation escalation chain (memory/degradation.h). All
+  // features default off; rungs only engage after a decode has failed, so
+  // the default policy leaves every output bit-identical.
+  DegradationPolicy degradation;
 };
 
 class SimplexSystem {
@@ -84,17 +90,43 @@ class SimplexSystem {
   // Ground-truth damage versus the stored codeword (instrumentation).
   DamageSummary damage() const;
 
+  // --- Robustness / fault-injection surface --------------------------------
+  // Scripted fault injection for adversarial campaigns (analysis/
+  // fault_campaign.h): bypasses the Poisson streams and damages the module
+  // directly, deterministically.
+  void inject_bit_flip(unsigned symbol, unsigned bit);
+  void inject_stuck_bit(unsigned symbol, unsigned bit, bool level,
+                        bool detected);
+  // Scrub stall window: while suspended, due scrub passes are skipped
+  // (counted in stats().scrubs_skipped) but stay scheduled.
+  void suspend_scrubbing() { scrub_suspended_ = true; }
+  void resume_scrubbing() { scrub_suspended_ = false; }
+  bool scrub_suspended() const { return scrub_suspended_; }
+  // Degradation state (memory/degradation.h). A retired word no longer
+  // decodes: read() reports failure and counts a degraded-mode read.
+  const DegradationCounters& degradation() const { return degradation_; }
+  bool retired() const { return retired_; }
+
  private:
   void scrub();
   void schedule_next_scrub();
   // Routes through the workspace fast path when configured, else legacy.
   rs::DecodeOutcome run_decode(std::span<Element> word,
                                std::span<const unsigned> erasures) const;
+  // run_decode plus the degradation escalation chain (retry-with-detection,
+  // bank-wide erasure fallback) and the consecutive-failure/retire
+  // bookkeeping. With the default policy this is exactly run_decode.
+  rs::DecodeOutcome decode_with_recovery(std::span<Element> word,
+                                         std::vector<unsigned>& erasures) const;
+  void note_decode_result(bool ok) const;
 
   SimplexSystemConfig config_;
   std::shared_ptr<const rs::ReedSolomon> code_;
   sim::EventQueue queue_;
-  MemoryModule module_;
+  // Mutable: rung-1 recovery during a logically-const read() triggers the
+  // module's self-test (detect_all_faults), which is controller-visible
+  // device state, not simulation output.
+  mutable MemoryModule module_;
   std::unique_ptr<FaultInjector> injector_;
   std::optional<Scrubber> scrubber_;
   std::vector<Element> stored_data_;      // ground truth dataword
@@ -105,6 +137,10 @@ class SimplexSystem {
   // campaigns) do not allocate. Mutable: read() is logically const.
   mutable std::vector<Element> word_scratch_;
   mutable std::vector<unsigned> erasure_scratch_;
+  bool scrub_suspended_ = false;
+  mutable DegradationCounters degradation_;
+  mutable unsigned consecutive_failures_ = 0;
+  mutable bool retired_ = false;
 };
 
 }  // namespace rsmem::memory

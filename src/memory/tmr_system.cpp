@@ -58,7 +58,29 @@ void TmrSystem::schedule_next_scrub() {
   });
 }
 
+void TmrSystem::inject_bit_flip(unsigned module_index, unsigned symbol,
+                                unsigned bit) {
+  if (module_index > 2) {
+    throw std::invalid_argument(
+        "TmrSystem::inject_bit_flip: module must be 0..2");
+  }
+  modules_[module_index]->flip_bit(symbol, bit);
+}
+
+void TmrSystem::inject_stuck_bit(unsigned module_index, unsigned symbol,
+                                 unsigned bit, bool level, bool detected) {
+  if (module_index > 2) {
+    throw std::invalid_argument(
+        "TmrSystem::inject_stuck_bit: module must be 0..2");
+  }
+  modules_[module_index]->stick_bit(symbol, bit, level, detected);
+}
+
 void TmrSystem::scrub() {
+  if (scrub_suspended_) {
+    ++stats_.scrubs_skipped;
+    return;
+  }
   ++stats_.scrubs_attempted;
   const std::vector<Element> voted = vote();
   for (auto& module : modules_) module->write(voted);

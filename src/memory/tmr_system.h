@@ -52,6 +52,17 @@ class TmrSystem {
   // with the stored data (i.e. the voter is currently wrong).
   unsigned corrupted_voted_bits() const;
 
+  // --- Robustness / fault-injection surface --------------------------------
+  // Scripted fault injection (analysis/fault_campaign.h): damages one of
+  // the three copies directly, bypassing the Poisson streams.
+  void inject_bit_flip(unsigned module_index, unsigned symbol, unsigned bit);
+  void inject_stuck_bit(unsigned module_index, unsigned symbol, unsigned bit,
+                        bool level, bool detected);
+  // Scrub stall window: due scrub passes are skipped while suspended.
+  void suspend_scrubbing() { scrub_suspended_ = true; }
+  void resume_scrubbing() { scrub_suspended_ = false; }
+  bool scrub_suspended() const { return scrub_suspended_; }
+
  private:
   std::vector<Element> vote() const;
   void scrub();
@@ -65,6 +76,7 @@ class TmrSystem {
   std::vector<Element> stored_data_;
   bool stored_ = false;
   SystemStats stats_;
+  bool scrub_suspended_ = false;
 };
 
 }  // namespace rsmem::memory

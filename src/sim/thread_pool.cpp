@@ -1,5 +1,7 @@
 #include "sim/thread_pool.h"
 
+#include <utility>
+
 namespace rsmem::sim {
 
 unsigned ThreadPool::resolve(unsigned requested) {
@@ -37,6 +39,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_) {
+    std::exception_ptr pending = std::exchange(first_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(pending);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -49,9 +56,18 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
-    task();
+    // A throwing task must not kill the worker (std::terminate) or leak the
+    // in_flight_ decrement (wait_idle deadlock). Capture the first
+    // exception; wait_idle() rethrows it once the pool drains.
+    std::exception_ptr thrown;
+    try {
+      task();
+    } catch (...) {
+      thrown = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (thrown && !first_exception_) first_exception_ = thrown;
       --in_flight_;
       if (in_flight_ == 0) all_idle_.notify_all();
     }

@@ -10,6 +10,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -30,11 +31,17 @@ class ThreadPool {
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
-  // Enqueues a task. Tasks must not throw (wrap and capture exceptions on
-  // the caller's side; analysis::run_chunked does this for campaigns).
+  // Enqueues a task. A task MAY throw: the exception is captured in the
+  // worker (the pool keeps running) and the FIRST captured exception is
+  // rethrown to the caller from the next wait_idle(). Callers that need a
+  // specific exception-selection order (e.g. first by task index) should
+  // still wrap tasks and pick their own winner, as analysis::run_chunked
+  // does for campaign shards.
   void submit(std::function<void()> task);
 
-  // Blocks until every submitted task has finished running.
+  // Blocks until every submitted task has finished running, then rethrows
+  // the first exception captured from a task since the previous wait_idle()
+  // (if any). The pool remains usable after the rethrow.
   void wait_idle();
 
   // 0 -> std::thread::hardware_concurrency(), clamped to >= 1.
@@ -49,6 +56,7 @@ class ThreadPool {
   std::condition_variable task_ready_;
   std::condition_variable all_idle_;
   std::size_t in_flight_ = 0;  // queued + currently running tasks
+  std::exception_ptr first_exception_;  // first task throw since last wait
   bool stop_ = false;
 };
 

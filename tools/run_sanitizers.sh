@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# Sanitizer sweep driver.
+#
+# Builds and runs the test suite under AddressSanitizer (asan preset, full
+# tier-1 suite minus the mc_heavy label) and then under ThreadSanitizer
+# (tsan preset, the mc_heavy differential suites that exercise the parallel
+# campaign engine). Either pass can be selected alone with `asan` / `tsan`
+# as the first argument; the default runs both. Exits non-zero on the first
+# failing pass, so this is CI-gate friendly.
+#
+# Usage: tools/run_sanitizers.sh [asan|tsan|all]
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+MODE="${1:-all}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+run_asan() {
+    echo "== Address+UB sanitizers: tier-1 suite =="
+    cmake --preset asan -S "$ROOT" >/dev/null
+    cmake --build "$ROOT/build-asan" -j "$JOBS"
+    # abort_on_error makes an ASan report fail the ctest run instead of
+    # only printing; detect_leaks covers the workspace/arena paths.
+    ASAN_OPTIONS="abort_on_error=1:detect_leaks=1" \
+        ctest --test-dir "$ROOT/build-asan" -LE mc_heavy --output-on-failure
+    # The adversarial campaign allocates/frees whole systems per scenario:
+    # drive it end to end under ASan as well.
+    ASAN_OPTIONS="abort_on_error=1:detect_leaks=1" \
+        "$ROOT/build-asan/tools/rsmem_cli" inject --preset paper-duplex \
+        > /dev/null
+}
+
+run_tsan() {
+    echo "== ThreadSanitizer: parallel campaign suites =="
+    cmake --preset tsan -S "$ROOT" >/dev/null
+    cmake --build "$ROOT/build-tsan" -j "$JOBS"
+    TSAN_OPTIONS="halt_on_error=1" \
+        ctest --test-dir "$ROOT/build-tsan" -L mc_heavy --output-on-failure
+    # Multi-threaded campaign run: scenario shards on 4 workers.
+    TSAN_OPTIONS="halt_on_error=1" \
+        "$ROOT/build-tsan/tools/rsmem_cli" inject --preset paper-duplex \
+        --threads 4 > /dev/null
+}
+
+case "$MODE" in
+    asan) run_asan ;;
+    tsan) run_tsan ;;
+    all)  run_asan; run_tsan ;;
+    *) echo "usage: tools/run_sanitizers.sh [asan|tsan|all]" >&2; exit 2 ;;
+esac
+
+echo "sanitizer sweep ($MODE): PASS"
