@@ -1,5 +1,7 @@
 #include "cli/commands.h"
 
+#include <csignal>
+#include <fstream>
 #include <set>
 #include <string>
 
@@ -18,6 +20,10 @@
 #include "models/ber.h"
 #include "models/chipkill.h"
 #include "models/sparing_model.h"
+#include "service/client.h"
+#include "service/loadgen.h"
+#include "service/server.h"
+#include "sim/thread_pool.h"
 
 namespace rsmem::cli {
 
@@ -82,6 +88,17 @@ int cmd_help(std::ostream& out) {
          "            --preset paper-duplex [--n --k --m] [--seed S]\n"
          "            [--threads T] (deterministic per seed; exit 0 iff\n"
          "            every scenario matches its expected verdict)\n"
+         "  serve     long-running analysis daemon (rsmem-serve)\n"
+         "            --socket PATH | --listen HOST:PORT [--threads T]\n"
+         "            [--max-queue N] [--cache N] [--batch B]\n"
+         "  query     one request against a running server\n"
+         "            --at unix:PATH|HOST:PORT --kind ber|mttf|sweep|ping|\n"
+         "            stats|shutdown [spec] [--hours H --points P]\n"
+         "            [--periodic] [--param p --values a,b] [--deadline MS]\n"
+         "  loadgen   N concurrent clients; p50/p99 + cache hit rate\n"
+         "            [--self-host | --at ...] [--clients N --requests R\n"
+         "            --distinct K] [--kind sweep|ber|mttf] [spec]\n"
+         "            [--json BENCH_serve.json]\n"
          "  help      this text\n"
          "\n"
          "spec flags: --arrangement simplex|duplex  --n 18 --k 16 --m 8\n"
@@ -363,6 +380,277 @@ int cmd_inject(const Args& args, std::ostream& out) {
   return report.passed() ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// rsmem-serve front-ends: serve / query / loadgen (src/service/).
+
+volatile std::sig_atomic_t g_serve_interrupted = 0;
+
+void serve_signal_handler(int) { g_serve_interrupted = 1; }
+
+// Endpoint from --socket PATH (unix) or --listen/--at HOST:PORT (tcp or
+// "unix:/path"). Malformed endpoints surface as InvalidConfig -> exit 2.
+service::Endpoint endpoint_from(const Args& args, const char* flag,
+                                const std::string& fallback) {
+  const std::string text = args.get_string_or(flag, fallback);
+  core::Result<service::Endpoint> endpoint = service::parse_endpoint(text);
+  if (!endpoint.ok()) {
+    core::Status status = endpoint.status();
+    throw core::StatusError(status.with_context(std::string("--") + flag));
+  }
+  return endpoint.value();
+}
+
+service::SchedulerConfig scheduler_config_from(const Args& args) {
+  service::SchedulerConfig config;
+  const long threads = args.get_long_or("threads", 0);
+  const long max_queue = args.get_long_or("max-queue", 128);
+  const long cache = args.get_long_or("cache", 256);
+  const long batch = args.get_long_or("batch", 16);
+  if (threads < 0 || max_queue < 1 || cache < 0 || batch < 1) {
+    throw core::StatusError(core::Status::invalid_config(
+        "require --threads >= 0, --max-queue >= 1, --cache >= 0, "
+        "--batch >= 1"));
+  }
+  config.threads = static_cast<unsigned>(threads);
+  config.max_queue = static_cast<std::size_t>(max_queue);
+  config.cache_capacity = static_cast<std::size_t>(cache);
+  config.batch_max = static_cast<std::size_t>(batch);
+  return config;
+}
+
+// Deadline flag shared by query/loadgen; negative values are rejected
+// through the InvalidConfig mapping (exit 2), mirroring Request parsing.
+double deadline_from(const Args& args) {
+  const double deadline_ms = args.get_double_or("deadline", 0.0);
+  if (deadline_ms < 0.0) {
+    throw core::StatusError(core::Status::invalid_config(
+        "--deadline must be >= 0 milliseconds, got " +
+        std::to_string(deadline_ms)));
+  }
+  return deadline_ms;
+}
+
+// Analysis request from the spec flags; used by query and loadgen.
+service::Request request_from(const Args& args, const std::string& kind) {
+  service::Request request;
+  request.deadline_ms = deadline_from(args);
+  if (kind == "ping") {
+    request.kind = service::RequestKind::kPing;
+    return request;
+  }
+  if (kind == "stats") {
+    request.kind = service::RequestKind::kStats;
+    return request;
+  }
+  if (kind == "shutdown") {
+    request.kind = service::RequestKind::kShutdown;
+    return request;
+  }
+  request.spec = spec_from(args);
+  const double hours = args.get_double_or("hours", 48.0);
+  if (kind == "mttf") {
+    request.kind = service::RequestKind::kMttf;
+    return request;
+  }
+  if (kind == "sweep") {
+    request.kind = service::RequestKind::kSweep;
+    request.sweep_param = args.get_string("param");
+    if (request.sweep_param != "seu" && request.sweep_param != "perm" &&
+        request.sweep_param != "tsc") {
+      throw ArgError("--param must be one of seu|perm|tsc");
+    }
+    request.sweep_values = args.get_double_list("values");
+    request.sweep_hours = hours;
+    return request;
+  }
+  if (kind != "ber") {
+    throw ArgError(
+        "--kind must be one of ber|mttf|sweep|ping|stats|shutdown");
+  }
+  request.kind = service::RequestKind::kBer;
+  request.periodic = args.get_switch("periodic");
+  const long points = args.get_long_or("points", 1);
+  if (hours <= 0.0 || points < 1) {
+    throw ArgError("--hours must be > 0 and --points >= 1");
+  }
+  request.times_hours =
+      points == 1 ? std::vector<double>{hours}
+                  : models::time_grid_hours(
+                        hours, static_cast<std::size_t>(points));
+  return request;
+}
+
+int cmd_serve(const Args& args, std::ostream& out) {
+  args.require_known({"socket", "listen", "threads", "max-queue", "cache",
+                      "batch"});
+  if (args.has("socket") && args.has("listen")) {
+    throw ArgError("pass --socket PATH or --listen HOST:PORT, not both");
+  }
+  service::ServerConfig config;
+  if (args.has("listen")) {
+    config.endpoint = endpoint_from(args, "listen", "");
+  } else {
+    config.endpoint = service::Endpoint::unix_socket(
+        args.get_string_or("socket", "/tmp/rsmem-serve.sock"));
+  }
+  config.scheduler = scheduler_config_from(args);
+  core::Result<std::unique_ptr<service::Server>> started =
+      service::Server::start(config);
+  if (!started.ok()) throw core::StatusError(started.status());
+  const std::unique_ptr<service::Server> server = std::move(started).value();
+  out << "rsmem-serve listening on " << server->endpoint().to_string()
+      << " (threads=" << sim::ThreadPool::resolve(config.scheduler.threads)
+      << " max-queue=" << config.scheduler.max_queue
+      << " cache=" << config.scheduler.cache_capacity
+      << " batch=" << config.scheduler.batch_max << ")\n";
+  out.flush();
+
+  g_serve_interrupted = 0;
+  auto* previous_int = std::signal(SIGINT, serve_signal_handler);
+  auto* previous_term = std::signal(SIGTERM, serve_signal_handler);
+  while (!server->wait_for_shutdown(std::chrono::milliseconds(200))) {
+    if (g_serve_interrupted) break;
+  }
+  server->shutdown();
+  std::signal(SIGINT, previous_int);
+  std::signal(SIGTERM, previous_term);
+
+  const service::AnalysisScheduler::Stats stats = server->scheduler_stats();
+  const service::ResultCache::Stats cache = server->cache_stats();
+  out << "rsmem-serve stopped: " << stats.completed << " completed, "
+      << stats.rejected_overload << " rejected, cache hit rate "
+      << analysis::format_fixed(cache.hit_rate(), 3) << "\n";
+  return 0;
+}
+
+int cmd_query(const Args& args, std::ostream& out) {
+  args.require_known(with_spec({"at", "kind", "hours", "points", "periodic",
+                                "param", "values", "deadline", "csv"}));
+  const std::string kind = args.get_string_or("kind", "ber");
+  const service::Request request = request_from(args, kind);
+  const service::Endpoint endpoint =
+      endpoint_from(args, "at", "unix:/tmp/rsmem-serve.sock");
+  core::Result<service::Client> client = service::Client::connect(endpoint);
+  if (!client.ok()) throw core::StatusError(client.status());
+  core::Result<service::Response> called = client.value().call(request);
+  if (!called.ok()) throw core::StatusError(called.status());
+  const service::Response& response = called.value();
+  if (!response.status.is_ok()) throw core::StatusError(response.status);
+
+  core::Result<service::Json> result =
+      service::Json::parse(response.result_json.empty()
+                               ? std::string("{}")
+                               : response.result_json);
+  if (!result.ok()) throw core::StatusError(result.status());
+  const service::Json& json = result.value();
+  if (request.kind == service::RequestKind::kBer) {
+    const auto times = json.doubles_at("times_hours");
+    const auto pfail = json.doubles_at("fail_probability");
+    const auto ber = json.doubles_at("ber");
+    if (!times.ok() || !pfail.ok() || !ber.ok()) {
+      throw core::StatusError(
+          core::Status::internal("malformed ber result payload"));
+    }
+    analysis::Table table{{"hours", "P_fail", "BER"}};
+    for (std::size_t i = 0; i < times.value().size(); ++i) {
+      table.add_row({analysis::format_fixed(times.value()[i], 2),
+                     analysis::format_sci(pfail.value()[i]),
+                     analysis::format_sci(ber.value()[i])});
+    }
+    out << (args.get_switch("csv") ? table.to_csv() : table.to_text());
+  } else if (request.kind == service::RequestKind::kSweep) {
+    const auto values = json.doubles_at("values");
+    const auto pfail = json.doubles_at("fail_probability");
+    const auto ber = json.doubles_at("ber");
+    if (!values.ok() || !pfail.ok() || !ber.ok()) {
+      throw core::StatusError(
+          core::Status::internal("malformed sweep result payload"));
+    }
+    analysis::Table table{{request.sweep_param, "P_fail", "BER"}};
+    for (std::size_t i = 0; i < values.value().size(); ++i) {
+      table.add_row({analysis::format_sci(values.value()[i]),
+                     analysis::format_sci(pfail.value()[i]),
+                     analysis::format_sci(ber.value()[i])});
+    }
+    out << (args.get_switch("csv") ? table.to_csv() : table.to_text());
+  } else if (request.kind == service::RequestKind::kMttf) {
+    const double hours = json.number_or("mttf_hours", 0.0);
+    out << "MTTF: " << analysis::format_sci(hours) << " hours ("
+        << analysis::format_fixed(core::hours_to_months(hours), 2)
+        << " months)\n";
+  } else {
+    out << (response.result_json.empty() ? std::string("ok")
+                                         : response.result_json)
+        << "\n";
+  }
+  if (request.kind == service::RequestKind::kBer ||
+      request.kind == service::RequestKind::kSweep ||
+      request.kind == service::RequestKind::kMttf) {
+    out << "[cache " << service::to_string(response.cache) << ", "
+        << analysis::format_fixed(response.compute_ms, 3) << " ms]\n";
+  }
+  return 0;
+}
+
+int cmd_loadgen(const Args& args, std::ostream& out) {
+  args.require_known(with_spec(
+      {"at", "self-host", "clients", "requests", "distinct", "kind", "hours",
+       "points", "periodic", "param", "values", "deadline", "json", "threads",
+       "max-queue", "cache", "batch"}));
+  service::LoadgenConfig config;
+  config.self_host = !args.has("at") || args.get_switch("self-host");
+  if (args.has("at")) {
+    config.endpoint = endpoint_from(args, "at", "");
+    config.self_host = false;
+  }
+  config.scheduler = scheduler_config_from(args);
+  const long clients = args.get_long_or("clients", 8);
+  const long requests = args.get_long_or("requests", 40);
+  const long distinct = args.get_long_or("distinct", 4);
+  if (clients < 1 || requests < 1 || distinct < 1) {
+    throw core::StatusError(core::Status::invalid_config(
+        "require --clients >= 1, --requests >= 1, --distinct >= 1"));
+  }
+  config.clients = static_cast<unsigned>(clients);
+  config.requests_per_client = static_cast<std::size_t>(requests);
+  config.distinct = static_cast<std::size_t>(distinct);
+  const std::string kind = args.get_string_or("kind", "sweep");
+  if (kind != "ber" && kind != "mttf" && kind != "sweep") {
+    throw ArgError("--kind must be one of ber|mttf|sweep for loadgen");
+  }
+  // Loadgen defaults to the paper's duplex scrubbing sweep (Fig. 7 family)
+  // when no spec flags are given: a realistic, cacheable dashboard query.
+  if (kind == "sweep" && !args.has("param")) {
+    service::Request request;
+    request.kind = service::RequestKind::kSweep;
+    request.spec = spec_from(args);
+    if (!args.has("seu")) request.spec.seu_rate_per_bit_day = 1e-2;
+    request.sweep_param = "tsc";
+    request.sweep_values = {600.0, 1800.0, 3600.0, 7200.0};
+    request.sweep_hours = args.get_double_or("hours", 48.0);
+    request.deadline_ms = deadline_from(args);
+    config.request = request;
+  } else {
+    config.request = request_from(args, kind);
+  }
+
+  core::Result<service::LoadgenReport> ran = service::run_loadgen(config);
+  if (!ran.ok()) throw core::StatusError(ran.status());
+  const service::LoadgenReport& report = ran.value();
+  out << service::format_loadgen_report(config, report);
+  if (args.has("json")) {
+    const std::string path = args.get_string("json");
+    std::ofstream file(path);
+    if (!file) {
+      throw core::StatusError(
+          core::Status::internal("cannot write --json file " + path));
+    }
+    file << service::loadgen_report_json(config, report) << "\n";
+    out << "wrote " << path << "\n";
+  }
+  return report.errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int run_cli(int argc, const char* const* argv, std::ostream& out,
@@ -382,6 +670,9 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     if (command == "latency") return cmd_latency(args, out);
     if (command == "chipkill") return cmd_chipkill(args, out);
     if (command == "inject") return cmd_inject(args, out);
+    if (command == "serve") return cmd_serve(args, out);
+    if (command == "query") return cmd_query(args, out);
+    if (command == "loadgen") return cmd_loadgen(args, out);
     err << "unknown command '" << command << "'; try 'rsmem_cli help'\n";
     return 2;
   } catch (const ArgError& e) {

@@ -20,6 +20,10 @@ const char* to_string(StatusCode code) {
       return "DegradedMode";
     case StatusCode::kRetryExhausted:
       return "RetryExhausted";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -43,6 +43,13 @@ enum class StatusCode : std::uint8_t {
   kDegradedMode,
   // Every rung of a recovery/fallback chain was exhausted.
   kRetryExhausted,
+  // Service admission control: the request queue is at capacity and the
+  // request was REJECTED up front (typed, never a silent drop). The caller
+  // should back off and retry; the service is healthy, just saturated.
+  kOverloaded,
+  // Service scheduling: the request was admitted but its deadline expired
+  // before a worker could start it. No computation was performed.
+  kDeadlineExceeded,
   // Invariant violation inside rsmem itself.
   kInternal,
 };
@@ -77,6 +84,12 @@ class Status {
   }
   static Status retry_exhausted(std::string message) {
     return {StatusCode::kRetryExhausted, std::move(message)};
+  }
+  static Status overloaded(std::string message) {
+    return {StatusCode::kOverloaded, std::move(message)};
+  }
+  static Status deadline_exceeded(std::string message) {
+    return {StatusCode::kDeadlineExceeded, std::move(message)};
   }
   static Status internal(std::string message) {
     return {StatusCode::kInternal, std::move(message)};

@@ -1,0 +1,67 @@
+#include "service/client.h"
+
+#include <unistd.h>
+
+namespace rsmem::service {
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    next_id_ = other.next_id_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+core::Result<Client> Client::connect(const Endpoint& endpoint) {
+  core::Result<int> fd = connect_to(endpoint);
+  if (!fd.ok()) {
+    core::Status status = fd.status();
+    return status.with_context("client connect");
+  }
+  return Client(fd.value());
+}
+
+core::Result<Response> Client::call(Request request) {
+  if (fd_ < 0) {
+    return core::Status::internal("client is not connected");
+  }
+  if (request.id == 0) request.id = next_id_++;
+  core::Status wrote = write_frame(fd_, request.to_json());
+  if (!wrote.is_ok()) return wrote.with_context("client call");
+  // Skip frames for other ids (stale pipelined completions after an
+  // earlier caller gave up); bounded so a confused peer cannot wedge us.
+  for (int skipped = 0; skipped < 1024; ++skipped) {
+    core::Result<FrameRead> frame = read_frame(fd_);
+    if (!frame.ok()) {
+      core::Status status = frame.status();
+      return status.with_context("client call");
+    }
+    if (frame.value().eof) {
+      return core::Status::internal(
+          "server closed the connection before responding");
+    }
+    core::Result<Response> response =
+        Response::from_json(frame.value().payload);
+    if (!response.ok()) {
+      core::Status status = response.status();
+      return status.with_context("client call");
+    }
+    if (response.value().id == request.id || response.value().id == 0) {
+      return response;
+    }
+  }
+  return core::Status::internal("no response for request id " +
+                                std::to_string(request.id) +
+                                " within 1024 frames");
+}
+
+}  // namespace rsmem::service

@@ -1,0 +1,49 @@
+// Client library for rsmem-serve.
+//
+// A Client owns one connected socket and offers synchronous call():
+// write one request frame, read frames until the response with the
+// matching id arrives. One Client is single-threaded by design — run one
+// per worker (loadgen does exactly that); the protocol itself supports
+// pipelining, but the simple call() surface is what the CLI and tests
+// need.
+#ifndef RSMEM_SERVICE_CLIENT_H
+#define RSMEM_SERVICE_CLIENT_H
+
+#include <cstdint>
+
+#include "service/endpoint.h"
+#include "service/protocol.h"
+
+namespace rsmem::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(Client&& other) noexcept : fd_(other.fd_), next_id_(other.next_id_) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  static core::Result<Client> connect(const Endpoint& endpoint);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  // Sends the request (assigning a fresh id when request.id == 0) and
+  // blocks for its response. Transport failures come back as kInternal;
+  // application failures arrive as the Response's own status.
+  core::Result<Response> call(Request request);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace rsmem::service
+
+#endif  // RSMEM_SERVICE_CLIENT_H

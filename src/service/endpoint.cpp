@@ -1,0 +1,187 @@
+#include "service/endpoint.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rsmem::service {
+
+namespace {
+
+core::Status errno_status(const std::string& what) {
+  return core::Status::internal(what + ": " + std::strerror(errno));
+}
+
+core::Result<int> open_unix(const Endpoint& endpoint, sockaddr_un& addr) {
+  if (endpoint.path.size() >= sizeof addr.sun_path) {
+    return core::Status::invalid_config(
+        "unix socket path too long (" + std::to_string(endpoint.path.size()) +
+        " bytes, max " + std::to_string(sizeof addr.sun_path - 1) + "): " +
+        endpoint.path);
+  }
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, endpoint.path.c_str(), endpoint.path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket(AF_UNIX)");
+  return fd;
+}
+
+core::Result<int> open_tcp(const Endpoint& endpoint, sockaddr_in& addr) {
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    // Keep the resolver dependency-free: accept dotted quads and the
+    // obvious aliases only.
+    if (endpoint.host == "localhost") {
+      ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    } else {
+      return core::Status::invalid_config(
+          "host must be an IPv4 address or 'localhost', got '" +
+          endpoint.host + "'");
+    }
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket(AF_INET)");
+  return fd;
+}
+
+}  // namespace
+
+Endpoint Endpoint::unix_socket(std::string socket_path) {
+  Endpoint endpoint;
+  endpoint.kind = Kind::kUnix;
+  endpoint.path = std::move(socket_path);
+  return endpoint;
+}
+
+Endpoint Endpoint::tcp(std::string host, std::uint16_t port) {
+  Endpoint endpoint;
+  endpoint.kind = Kind::kTcp;
+  endpoint.host = std::move(host);
+  endpoint.port = port;
+  return endpoint;
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return host + ":" + std::to_string(port);
+}
+
+core::Result<Endpoint> parse_endpoint(const std::string& text) {
+  if (text.rfind("unix:", 0) == 0) {
+    const std::string path = text.substr(5);
+    if (path.empty()) {
+      return core::Status::invalid_config(
+          "unix endpoint needs a path after 'unix:', got '" + text + "'");
+    }
+    return Endpoint::unix_socket(path);
+  }
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos) {
+    return core::Status::invalid_config(
+        "endpoint must be 'unix:/path' or 'host:port', got '" + text + "'");
+  }
+  const std::string host = text.substr(0, colon);
+  const std::string port_text = text.substr(colon + 1);
+  if (host.empty()) {
+    return core::Status::invalid_config("endpoint host is empty in '" + text +
+                                        "'");
+  }
+  if (port_text.empty() ||
+      port_text.find_first_not_of("0123456789") != std::string::npos) {
+    return core::Status::invalid_config(
+        "endpoint port must be a decimal integer, got '" + port_text + "'");
+  }
+  // All-digits guaranteed above; bound the value before converting.
+  if (port_text.size() > 5 || std::stol(port_text) > 65535) {
+    return core::Status::invalid_config("endpoint port out of range [0, " +
+                                        std::to_string(65535) + "]: '" +
+                                        port_text + "'");
+  }
+  return Endpoint::tcp(host, static_cast<std::uint16_t>(std::stol(port_text)));
+}
+
+core::Result<int> listen_on(const Endpoint& endpoint, int backlog) {
+  int fd = -1;
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr;
+    core::Result<int> opened = open_unix(endpoint, addr);
+    if (!opened.ok()) return opened.status();
+    fd = opened.value();
+    ::unlink(endpoint.path.c_str());  // clear a stale socket file
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      const core::Status status = errno_status("bind(" + endpoint.to_string() +
+                                               ")");
+      ::close(fd);
+      return status;
+    }
+  } else {
+    sockaddr_in addr;
+    core::Result<int> opened = open_tcp(endpoint, addr);
+    if (!opened.ok()) return opened.status();
+    fd = opened.value();
+    const int enable = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      const core::Status status = errno_status("bind(" + endpoint.to_string() +
+                                               ")");
+      ::close(fd);
+      return status;
+    }
+  }
+  if (::listen(fd, backlog) != 0) {
+    const core::Status status = errno_status("listen(" + endpoint.to_string() +
+                                             ")");
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+core::Result<int> connect_to(const Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr;
+    core::Result<int> opened = open_unix(endpoint, addr);
+    if (!opened.ok()) return opened.status();
+    const int fd = opened.value();
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      const core::Status status =
+          errno_status("connect(" + endpoint.to_string() + ")");
+      ::close(fd);
+      return status;
+    }
+    return fd;
+  }
+  sockaddr_in addr;
+  core::Result<int> opened = open_tcp(endpoint, addr);
+  if (!opened.ok()) return opened.status();
+  const int fd = opened.value();
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const core::Status status =
+        errno_status("connect(" + endpoint.to_string() + ")");
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+core::Result<Endpoint> bound_endpoint(int listen_fd,
+                                      const Endpoint& requested) {
+  if (requested.kind == Endpoint::Kind::kUnix) return requested;
+  sockaddr_in addr;
+  socklen_t length = sizeof addr;
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &length) !=
+      0) {
+    return errno_status("getsockname");
+  }
+  return Endpoint::tcp(requested.host, ntohs(addr.sin_port));
+}
+
+}  // namespace rsmem::service

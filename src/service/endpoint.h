@@ -1,0 +1,51 @@
+// Service endpoint addressing: `unix:/path/to.sock` or `host:port`.
+//
+// One parser shared by the server (--socket/--listen), the client
+// (--at), and loadgen, so every front-end rejects malformed endpoints
+// with the same actionable InvalidConfig status (mapped to exit 2 by the
+// CLI). The listen/connect helpers wrap the POSIX socket calls and return
+// typed Statuses instead of errno soup.
+#ifndef RSMEM_SERVICE_ENDPOINT_H
+#define RSMEM_SERVICE_ENDPOINT_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+
+namespace rsmem::service {
+
+struct Endpoint {
+  enum class Kind : std::uint8_t { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  // kUnix: filesystem path of the socket
+  std::string host;  // kTcp
+  std::uint16_t port = 0;  // kTcp; 0 lets the kernel pick (server only)
+
+  static Endpoint unix_socket(std::string socket_path);
+  static Endpoint tcp(std::string host, std::uint16_t port);
+
+  // "unix:/path" / "host:port" — parse_endpoint round-trips this.
+  std::string to_string() const;
+};
+
+// Accepts "unix:/path" (non-empty path) or "host:port" (non-empty host,
+// integer port in [0, 65535]; 0 only makes sense for servers). Everything
+// else is InvalidConfig with a message naming the rule violated.
+core::Result<Endpoint> parse_endpoint(const std::string& text);
+
+// Binds + listens; Unix endpoints unlink a stale socket file first.
+// Returns the listening fd.
+core::Result<int> listen_on(const Endpoint& endpoint, int backlog);
+
+// Connects a blocking stream socket to the endpoint; returns the fd.
+core::Result<int> connect_to(const Endpoint& endpoint);
+
+// The endpoint actually bound (resolves an ephemeral TCP port requested
+// as 0 via getsockname).
+core::Result<Endpoint> bound_endpoint(int listen_fd,
+                                      const Endpoint& requested);
+
+}  // namespace rsmem::service
+
+#endif  // RSMEM_SERVICE_ENDPOINT_H

@@ -1,0 +1,414 @@
+#include "service/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rsmem::service {
+
+namespace {
+
+core::StatusError type_error(const char* want, Json::Type got) {
+  return core::StatusError(core::Status::internal(
+      std::string("json: expected ") + want + ", holds type #" +
+      std::to_string(static_cast<int>(got))));
+}
+
+}  // namespace
+
+Json Json::from_doubles(const std::vector<double>& values) {
+  JsonArray array;
+  array.reserve(values.size());
+  for (double v : values) array.emplace_back(v);
+  return Json(std::move(array));
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) throw type_error("bool", type_);
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ == Type::kNull) return std::nan("");  // null <-> non-finite
+  if (type_ != Type::kNumber) throw type_error("number", type_);
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) throw type_error("string", type_);
+  return string_;
+}
+
+const JsonArray& Json::as_array() const {
+  if (type_ != Type::kArray) throw type_error("array", type_);
+  return array_;
+}
+
+const JsonObject& Json::as_object() const {
+  if (type_ != Type::kObject) throw type_error("object", type_);
+  return object_;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+double Json::number_or(std::string_view key, double fallback) const {
+  const Json* field = find(key);
+  return field != nullptr && field->is_number() ? field->number_ : fallback;
+}
+
+bool Json::bool_or(std::string_view key, bool fallback) const {
+  const Json* field = find(key);
+  return field != nullptr && field->is_bool() ? field->bool_ : fallback;
+}
+
+std::string Json::string_or(std::string_view key, std::string fallback) const {
+  const Json* field = find(key);
+  return field != nullptr && field->is_string() ? field->string_
+                                                : std::move(fallback);
+}
+
+core::Result<std::vector<double>> Json::doubles_at(std::string_view key) const {
+  const Json* field = find(key);
+  if (field == nullptr || !field->is_array()) {
+    return core::Status::invalid_config("json: missing numeric array field '" +
+                                        std::string(key) + "'");
+  }
+  std::vector<double> out;
+  out.reserve(field->array_.size());
+  for (const Json& element : field->array_) {
+    if (!element.is_number() && !element.is_null()) {
+      return core::Status::invalid_config(
+          "json: non-numeric element in array '" + std::string(key) + "'");
+    }
+    out.push_back(element.as_number());
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void Json::serialize_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      out += format_double(number_);
+      return;
+    case Type::kString:
+      append_escaped(out, string_);
+      return;
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& element : array_) {
+        if (!first) out += ',';
+        first = false;
+        element.serialize_to(out);
+      }
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out += ',';
+        first = false;
+        append_escaped(out, key);
+        out += ':';
+        value.serialize_to(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::serialize() const {
+  std::string out;
+  serialize_to(out);
+  return out;
+}
+
+namespace {
+
+// Recursive-descent parser over a string_view with explicit position.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  core::Result<Json> run() {
+    skip_ws();
+    Json value;
+    core::Status status = parse_value(value, 0);
+    if (!status.is_ok()) return status;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  core::Status error(const std::string& what) const {
+    return core::Status::invalid_config("json: " + what + " at byte " +
+                                        std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  core::Status parse_value(Json& out, int depth) {
+    if (depth > kMaxDepth) return error("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == 'n') {
+      if (!consume_word("null")) return error("bad literal");
+      out = Json();
+      return core::Status::ok();
+    }
+    if (c == 't') {
+      if (!consume_word("true")) return error("bad literal");
+      out = Json(true);
+      return core::Status::ok();
+    }
+    if (c == 'f') {
+      if (!consume_word("false")) return error("bad literal");
+      out = Json(false);
+      return core::Status::ok();
+    }
+    if (c == '"') return parse_string_value(out);
+    if (c == '[') return parse_array(out, depth);
+    if (c == '{') return parse_object(out, depth);
+    return parse_number(out);
+  }
+
+  core::Status parse_number(Json& out) {
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) return error("invalid number");
+    // Overflow to +-inf is accepted (serializes back as null); strtod
+    // consumed a syntactically valid number either way.
+    pos_ += static_cast<std::size_t>(end - begin);
+    out = Json(value);
+    return core::Status::ok();
+  }
+
+  core::Status parse_string(std::string& out) {
+    if (!consume('"')) return error("expected '\"'");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return core::Status::ok();
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return error("bad hex digit in \\u escape");
+            }
+          }
+          // The protocol is ASCII; encode BMP code points as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return error("unknown escape");
+      }
+    }
+    return error("unterminated string");
+  }
+
+  core::Status parse_string_value(Json& out) {
+    std::string s;
+    core::Status status = parse_string(s);
+    if (!status.is_ok()) return status;
+    out = Json(std::move(s));
+    return core::Status::ok();
+  }
+
+  core::Status parse_array(Json& out, int depth) {
+    consume('[');
+    JsonArray array;
+    skip_ws();
+    if (consume(']')) {
+      out = Json(std::move(array));
+      return core::Status::ok();
+    }
+    while (true) {
+      Json element;
+      core::Status status = parse_value(element, depth + 1);
+      if (!status.is_ok()) return status;
+      array.push_back(std::move(element));
+      skip_ws();
+      if (consume(']')) break;
+      if (!consume(',')) return error("expected ',' or ']'");
+    }
+    out = Json(std::move(array));
+    return core::Status::ok();
+  }
+
+  core::Status parse_object(Json& out, int depth) {
+    consume('{');
+    JsonObject object;
+    skip_ws();
+    if (consume('}')) {
+      out = Json(std::move(object));
+      return core::Status::ok();
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      core::Status status = parse_string(key);
+      if (!status.is_ok()) return status;
+      skip_ws();
+      if (!consume(':')) return error("expected ':'");
+      Json value;
+      status = parse_value(value, depth + 1);
+      if (!status.is_ok()) return status;
+      object.insert_or_assign(std::move(key), std::move(value));
+      skip_ws();
+      if (consume('}')) break;
+      if (!consume(',')) return error("expected ',' or '}'");
+    }
+    out = Json(std::move(object));
+    return core::Status::ok();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+core::Result<Json> Json::parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace rsmem::service

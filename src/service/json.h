@@ -1,0 +1,105 @@
+// Minimal dependency-free JSON for the rsmem service protocol.
+//
+// A Value is one of null / bool / double / string / array / object.
+// Numbers are always doubles (the protocol carries ids and counts well
+// below 2^53, and every analysis quantity is a double already). The writer
+// emits doubles with 17 significant digits so that serialize -> parse is a
+// BIT-EXACT round trip on IEEE-754 binary64 (non-finite values are emitted
+// as null, which parses back to NaN); this is what lets service responses
+// stay bit-identical to direct core:: calls across the wire.
+#ifndef RSMEM_SERVICE_JSON_H
+#define RSMEM_SERVICE_JSON_H
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace rsmem::service {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// std::map keeps object keys sorted, so serialization is canonical: two
+// semantically equal objects always serialize to the same bytes.
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Json() = default;  // null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}         // NOLINT
+  Json(double d) : type_(Type::kNumber), number_(d) {}   // NOLINT
+  Json(int i) : Json(static_cast<double>(i)) {}          // NOLINT
+  Json(std::uint64_t u) : Json(static_cast<double>(u)) {}  // NOLINT
+  Json(std::string s)                                    // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}          // NOLINT
+  Json(JsonArray a)                                      // NOLINT
+      : type_(Type::kArray), array_(std::move(a)) {}
+  Json(JsonObject o)                                     // NOLINT
+      : type_(Type::kObject), object_(std::move(o)) {}
+
+  static Json from_doubles(const std::vector<double>& values);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; throw core::StatusError(kInternal) on type mismatch
+  // (protocol code validates shapes before unwrapping).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  // Object field lookup: null when absent (or when *this is not an object).
+  const Json* find(std::string_view key) const;
+  // Convenience typed field getters with defaults.
+  double number_or(std::string_view key, double fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const;
+  std::string string_or(std::string_view key, std::string fallback) const;
+  // Array of numbers -> vector<double>; InvalidConfig when shapes differ.
+  core::Result<std::vector<double>> doubles_at(std::string_view key) const;
+
+  // Compact canonical serialization (sorted keys, no whitespace).
+  std::string serialize() const;
+  void serialize_to(std::string& out) const;
+
+  // Strict parser for one JSON document (trailing garbage rejected).
+  // Errors come back as InvalidConfig with byte offset + description.
+  static core::Result<Json> parse(std::string_view text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+// 17-significant-digit formatting used for every double the service
+// serializes: the shortest representation guaranteed to round-trip
+// binary64 exactly through a correctly rounded strtod.
+std::string format_double(double value);
+
+}  // namespace rsmem::service
+
+#endif  // RSMEM_SERVICE_JSON_H

@@ -1,0 +1,269 @@
+#include "service/loadgen.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "analysis/table.h"
+
+namespace rsmem::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Sample {
+  double latency_ms = 0.0;
+  CacheSource source = CacheSource::kNone;
+  bool ok = false;
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(sorted.size()) - 1.0,
+                       std::ceil(q * static_cast<double>(sorted.size())) - 1));
+  return sorted[index];
+}
+
+// The i-th variant of the template: a distinct horizon => a distinct
+// canonical cache key, while staying the same chain structure so the
+// variants batch together.
+Request variant_of(const Request& base, std::size_t i) {
+  Request request = base;
+  request.id = 0;  // client assigns
+  const double scale = 1.0 + 0.5 * static_cast<double>(i);
+  if (request.kind == RequestKind::kSweep) {
+    request.sweep_hours = base.sweep_hours * scale;
+  } else if (request.kind == RequestKind::kBer) {
+    request.times_hours = base.times_hours;
+    for (double& t : request.times_hours) t *= scale;
+  }
+  // kMttf has no horizon: every variant shares one key, which still
+  // exercises the hit path (distinct is effectively 1).
+  return request;
+}
+
+}  // namespace
+
+core::Result<LoadgenReport> run_loadgen(const LoadgenConfig& config) {
+  if (config.clients == 0 || config.requests_per_client == 0) {
+    return core::Status::invalid_config(
+        "loadgen needs clients >= 1 and requests >= 1");
+  }
+  if (config.distinct == 0) {
+    return core::Status::invalid_config("loadgen needs distinct >= 1");
+  }
+  if (config.request.kind != RequestKind::kBer &&
+      config.request.kind != RequestKind::kMttf &&
+      config.request.kind != RequestKind::kSweep) {
+    return core::Status::invalid_config(
+        "loadgen template must be an analysis request (ber|mttf|sweep)");
+  }
+
+  // Self-host: private Unix socket in /tmp, full wire protocol in-process.
+  std::unique_ptr<Server> server;
+  Endpoint endpoint = config.endpoint;
+  if (config.self_host) {
+    ServerConfig server_config;
+    server_config.scheduler = config.scheduler;
+    server_config.endpoint = Endpoint::unix_socket(
+        "/tmp/rsmem-loadgen-" + std::to_string(::getpid()) + ".sock");
+    core::Result<std::unique_ptr<Server>> started =
+        Server::start(server_config);
+    if (!started.ok()) {
+      core::Status status = started.status();
+      return status.with_context("loadgen self-host");
+    }
+    server = std::move(started).value();
+    endpoint = server->endpoint();
+  }
+
+  std::vector<std::vector<Sample>> per_client(config.clients);
+  std::atomic<int> connect_failures{0};
+  const auto t0 = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(config.clients);
+    for (unsigned c = 0; c < config.clients; ++c) {
+      threads.emplace_back([&, c] {
+        core::Result<Client> client = Client::connect(endpoint);
+        if (!client.ok()) {
+          connect_failures.fetch_add(1);
+          return;
+        }
+        auto& samples = per_client[c];
+        samples.reserve(config.requests_per_client);
+        for (std::size_t i = 0; i < config.requests_per_client; ++i) {
+          const Request request = variant_of(
+              config.request,
+              (static_cast<std::size_t>(c) + i) % config.distinct);
+          const auto start = Clock::now();
+          core::Result<Response> response = client.value().call(request);
+          Sample sample;
+          sample.latency_ms =
+              std::chrono::duration<double, std::milli>(Clock::now() - start)
+                  .count();
+          if (response.ok() && response.value().status.is_ok()) {
+            sample.ok = true;
+            sample.source = response.value().cache;
+          }
+          samples.push_back(sample);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  LoadgenReport report;
+  report.elapsed_seconds = elapsed;
+  std::vector<double> latencies;
+  double sum = 0.0, miss_sum = 0.0, hit_sum = 0.0;
+  std::size_t miss_count = 0, hit_count = 0;
+  for (const auto& samples : per_client) {
+    for (const Sample& sample : samples) {
+      if (!sample.ok) {
+        ++report.errors;
+        continue;
+      }
+      ++report.requests;
+      latencies.push_back(sample.latency_ms);
+      sum += sample.latency_ms;
+      switch (sample.source) {
+        case CacheSource::kMiss:
+          ++report.misses;
+          miss_sum += sample.latency_ms;
+          ++miss_count;
+          break;
+        case CacheSource::kHit:
+          ++report.hits;
+          hit_sum += sample.latency_ms;
+          ++hit_count;
+          break;
+        case CacheSource::kWait:
+          ++report.waits;
+          break;
+        case CacheSource::kNone:
+          break;
+      }
+    }
+  }
+  report.errors += static_cast<std::size_t>(connect_failures.load()) *
+                   config.requests_per_client;
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    report.mean_ms = sum / static_cast<double>(latencies.size());
+    report.p50_ms = percentile(latencies, 0.50);
+    report.p90_ms = percentile(latencies, 0.90);
+    report.p99_ms = percentile(latencies, 0.99);
+    report.max_ms = latencies.back();
+  }
+  if (report.requests > 0) {
+    report.hit_rate = static_cast<double>(report.hits + report.waits) /
+                      static_cast<double>(report.requests);
+    report.throughput_rps =
+        elapsed > 0.0 ? static_cast<double>(report.requests) / elapsed : 0.0;
+  }
+  if (miss_count > 0) {
+    report.miss_mean_ms = miss_sum / static_cast<double>(miss_count);
+  }
+  if (hit_count > 0) {
+    report.hit_mean_ms = hit_sum / static_cast<double>(hit_count);
+  }
+  if (report.miss_mean_ms > 0.0 && report.hit_mean_ms > 0.0) {
+    report.hot_speedup = report.miss_mean_ms / report.hit_mean_ms;
+  }
+
+  // Final server-side counters over a fresh connection.
+  {
+    core::Result<Client> client = Client::connect(endpoint);
+    if (client.ok()) {
+      Request stats;
+      stats.kind = RequestKind::kStats;
+      core::Result<Response> response = client.value().call(stats);
+      if (response.ok() && response.value().status.is_ok()) {
+        report.server_stats_json = response.value().result_json;
+      }
+    }
+  }
+  if (server) server->shutdown();
+  return report;
+}
+
+std::string format_loadgen_report(const LoadgenConfig& config,
+                                  const LoadgenReport& report) {
+  analysis::Table table{{"metric", "value"}};
+  table.add_row({"clients", std::to_string(config.clients)});
+  table.add_row({"requests/client",
+                 std::to_string(config.requests_per_client)});
+  table.add_row({"distinct keys", std::to_string(config.distinct)});
+  table.add_row({"completed", std::to_string(report.requests)});
+  table.add_row({"errors", std::to_string(report.errors)});
+  table.add_row({"elapsed [s]",
+                 analysis::format_fixed(report.elapsed_seconds, 3)});
+  table.add_row({"throughput [req/s]",
+                 analysis::format_fixed(report.throughput_rps, 1)});
+  table.add_row({"latency p50 [ms]", analysis::format_fixed(report.p50_ms, 3)});
+  table.add_row({"latency p90 [ms]", analysis::format_fixed(report.p90_ms, 3)});
+  table.add_row({"latency p99 [ms]", analysis::format_fixed(report.p99_ms, 3)});
+  table.add_row({"latency max [ms]", analysis::format_fixed(report.max_ms, 3)});
+  table.add_row({"cache hits", std::to_string(report.hits)});
+  table.add_row({"cache misses", std::to_string(report.misses)});
+  table.add_row({"single-flight waits", std::to_string(report.waits)});
+  table.add_row({"hit rate", analysis::format_fixed(report.hit_rate, 3)});
+  table.add_row({"miss mean [ms]",
+                 analysis::format_fixed(report.miss_mean_ms, 3)});
+  table.add_row({"hit mean [ms]",
+                 analysis::format_fixed(report.hit_mean_ms, 3)});
+  table.add_row({"hot-query speedup",
+                 analysis::format_fixed(report.hot_speedup, 1)});
+  return table.to_text();
+}
+
+std::string loadgen_report_json(const LoadgenConfig& config,
+                                const LoadgenReport& report) {
+  JsonObject config_json;
+  config_json.emplace("clients", static_cast<double>(config.clients));
+  config_json.emplace("requests_per_client",
+                      static_cast<double>(config.requests_per_client));
+  config_json.emplace("distinct", static_cast<double>(config.distinct));
+  config_json.emplace("kind", to_string(config.request.kind));
+  config_json.emplace("self_host", config.self_host);
+  JsonObject latency;
+  latency.emplace("mean_ms", report.mean_ms);
+  latency.emplace("p50_ms", report.p50_ms);
+  latency.emplace("p90_ms", report.p90_ms);
+  latency.emplace("p99_ms", report.p99_ms);
+  latency.emplace("max_ms", report.max_ms);
+  JsonObject cache;
+  cache.emplace("hits", report.hits);
+  cache.emplace("misses", report.misses);
+  cache.emplace("waits", report.waits);
+  cache.emplace("hit_rate", report.hit_rate);
+  JsonObject object;
+  object.emplace("config", std::move(config_json));
+  object.emplace("requests", static_cast<double>(report.requests));
+  object.emplace("errors", static_cast<double>(report.errors));
+  object.emplace("elapsed_seconds", report.elapsed_seconds);
+  object.emplace("throughput_rps", report.throughput_rps);
+  object.emplace("latency_ms", std::move(latency));
+  object.emplace("cache", std::move(cache));
+  object.emplace("miss_mean_ms", report.miss_mean_ms);
+  object.emplace("hit_mean_ms", report.hit_mean_ms);
+  object.emplace("hot_query_speedup", report.hot_speedup);
+  if (!report.server_stats_json.empty()) {
+    core::Result<Json> server = Json::parse(report.server_stats_json);
+    if (server.ok()) object.emplace("server", std::move(server).value());
+  }
+  return Json(std::move(object)).serialize();
+}
+
+}  // namespace rsmem::service

@@ -1,0 +1,68 @@
+// Load generator for rsmem-serve: N concurrent clients replaying a
+// cacheable analysis workload, measuring end-to-end latency percentiles
+// and the cache behaviour the clients actually observed.
+//
+// Each client thread opens its own connection and issues
+// requests_per_client requests, cycling through `distinct` variants of
+// the template request (distinct horizons => distinct cache keys), so a
+// run exercises miss -> single-flight wait -> hit transitions. The report
+// separates latency by cache source; the hot-query speedup is
+// miss_mean / hit_mean. With self_host the loadgen spins up an in-process
+// Server on a private Unix socket — the full wire protocol, no external
+// daemon needed (tools/run_bench.sh uses this to snapshot
+// BENCH_serve.json).
+#ifndef RSMEM_SERVICE_LOADGEN_H
+#define RSMEM_SERVICE_LOADGEN_H
+
+#include <cstdint>
+#include <string>
+
+#include "service/client.h"
+#include "service/scheduler.h"
+#include "service/server.h"
+
+namespace rsmem::service {
+
+struct LoadgenConfig {
+  bool self_host = true;           // spin an in-process server
+  Endpoint endpoint;               // target when !self_host
+  SchedulerConfig scheduler;       // self-hosted server knobs
+  unsigned clients = 8;
+  std::size_t requests_per_client = 40;
+  std::size_t distinct = 4;        // distinct cache keys in the mix
+  Request request;                 // template analysis request
+};
+
+struct LoadgenReport {
+  std::size_t requests = 0;        // completed OK
+  std::size_t errors = 0;          // transport or non-ok responses
+  double elapsed_seconds = 0.0;
+  double throughput_rps = 0.0;
+  // End-to-end latency (client side), milliseconds.
+  double mean_ms = 0.0, p50_ms = 0.0, p90_ms = 0.0, p99_ms = 0.0,
+         max_ms = 0.0;
+  // Client-observed cache behaviour.
+  std::uint64_t hits = 0, misses = 0, waits = 0;
+  double hit_rate = 0.0;           // (hits + waits) / requests
+  double miss_mean_ms = 0.0;       // cold: single-flight leaders
+  double hit_mean_ms = 0.0;        // hot: cache hits
+  double hot_speedup = 0.0;        // miss_mean / hit_mean
+  std::string server_stats_json;   // final kStats result object
+};
+
+// Runs the workload. InvalidConfig for a nonsensical setup (0 clients,
+// non-analysis template kind); transport-level failures surface as
+// Internal.
+core::Result<LoadgenReport> run_loadgen(const LoadgenConfig& config);
+
+// Human-readable summary table.
+std::string format_loadgen_report(const LoadgenConfig& config,
+                                  const LoadgenReport& report);
+
+// JSON snapshot (BENCH_serve.json schema; see docs/SERVICE.md).
+std::string loadgen_report_json(const LoadgenConfig& config,
+                                const LoadgenReport& report);
+
+}  // namespace rsmem::service
+
+#endif  // RSMEM_SERVICE_LOADGEN_H

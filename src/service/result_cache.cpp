@@ -1,0 +1,93 @@
+#include "service/result_cache.h"
+
+#include <utility>
+
+namespace rsmem::service {
+
+ResultCache::Outcome ResultCache::get_or_compute(
+    const std::string& key,
+    const std::function<core::Result<std::string>()>& compute) {
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (const auto it = entries_.find(key); it != entries_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+      return {core::Status::ok(), it->second.value, CacheSource::kHit};
+    }
+    if (const auto it = flights_.find(key); it != flights_.end()) {
+      ++stats_.waits;
+      flight = it->second;
+    } else {
+      ++stats_.misses;
+      flight = std::make_shared<Flight>();
+      flights_.emplace(key, flight);
+      leader = true;
+    }
+  }
+
+  if (!leader) {
+    std::unique_lock<std::mutex> flight_lock(flight->mutex);
+    flight->done_cv.wait(flight_lock, [&] { return flight->done; });
+    if (!flight->status.is_ok()) {
+      return {flight->status, nullptr, CacheSource::kWait};
+    }
+    return {core::Status::ok(), flight->value, CacheSource::kWait};
+  }
+
+  // Leader: compute outside every lock, publish, then wake the waiters.
+  core::Result<std::string> computed = compute();
+  Outcome outcome;
+  outcome.source = CacheSource::kMiss;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    flights_.erase(key);
+    if (computed.ok()) {
+      auto value =
+          std::make_shared<const std::string>(std::move(computed).value());
+      insert_locked(key, value);
+      outcome.status = core::Status::ok();
+      outcome.value = std::move(value);
+    } else {
+      ++stats_.failures;
+      outcome.status = computed.status();
+    }
+  }
+  {
+    std::unique_lock<std::mutex> flight_lock(flight->mutex);
+    flight->done = true;
+    flight->status = outcome.status;
+    flight->value = outcome.value;
+  }
+  flight->done_cv.notify_all();
+  return outcome;
+}
+
+void ResultCache::insert_locked(const std::string& key,
+                                std::shared_ptr<const std::string> value) {
+  if (capacity_ == 0) return;
+  while (entries_.size() >= capacity_) {
+    const std::string& victim = lru_.back();
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(value), lru_.begin()});
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Stats snapshot = stats_;
+  snapshot.size = entries_.size();
+  return snapshot;
+}
+
+void ResultCache::clear() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace rsmem::service

@@ -1,0 +1,93 @@
+// Canonical-key result cache with single-flight deduplication.
+//
+// The service's analyses are pure functions of the canonical cache key
+// (service/protocol.h), so results can be memoized aggressively:
+//   * an LRU map of key -> serialized result, bounded by `capacity`;
+//   * SINGLE-FLIGHT: when N identical requests arrive concurrently, the
+//     first becomes the leader and computes; the other N-1 block on the
+//     in-flight entry and share the leader's result (reported as kWait).
+//     Failed computations are NOT cached — every waiter sees the leader's
+//     Status, and the next request retries fresh.
+// All values are immutable shared_ptr<const string>, so hits are handed
+// out without copying under the lock.
+#ifndef RSMEM_SERVICE_RESULT_CACHE_H
+#define RSMEM_SERVICE_RESULT_CACHE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/status.h"
+#include "service/protocol.h"
+
+namespace rsmem::service {
+
+class ResultCache {
+ public:
+  // capacity = max cached entries (>= 1). 0 disables storage but keeps
+  // single-flight deduplication of concurrent identical requests.
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  struct Outcome {
+    core::Status status;  // ok iff value is set
+    std::shared_ptr<const std::string> value;
+    CacheSource source = CacheSource::kMiss;
+  };
+
+  // Returns the cached value for `key`, or runs `compute` (outside the
+  // lock) as the single-flight leader and publishes its result. Thread-safe.
+  Outcome get_or_compute(
+      const std::string& key,
+      const std::function<core::Result<std::string>()>& compute);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;   // single-flight leaders (computations run)
+    std::uint64_t waits = 0;    // deduplicated onto a leader
+    std::uint64_t evictions = 0;
+    std::uint64_t failures = 0;  // leader computations that returned non-ok
+    std::size_t size = 0;        // entries currently cached
+    double hit_rate() const {
+      const std::uint64_t served = hits + misses + waits;
+      return served == 0 ? 0.0
+                         : static_cast<double>(hits + waits) /
+                               static_cast<double>(served);
+    }
+  };
+  Stats stats() const;
+  void clear();
+
+ private:
+  struct Flight {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    bool done = false;
+    core::Status status;
+    std::shared_ptr<const std::string> value;
+  };
+  struct Entry {
+    std::shared_ptr<const std::string> value;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  void insert_locked(const std::string& key,
+                     std::shared_ptr<const std::string> value);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+  Stats stats_;
+};
+
+}  // namespace rsmem::service
+
+#endif  // RSMEM_SERVICE_RESULT_CACHE_H

@@ -1,0 +1,250 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/api.h"
+
+namespace rsmem::service {
+
+namespace {
+
+JsonObject curve_to_json(const models::BerCurve& curve) {
+  JsonObject object;
+  object.emplace("times_hours", Json::from_doubles(curve.times_hours));
+  object.emplace("fail_probability",
+                 Json::from_doubles(curve.fail_probability));
+  object.emplace("ber", Json::from_doubles(curve.ber));
+  return object;
+}
+
+core::Result<std::string> compute_ber(const Request& request) {
+  const core::Result<models::BerCurve> curve =
+      request.periodic
+          ? try_analyze_ber_periodic_scrub(request.spec, request.times_hours)
+          : try_analyze_ber(request.spec, request.times_hours);
+  if (!curve.ok()) return curve.status();
+  return Json(curve_to_json(curve.value())).serialize();
+}
+
+core::Result<std::string> compute_mttf(const Request& request) {
+  const core::Result<double> hours = try_mttf_hours(request.spec);
+  if (!hours.ok()) return hours.status();
+  JsonObject object;
+  object.emplace("mttf_hours", hours.value());
+  return Json(std::move(object)).serialize();
+}
+
+// Mirrors the CLI sweep command point for point: one single-time
+// analyze_ber per swept value, same mutation of the base spec, so service
+// sweeps are bit-identical to `rsmem_cli sweep`.
+core::Result<std::string> compute_sweep(const Request& request) {
+  std::vector<double> fail_probability;
+  std::vector<double> ber;
+  fail_probability.reserve(request.sweep_values.size());
+  ber.reserve(request.sweep_values.size());
+  for (const double value : request.sweep_values) {
+    core::MemorySystemSpec spec = request.spec;
+    if (request.sweep_param == "seu") {
+      spec.seu_rate_per_bit_day = value;
+    } else if (request.sweep_param == "perm") {
+      spec.erasure_rate_per_symbol_day = value;
+    } else {
+      spec.scrub_period_seconds = value;
+    }
+    const double times[] = {request.sweep_hours};
+    const core::Result<models::BerCurve> curve = try_analyze_ber(spec, times);
+    if (!curve.ok()) return curve.status();
+    fail_probability.push_back(curve.value().fail_probability.front());
+    ber.push_back(curve.value().ber.front());
+  }
+  JsonObject object;
+  object.emplace("param", request.sweep_param);
+  object.emplace("hours", request.sweep_hours);
+  object.emplace("values", Json::from_doubles(request.sweep_values));
+  object.emplace("fail_probability", Json::from_doubles(fail_probability));
+  object.emplace("ber", Json::from_doubles(ber));
+  return Json(std::move(object)).serialize();
+}
+
+core::Result<std::string> compute_result(const Request& request) {
+  switch (request.kind) {
+    case RequestKind::kBer:
+      return compute_ber(request);
+    case RequestKind::kMttf:
+      return compute_mttf(request);
+    case RequestKind::kSweep:
+      return compute_sweep(request);
+    case RequestKind::kPing:
+    case RequestKind::kStats:
+    case RequestKind::kShutdown:
+      break;
+  }
+  return core::Status::invalid_config(
+      std::string("request kind '") + to_string(request.kind) +
+      "' is handled by the server control plane, not the scheduler");
+}
+
+}  // namespace
+
+std::string batch_compatibility_key(const Request& request) {
+  // The chain structure depends on the geometry and on WHICH rates are
+  // nonzero (models::ChainCache's structural key), not their magnitudes;
+  // the analysis family decides which solver path runs.
+  std::string key;
+  key.reserve(48);
+  key += to_string(request.kind);
+  key += request.periodic ? "|periodic" : "|chain";
+  key += "|";
+  key += analysis::to_string(request.spec.arrangement);
+  key += "|n=" + std::to_string(request.spec.code.n);
+  key += "|k=" + std::to_string(request.spec.code.k);
+  key += "|m=" + std::to_string(request.spec.code.m);
+  key += request.spec.seu_rate_per_bit_day != 0.0 ? "|seu" : "|noseu";
+  key += request.spec.erasure_rate_per_symbol_day != 0.0 ? "|perm" : "|noperm";
+  key += request.spec.scrub_period_seconds != 0.0 ? "|scrub" : "|noscrub";
+  if (request.kind == RequestKind::kSweep) key += "|" + request.sweep_param;
+  return key;
+}
+
+AnalysisScheduler::AnalysisScheduler(const SchedulerConfig& config)
+    : config_(config),
+      cache_(config.cache_capacity),
+      pool_(config.threads),
+      dispatcher_([this] { dispatcher_loop(); }) {}
+
+AnalysisScheduler::~AnalysisScheduler() { stop(); }
+
+core::Status AnalysisScheduler::submit(Request request,
+                                       std::function<void(Response)> done) {
+  Pending pending;
+  pending.deadline = request.deadline_ms > 0.0
+                         ? Clock::now() + std::chrono::microseconds(
+                               static_cast<std::int64_t>(
+                                   request.deadline_ms * 1000.0))
+                         : Clock::time_point::max();
+  pending.request = std::move(request);
+  pending.done = std::move(done);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_) {
+      ++stats_.rejected_overload;
+      return core::Status::overloaded("scheduler stopping");
+    }
+    if (pending_.size() >= config_.max_queue) {
+      ++stats_.rejected_overload;
+      return core::Status::overloaded(
+          "request queue full (" + std::to_string(pending_.size()) + "/" +
+          std::to_string(config_.max_queue) +
+          " pending); retry with backoff");
+    }
+    ++stats_.accepted;
+    pending_.push_back(std::move(pending));
+  }
+  work_cv_.notify_one();
+  return core::Status::ok();
+}
+
+void AnalysisScheduler::dispatcher_loop() {
+  while (true) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping and drained
+      const std::size_t take = std::min(config_.batch_max, pending_.size());
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+      ++stats_.batches;
+      stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, take);
+    }
+    // Stable grouping by compatibility key: order within a group is the
+    // arrival order, so deadline fairness is preserved per group.
+    std::map<std::string, std::shared_ptr<std::vector<Pending>>> groups;
+    for (Pending& pending : batch) {
+      auto& group = groups[batch_compatibility_key(pending.request)];
+      if (!group) group = std::make_shared<std::vector<Pending>>();
+      group->push_back(std::move(pending));
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      stats_.batch_groups += groups.size();
+    }
+    for (auto& [key, group] : groups) {
+      pool_.submit([this, group] { run_group(group); });
+    }
+  }
+}
+
+void AnalysisScheduler::run_group(std::shared_ptr<std::vector<Pending>> group) {
+  for (Pending& pending : *group) {
+    Response response;
+    if (Clock::now() > pending.deadline) {
+      response.id = pending.request.id;
+      response.status = core::Status::deadline_exceeded(
+          "deadline of " + format_double(pending.request.deadline_ms) +
+          " ms expired before execution started");
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++stats_.deadline_expired;
+      ++stats_.completed;
+      lock.unlock();
+      pending.done(std::move(response));
+      continue;
+    }
+    response = execute_timed(pending.request);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++stats_.completed;
+    }
+    pending.done(std::move(response));
+  }
+}
+
+Response AnalysisScheduler::execute_timed(const Request& request) {
+  Response response;
+  response.id = request.id;
+  const std::string key = canonical_cache_key(request);
+  if (key.empty()) {
+    response.status = core::Status::invalid_config(
+        "request kind is not executable by the scheduler");
+    return response;
+  }
+  const auto start = Clock::now();
+  ResultCache::Outcome outcome = cache_.get_or_compute(
+      key, [&] { return compute_result(request); });
+  response.compute_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  response.cache = outcome.source;
+  response.status = outcome.status;
+  if (outcome.value) response.result_json = *outcome.value;
+  return response;
+}
+
+Response AnalysisScheduler::execute(const Request& request) {
+  return execute_timed(request);
+}
+
+AnalysisScheduler::Stats AnalysisScheduler::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Stats snapshot = stats_;
+  snapshot.queue_depth = pending_.size();
+  return snapshot;
+}
+
+void AnalysisScheduler::stop() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_ && !dispatcher_.joinable()) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  pool_.wait_idle();
+}
+
+}  // namespace rsmem::service

@@ -1,0 +1,111 @@
+// Request scheduler of rsmem-serve: admission control, deadline policing,
+// compatibility batching, and execution on the shared analysis engines.
+//
+// Life of a request:
+//   1. submit() — ADMISSION: if the pending queue already holds max_queue
+//      requests the submission is rejected immediately with a typed
+//      kOverloaded Status (never a silent drop) and nothing is enqueued.
+//   2. The dispatcher thread drains up to batch_max pending requests at a
+//      time and groups them by COMPATIBILITY KEY — the structural identity
+//      of the Markov chain they need (arrangement, code geometry, rate
+//      zero-pattern, analysis family). Each group becomes one task on the
+//      sim::ThreadPool: distinct groups run concurrently, requests inside
+//      a group run back-to-back so the first solve warms the
+//      models::ChainCache structure and the ResultCache, and the rest of
+//      the group replays/hits instead of re-enumerating.
+//   3. DEADLINE: a request whose deadline_ms elapsed before its group task
+//      reached it is answered kDeadlineExceeded without computing.
+//   4. Execution routes through the core try_* facade (global ChainCache +
+//      per-thread SolverWorkspace) via the single-flight ResultCache, so
+//      results are bit-identical to direct core:: calls.
+// stop() drains: accepted requests still complete, new submissions are
+// rejected kOverloaded("scheduler stopping").
+#ifndef RSMEM_SERVICE_SCHEDULER_H
+#define RSMEM_SERVICE_SCHEDULER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "service/protocol.h"
+#include "service/result_cache.h"
+#include "sim/thread_pool.h"
+
+namespace rsmem::service {
+
+struct SchedulerConfig {
+  unsigned threads = 0;            // worker pool size; 0 = hardware
+  std::size_t max_queue = 128;     // admission bound on pending requests
+  std::size_t cache_capacity = 256;
+  std::size_t batch_max = 16;      // max requests drained per dispatch
+};
+
+class AnalysisScheduler {
+ public:
+  explicit AnalysisScheduler(const SchedulerConfig& config);
+  ~AnalysisScheduler();
+  AnalysisScheduler(const AnalysisScheduler&) = delete;
+  AnalysisScheduler& operator=(const AnalysisScheduler&) = delete;
+
+  // Admission-controlled enqueue. Ok => `done` fires exactly once, from a
+  // worker thread, with the final Response. Non-ok (kOverloaded) => `done`
+  // was NOT and will not be invoked; the caller owns the rejection.
+  core::Status submit(Request request, std::function<void(Response)> done);
+
+  // Executes one request synchronously on the caller's thread through the
+  // same cache + engines (used by submit's workers and by tests).
+  Response execute(const Request& request);
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_overload = 0;
+    std::uint64_t deadline_expired = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t batches = 0;        // dispatcher drains
+    std::uint64_t batch_groups = 0;   // pool tasks dispatched
+    std::uint64_t max_batch = 0;      // largest single drain
+    std::size_t queue_depth = 0;      // pending right now
+  };
+  Stats stats() const;
+  ResultCache::Stats cache_stats() const { return cache_.stats(); }
+
+  // Rejects new work, drains everything already accepted, joins workers.
+  // Idempotent; also run by the destructor.
+  void stop();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct Pending {
+    Request request;
+    std::function<void(Response)> done;
+    Clock::time_point deadline;  // time_point::max() = none
+  };
+
+  void dispatcher_loop();
+  void run_group(std::shared_ptr<std::vector<Pending>> group);
+  Response execute_timed(const Request& request);
+
+  const SchedulerConfig config_;
+  ResultCache cache_;
+  sim::ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<Pending> pending_;
+  bool stopping_ = false;
+  Stats stats_;
+  std::thread dispatcher_;
+};
+
+// Compatibility key used for batching: requests with equal keys share the
+// same chain structure in models::ChainCache. Exposed for tests.
+std::string batch_compatibility_key(const Request& request);
+
+}  // namespace rsmem::service
+
+#endif  // RSMEM_SERVICE_SCHEDULER_H

@@ -1,0 +1,212 @@
+#include "service/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "core/api.h"
+
+namespace rsmem::service {
+
+Server::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+core::Status Server::Connection::write_response(const Response& response) {
+  const std::string payload = response.to_json();
+  std::unique_lock<std::mutex> lock(write_mutex);
+  return write_frame(fd, payload);
+}
+
+core::Result<std::unique_ptr<Server>> Server::start(
+    const ServerConfig& config) {
+  core::Result<int> listen_fd = listen_on(config.endpoint, config.backlog);
+  if (!listen_fd.ok()) {
+    core::Status status = listen_fd.status();
+    return status.with_context("rsmem-serve start");
+  }
+  core::Result<Endpoint> bound =
+      bound_endpoint(listen_fd.value(), config.endpoint);
+  if (!bound.ok()) {
+    ::close(listen_fd.value());
+    core::Status status = bound.status();
+    return status.with_context("rsmem-serve start");
+  }
+  // make_unique needs a public constructor; bare new keeps it private.
+  std::unique_ptr<Server> server(
+      new Server(config, bound.value(), listen_fd.value()));
+  return server;
+}
+
+Server::Server(ServerConfig config, Endpoint bound, int listen_fd)
+    : config_(std::move(config)),
+      endpoint_(std::move(bound)),
+      listen_fd_(listen_fd),
+      scheduler_(std::make_unique<AnalysisScheduler>(config_.scheduler)) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (shutdown) or fatal accept error
+    }
+    auto connection = std::make_shared<Connection>(fd);
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (shutdown_requested_.load()) {
+      lock.unlock();
+      // Late arrival during teardown: refuse politely instead of hanging.
+      Response refusal;
+      refusal.status = core::Status::overloaded("server shutting down");
+      (void)connection->write_response(refusal);
+      continue;
+    }
+    connections_.push_back(connection);
+    connection_threads_.emplace_back(
+        [this, connection] { serve_connection(connection); });
+  }
+}
+
+void Server::serve_connection(std::shared_ptr<Connection> connection) {
+  while (true) {
+    core::Result<FrameRead> frame = read_frame(connection->fd);
+    if (!frame.ok()) return;  // framing broken or socket torn down
+    if (frame.value().eof) return;
+    core::Result<Request> request = Request::from_json(frame.value().payload);
+    if (!request.ok()) {
+      // Malformed but well-framed: answer with the typed status and keep
+      // the connection (the stream is still in sync).
+      Response response;
+      core::Status status = request.status();
+      response.status = status.with_context("parse request");
+      if (!connection->write_response(response).is_ok()) return;
+      continue;
+    }
+    handle_request(connection, std::move(request).value());
+  }
+}
+
+void Server::handle_request(const std::shared_ptr<Connection>& connection,
+                            Request request) {
+  Response response;
+  response.id = request.id;
+  switch (request.kind) {
+    case RequestKind::kPing: {
+      JsonObject object;
+      object.emplace("version", rsmem::version());
+      response.status = core::Status::ok();
+      response.result_json = Json(std::move(object)).serialize();
+      (void)connection->write_response(response);
+      return;
+    }
+    case RequestKind::kStats: {
+      response.status = core::Status::ok();
+      response.result_json = stats_result_json();
+      (void)connection->write_response(response);
+      return;
+    }
+    case RequestKind::kShutdown: {
+      response.status = core::Status::ok();
+      (void)connection->write_response(response);
+      shutdown_requested_.store(true);
+      shutdown_cv_.notify_all();
+      return;
+    }
+    case RequestKind::kBer:
+    case RequestKind::kMttf:
+    case RequestKind::kSweep:
+      break;
+  }
+  core::Status admitted = scheduler_->submit(
+      std::move(request), [connection](Response completed) {
+        // Write failures mean the client went away; the result stays in
+        // the cache for the next asker, nothing else to do.
+        (void)connection->write_response(completed);
+      });
+  if (!admitted.is_ok()) {
+    response.status = admitted;  // typed kOverloaded rejection
+    (void)connection->write_response(response);
+  }
+}
+
+std::string Server::stats_result_json() const {
+  const AnalysisScheduler::Stats scheduler = scheduler_->stats();
+  const ResultCache::Stats cache = scheduler_->cache_stats();
+  JsonObject scheduler_json;
+  scheduler_json.emplace("accepted", scheduler.accepted);
+  scheduler_json.emplace("rejected_overload", scheduler.rejected_overload);
+  scheduler_json.emplace("deadline_expired", scheduler.deadline_expired);
+  scheduler_json.emplace("completed", scheduler.completed);
+  scheduler_json.emplace("batches", scheduler.batches);
+  scheduler_json.emplace("batch_groups", scheduler.batch_groups);
+  scheduler_json.emplace("max_batch", scheduler.max_batch);
+  scheduler_json.emplace("queue_depth",
+                         static_cast<std::uint64_t>(scheduler.queue_depth));
+  JsonObject cache_json;
+  cache_json.emplace("hits", cache.hits);
+  cache_json.emplace("misses", cache.misses);
+  cache_json.emplace("waits", cache.waits);
+  cache_json.emplace("evictions", cache.evictions);
+  cache_json.emplace("failures", cache.failures);
+  cache_json.emplace("size", static_cast<std::uint64_t>(cache.size));
+  cache_json.emplace("hit_rate", cache.hit_rate());
+  JsonObject object;
+  object.emplace("scheduler", std::move(scheduler_json));
+  object.emplace("cache", std::move(cache_json));
+  object.emplace("version", rsmem::version());
+  return Json(std::move(object)).serialize();
+}
+
+bool Server::wait_for_shutdown(std::chrono::milliseconds poll) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return shutdown_cv_.wait_for(lock, poll,
+                               [&] { return shutdown_requested_.load(); });
+}
+
+void Server::shutdown() {
+  if (stopped_.exchange(true)) return;
+  shutdown_requested_.store(true);
+  shutdown_cv_.notify_all();
+
+  // 1. Stop accepting: closing the listener unblocks ::accept.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Stop reading: half-close every connection so reader threads see
+  //    EOF, while the write sides stay open for in-flight responses.
+  std::vector<std::shared_ptr<Connection>> connections;
+  std::vector<std::thread> readers;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    connections = connections_;
+    readers.swap(connection_threads_);
+  }
+  for (const auto& connection : connections) {
+    ::shutdown(connection->fd, SHUT_RD);
+  }
+  for (std::thread& reader : readers) {
+    if (reader.joinable()) reader.join();
+  }
+
+  // 3. Drain: every admitted request completes and flushes its response.
+  scheduler_->stop();
+
+  // 4. Release the sockets (fds close when the last shared_ptr drops) and
+  //    remove a Unix socket file we created.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    connections_.clear();
+  }
+  connections.clear();
+  if (endpoint_.kind == Endpoint::Kind::kUnix) {
+    ::unlink(endpoint_.path.c_str());
+  }
+}
+
+}  // namespace rsmem::service

@@ -1,0 +1,103 @@
+// rsmem-serve: the long-running analysis daemon.
+//
+// One listening socket (Unix or TCP), one reader thread per connection,
+// and the AnalysisScheduler behind them. The server splits the protocol
+// into two planes:
+//   * CONTROL (ping / stats / shutdown): answered inline by the reader
+//     thread — never queued, never subject to admission control, so a
+//     saturated service still answers health checks;
+//   * ANALYSIS (ber / mttf / sweep): submitted to the scheduler. A typed
+//     kOverloaded rejection from admission control is written back
+//     immediately; accepted requests are answered asynchronously by the
+//     scheduler's workers (responses carry the request id, so one
+//     connection may pipeline requests and receive completions out of
+//     order).
+// Shutdown (kShutdown request, or Server::shutdown()) drains: the
+// listener closes, connection read sides shut down, every admitted
+// request still completes and its response is flushed, then the sockets
+// close. See docs/SERVICE.md.
+#ifndef RSMEM_SERVICE_SERVER_H
+#define RSMEM_SERVICE_SERVER_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/endpoint.h"
+#include "service/scheduler.h"
+
+namespace rsmem::service {
+
+struct ServerConfig {
+  Endpoint endpoint = Endpoint::unix_socket("/tmp/rsmem-serve.sock");
+  SchedulerConfig scheduler;
+  int backlog = 64;
+};
+
+class Server {
+ public:
+  // Binds, listens, and starts the accept loop. On error (bad endpoint,
+  // bind failure) nothing is left running.
+  static core::Result<std::unique_ptr<Server>> start(const ServerConfig&);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // The endpoint actually bound (ephemeral TCP ports resolved).
+  const Endpoint& endpoint() const { return endpoint_; }
+
+  // True once a kShutdown request has been received (or shutdown()
+  // called). wait_for blocks up to `poll` for that to happen, so a serve
+  // loop can interleave signal checks.
+  bool shutdown_requested() const { return shutdown_requested_.load(); }
+  bool wait_for_shutdown(std::chrono::milliseconds poll);
+
+  // Orderly teardown: stop accepting, drain the scheduler (every admitted
+  // request is answered), flush and close connections. Idempotent; also
+  // run by the destructor.
+  void shutdown();
+
+  AnalysisScheduler::Stats scheduler_stats() const {
+    return scheduler_->stats();
+  }
+  ResultCache::Stats cache_stats() const { return scheduler_->cache_stats(); }
+
+ private:
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection();
+    // Serialized frame writes: scheduler workers and the reader thread
+    // may interleave responses on one socket.
+    core::Status write_response(const Response& response);
+    const int fd;
+    std::mutex write_mutex;
+  };
+
+  Server(ServerConfig config, Endpoint bound, int listen_fd);
+  void accept_loop();
+  void serve_connection(std::shared_ptr<Connection> connection);
+  void handle_request(const std::shared_ptr<Connection>& connection,
+                      Request request);
+  std::string stats_result_json() const;
+
+  const ServerConfig config_;
+  const Endpoint endpoint_;
+  int listen_fd_;
+  std::unique_ptr<AnalysisScheduler> scheduler_;
+
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> stopped_{false};
+  mutable std::mutex mutex_;
+  std::condition_variable shutdown_cv_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> connection_threads_;
+  std::thread accept_thread_;
+};
+
+}  // namespace rsmem::service
+
+#endif  // RSMEM_SERVICE_SERVER_H

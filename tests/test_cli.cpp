@@ -253,5 +253,85 @@ TEST(Cli, SweepOverSeuRates) {
             2);
 }
 
+// ---- serve / query / loadgen flag handling ----
+
+TEST(Cli, ServeRejectsConflictingAndMalformedEndpoints) {
+  std::string out, err;
+  // --socket and --listen are mutually exclusive.
+  EXPECT_EQ(run({"serve", "--socket", "/tmp/x.sock", "--listen",
+                 "localhost:0"},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("not both"), std::string::npos);
+  // Malformed host:port endpoints are InvalidConfig => exit 2.
+  for (const char* bad : {"nocolon", ":8080", "localhost:", "localhost:abc",
+                          "localhost:70000", "unix:"}) {
+    err.clear();
+    EXPECT_EQ(run({"serve", "--listen", bad}, &out, &err), 2) << bad;
+    EXPECT_NE(err.find("InvalidConfig"), std::string::npos) << err;
+  }
+  // Scheduler knobs must be sane.
+  EXPECT_EQ(run({"serve", "--max-queue", "0"}, &out, &err), 2);
+  EXPECT_EQ(run({"serve", "--batch", "0"}, &out, &err), 2);
+  EXPECT_EQ(run({"serve", "--threads", "-1"}, &out, &err), 2);
+  // Typos are caught by require_known.
+  EXPECT_EQ(run({"serve", "--sockett", "/tmp/x.sock"}, &out, &err), 2);
+}
+
+TEST(Cli, QueryRejectsBadFlagsWithoutConnecting) {
+  std::string out, err;
+  // Negative deadline is InvalidConfig => exit 2, before any socket IO.
+  EXPECT_EQ(run({"query", "--deadline", "-5"}, &out, &err), 2);
+  EXPECT_NE(err.find("InvalidConfig"), std::string::npos);
+  EXPECT_NE(err.find("deadline"), std::string::npos);
+  // Malformed --at endpoint.
+  err.clear();
+  EXPECT_EQ(run({"query", "--at", "host:port:extra:colon"}, &out, &err), 2);
+  EXPECT_NE(err.find("InvalidConfig"), std::string::npos);
+  // Unknown query kind.
+  EXPECT_EQ(run({"query", "--kind", "frobnicate"}, &out, &err), 2);
+}
+
+TEST(Cli, QueryAgainstMissingSocketFailsWithTypedError) {
+  std::string out, err;
+  EXPECT_EQ(run({"query", "--at", "unix:/tmp/rsmem-no-such-daemon.sock",
+                 "--kind", "ping"},
+                &out, &err),
+            1);
+  EXPECT_NE(err.find("error ["), std::string::npos);
+}
+
+TEST(Cli, LoadgenValidatesShape) {
+  std::string out, err;
+  EXPECT_EQ(run({"loadgen", "--clients", "0"}, &out, &err), 2);
+  EXPECT_NE(err.find("InvalidConfig"), std::string::npos);
+  EXPECT_EQ(run({"loadgen", "--requests", "0"}, &out, &err), 2);
+  EXPECT_EQ(run({"loadgen", "--kind", "ping"}, &out, &err), 2);
+  EXPECT_EQ(run({"loadgen", "--at", "bad-endpoint"}, &out, &err), 2);
+  EXPECT_EQ(run({"loadgen", "--deadline", "-1"}, &out, &err), 2);
+}
+
+TEST(Cli, LoadgenSelfHostedSmokeRun) {
+  // A tiny end-to-end run over the real wire protocol: in-process server
+  // on a private Unix socket, 2 clients x 4 requests over 2 distinct keys.
+  std::string out, err;
+  EXPECT_EQ(run({"loadgen", "--clients", "2", "--requests", "4", "--distinct",
+                 "2", "--threads", "2", "--hours", "24"},
+                &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("requests"), std::string::npos);
+  EXPECT_NE(out.find("hit rate"), std::string::npos);
+  EXPECT_NE(out.find("p99"), std::string::npos);
+}
+
+TEST(Cli, HelpListsServiceCommands) {
+  std::string out;
+  EXPECT_EQ(run({"help"}, &out), 0);
+  EXPECT_NE(out.find("serve"), std::string::npos);
+  EXPECT_NE(out.find("query"), std::string::npos);
+  EXPECT_NE(out.find("loadgen"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rsmem::cli

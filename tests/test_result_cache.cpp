@@ -1,0 +1,148 @@
+// ResultCache unit tests: LRU behaviour and single-flight deduplication.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "service/result_cache.h"
+
+namespace rsmem::service {
+namespace {
+
+core::Result<std::string> value_of(const std::string& text) { return text; }
+
+TEST(ResultCache, MissThenHit) {
+  ResultCache cache(4);
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return value_of("v1");
+  };
+  ResultCache::Outcome first = cache.get_or_compute("k1", compute);
+  ASSERT_TRUE(first.status.is_ok());
+  EXPECT_EQ(*first.value, "v1");
+  EXPECT_EQ(first.source, CacheSource::kMiss);
+  ResultCache::Outcome second = cache.get_or_compute("k1", compute);
+  EXPECT_EQ(second.source, CacheSource::kHit);
+  EXPECT_EQ(*second.value, "v1");
+  EXPECT_EQ(computes, 1);
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(ResultCache, LruEvictionPrefersStaleEntries) {
+  ResultCache cache(2);
+  (void)cache.get_or_compute("a", [] { return value_of("A"); });
+  (void)cache.get_or_compute("b", [] { return value_of("B"); });
+  // Touch "a" so "b" is the LRU victim.
+  EXPECT_EQ(cache.get_or_compute("a", [] { return value_of("?"); }).source,
+            CacheSource::kHit);
+  (void)cache.get_or_compute("c", [] { return value_of("C"); });
+  EXPECT_EQ(cache.get_or_compute("a", [] { return value_of("A2"); }).source,
+            CacheSource::kHit);
+  EXPECT_EQ(cache.get_or_compute("b", [] { return value_of("B2"); }).source,
+            CacheSource::kMiss);
+  EXPECT_EQ(cache.stats().evictions, 2u);  // "b" once, then a victim for "b"
+}
+
+TEST(ResultCache, FailuresAreNotCached) {
+  ResultCache cache(4);
+  ResultCache::Outcome failed = cache.get_or_compute(
+      "k", [] { return core::Result<std::string>(
+                    core::Status::solver_divergence("boom")); });
+  EXPECT_FALSE(failed.status.is_ok());
+  EXPECT_EQ(failed.status.code(), core::StatusCode::kSolverDivergence);
+  EXPECT_EQ(failed.value, nullptr);
+  // The next request retries and can succeed.
+  ResultCache::Outcome retried =
+      cache.get_or_compute("k", [] { return value_of("fixed"); });
+  ASSERT_TRUE(retried.status.is_ok());
+  EXPECT_EQ(retried.source, CacheSource::kMiss);
+  EXPECT_EQ(*retried.value, "fixed");
+  EXPECT_EQ(cache.stats().failures, 1u);
+}
+
+TEST(ResultCache, CapacityZeroStillDeduplicates) {
+  ResultCache cache(0);
+  (void)cache.get_or_compute("k", [] { return value_of("v"); });
+  // Nothing stored...
+  EXPECT_EQ(cache.stats().size, 0u);
+  // ...so a sequential repeat recomputes (miss), but concurrent identical
+  // requests still single-flight (exercised below with capacity > 0; here
+  // we only pin the storage-off behaviour).
+  EXPECT_EQ(cache.get_or_compute("k", [] { return value_of("v"); }).source,
+            CacheSource::kMiss);
+}
+
+TEST(ResultCache, SingleFlightDeduplicatesConcurrentIdenticalRequests) {
+  ResultCache cache(8);
+  constexpr int kThreads = 8;
+  std::atomic<int> computes{0};
+  std::atomic<int> inside{0};
+  std::barrier gate(kThreads);
+  std::vector<ResultCache::Outcome> outcomes(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&, i] {
+        gate.arrive_and_wait();  // maximize overlap
+        outcomes[i] = cache.get_or_compute("hot", [&] {
+          inside.fetch_add(1);
+          computes.fetch_add(1);
+          // Hold the flight open long enough that peers pile up.
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          inside.fetch_sub(1);
+          return value_of("computed-once");
+        });
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(inside.load(), 0);
+  int misses = 0, waits = 0, hits = 0;
+  for (const auto& outcome : outcomes) {
+    ASSERT_TRUE(outcome.status.is_ok());
+    ASSERT_NE(outcome.value, nullptr);
+    EXPECT_EQ(*outcome.value, "computed-once");
+    misses += outcome.source == CacheSource::kMiss;
+    waits += outcome.source == CacheSource::kWait;
+    hits += outcome.source == CacheSource::kHit;
+  }
+  EXPECT_EQ(misses, 1);           // exactly one leader
+  EXPECT_EQ(waits + hits + misses, kThreads);
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.waits + stats.hits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(ResultCache, ConcurrentDistinctKeysAllCompute) {
+  ResultCache cache(64);
+  constexpr int kThreads = 8;
+  std::atomic<int> computes{0};
+  {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&, i] {
+        const std::string key = "k" + std::to_string(i);
+        const auto outcome = cache.get_or_compute(key, [&] {
+          computes.fetch_add(1);
+          return value_of(key);
+        });
+        EXPECT_TRUE(outcome.status.is_ok());
+        EXPECT_EQ(*outcome.value, key);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  EXPECT_EQ(computes.load(), kThreads);
+  EXPECT_EQ(cache.stats().size, static_cast<std::size_t>(kThreads));
+}
+
+}  // namespace
+}  // namespace rsmem::service

@@ -1,0 +1,283 @@
+// Wire-protocol unit tests: JSON round trips (bit-exact doubles),
+// request/response codecs, canonical cache keys, endpoint parsing, and
+// frame transport over a socketpair.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "service/endpoint.h"
+#include "service/json.h"
+#include "service/protocol.h"
+
+namespace rsmem::service {
+namespace {
+
+TEST(ServiceJson, ScalarRoundTrip) {
+  const auto parsed = Json::parse(R"({"a":1.5,"b":true,"c":"x\n","d":null})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  const Json& json = parsed.value();
+  EXPECT_DOUBLE_EQ(json.number_or("a", 0), 1.5);
+  EXPECT_TRUE(json.bool_or("b", false));
+  EXPECT_EQ(json.string_or("c", ""), "x\n");
+  ASSERT_NE(json.find("d"), nullptr);
+  EXPECT_TRUE(json.find("d")->is_null());
+  EXPECT_EQ(json.find("missing"), nullptr);
+}
+
+TEST(ServiceJson, DoubleSerializationIsBitExact) {
+  // Values chosen to stress the 17-digit path: non-representable
+  // decimals, denormal-ish magnitudes, and the paper's own rates.
+  const double cases[] = {0.1,     1.0 / 3.0, 1.7e-5,     6.02214076e23,
+                          5e-324,  1e-312,    0.49999999999999994,
+                          1.313e-1, 2005.0};
+  for (const double value : cases) {
+    const std::string text = Json(value).serialize();
+    const auto parsed = Json::parse(text);
+    ASSERT_TRUE(parsed.ok());
+    const double round_tripped = parsed.value().as_number();
+    EXPECT_EQ(std::memcmp(&value, &round_tripped, sizeof value), 0)
+        << "value " << value << " serialized as " << text;
+  }
+}
+
+TEST(ServiceJson, NonFiniteBecomesNullBecomesNan) {
+  const std::string text = Json(std::nan("")).serialize();
+  EXPECT_EQ(text, "null");
+  const auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(std::isnan(parsed.value().as_number()));
+}
+
+TEST(ServiceJson, CanonicalObjectOrder) {
+  const auto a = Json::parse(R"({"z":1,"a":2})");
+  const auto b = Json::parse(R"({"a":2,"z":1})");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().serialize(), b.value().serialize());
+}
+
+TEST(ServiceJson, RejectsMalformed) {
+  EXPECT_FALSE(Json::parse("").ok());
+  EXPECT_FALSE(Json::parse("{").ok());
+  EXPECT_FALSE(Json::parse("[1,]").ok());
+  EXPECT_FALSE(Json::parse("{\"a\":1}trailing").ok());
+  EXPECT_FALSE(Json::parse("{'a':1}").ok());
+  EXPECT_FALSE(Json::parse("\"unterminated").ok());
+}
+
+TEST(ServiceJson, NestingDepthBounded) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(Json::parse(deep).ok());
+}
+
+Request paper_ber_request() {
+  Request request;
+  request.id = 7;
+  request.kind = RequestKind::kBer;
+  request.spec.arrangement = analysis::Arrangement::kDuplex;
+  request.spec.code = {18, 16, 8, 1};
+  request.spec.seu_rate_per_bit_day = 1e-2;
+  request.spec.scrub_period_seconds = 3600.0;
+  request.times_hours = {0.0, 24.0, 48.0};
+  return request;
+}
+
+TEST(ServiceProtocol, RequestRoundTrip) {
+  Request request = paper_ber_request();
+  request.deadline_ms = 250.0;
+  const auto decoded = Request::from_json(request.to_json());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  const Request& back = decoded.value();
+  EXPECT_EQ(back.id, request.id);
+  EXPECT_EQ(back.kind, RequestKind::kBer);
+  EXPECT_EQ(back.deadline_ms, 250.0);
+  EXPECT_EQ(back.spec.arrangement, analysis::Arrangement::kDuplex);
+  EXPECT_EQ(back.spec.code.n, 18u);
+  EXPECT_EQ(back.spec.seu_rate_per_bit_day, 1e-2);
+  EXPECT_EQ(back.times_hours, request.times_hours);
+  EXPECT_EQ(canonical_cache_key(back), canonical_cache_key(request));
+}
+
+TEST(ServiceProtocol, SweepRoundTrip) {
+  Request request;
+  request.kind = RequestKind::kSweep;
+  request.sweep_param = "tsc";
+  request.sweep_values = {600.0, 1800.0};
+  request.sweep_hours = 24.0;
+  request.spec.seu_rate_per_bit_day = 1e-3;
+  const auto decoded = Request::from_json(request.to_json());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().sweep_param, "tsc");
+  EXPECT_EQ(decoded.value().sweep_values, request.sweep_values);
+  EXPECT_EQ(decoded.value().sweep_hours, 24.0);
+}
+
+TEST(ServiceProtocol, RequestRejections) {
+  EXPECT_FALSE(Request::from_json("not json").ok());
+  EXPECT_FALSE(Request::from_json("[]").ok());
+  EXPECT_FALSE(Request::from_json(R"({"kind":"frobnicate"})").ok());
+  // ber without times.
+  EXPECT_FALSE(
+      Request::from_json(R"({"kind":"ber","spec":{},"times_hours":[]})").ok());
+  // negative deadline is a typed InvalidConfig.
+  const auto rejected = Request::from_json(
+      R"({"kind":"mttf","spec":{},"deadline_ms":-3})");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), core::StatusCode::kInvalidConfig);
+  // sweep with an unknown parameter.
+  EXPECT_FALSE(Request::from_json(
+                   R"({"kind":"sweep","spec":{},"param":"zap","values":[1]})")
+                   .ok());
+  // malformed spec arrangement.
+  EXPECT_FALSE(
+      Request::from_json(
+          R"({"kind":"mttf","spec":{"arrangement":"triplex"}})")
+          .ok());
+}
+
+TEST(ServiceProtocol, ResponseRoundTrip) {
+  Response response;
+  response.id = 42;
+  response.status = core::Status::ok();
+  response.cache = CacheSource::kWait;
+  response.compute_ms = 1.25;
+  response.result_json = R"({"mttf_hours":34.3125})";
+  const auto decoded = Response::from_json(response.to_json());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().id, 42u);
+  EXPECT_TRUE(decoded.value().status.is_ok());
+  EXPECT_EQ(decoded.value().cache, CacheSource::kWait);
+  EXPECT_EQ(decoded.value().result_json, response.result_json);
+}
+
+TEST(ServiceProtocol, ResponseCarriesTypedStatus) {
+  Response response;
+  response.id = 9;
+  response.status = core::Status::overloaded("queue full");
+  const auto decoded = Response::from_json(response.to_json());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().status.code(), core::StatusCode::kOverloaded);
+  EXPECT_EQ(decoded.value().status.message(), "queue full");
+
+  response.status = core::Status::deadline_exceeded("too slow");
+  const auto decoded2 = Response::from_json(response.to_json());
+  ASSERT_TRUE(decoded2.ok());
+  EXPECT_EQ(decoded2.value().status.code(),
+            core::StatusCode::kDeadlineExceeded);
+}
+
+TEST(ServiceProtocol, CacheKeyCanonicalization) {
+  const Request base = paper_ber_request();
+  Request same = base;
+  same.id = 999;            // ids are not semantic
+  same.deadline_ms = 17.0;  // deadlines are not semantic
+  EXPECT_EQ(canonical_cache_key(base), canonical_cache_key(same));
+
+  Request different_rate = base;
+  // A one-ulp rate change MUST change the key (bitwise canonicalization).
+  different_rate.spec.seu_rate_per_bit_day =
+      std::nextafter(base.spec.seu_rate_per_bit_day, 1.0);
+  EXPECT_NE(canonical_cache_key(base), canonical_cache_key(different_rate));
+
+  Request different_times = base;
+  different_times.times_hours.back() += 1.0;
+  EXPECT_NE(canonical_cache_key(base), canonical_cache_key(different_times));
+
+  Request periodic = base;
+  periodic.periodic = true;
+  EXPECT_NE(canonical_cache_key(base), canonical_cache_key(periodic));
+
+  Request control;
+  control.kind = RequestKind::kPing;
+  EXPECT_TRUE(canonical_cache_key(control).empty());
+  control.kind = RequestKind::kStats;
+  EXPECT_TRUE(canonical_cache_key(control).empty());
+
+  EXPECT_NE(cache_key_hash(canonical_cache_key(base)),
+            cache_key_hash(canonical_cache_key(different_rate)));
+}
+
+TEST(ServiceEndpoint, ParsesUnixAndTcp) {
+  const auto unix_endpoint = parse_endpoint("unix:/tmp/x.sock");
+  ASSERT_TRUE(unix_endpoint.ok());
+  EXPECT_EQ(unix_endpoint.value().kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(unix_endpoint.value().path, "/tmp/x.sock");
+  EXPECT_EQ(unix_endpoint.value().to_string(), "unix:/tmp/x.sock");
+
+  const auto tcp = parse_endpoint("127.0.0.1:8080");
+  ASSERT_TRUE(tcp.ok());
+  EXPECT_EQ(tcp.value().kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(tcp.value().host, "127.0.0.1");
+  EXPECT_EQ(tcp.value().port, 8080);
+  EXPECT_EQ(tcp.value().to_string(), "127.0.0.1:8080");
+}
+
+TEST(ServiceEndpoint, RejectsMalformed) {
+  for (const char* bad :
+       {"", "nocolon", "unix:", ":8080", "host:", "host:abc", "host:-1",
+        "host:65536", "host:123456", "host:12 3"}) {
+    const auto parsed = parse_endpoint(bad);
+    EXPECT_FALSE(parsed.ok()) << "accepted '" << bad << "'";
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), core::StatusCode::kInvalidConfig)
+          << bad;
+    }
+  }
+}
+
+TEST(ServiceFrames, RoundTripOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string payload(100000, 'x');  // forces several write() calls
+  std::thread writer([&] {
+    EXPECT_TRUE(write_frame(fds[0], "first").is_ok());
+    EXPECT_TRUE(write_frame(fds[0], payload).is_ok());
+    EXPECT_TRUE(write_frame(fds[0], "").is_ok());
+    ::close(fds[0]);
+  });
+  auto frame = read_frame(fds[1]);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame.value().payload, "first");
+  frame = read_frame(fds[1]);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame.value().payload, payload);
+  frame = read_frame(fds[1]);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame.value().payload, "");
+  frame = read_frame(fds[1]);  // orderly EOF
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(frame.value().eof);
+  writer.join();
+  ::close(fds[1]);
+}
+
+TEST(ServiceFrames, RejectsOversizedAnnouncement) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const unsigned char header[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_EQ(::write(fds[0], header, 4), 4);
+  const auto frame = read_frame(fds[1]);
+  EXPECT_FALSE(frame.ok());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServiceFrames, TruncationMidFrameIsAnError) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const unsigned char header[4] = {0, 0, 0, 10};  // promises 10 bytes
+  ASSERT_EQ(::write(fds[0], header, 4), 4);
+  ASSERT_EQ(::write(fds[0], "abc", 3), 3);
+  ::close(fds[0]);
+  const auto frame = read_frame(fds[1]);
+  EXPECT_FALSE(frame.ok());
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace rsmem::service

@@ -5,10 +5,16 @@
 # google-benchmark's JSON reporter, and records the result as
 # BENCH_codec.json at the repo root so the codec perf trajectory is tracked
 # in-tree. Also runs bench_mc_vs_markov for the end-to-end Monte-Carlo
-# throughput numbers (its PASS/FAIL lines gate the >= 1.5x codec speedup)
-# and bench_markov_throughput, which snapshots the Markov sweep-engine
-# numbers as BENCH_markov.json. Finally replays the paper-figure benches
-# under the bench preset so the snapshot reflects a green figure suite.
+# throughput numbers (its PASS/FAIL lines gate the >= 1.5x codec speedup),
+# bench_markov_throughput, which snapshots the Markov sweep-engine numbers
+# as BENCH_markov.json, and `rsmem_cli loadgen --self-host`, which snapshots
+# the rsmem-serve latency/cache numbers as BENCH_serve.json. Finally replays
+# the paper-figure benches under the bench preset so the snapshot reflects a
+# green figure suite.
+#
+# Every required binary is checked for existence up front: a missing bench
+# binary fails the whole run loudly (non-zero exit, nothing written) rather
+# than leaving a partial BENCH_*.json snapshot behind.
 #
 # Usage: tools/run_bench.sh [extra google-benchmark args...]
 set -eu
@@ -19,11 +25,30 @@ BUILD="$ROOT/build-bench"
 cmake --preset bench -S "$ROOT" >/dev/null
 cmake --build "$BUILD" \
     --target bench_codec_throughput bench_mc_vs_markov \
-             bench_markov_throughput \
+             bench_markov_throughput rsmem_cli \
              bench_fig5_simplex_seu bench_fig6_duplex_seu \
              bench_fig7_duplex_scrubbing bench_fig8_simplex_perm \
              bench_fig9_duplex_perm bench_fig10_rs3616_perm \
     -j "$(nproc)"
+
+# Verify ALL required binaries before running ANY of them, so a botched
+# build cannot write a partial benchmark snapshot.
+MISSING=0
+for bin in \
+    "$BUILD/bench/bench_codec_throughput" \
+    "$BUILD/bench/bench_mc_vs_markov" \
+    "$BUILD/bench/bench_markov_throughput" \
+    "$BUILD/tools/rsmem_cli"; do
+    if [ ! -x "$bin" ]; then
+        echo "error: required bench binary missing: $bin" >&2
+        MISSING=1
+    fi
+done
+if [ "$MISSING" -ne 0 ]; then
+    echo "error: bench binaries missing after build; refusing to write a" \
+         "partial BENCH_*.json snapshot" >&2
+    exit 1
+fi
 
 "$BUILD/bench/bench_codec_throughput" \
     --benchmark_format=json \
@@ -35,8 +60,16 @@ cmake --build "$BUILD" \
 
 "$BUILD/bench/bench_markov_throughput" --out "$ROOT/BENCH_markov.json"
 
+# rsmem-serve snapshot: self-hosted loadgen over the real wire protocol --
+# 8 concurrent clients replaying the paper's duplex scrubbing sweep (4
+# distinct cache keys), recording latency percentiles, cache hit rate, and
+# the hot-query speedup. See docs/SERVICE.md.
+"$BUILD/tools/rsmem_cli" loadgen --clients 8 --requests 40 --distinct 4 \
+    --json "$ROOT/BENCH_serve.json"
+
 ctest --test-dir "$BUILD" -R 'shape\.bench_fig' --output-on-failure \
     -j "$(nproc)"
 
 echo "wrote $ROOT/BENCH_codec.json"
 echo "wrote $ROOT/BENCH_markov.json"
+echo "wrote $ROOT/BENCH_serve.json"

@@ -4,7 +4,9 @@
 # Builds and runs the test suite under AddressSanitizer (asan preset, full
 # tier-1 suite minus the mc_heavy label) and then under ThreadSanitizer
 # (tsan preset, the mc_heavy differential suites that exercise the parallel
-# campaign engine). Either pass can be selected alone with `asan` / `tsan`
+# campaign engine, plus the rsmem-serve `service` suite and a loadgen smoke
+# run: server + concurrent clients + clean shutdown over real sockets).
+# Either pass can be selected alone with `asan` / `tsan`
 # as the first argument; the default runs both. Exits non-zero on the first
 # failing pass, so this is CI-gate friendly.
 #
@@ -40,6 +42,17 @@ run_tsan() {
     TSAN_OPTIONS="halt_on_error=1" \
         "$ROOT/build-tsan/tools/rsmem_cli" inject --preset paper-duplex \
         --threads 4 > /dev/null
+
+    echo "== ThreadSanitizer: rsmem-serve suites =="
+    # The service e2e suite: real sockets, concurrent clients, scheduler
+    # drain/overload paths -- exactly the code where a data race would hide.
+    TSAN_OPTIONS="halt_on_error=1" \
+        ctest --test-dir "$ROOT/build-tsan" -L service --output-on-failure
+    # Service smoke: self-hosted server + concurrent queries + clean
+    # shutdown, end to end over the wire protocol under TSan.
+    TSAN_OPTIONS="halt_on_error=1" \
+        "$ROOT/build-tsan/tools/rsmem_cli" loadgen --clients 4 \
+        --requests 10 --distinct 2 --threads 2 > /dev/null
 }
 
 case "$MODE" in
