@@ -508,12 +508,16 @@ int cmd_serve(const Args& args, std::ostream& out) {
   g_serve_interrupted = 0;
   auto* previous_int = std::signal(SIGINT, serve_signal_handler);
   auto* previous_term = std::signal(SIGTERM, serve_signal_handler);
+  // Frame writes already pass MSG_NOSIGNAL; this covers any stray write
+  // path so a vanished client can never SIGPIPE the daemon.
+  auto* previous_pipe = std::signal(SIGPIPE, SIG_IGN);
   while (!server->wait_for_shutdown(std::chrono::milliseconds(200))) {
     if (g_serve_interrupted) break;
   }
   server->shutdown();
   std::signal(SIGINT, previous_int);
   std::signal(SIGTERM, previous_term);
+  std::signal(SIGPIPE, previous_pipe);
 
   const service::AnalysisScheduler::Stats stats = server->scheduler_stats();
   const service::ResultCache::Stats cache = server->cache_stats();

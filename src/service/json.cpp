@@ -259,16 +259,49 @@ class Parser {
     return parse_number(out);
   }
 
+  static bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+  // Scans the token against the JSON number grammar before converting.
+  // strtod is never pointed at text_ directly: it requires a NUL-
+  // terminated buffer (text_ is a string_view over arbitrary memory)
+  // and accepts non-JSON spellings ("NaN", "Infinity", hex floats,
+  // leading '+') that must not cross the protocol boundary.
   core::Status parse_number(Json& out) {
-    const char* begin = text_.data() + pos_;
-    char* end = nullptr;
-    errno = 0;
-    const double value = std::strtod(begin, &end);
-    if (end == begin) return error("invalid number");
-    // Overflow to +-inf is accepted (serializes back as null); strtod
-    // consumed a syntactically valid number either way.
-    pos_ += static_cast<std::size_t>(end - begin);
-    out = Json(value);
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const std::size_t int_start = pos_;
+    while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    if (pos_ == int_start ||
+        (text_[int_start] == '0' && pos_ - int_start > 1)) {
+      pos_ = start;
+      return error("invalid number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      const std::size_t frac_start = pos_;
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+      if (pos_ == frac_start) {
+        pos_ = start;
+        return error("invalid number");
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const std::size_t exp_start = pos_;
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+      if (pos_ == exp_start) {
+        pos_ = start;
+        return error("invalid number");
+      }
+    }
+    // Overflow to +-inf is accepted (serializes back as null); the
+    // token is syntactically valid JSON either way.
+    const std::string token(text_.substr(start, pos_ - start));
+    out = Json(std::strtod(token.c_str(), nullptr));
     return core::Status::ok();
   }
 

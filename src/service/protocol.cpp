@@ -1,9 +1,11 @@
 #include "service/protocol.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <array>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 
@@ -120,8 +122,15 @@ core::Result<core::MemorySystemSpec> spec_from_json(const Json& json) {
   const double n = json.number_or("n", 18);
   const double k = json.number_or("k", 16);
   const double m = json.number_or("m", 8);
-  if (n < 1 || k < 1 || m < 1 || n > 1e6 || k > 1e6 || m > 64) {
-    return core::Status::invalid_config("spec n/k/m out of range");
+  // Positive logic: every comparison against NaN is false, so a
+  // `v < 1 || v > max` rejection would wave NaN through to the unsigned
+  // cast below (undefined behavior). Require in-range AND integral.
+  const auto valid_count = [](double v, double max) {
+    return v >= 1 && v <= max && v == std::floor(v);
+  };
+  if (!valid_count(n, 1e6) || !valid_count(k, 1e6) || !valid_count(m, 64)) {
+    return core::Status::invalid_config(
+        "spec n/k/m must be integers in range");
   }
   spec.code.n = static_cast<unsigned>(n);
   spec.code.k = static_cast<unsigned>(k);
@@ -129,6 +138,13 @@ core::Result<core::MemorySystemSpec> spec_from_json(const Json& json) {
   spec.seu_rate_per_bit_day = json.number_or("seu", 0.0);
   spec.erasure_rate_per_symbol_day = json.number_or("perm", 0.0);
   spec.scrub_period_seconds = json.number_or("tsc", 0.0);
+  const auto valid_rate = [](double v) { return std::isfinite(v) && v >= 0; };
+  if (!valid_rate(spec.seu_rate_per_bit_day) ||
+      !valid_rate(spec.erasure_rate_per_symbol_day) ||
+      !valid_rate(spec.scrub_period_seconds)) {
+    return core::Status::invalid_config(
+        "spec seu/perm/tsc must be finite and >= 0");
+  }
   return spec;
 }
 
@@ -174,7 +190,7 @@ core::Result<Request> Request::from_json(std::string_view text) {
   if (!kind.ok()) return kind.status();
   request.kind = kind.value();
   request.deadline_ms = json.number_or("deadline_ms", 0.0);
-  if (request.deadline_ms < 0.0) {
+  if (!std::isfinite(request.deadline_ms) || request.deadline_ms < 0.0) {
     return core::Status::invalid_config("deadline_ms must be >= 0, got " +
                                         format_double(request.deadline_ms));
   }
@@ -199,6 +215,14 @@ core::Result<Request> Request::from_json(std::string_view text) {
     if (request.times_hours.empty()) {
       return core::Status::invalid_config("ber request needs >= 1 time");
     }
+    for (const double t : request.times_hours) {
+      // doubles_at maps JSON null to NaN (for result payloads); request
+      // inputs must be real instants.
+      if (!std::isfinite(t) || t < 0) {
+        return core::Status::invalid_config(
+            "ber times_hours must be finite and >= 0");
+      }
+    }
   }
   if (request.kind == RequestKind::kSweep) {
     request.sweep_param = json.string_or("param", "");
@@ -214,7 +238,17 @@ core::Result<Request> Request::from_json(std::string_view text) {
     if (request.sweep_values.empty()) {
       return core::Status::invalid_config("sweep request needs >= 1 value");
     }
+    for (const double v : request.sweep_values) {
+      if (!std::isfinite(v) || v < 0) {
+        return core::Status::invalid_config(
+            "sweep values must be finite and >= 0");
+      }
+    }
     request.sweep_hours = json.number_or("hours", 48.0);
+    if (!std::isfinite(request.sweep_hours) || request.sweep_hours <= 0) {
+      return core::Status::invalid_config("sweep hours must be > 0, got " +
+                                          format_double(request.sweep_hours));
+    }
   }
   return request;
 }
@@ -311,7 +345,9 @@ namespace {
 core::Status write_all(int fd, const void* data, std::size_t size) {
   const char* cursor = static_cast<const char*>(data);
   while (size > 0) {
-    const ssize_t wrote = ::write(fd, cursor, size);
+    // MSG_NOSIGNAL: a peer that disconnected mid-exchange must surface
+    // as an EPIPE Status, not a process-killing SIGPIPE.
+    const ssize_t wrote = ::send(fd, cursor, size, MSG_NOSIGNAL);
     if (wrote < 0) {
       if (errno == EINTR) continue;
       return core::Status::internal(std::string("socket write failed: ") +

@@ -3,6 +3,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <utility>
 
 #include "core/api.h"
@@ -51,10 +53,21 @@ Server::~Server() { shutdown(); }
 
 void Server::accept_loop() {
   while (true) {
+    join_finished_readers();
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listener closed (shutdown) or fatal accept error
+      const int err = errno;
+      if (shutdown_requested_.load()) return;  // listener closed on purpose
+      if (err == EINTR || err == ECONNABORTED) continue;
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+          err == ENOMEM) {
+        // Out of descriptors or memory, possibly transiently: back off
+        // and retry rather than silently becoming a daemon that looks
+        // healthy but never accepts again.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      return;  // EBADF/EINVAL etc.: the listener itself is gone
     }
     auto connection = std::make_shared<Connection>(fd);
     std::unique_lock<std::mutex> lock(mutex_);
@@ -67,12 +80,44 @@ void Server::accept_loop() {
       continue;
     }
     connections_.push_back(connection);
-    connection_threads_.emplace_back(
-        [this, connection] { serve_connection(connection); });
+    // Registered under the lock BEFORE the reader can run to completion:
+    // its self-reap needs this same mutex, so the handle is always in
+    // reader_threads_ by the time the reader looks for it.
+    reader_threads_.emplace(
+        connection.get(),
+        std::thread([this, connection] { serve_connection(connection); }));
+  }
+}
+
+void Server::join_finished_readers() {
+  std::vector<std::thread> finished;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    finished.swap(finished_readers_);
+  }
+  for (std::thread& reader : finished) {
+    if (reader.joinable()) reader.join();
   }
 }
 
 void Server::serve_connection(std::shared_ptr<Connection> connection) {
+  read_requests(connection);
+  // Self-reap: drop the connection's entry so its fd closes as soon as
+  // in-flight scheduler callbacks release their references, and park the
+  // thread handle for the accept loop (or shutdown) to join. During
+  // shutdown the handle may already be gone — shutdown() owns it then.
+  std::unique_lock<std::mutex> lock(mutex_);
+  connections_.erase(
+      std::remove(connections_.begin(), connections_.end(), connection),
+      connections_.end());
+  const auto it = reader_threads_.find(connection.get());
+  if (it != reader_threads_.end()) {
+    finished_readers_.push_back(std::move(it->second));
+    reader_threads_.erase(it);
+  }
+}
+
+void Server::read_requests(const std::shared_ptr<Connection>& connection) {
   while (true) {
     core::Result<FrameRead> frame = read_frame(connection->fd);
     if (!frame.ok()) return;  // framing broken or socket torn down
@@ -180,12 +225,23 @@ void Server::shutdown() {
 
   // 2. Stop reading: half-close every connection so reader threads see
   //    EOF, while the write sides stay open for in-flight responses.
+  //    Taking the handles out of reader_threads_ here means readers that
+  //    exit concurrently skip their self-reap; every handle is joined
+  //    exactly once, either below or via finished_readers_.
   std::vector<std::shared_ptr<Connection>> connections;
   std::vector<std::thread> readers;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     connections = connections_;
-    readers.swap(connection_threads_);
+    readers.reserve(reader_threads_.size() + finished_readers_.size());
+    for (auto& [unused, reader] : reader_threads_) {
+      readers.push_back(std::move(reader));
+    }
+    reader_threads_.clear();
+    for (std::thread& reader : finished_readers_) {
+      readers.push_back(std::move(reader));
+    }
+    finished_readers_.clear();
   }
   for (const auto& connection : connections) {
     ::shutdown(connection->fd, SHUT_RD);

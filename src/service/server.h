@@ -25,6 +25,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "service/endpoint.h"
@@ -80,8 +81,10 @@ class Server {
   Server(ServerConfig config, Endpoint bound, int listen_fd);
   void accept_loop();
   void serve_connection(std::shared_ptr<Connection> connection);
+  void read_requests(const std::shared_ptr<Connection>& connection);
   void handle_request(const std::shared_ptr<Connection>& connection,
                       Request request);
+  void join_finished_readers();
   std::string stats_result_json() const;
 
   const ServerConfig config_;
@@ -94,7 +97,13 @@ class Server {
   mutable std::mutex mutex_;
   std::condition_variable shutdown_cv_;
   std::vector<std::shared_ptr<Connection>> connections_;
-  std::vector<std::thread> connection_threads_;
+  // A live reader's thread handle sits in reader_threads_; when the
+  // reader exits it moves its own handle to finished_readers_, where the
+  // accept loop (or shutdown) joins it. Connections are reaped as they
+  // close, not hoarded until shutdown — a churning daemon must not leak
+  // one fd + one thread per disconnected client.
+  std::unordered_map<const Connection*, std::thread> reader_threads_;
+  std::vector<std::thread> finished_readers_;
   std::thread accept_thread_;
 };
 

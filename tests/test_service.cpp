@@ -10,10 +10,14 @@
 // `service`).
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <condition_variable>
+#include <cstring>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -197,6 +201,105 @@ TEST(ServiceE2E, ConcurrentIdenticalSweepsComputeOnce) {
   const ResultCache::Stats cache = server->cache_stats();
   EXPECT_EQ(cache.misses, 1u);
   EXPECT_EQ(cache.hits + cache.waits, static_cast<std::uint64_t>(kClients - 1));
+  server->shutdown();
+}
+
+// Bare socket, no Client: lets a test send a frame and vanish without
+// waiting for the response.
+int raw_connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::size_t open_fd_count() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  std::size_t count = 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count;
+}
+
+TEST(ServiceE2E, SurvivesClientGoneBeforeResponse) {
+  // A client that submits an analysis request and disconnects before the
+  // scheduler worker writes the response makes that write hit a closed
+  // socket. It must surface as an EPIPE Status, not a SIGPIPE that kills
+  // the daemon (which lives in this test process).
+  ServerConfig config;
+  config.endpoint = test_endpoint("gone");
+  config.scheduler.threads = 1;
+  auto started = Server::start(config);
+  ASSERT_TRUE(started.ok()) << started.status().to_string();
+  auto& server = started.value();
+
+  for (int i = 0; i < 3; ++i) {
+    const int fd = raw_connect_unix(server->endpoint().path);
+    ASSERT_GE(fd, 0);
+    Request request;
+    request.id = 1;
+    request.kind = RequestKind::kBer;
+    request.spec = paper_duplex_spec();
+    // Distinct times => distinct cache keys => real compute after close.
+    request.times_hours = {24.0 + i};
+    ASSERT_TRUE(write_frame(fd, request.to_json()).is_ok());
+    ::close(fd);
+  }
+
+  // The daemon is still alive: a fresh client gets answers.
+  auto client = Client::connect(server->endpoint());
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+  Request ping;
+  ping.kind = RequestKind::kPing;
+  auto response = client.value().call(ping);
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_TRUE(response.value().status.is_ok());
+
+  server->shutdown();  // drains the three orphaned requests
+  EXPECT_EQ(server->scheduler_stats().completed, 3u);
+}
+
+TEST(ServiceE2E, ReapsDisconnectedClients) {
+  // Connection churn must not accumulate fds or threads: each
+  // disconnected client is reaped when its reader sees EOF, not hoarded
+  // until shutdown.
+  ServerConfig config;
+  config.endpoint = test_endpoint("churn");
+  auto started = Server::start(config);
+  ASSERT_TRUE(started.ok()) << started.status().to_string();
+  auto& server = started.value();
+
+  const auto ping_once = [&] {
+    auto client = Client::connect(server->endpoint());
+    ASSERT_TRUE(client.ok()) << client.status().to_string();
+    Request ping;
+    ping.kind = RequestKind::kPing;
+    ASSERT_TRUE(client.value().call(ping).ok());
+  };
+
+  // Settle lazily-created fds before taking the baseline.
+  ping_once();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const std::size_t baseline = open_fd_count();
+  ASSERT_GT(baseline, 0u);
+
+  for (int i = 0; i < 32; ++i) ping_once();  // each closes on scope exit
+
+  bool reaped = false;
+  for (int i = 0; i < 250 && !reaped; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    reaped = open_fd_count() <= baseline + 2;
+  }
+  EXPECT_TRUE(reaped) << open_fd_count() << " open fds vs baseline "
+                      << baseline;
   server->shutdown();
 }
 

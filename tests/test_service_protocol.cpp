@@ -69,6 +69,38 @@ TEST(ServiceJson, RejectsMalformed) {
   EXPECT_FALSE(Json::parse("\"unterminated").ok());
 }
 
+TEST(ServiceJson, NumberGrammarIsStrictJson) {
+  // strtod leniencies (NaN/Infinity spellings, hex floats, leading '+'
+  // or zeros) must not cross the protocol boundary: a NaN smuggled into
+  // a spec would defeat range validation downstream.
+  EXPECT_FALSE(Json::parse("NaN").ok());
+  EXPECT_FALSE(Json::parse("Infinity").ok());
+  EXPECT_FALSE(Json::parse("-Infinity").ok());
+  EXPECT_FALSE(Json::parse(R"({"spec":{"n":NaN}})").ok());
+  EXPECT_FALSE(Json::parse("+1").ok());
+  EXPECT_FALSE(Json::parse("0x1p3").ok());
+  EXPECT_FALSE(Json::parse("01").ok());
+  EXPECT_FALSE(Json::parse("1.").ok());
+  EXPECT_FALSE(Json::parse(".5").ok());
+  EXPECT_FALSE(Json::parse("1e").ok());
+  EXPECT_FALSE(Json::parse("1e+").ok());
+  EXPECT_FALSE(Json::parse("-").ok());
+  // Valid spellings still parse.
+  EXPECT_TRUE(Json::parse("-0").ok());
+  EXPECT_TRUE(Json::parse("0.5e-3").ok());
+  EXPECT_TRUE(Json::parse("1E6").ok());
+}
+
+TEST(ServiceJson, NumberParsingStopsAtViewEnd) {
+  // Json::parse takes a string_view; the parser must not read past the
+  // view's end even when the underlying buffer continues with digits
+  // (strtod needs a NUL-terminated C string, the view is not one).
+  const char buffer[] = "425";
+  const auto parsed = Json::parse(std::string_view(buffer, 2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().as_number(), 42.0);
+}
+
 TEST(ServiceJson, NestingDepthBounded) {
   std::string deep(100, '[');
   deep += std::string(100, ']');
@@ -137,6 +169,33 @@ TEST(ServiceProtocol, RequestRejections) {
   EXPECT_FALSE(
       Request::from_json(
           R"({"kind":"mttf","spec":{"arrangement":"triplex"}})")
+          .ok());
+}
+
+TEST(ServiceProtocol, SpecRejectsNonFiniteAndNonIntegral) {
+  // 1e309 overflows to +inf in the parser; it must come back as a typed
+  // InvalidConfig, never reach static_cast<unsigned> (undefined
+  // behavior producing an arbitrary geometry).
+  const auto inf_n =
+      Request::from_json(R"({"kind":"mttf","spec":{"n":1e309}})");
+  ASSERT_FALSE(inf_n.ok());
+  EXPECT_EQ(inf_n.status().code(), core::StatusCode::kInvalidConfig);
+  // Non-integral geometry would be silently truncated by the cast.
+  EXPECT_FALSE(
+      Request::from_json(R"({"kind":"mttf","spec":{"n":18.5}})").ok());
+  // Rates and periods must be finite and non-negative.
+  EXPECT_FALSE(
+      Request::from_json(R"({"kind":"mttf","spec":{"seu":-1}})").ok());
+  EXPECT_FALSE(
+      Request::from_json(R"({"kind":"mttf","spec":{"tsc":1e400}})").ok());
+  // JSON null maps to NaN in doubles_at (for result payloads); request
+  // inputs must be real numbers.
+  EXPECT_FALSE(
+      Request::from_json(R"({"kind":"ber","spec":{},"times_hours":[null]})")
+          .ok());
+  EXPECT_FALSE(
+      Request::from_json(
+          R"({"kind":"sweep","spec":{},"param":"tsc","values":[1],"hours":-2})")
           .ok());
 }
 
