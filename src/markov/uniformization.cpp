@@ -8,6 +8,23 @@
 
 namespace rsmem::markov {
 
+namespace {
+
+// log Gamma(x) without glibc lgamma()'s write to the global `signgam`,
+// which is a data race when solver workers evaluate Poisson windows
+// concurrently. Gamma is positive over our domain (x >= 1), so the sign
+// output is discarded.
+double log_gamma_threadsafe(double x) {
+#if defined(__GLIBC__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
+
 UniformizationSolver::UniformizationSolver(double truncation_error)
     : truncation_error_(truncation_error) {
   if (truncation_error <= 0.0 || truncation_error >= 1.0) {
@@ -27,7 +44,7 @@ PoissonWindow poisson_window(double lambda, double truncation_error,
   const std::size_t mode = static_cast<std::size_t>(std::floor(lambda));
   const double log_pmf_mode = -lambda +
                               static_cast<double>(mode) * std::log(lambda) -
-                              std::lgamma(static_cast<double>(mode) + 1.0);
+      log_gamma_threadsafe(static_cast<double>(mode) + 1.0);
   const double pmf_mode = std::exp(log_pmf_mode);
 
   // Walk outward from the mode with the ratio recurrences

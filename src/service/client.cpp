@@ -30,6 +30,37 @@ core::Result<Client> Client::connect(const Endpoint& endpoint) {
   return Client(fd.value());
 }
 
+core::Result<std::uint64_t> Client::send(Request request) {
+  if (fd_ < 0) {
+    return core::Status::internal("client is not connected");
+  }
+  if (request.id == 0) request.id = next_id_++;
+  core::Status wrote = write_frame(fd_, request.to_json());
+  if (!wrote.is_ok()) return wrote.with_context("client send");
+  return request.id;
+}
+
+core::Result<Response> Client::receive() {
+  if (fd_ < 0) {
+    return core::Status::internal("client is not connected");
+  }
+  core::Result<FrameRead> frame = read_frame(fd_);
+  if (!frame.ok()) {
+    core::Status status = frame.status();
+    return status.with_context("client receive");
+  }
+  if (frame.value().eof) {
+    return core::Status::internal(
+        "server closed the connection before responding");
+  }
+  core::Result<Response> response = Response::from_json(frame.value().payload);
+  if (!response.ok()) {
+    core::Status status = response.status();
+    return status.with_context("client receive");
+  }
+  return response;
+}
+
 core::Result<Response> Client::call(Request request) {
   if (fd_ < 0) {
     return core::Status::internal("client is not connected");

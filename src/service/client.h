@@ -1,11 +1,16 @@
 // Client library for rsmem-serve.
 //
-// A Client owns one connected socket and offers synchronous call():
-// write one request frame, read frames until the response with the
-// matching id arrives. One Client is single-threaded by design — run one
-// per worker (loadgen does exactly that); the protocol itself supports
-// pipelining, but the simple call() surface is what the CLI and tests
-// need.
+// A Client owns one connected socket and offers two surfaces:
+//   * synchronous call(): write one request frame, read frames until the
+//     response with the matching id arrives. Single-threaded by design —
+//     run one per worker (closed-loop loadgen does exactly that).
+//   * pipelined send()/receive(): send() writes a frame and returns its id
+//     without waiting; receive() blocks for the NEXT response frame,
+//     whatever its id. The supported concurrency is exactly one sender
+//     thread plus one receiver thread on the same Client (the open-loop
+//     loadgen's shape); the two directions of the socket are independent,
+//     but neither method may be called from two threads at once, and
+//     call() must not be mixed with in-flight send()s.
 #ifndef RSMEM_SERVICE_CLIENT_H
 #define RSMEM_SERVICE_CLIENT_H
 
@@ -36,6 +41,14 @@ class Client {
   // blocks for its response. Transport failures come back as kInternal;
   // application failures arrive as the Response's own status.
   core::Result<Response> call(Request request);
+
+  // Pipelined surface (one sender thread + one receiver thread):
+  // send() writes the frame and returns the id it was assigned without
+  // waiting for the response; receive() blocks for the next response
+  // frame regardless of id (the caller matches ids itself — a sharded
+  // server completes pipelined requests out of order).
+  core::Result<std::uint64_t> send(Request request);
+  core::Result<Response> receive();
 
  private:
   explicit Client(int fd) : fd_(fd) {}

@@ -1,0 +1,207 @@
+// Bounded multi-producer/multi-consumer queues for the rsmem-serve
+// dispatch hot path.
+//
+// Two interchangeable implementations share one API:
+//
+//   * LockFreeMpmcRing<T> — a Vyukov-style bounded ring. Every slot
+//     carries a sequence number; producers claim slots by CAS on the head
+//     counter and publish with a release store of the slot sequence,
+//     consumers claim by CAS on the tail counter and observe the payload
+//     through an acquire load of the same sequence. No operation ever
+//     blocks: try_push on a full ring and try_pop on an empty ring return
+//     false immediately (admission control turns that into a typed
+//     kOverloaded rejection).
+//   * MutexMpmcRing<T> — the same contract over a mutex + deque. This is
+//     the A/B reference for ThreadSanitizer validation: the service can be
+//     compiled against either backend (-DRSMEM_SERVICE_MUTEX_QUEUE=ON)
+//     and must behave identically.
+//
+// MpmcQueue<T> aliases whichever backend the build selected;
+// kQueueBackendName names it in stats output. Both classes are always
+// compiled and unit-tested (tests/test_mpmc_queue.cpp) regardless of the
+// backend the service itself uses.
+//
+// Ordering guarantees (pinned by the property tests):
+//   * no item is lost or duplicated;
+//   * items from one producer are dequeued in that producer's push order
+//     (global queue order is the commit order of pushes), so within any
+//     single consumer's stream a producer's items appear in order;
+//   * capacity is a hard bound: the ring never allocates after
+//     construction, and a full ring reports backpressure instead of
+//     blocking the producer.
+#ifndef RSMEM_SERVICE_MPMC_QUEUE_H
+#define RSMEM_SERVICE_MPMC_QUEUE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace rsmem::service {
+
+// Smallest power of two >= requested (and >= 2): ring indexing uses a
+// bitmask, and a capacity of 1 would make head==tail ambiguous under
+// concurrent claims.
+inline std::size_t ring_capacity_for(std::size_t requested) {
+  std::size_t capacity = 2;
+  while (capacity < requested) capacity <<= 1;
+  return capacity;
+}
+
+template <typename T>
+class LockFreeMpmcRing {
+ public:
+  // Capacity is rounded up to a power of two; min_capacity is the bound
+  // the caller needs, capacity() reports what the ring actually holds.
+  explicit LockFreeMpmcRing(std::size_t min_capacity)
+      : mask_(ring_capacity_for(min_capacity) - 1),
+        cells_(std::make_unique<Cell[]>(mask_ + 1)) {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+  LockFreeMpmcRing(const LockFreeMpmcRing&) = delete;
+  LockFreeMpmcRing& operator=(const LockFreeMpmcRing&) = delete;
+
+  static constexpr bool kIsLockFree = true;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Approximate occupancy (racy by nature; used for stats only).
+  std::size_t size_approx() const {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    return head >= tail ? head - tail : 0;
+  }
+
+  // False when the ring is full (backpressure — never blocks). On success
+  // the value is moved into the claimed slot and published.
+  bool try_push(T&& value) {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t sequence =
+          cell->sequence.load(std::memory_order_acquire);
+      const std::intptr_t lag = static_cast<std::intptr_t>(sequence) -
+                                static_cast<std::intptr_t>(pos);
+      if (lag == 0) {
+        // The slot is free for generation `pos`: claim it. A weak CAS is
+        // enough — failure just re-reads the head.
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (lag < 0) {
+        // Slot still holds the previous generation's value: ring is full.
+        return false;
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // False when the ring is empty (never blocks). On success the value is
+  // moved out and the slot is recycled for the next lap.
+  bool try_pop(T& out) {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t sequence =
+          cell->sequence.load(std::memory_order_acquire);
+      const std::intptr_t lag = static_cast<std::intptr_t>(sequence) -
+                                static_cast<std::intptr_t>(pos + 1);
+      if (lag == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (lag < 0) {
+        return false;  // nothing published at this position yet
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    // Drop captured resources (closures, strings) now rather than one full
+    // lap later, and advance the slot to the next generation.
+    cell->value = T{};
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  // Head and tail live on their own cache lines so producers and
+  // consumers do not false-share.
+  alignas(64) std::atomic<std::size_t> head_{0};  // next push position
+  alignas(64) std::atomic<std::size_t> tail_{0};  // next pop position
+  const std::size_t mask_;
+  const std::unique_ptr<Cell[]> cells_;
+};
+
+// Mutex-guarded reference implementation with the identical contract,
+// selectable at compile time for TSan A/B validation of the lock-free
+// ring's memory ordering.
+template <typename T>
+class MutexMpmcRing {
+ public:
+  explicit MutexMpmcRing(std::size_t min_capacity)
+      : capacity_(ring_capacity_for(min_capacity)) {}
+  MutexMpmcRing(const MutexMpmcRing&) = delete;
+  MutexMpmcRing& operator=(const MutexMpmcRing&) = delete;
+
+  static constexpr bool kIsLockFree = false;
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size_approx() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool try_push(T&& value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    return true;
+  }
+
+  bool try_pop(T& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<T> items_;
+};
+
+#if defined(RSMEM_SERVICE_MUTEX_QUEUE)
+template <typename T>
+using MpmcQueue = MutexMpmcRing<T>;
+inline constexpr const char* kQueueBackendName = "mutex";
+#else
+template <typename T>
+using MpmcQueue = LockFreeMpmcRing<T>;
+inline constexpr const char* kQueueBackendName = "lockfree";
+#endif
+
+}  // namespace rsmem::service
+
+#endif  // RSMEM_SERVICE_MPMC_QUEUE_H

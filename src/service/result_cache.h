@@ -60,6 +60,17 @@ class ResultCache {
                          : static_cast<double>(hits + waits) /
                                static_cast<double>(served);
     }
+
+    // Counter-wise sum used by the shard router's stats merge.
+    Stats& merge(const Stats& other) {
+      hits += other.hits;
+      misses += other.misses;
+      waits += other.waits;
+      evictions += other.evictions;
+      failures += other.failures;
+      size += other.size;
+      return *this;
+    }
   };
   Stats stats() const;
   void clear();

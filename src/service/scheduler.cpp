@@ -87,6 +87,14 @@ core::Result<std::string> compute_result(const Request& request) {
       "' is handled by the server control plane, not the scheduler");
 }
 
+void update_max(std::atomic<std::uint64_t>& slot, std::uint64_t candidate) {
+  std::uint64_t seen = slot.load(std::memory_order_relaxed);
+  while (candidate > seen &&
+         !slot.compare_exchange_weak(seen, candidate,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 std::string batch_compatibility_key(const Request& request) {
@@ -109,10 +117,23 @@ std::string batch_compatibility_key(const Request& request) {
   return key;
 }
 
+AnalysisScheduler::Stats& AnalysisScheduler::Stats::merge(const Stats& other) {
+  accepted += other.accepted;
+  rejected_overload += other.rejected_overload;
+  deadline_expired += other.deadline_expired;
+  completed += other.completed;
+  batches += other.batches;
+  batch_groups += other.batch_groups;
+  max_batch = std::max(max_batch, other.max_batch);
+  queue_depth += other.queue_depth;
+  return *this;
+}
+
 AnalysisScheduler::AnalysisScheduler(const SchedulerConfig& config)
     : config_(config),
       cache_(config.cache_capacity),
       pool_(config.threads),
+      pending_(config.max_queue),
       dispatcher_([this] { dispatcher_loop(); }) {}
 
 AnalysisScheduler::~AnalysisScheduler() { stop(); }
@@ -127,80 +148,116 @@ core::Status AnalysisScheduler::submit(Request request,
                          : Clock::time_point::max();
   pending.request = std::move(request);
   pending.done = std::move(done);
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (stopping_) {
-      ++stats_.rejected_overload;
-      return core::Status::overloaded("scheduler stopping");
-    }
-    if (pending_.size() >= config_.max_queue) {
-      ++stats_.rejected_overload;
-      return core::Status::overloaded(
-          "request queue full (" + std::to_string(pending_.size()) + "/" +
-          std::to_string(config_.max_queue) +
-          " pending); retry with backoff");
-    }
-    ++stats_.accepted;
-    pending_.push_back(std::move(pending));
+
+  // Quiescence barrier: stop() waits for in-flight submits before its
+  // final drain, so a push racing with shutdown is never stranded.
+  submits_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  const auto leave_submit = [this] {
+    submits_in_flight_.fetch_sub(1, std::memory_order_release);
+    submits_in_flight_.notify_all();
+  };
+
+  if (stopping_.load(std::memory_order_acquire)) {
+    stats_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    leave_submit();
+    return core::Status::overloaded("scheduler stopping");
   }
-  work_cv_.notify_one();
+  // Reserve a queue slot before pushing: the counter is an upper bound on
+  // ring occupancy, so the ring (capacity >= max_queue) can never refuse
+  // a reserved push.
+  const std::size_t depth =
+      pending_count_.fetch_add(1, std::memory_order_acq_rel);
+  if (depth >= config_.max_queue) {
+    pending_count_.fetch_sub(1, std::memory_order_release);
+    stats_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    leave_submit();
+    return core::Status::overloaded(
+        "request queue full (" + std::to_string(depth) + "/" +
+        std::to_string(config_.max_queue) + " pending); retry with backoff");
+  }
+  if (!pending_.try_push(std::move(pending))) {
+    // Unreachable by construction; kept as a typed failure, never a drop.
+    pending_count_.fetch_sub(1, std::memory_order_release);
+    stats_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    leave_submit();
+    return core::Status::overloaded("request ring rejected push");
+  }
+  stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+  work_epoch_.fetch_add(1, std::memory_order_release);
+  work_epoch_.notify_one();
+  leave_submit();
   return core::Status::ok();
 }
 
 void AnalysisScheduler::dispatcher_loop() {
-  while (true) {
-    std::vector<Pending> batch;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
-      if (pending_.empty()) return;  // stopping and drained
-      const std::size_t take = std::min(config_.batch_max, pending_.size());
-      batch.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(pending_.front()));
-        pending_.pop_front();
-      }
-      ++stats_.batches;
-      stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, take);
+  std::vector<Pending> batch;
+  batch.reserve(config_.batch_max);
+  for (;;) {
+    // Snapshot the epoch BEFORE draining: a push that lands after the
+    // drain bumps the epoch past the snapshot, so the wait below returns
+    // immediately instead of missing the wake-up.
+    const std::uint64_t epoch = work_epoch_.load(std::memory_order_acquire);
+    batch.clear();
+    Pending item;
+    while (batch.size() < config_.batch_max && pending_.try_pop(item)) {
+      pending_count_.fetch_sub(1, std::memory_order_release);
+      batch.push_back(std::move(item));
     }
-    // Stable grouping by compatibility key: order within a group is the
-    // arrival order, so deadline fairness is preserved per group.
-    std::map<std::string, std::shared_ptr<std::vector<Pending>>> groups;
-    for (Pending& pending : batch) {
-      auto& group = groups[batch_compatibility_key(pending.request)];
-      if (!group) group = std::make_shared<std::vector<Pending>>();
-      group->push_back(std::move(pending));
+    if (batch.empty()) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      work_epoch_.wait(epoch, std::memory_order_acquire);
+      continue;
     }
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      stats_.batch_groups += groups.size();
-    }
-    for (auto& [key, group] : groups) {
-      pool_.submit([this, group] { run_group(group); });
-    }
+    dispatch_batch(batch);
   }
+}
+
+void AnalysisScheduler::dispatch_batch(std::vector<Pending>& batch) {
+  stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  update_max(stats_.max_batch, batch.size());
+  // Stable grouping by compatibility key: order within a group is the
+  // arrival order, so deadline fairness is preserved per group. Requests
+  // already past their deadline are answered here — they never occupy a
+  // pool worker.
+  std::map<std::string, std::shared_ptr<std::vector<Pending>>> groups;
+  for (Pending& pending : batch) {
+    if (Clock::now() > pending.deadline) {
+      answer_deadline_expired(pending);
+      continue;
+    }
+    auto& group = groups[batch_compatibility_key(pending.request)];
+    if (!group) group = std::make_shared<std::vector<Pending>>();
+    group->push_back(std::move(pending));
+  }
+  stats_.batch_groups.fetch_add(groups.size(), std::memory_order_relaxed);
+  for (auto& [key, group] : groups) {
+    pool_.submit([this, group] { run_group(group); });
+  }
+}
+
+void AnalysisScheduler::answer_deadline_expired(Pending& pending) {
+  Response response;
+  response.id = pending.request.id;
+  response.status = core::Status::deadline_exceeded(
+      "deadline of " + format_double(pending.request.deadline_ms) +
+      " ms expired before execution started");
+  stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+  stats_.completed.fetch_add(1, std::memory_order_relaxed);
+  pending.done(std::move(response));
 }
 
 void AnalysisScheduler::run_group(std::shared_ptr<std::vector<Pending>> group) {
   for (Pending& pending : *group) {
-    Response response;
+    // Deadline re-check at worker dequeue: the group may have waited
+    // behind other groups (or behind earlier requests in this group) on a
+    // busy pool, so dispatch-time policing alone would let an expired
+    // request compute and return a late success.
     if (Clock::now() > pending.deadline) {
-      response.id = pending.request.id;
-      response.status = core::Status::deadline_exceeded(
-          "deadline of " + format_double(pending.request.deadline_ms) +
-          " ms expired before execution started");
-      std::unique_lock<std::mutex> lock(mutex_);
-      ++stats_.deadline_expired;
-      ++stats_.completed;
-      lock.unlock();
-      pending.done(std::move(response));
+      answer_deadline_expired(pending);
       continue;
     }
-    response = execute_timed(pending.request);
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      ++stats_.completed;
-    }
+    Response response = execute_timed(pending.request);
+    stats_.completed.fetch_add(1, std::memory_order_relaxed);
     pending.done(std::move(response));
   }
 }
@@ -230,20 +287,48 @@ Response AnalysisScheduler::execute(const Request& request) {
 }
 
 AnalysisScheduler::Stats AnalysisScheduler::stats() const {
-  std::unique_lock<std::mutex> lock(mutex_);
-  Stats snapshot = stats_;
-  snapshot.queue_depth = pending_.size();
+  Stats snapshot;
+  snapshot.accepted = stats_.accepted.load(std::memory_order_relaxed);
+  snapshot.rejected_overload =
+      stats_.rejected_overload.load(std::memory_order_relaxed);
+  snapshot.deadline_expired =
+      stats_.deadline_expired.load(std::memory_order_relaxed);
+  snapshot.completed = stats_.completed.load(std::memory_order_relaxed);
+  snapshot.batches = stats_.batches.load(std::memory_order_relaxed);
+  snapshot.batch_groups = stats_.batch_groups.load(std::memory_order_relaxed);
+  snapshot.max_batch = stats_.max_batch.load(std::memory_order_relaxed);
+  snapshot.queue_depth = pending_count_.load(std::memory_order_relaxed);
   return snapshot;
 }
 
 void AnalysisScheduler::stop() {
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (stopping_ && !dispatcher_.joinable()) return;
-    stopping_ = true;
+  if (stopped_.exchange(true)) return;
+  stopping_.store(true, std::memory_order_release);
+  work_epoch_.fetch_add(1, std::memory_order_release);
+  work_epoch_.notify_all();
+  // Wait out in-flight submits so the final drain below observes every
+  // push that was admitted before stopping_ became visible.
+  for (int in_flight =
+           submits_in_flight_.load(std::memory_order_acquire);
+       in_flight != 0;
+       in_flight = submits_in_flight_.load(std::memory_order_acquire)) {
+    submits_in_flight_.wait(in_flight, std::memory_order_acquire);
   }
-  work_cv_.notify_all();
   if (dispatcher_.joinable()) dispatcher_.join();
+  // The dispatcher exits only on an empty ring, but a submit that raced
+  // with shutdown may have pushed after its final look: drain leftovers
+  // here so every admitted request is still answered.
+  std::vector<Pending> batch;
+  Pending item;
+  while (pending_.try_pop(item)) {
+    pending_count_.fetch_sub(1, std::memory_order_release);
+    batch.push_back(std::move(item));
+    if (batch.size() == config_.batch_max) {
+      dispatch_batch(batch);
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) dispatch_batch(batch);
   pool_.wait_idle();
 }
 

@@ -1,10 +1,17 @@
 // Request scheduler of rsmem-serve: admission control, deadline policing,
 // compatibility batching, and execution on the shared analysis engines.
+// One AnalysisScheduler is one SHARD of the service (service/shard_router.h
+// routes requests to shards by canonical-cache-key hash); a single-shard
+// deployment is simply a router with one scheduler.
 //
 // Life of a request:
-//   1. submit() — ADMISSION: if the pending queue already holds max_queue
+//   1. submit() — ADMISSION: the pending queue is a bounded lock-free MPMC
+//      ring (service/mpmc_queue.h). When it already holds max_queue
 //      requests the submission is rejected immediately with a typed
-//      kOverloaded Status (never a silent drop) and nothing is enqueued.
+//      kOverloaded Status (never a silent drop, never a blocked producer)
+//      and nothing is enqueued. The submit hot path takes no mutex: a
+//      slot reservation on an atomic depth counter, a ring push, and an
+//      epoch bump to wake the dispatcher.
 //   2. The dispatcher thread drains up to batch_max pending requests at a
 //      time and groups them by COMPATIBILITY KEY — the structural identity
 //      of the Markov chain they need (arrangement, code geometry, rate
@@ -13,8 +20,12 @@
 //      a group run back-to-back so the first solve warms the
 //      models::ChainCache structure and the ResultCache, and the rest of
 //      the group replays/hits instead of re-enumerating.
-//   3. DEADLINE: a request whose deadline_ms elapsed before its group task
-//      reached it is answered kDeadlineExceeded without computing.
+//   3. DEADLINE: policed twice. A request whose deadline_ms elapsed by the
+//      time the dispatcher drains it is answered kDeadlineExceeded without
+//      ever occupying a worker; and because a group can sit behind earlier
+//      groups on a busy pool, the deadline is RE-CHECKED when the shard
+//      worker dequeues the request for execution — a request queued past
+//      its deadline gets the typed rejection, not a late success.
 //   4. Execution routes through the core try_* facade (global ChainCache +
 //      per-thread SolverWorkspace) via the single-flight ResultCache, so
 //      results are bit-identical to direct core:: calls.
@@ -23,15 +34,15 @@
 #ifndef RSMEM_SERVICE_SCHEDULER_H
 #define RSMEM_SERVICE_SCHEDULER_H
 
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
+#include <vector>
 
+#include "service/mpmc_queue.h"
 #include "service/protocol.h"
 #include "service/result_cache.h"
 #include "sim/thread_pool.h"
@@ -58,7 +69,7 @@ class AnalysisScheduler {
   core::Status submit(Request request, std::function<void(Response)> done);
 
   // Executes one request synchronously on the caller's thread through the
-  // same cache + engines (used by submit's workers and by tests).
+  // same cache + engines (used by tests and the router's sync path).
   Response execute(const Request& request);
 
   struct Stats {
@@ -70,6 +81,10 @@ class AnalysisScheduler {
     std::uint64_t batch_groups = 0;   // pool tasks dispatched
     std::uint64_t max_batch = 0;      // largest single drain
     std::size_t queue_depth = 0;      // pending right now
+
+    // Counter-wise sum used by the shard router's stats merge
+    // (max_batch merges as a max, queue_depth as a sum).
+    Stats& merge(const Stats& other);
   };
   Stats stats() const;
   ResultCache::Stats cache_stats() const { return cache_.stats(); }
@@ -87,18 +102,36 @@ class AnalysisScheduler {
   };
 
   void dispatcher_loop();
+  void dispatch_batch(std::vector<Pending>& batch);
   void run_group(std::shared_ptr<std::vector<Pending>> group);
+  void answer_deadline_expired(Pending& pending);
   Response execute_timed(const Request& request);
 
   const SchedulerConfig config_;
   ResultCache cache_;
   sim::ThreadPool pool_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::deque<Pending> pending_;
-  bool stopping_ = false;
-  Stats stats_;
+  // Lock-free dispatch state. pending_count_ is the admission bound
+  // (reserve-then-push keeps it an upper bound on ring occupancy);
+  // work_epoch_ is bumped after every push so the dispatcher's
+  // atomic wait never misses a wake-up.
+  MpmcQueue<Pending> pending_;
+  std::atomic<std::size_t> pending_count_{0};
+  std::atomic<std::uint64_t> work_epoch_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<int> submits_in_flight_{0};  // quiescence barrier for stop()
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected_overload{0};
+    std::atomic<std::uint64_t> deadline_expired{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> batch_groups{0};
+    std::atomic<std::uint64_t> max_batch{0};
+  };
+  AtomicStats stats_;
   std::thread dispatcher_;
 };
 

@@ -45,7 +45,7 @@ Server::Server(ServerConfig config, Endpoint bound, int listen_fd)
     : config_(std::move(config)),
       endpoint_(std::move(bound)),
       listen_fd_(listen_fd),
-      scheduler_(std::make_unique<AnalysisScheduler>(config_.scheduler)) {
+      router_(std::make_unique<ShardRouter>(config_.router)) {
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -167,7 +167,7 @@ void Server::handle_request(const std::shared_ptr<Connection>& connection,
     case RequestKind::kSweep:
       break;
   }
-  core::Status admitted = scheduler_->submit(
+  core::Status admitted = router_->submit(
       std::move(request), [connection](Response completed) {
         // Write failures mean the client went away; the result stays in
         // the cache for the next asker, nothing else to do.
@@ -179,9 +179,9 @@ void Server::handle_request(const std::shared_ptr<Connection>& connection,
   }
 }
 
-std::string Server::stats_result_json() const {
-  const AnalysisScheduler::Stats scheduler = scheduler_->stats();
-  const ResultCache::Stats cache = scheduler_->cache_stats();
+namespace {
+
+JsonObject scheduler_stats_json(const AnalysisScheduler::Stats& scheduler) {
   JsonObject scheduler_json;
   scheduler_json.emplace("accepted", scheduler.accepted);
   scheduler_json.emplace("rejected_overload", scheduler.rejected_overload);
@@ -192,6 +192,10 @@ std::string Server::stats_result_json() const {
   scheduler_json.emplace("max_batch", scheduler.max_batch);
   scheduler_json.emplace("queue_depth",
                          static_cast<std::uint64_t>(scheduler.queue_depth));
+  return scheduler_json;
+}
+
+JsonObject cache_stats_json(const ResultCache::Stats& cache) {
   JsonObject cache_json;
   cache_json.emplace("hits", cache.hits);
   cache_json.emplace("misses", cache.misses);
@@ -200,9 +204,33 @@ std::string Server::stats_result_json() const {
   cache_json.emplace("failures", cache.failures);
   cache_json.emplace("size", static_cast<std::uint64_t>(cache.size));
   cache_json.emplace("hit_rate", cache.hit_rate());
+  return cache_json;
+}
+
+}  // namespace
+
+std::string Server::stats_result_json() const {
+  const ShardRouter::Stats stats = router_->stats();
+  // Top-level `scheduler`/`cache` stay the merged totals (pre-sharding
+  // schema); the `shards` array carries the per-shard breakdown.
   JsonObject object;
-  object.emplace("scheduler", std::move(scheduler_json));
-  object.emplace("cache", std::move(cache_json));
+  object.emplace("scheduler", scheduler_stats_json(stats.scheduler));
+  object.emplace("cache", cache_stats_json(stats.cache));
+  object.emplace("shard_count",
+                 static_cast<std::uint64_t>(router_->shard_count()));
+  object.emplace("queue_backend", std::string(kQueueBackendName));
+  object.emplace("rejected_global", stats.rejected_global);
+  object.emplace("global_pending",
+                 static_cast<std::uint64_t>(stats.global_pending));
+  JsonArray shards;
+  shards.reserve(stats.shard_scheduler.size());
+  for (std::size_t i = 0; i < stats.shard_scheduler.size(); ++i) {
+    JsonObject shard;
+    shard.emplace("scheduler", scheduler_stats_json(stats.shard_scheduler[i]));
+    shard.emplace("cache", cache_stats_json(stats.shard_cache[i]));
+    shards.push_back(Json(std::move(shard)));
+  }
+  object.emplace("shards", Json(std::move(shards)));
   object.emplace("version", rsmem::version());
   return Json(std::move(object)).serialize();
 }
@@ -251,7 +279,7 @@ void Server::shutdown() {
   }
 
   // 3. Drain: every admitted request completes and flushes its response.
-  scheduler_->stop();
+  router_->stop();
 
   // 4. Release the sockets (fds close when the last shared_ptr drops) and
   //    remove a Unix socket file we created.

@@ -1,17 +1,18 @@
 // rsmem-serve: the long-running analysis daemon.
 //
 // One listening socket (Unix or TCP), one reader thread per connection,
-// and the AnalysisScheduler behind them. The server splits the protocol
-// into two planes:
+// and the ShardRouter behind them (N independent scheduler/cache shards,
+// service/shard_router.h). The server splits the protocol into two planes:
 //   * CONTROL (ping / stats / shutdown): answered inline by the reader
 //     thread — never queued, never subject to admission control, so a
-//     saturated service still answers health checks;
-//   * ANALYSIS (ber / mttf / sweep): submitted to the scheduler. A typed
-//     kOverloaded rejection from admission control is written back
-//     immediately; accepted requests are answered asynchronously by the
-//     scheduler's workers (responses carry the request id, so one
-//     connection may pipeline requests and receive completions out of
-//     order).
+//     saturated service still answers health checks. `stats` merges
+//     per-shard counters and reports the per-shard breakdown too.
+//   * ANALYSIS (ber / mttf / sweep): routed by canonical-cache-key hash to
+//     one shard and submitted. A typed kOverloaded rejection (shard queue
+//     full, or the router's global backstop) is written back immediately;
+//     accepted requests are answered asynchronously by the shard's workers
+//     (responses carry the request id, so one connection may pipeline
+//     requests and receive completions out of order).
 // Shutdown (kShutdown request, or Server::shutdown()) drains: the
 // listener closes, connection read sides shut down, every admitted
 // request still completes and its response is flushed, then the sockets
@@ -29,13 +30,13 @@
 #include <vector>
 
 #include "service/endpoint.h"
-#include "service/scheduler.h"
+#include "service/shard_router.h"
 
 namespace rsmem::service {
 
 struct ServerConfig {
   Endpoint endpoint = Endpoint::unix_socket("/tmp/rsmem-serve.sock");
-  SchedulerConfig scheduler;
+  ShardRouterConfig router;  // shard count + per-shard scheduler knobs
   int backlog = 64;
 };
 
@@ -62,10 +63,13 @@ class Server {
   // run by the destructor.
   void shutdown();
 
+  // Merged (summed) across shards; ShardRouter::stats() has the breakdown.
   AnalysisScheduler::Stats scheduler_stats() const {
-    return scheduler_->stats();
+    return router_->scheduler_stats();
   }
-  ResultCache::Stats cache_stats() const { return scheduler_->cache_stats(); }
+  ResultCache::Stats cache_stats() const { return router_->cache_stats(); }
+  ShardRouter::Stats router_stats() const { return router_->stats(); }
+  unsigned shard_count() const { return router_->shard_count(); }
 
  private:
   struct Connection {
@@ -90,7 +94,7 @@ class Server {
   const ServerConfig config_;
   const Endpoint endpoint_;
   int listen_fd_;
-  std::unique_ptr<AnalysisScheduler> scheduler_;
+  std::unique_ptr<ShardRouter> router_;
 
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<bool> stopped_{false};

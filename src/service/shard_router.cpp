@@ -1,0 +1,104 @@
+#include "service/shard_router.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rsmem::service {
+
+namespace {
+
+// Splits the total worker budget evenly; every shard gets at least one
+// worker so a shard can never deadlock on an empty pool.
+unsigned threads_per_shard(unsigned total, unsigned shards) {
+  const unsigned resolved = sim::ThreadPool::resolve(total);
+  return std::max(1u, resolved / std::max(1u, shards));
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(const ShardRouterConfig& config)
+    : shard_count_(std::max(1u, config.shards)),
+      global_max_(config.global_max_pending != 0
+                      ? config.global_max_pending
+                      : static_cast<std::size_t>(shard_count_) *
+                            config.scheduler.max_queue) {
+  SchedulerConfig per_shard = config.scheduler;
+  per_shard.threads = threads_per_shard(config.scheduler.threads, shard_count_);
+  shards_.reserve(shard_count_);
+  for (unsigned i = 0; i < shard_count_; ++i) {
+    shards_.push_back(std::make_unique<AnalysisScheduler>(per_shard));
+  }
+}
+
+ShardRouter::~ShardRouter() { stop(); }
+
+std::size_t ShardRouter::shard_of(const Request& request) const {
+  return shard_of_key(canonical_cache_key(request), shard_count_);
+}
+
+core::Status ShardRouter::submit(Request request,
+                                 std::function<void(Response)> done) {
+  // Global backstop: reserve a slot before touching any shard. The wrapped
+  // done-callback releases it when the response fires, so `global_pending_`
+  // counts admitted-but-unanswered requests across all shards.
+  const std::size_t pending = global_pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (pending >= global_max_) {
+    global_pending_.fetch_sub(1, std::memory_order_acq_rel);
+    rejected_global_.fetch_add(1, std::memory_order_relaxed);
+    return core::Status(
+        core::StatusCode::kOverloaded,
+        "service at global capacity (" + std::to_string(pending) + "/" +
+            std::to_string(global_max_) + " in flight); retry with backoff");
+  }
+
+  const std::size_t shard = shard_of(request);
+  auto wrapped = [this, done = std::move(done)](Response response) {
+    global_pending_.fetch_sub(1, std::memory_order_acq_rel);
+    done(std::move(response));
+  };
+  core::Status status =
+      shards_[shard]->submit(std::move(request), std::move(wrapped));
+  if (!status.is_ok()) {
+    // Shard-level rejection: the wrapped callback will never run, so the
+    // global reservation must be released here.
+    global_pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  return status;
+}
+
+Response ShardRouter::execute(const Request& request) {
+  return shards_[shard_of(request)]->execute(request);
+}
+
+ShardRouter::Stats ShardRouter::stats() const {
+  Stats out;
+  out.shard_scheduler.reserve(shards_.size());
+  out.shard_cache.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    out.shard_scheduler.push_back(shard->stats());
+    out.shard_cache.push_back(shard->cache_stats());
+    out.scheduler.merge(out.shard_scheduler.back());
+    out.cache.merge(out.shard_cache.back());
+  }
+  out.rejected_global = rejected_global_.load(std::memory_order_relaxed);
+  out.global_pending = global_pending_.load(std::memory_order_relaxed);
+  return out;
+}
+
+AnalysisScheduler::Stats ShardRouter::scheduler_stats() const {
+  AnalysisScheduler::Stats merged;
+  for (const auto& shard : shards_) merged.merge(shard->stats());
+  return merged;
+}
+
+ResultCache::Stats ShardRouter::cache_stats() const {
+  ResultCache::Stats merged;
+  for (const auto& shard : shards_) merged.merge(shard->cache_stats());
+  return merged;
+}
+
+void ShardRouter::stop() {
+  for (auto& shard : shards_) shard->stop();
+}
+
+}  // namespace rsmem::service

@@ -1,8 +1,13 @@
-// ResultCache unit tests: LRU behaviour and single-flight deduplication.
+// ResultCache unit tests: LRU behaviour and single-flight deduplication —
+// including the per-shard regime, where each shard owns an independent
+// cache and single-flight must dedupe within a shard without any
+// cross-shard coupling.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <barrier>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -119,6 +124,159 @@ TEST(ResultCache, SingleFlightDeduplicatesConcurrentIdenticalRequests) {
   const ResultCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.waits + stats.hits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+// Per-shard single-flight probe with a GATED (not merely slow) compute:
+// the leader on shard 0 blocks until the test releases it, which removes
+// all timing slack from the assertions. While shard 0's flight is pinned
+// open, (a) concurrent identical requests on shard 0 pile onto the one
+// leader — exactly one computation runs; (b) a different shard's cache
+// computes the same key independently and immediately — shards share
+// nothing, so one shard's in-flight work never blocks another's.
+TEST(ResultCache, PerShardSingleFlightBlockingComputeProbe) {
+  ResultCache shard0(8);
+  ResultCache shard1(8);
+
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool leader_entered = false;
+  bool release_leader = false;
+  std::atomic<int> shard0_computes{0};
+
+  constexpr int kWaiters = 4;
+  std::vector<ResultCache::Outcome> outcomes(kWaiters + 1);
+  std::vector<std::thread> threads;
+  // Leader + waiters, all asking shard 0 for the same key.
+  for (int i = 0; i <= kWaiters; ++i) {
+    threads.emplace_back([&, i] {
+      outcomes[i] = shard0.get_or_compute("shared-key", [&] {
+        shard0_computes.fetch_add(1);
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        leader_entered = true;
+        gate_cv.notify_all();
+        gate_cv.wait(lock, [&] { return release_leader; });
+        return core::Result<std::string>(std::string("from-shard-0"));
+      });
+    });
+  }
+  // Wait until the leader is provably inside its compute (flight open).
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    ASSERT_TRUE(gate_cv.wait_for(lock, std::chrono::seconds(10),
+                                 [&] { return leader_entered; }));
+  }
+  // Shard 1 serves the same canonical key on its own cache NOW, while
+  // shard 0's flight is still pinned open: independent caches, no
+  // cross-shard blocking, its own miss.
+  const ResultCache::Outcome other_shard =
+      shard1.get_or_compute("shared-key", [] {
+        return core::Result<std::string>(std::string("from-shard-1"));
+      });
+  ASSERT_TRUE(other_shard.status.is_ok());
+  EXPECT_EQ(other_shard.source, CacheSource::kMiss);
+  EXPECT_EQ(*other_shard.value, "from-shard-1");
+  EXPECT_EQ(shard1.stats().misses, 1u);
+
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    release_leader = true;
+    gate_cv.notify_all();
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(shard0_computes.load(), 1);  // one leader, ever
+  int misses = 0;
+  for (const auto& outcome : outcomes) {
+    ASSERT_TRUE(outcome.status.is_ok());
+    EXPECT_EQ(*outcome.value, "from-shard-0");
+    misses += outcome.source == CacheSource::kMiss;
+  }
+  EXPECT_EQ(misses, 1);
+  const ResultCache::Stats stats = shard0.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.waits, static_cast<std::uint64_t>(kWaiters));
+}
+
+// A leader that FAILS while concurrent waiters are parked: every waiter
+// sees the leader's typed status, nothing is cached on any shard, and the
+// next request starts a fresh flight.
+TEST(ResultCache, PerShardFailedFlightIsNeverCached) {
+  ResultCache shard(8);
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool leader_entered = false;
+  bool release_leader = false;
+
+  constexpr int kWaiters = 3;
+  std::barrier start(kWaiters + 1);
+  std::vector<ResultCache::Outcome> outcomes(kWaiters + 1);
+  std::vector<std::thread> threads;
+  for (int i = 0; i <= kWaiters; ++i) {
+    threads.emplace_back([&, i] {
+      start.arrive_and_wait();  // everyone races into the same flight
+      outcomes[i] = shard.get_or_compute("doomed", [&] {
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        leader_entered = true;
+        gate_cv.notify_all();
+        gate_cv.wait(lock, [&] { return release_leader; });
+        return core::Result<std::string>(
+            core::Status::solver_divergence("deliberate failure"));
+      });
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    ASSERT_TRUE(gate_cv.wait_for(lock, std::chrono::seconds(10),
+                                 [&] { return leader_entered; }));
+  }
+  // Give the non-leaders time to park on the open flight before the
+  // leader is released (same settle idiom as the single-flight test).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    release_leader = true;
+    gate_cv.notify_all();
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.status.code(), core::StatusCode::kSolverDivergence);
+    EXPECT_EQ(outcome.value, nullptr);
+  }
+  EXPECT_EQ(shard.stats().size, 0u);  // the failure was never cached
+  EXPECT_EQ(shard.stats().failures, 1u);
+  // The next ask is a fresh flight and may succeed.
+  const ResultCache::Outcome retried = shard.get_or_compute(
+      "doomed", [] { return core::Result<std::string>(std::string("ok")); });
+  ASSERT_TRUE(retried.status.is_ok());
+  EXPECT_EQ(retried.source, CacheSource::kMiss);
+}
+
+TEST(ResultCacheStats, MergeSumsCountersAcrossShards) {
+  ResultCache::Stats a;
+  a.hits = 10;
+  a.misses = 4;
+  a.waits = 2;
+  a.evictions = 1;
+  a.failures = 1;
+  a.size = 3;
+  ResultCache::Stats b;
+  b.hits = 5;
+  b.misses = 6;
+  b.waits = 0;
+  b.evictions = 0;
+  b.failures = 2;
+  b.size = 4;
+  ResultCache::Stats merged;
+  merged.merge(a).merge(b);
+  EXPECT_EQ(merged.hits, 15u);
+  EXPECT_EQ(merged.misses, 10u);
+  EXPECT_EQ(merged.waits, 2u);
+  EXPECT_EQ(merged.evictions, 1u);
+  EXPECT_EQ(merged.failures, 3u);
+  EXPECT_EQ(merged.size, 7u);
+  // hit_rate over the merged counters, exactly as the stats plane reports.
+  EXPECT_DOUBLE_EQ(merged.hit_rate(), 17.0 / 27.0);
 }
 
 TEST(ResultCache, ConcurrentDistinctKeysAllCompute) {

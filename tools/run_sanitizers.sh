@@ -6,6 +6,12 @@
 # (tsan preset, the mc_heavy differential suites that exercise the parallel
 # campaign engine, plus the rsmem-serve `service` suite and a loadgen smoke
 # run: server + concurrent clients + clean shutdown over real sockets).
+# The service suite runs under TSan TWICE: once with the lock-free MPMC
+# dispatch ring (tsan preset) and once with the mutex-queue fallback
+# (tsan-mutexq preset, -DRSMEM_SERVICE_MUTEX_QUEUE=ON). The mutex build is
+# the A/B control: if a race reproduces only in the lock-free build, the
+# ring's atomics are the suspect; if it reproduces in both, the bug is
+# above the queue.
 # Either pass can be selected alone with `asan` / `tsan`
 # as the first argument; the default runs both. Exits non-zero on the first
 # failing pass, so this is CI-gate friendly.
@@ -43,16 +49,33 @@ run_tsan() {
         "$ROOT/build-tsan/tools/rsmem_cli" inject --preset paper-duplex \
         --threads 4 > /dev/null
 
-    echo "== ThreadSanitizer: rsmem-serve suites =="
-    # The service e2e suite: real sockets, concurrent clients, scheduler
-    # drain/overload paths -- exactly the code where a data race would hide.
+    echo "== ThreadSanitizer: rsmem-serve suites (lock-free queue) =="
+    # The service e2e suite: real sockets, concurrent clients, sharded
+    # dispatch through the lock-free MPMC ring, scheduler drain/overload
+    # paths -- exactly the code where a data race would hide.
     TSAN_OPTIONS="halt_on_error=1" \
         ctest --test-dir "$ROOT/build-tsan" -L service --output-on-failure
-    # Service smoke: self-hosted server + concurrent queries + clean
-    # shutdown, end to end over the wire protocol under TSan.
+    # Service smoke: self-hosted sharded server + concurrent open-loop
+    # clients + clean shutdown, end to end over the wire under TSan.
     TSAN_OPTIONS="halt_on_error=1" \
         "$ROOT/build-tsan/tools/rsmem_cli" loadgen --clients 4 \
-        --requests 10 --distinct 2 --threads 2 > /dev/null
+        --requests 10 --distinct 2 --threads 2 --shards 2 --open-loop \
+        > /dev/null
+
+    echo "== ThreadSanitizer: rsmem-serve suites (mutex-queue A/B build) =="
+    # Same service battery against the mutex-queue fallback so a race in the
+    # ring's sequence/atomic protocol cannot hide behind the lock-based
+    # control (and vice versa).
+    cmake --preset tsan-mutexq -S "$ROOT" >/dev/null
+    cmake --build "$ROOT/build-tsan-mutexq" -j "$JOBS" \
+        --target rsmem_service_tests rsmem_cli
+    TSAN_OPTIONS="halt_on_error=1" \
+        ctest --test-dir "$ROOT/build-tsan-mutexq" -L service \
+        --output-on-failure
+    TSAN_OPTIONS="halt_on_error=1" \
+        "$ROOT/build-tsan-mutexq/tools/rsmem_cli" loadgen --clients 4 \
+        --requests 10 --distinct 2 --threads 2 --shards 2 --open-loop \
+        > /dev/null
 }
 
 case "$MODE" in
