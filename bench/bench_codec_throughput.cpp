@@ -6,10 +6,29 @@
 // Every RS codec case is reported for BOTH implementations side by side:
 //   *_legacy    -- the Poly-based reference path (encode_legacy/decode_legacy)
 //   *_workspace -- the allocation-free DecoderWorkspace fast path
+// and the batch-plane cases additionally A/B the SIMD kernel layer:
+//   *_scalar    -- gf::simd forced to the scalar control (original loops)
+//   *_simd      -- the backend the runtime dispatcher selected on this host
 // tools/run_bench.sh snapshots this binary's JSON output into
-// BENCH_codec.json at the repo root to track the perf trajectory.
+// BENCH_codec.json at the repo root to track the perf trajectory. The JSON
+// context carries `rsmem_build_type` (from this binary's NDEBUG state — the
+// system libbenchmark's own library_build_type may say "debug" regardless)
+// and `gf_backend` (the dispatcher's pick); run_bench.sh refuses to record
+// a snapshot whose rsmem_build_type is not "release".
+//
+// `--plane-selfcheck`: instead of benchmarks, times encode_batch over a
+// large plane under the forced-scalar control vs the selected backend and
+// asserts the >= 2x speedup contract when a PSHUFB backend (ssse3/avx2) is
+// selected (record-only on hosts without one). Exit code 0 iff the check
+// passes, so CI and run_bench.sh can gate on it.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "gf/simd_mul.h"
 #include "markov/uniformization.h"
 #include "models/ber.h"
 #include "models/duplex_model.h"
@@ -161,6 +180,67 @@ void BM_DecodeAtCapability(benchmark::State& state,
   }
 }
 
+// ---- batch planes: scalar control vs the dispatcher's backend ----------
+//
+// force_backend() is sanctioned here by the one-backend-per-process rule's
+// test/bench exemption: benchmarks run sequentially in this process, and
+// main() restores the dispatcher's own selection afterwards.
+
+void BM_EncodePlane(benchmark::State& state, const rs::ReedSolomon& code,
+                    gf::simd::Backend backend, std::size_t count) {
+  if (!gf::simd::force_backend(backend)) {
+    state.SkipWithError("backend unsupported on this host");
+    return;
+  }
+  sim::Rng rng{11};
+  std::vector<gf::Element> data(count * code.k());
+  for (auto& d : data) {
+    d = static_cast<gf::Element>(rng.uniform_int(code.field().size()));
+  }
+  std::vector<gf::Element> plane(count * code.n());
+  rs::DecoderWorkspace ws;
+  ws.reserve(code);
+  code.encode_batch(ws, data, plane);  // warm the SoA buffers
+  for (auto _ : state) {
+    code.encode_batch(ws, data, plane);
+    benchmark::DoNotOptimize(plane.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * count *
+                          code.k() * code.m() / 8);
+}
+
+void BM_DecodePlane(benchmark::State& state, const rs::ReedSolomon& code,
+                    gf::simd::Backend backend, std::size_t count) {
+  if (!gf::simd::force_backend(backend)) {
+    state.SkipWithError("backend unsupported on this host");
+    return;
+  }
+  sim::Rng rng{13};
+  std::vector<gf::Element> data(count * code.k());
+  for (auto& d : data) {
+    d = static_cast<gf::Element>(rng.uniform_int(code.field().size()));
+  }
+  std::vector<gf::Element> clean(count * code.n());
+  rs::DecoderWorkspace ws;
+  ws.reserve(code);
+  code.encode_batch(ws, data, clean);
+  // Mostly-clean plane (1 in 16 words carries one error): the memory-array
+  // steady state the batch syndrome screen is built for.
+  std::vector<gf::Element> noisy = clean;
+  for (std::size_t w = 0; w < count; w += 16) {
+    noisy[w * code.n() + w % code.n()] ^= 0x2A;
+  }
+  std::vector<gf::Element> plane(noisy.size());
+  std::vector<rs::DecodeOutcome> outcomes(count);
+  for (auto _ : state) {
+    std::copy(noisy.begin(), noisy.end(), plane.begin());
+    code.decode_batch(ws, plane, outcomes);
+    benchmark::DoNotOptimize(outcomes.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * count *
+                          code.n() * code.m() / 8);
+}
+
 void BM_BerlekampDecodeOneError(benchmark::State& state,
                                 const rs::ReedSolomon& code) {
   const rs::BerlekampDecoder decoder{code};
@@ -248,4 +328,100 @@ BENCHMARK(BM_BuildSimplexChain);
 BENCHMARK(BM_BuildDuplexChain);
 BENCHMARK(BM_SolveDuplex48hScrubbed);
 
-BENCHMARK_MAIN();
+// Plane pairs: scalar control first, then whatever the dispatcher picks
+// (on a nosimd build both rows run the scalar loops — the pair then
+// documents that the control IS the product).
+#define RSMEM_BENCH_PLANE_PAIR(fn, tag, code_fn, count)              \
+  BENCHMARK_CAPTURE(fn, tag##_scalar, code_fn(),                     \
+                    gf::simd::Backend::kScalar, count);              \
+  BENCHMARK_CAPTURE(fn, tag##_simd, code_fn(), gf::simd::select_backend(), \
+                    count)
+
+RSMEM_BENCH_PLANE_PAIR(BM_EncodePlane, rs1816_x4096, code1816, 4096);
+RSMEM_BENCH_PLANE_PAIR(BM_EncodePlane, rs3616_x4096, code3616, 4096);
+RSMEM_BENCH_PLANE_PAIR(BM_EncodePlane, rs255_223_x512, code255223, 512);
+RSMEM_BENCH_PLANE_PAIR(BM_DecodePlane, rs1816_x4096, code1816, 4096);
+RSMEM_BENCH_PLANE_PAIR(BM_DecodePlane, rs3616_x4096, code3616, 4096);
+RSMEM_BENCH_PLANE_PAIR(BM_DecodePlane, rs255_223_x512, code255223, 512);
+
+namespace {
+
+// --plane-selfcheck: assert the kernel layer actually pays for itself.
+// Times encode_batch over a large RS(36,16) plane, forced-scalar vs the
+// dispatcher's backend, best-of-N wall clock. On hosts where a PSHUFB
+// backend (ssse3/avx2) is selected the >= 2x contract is enforced; with
+// only swar/scalar available the ratio is recorded but not gated.
+int run_plane_selfcheck() {
+  using clock = std::chrono::steady_clock;
+  const rs::ReedSolomon& code = code3616();
+  constexpr std::size_t kCount = 1 << 14;
+  constexpr int kReps = 7;
+  sim::Rng rng{17};
+  std::vector<gf::Element> data(kCount * code.k());
+  for (auto& d : data) {
+    d = static_cast<gf::Element>(rng.uniform_int(code.field().size()));
+  }
+  std::vector<gf::Element> plane(kCount * code.n());
+  rs::DecoderWorkspace ws;
+  ws.reserve(code);
+
+  const gf::simd::Backend selected = gf::simd::select_backend();
+  const auto time_backend = [&](gf::simd::Backend b) {
+    gf::simd::force_backend(b);
+    code.encode_batch(ws, data, plane);  // warm-up + buffer growth
+    double best = 1e300;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = clock::now();
+      code.encode_batch(ws, data, plane);
+      const auto t1 = clock::now();
+      best = std::min(best,
+                      std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+  };
+
+  const double scalar_s = time_backend(gf::simd::Backend::kScalar);
+  const double simd_s = time_backend(selected);
+  gf::simd::force_backend(selected);
+
+  const double mb = static_cast<double>(kCount) * code.k() *
+                    code.m() / 8.0 / 1e6;
+  const double ratio = scalar_s / simd_s;
+  const bool pshufb = selected == gf::simd::Backend::kSsse3 ||
+                      selected == gf::simd::Backend::kAvx2;
+  std::printf("plane-selfcheck: encode_batch RS(36,16) x %zu words\n",
+              kCount);
+  std::printf("  scalar  %8.3f ms  %8.1f MB/s\n", scalar_s * 1e3,
+              mb / scalar_s);
+  std::printf("  %-6s  %8.3f ms  %8.1f MB/s\n",
+              gf::simd::to_string(selected), simd_s * 1e3, mb / simd_s);
+  std::printf("  speedup %.2fx (threshold %s)\n", ratio,
+              pshufb ? ">= 2x enforced" : "record-only");
+  if (pshufb && ratio < 2.0) {
+    std::printf("FAIL: PSHUFB backend below the 2x speedup contract\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--plane-selfcheck") == 0) {
+      return run_plane_selfcheck();
+    }
+  }
+#if defined(NDEBUG)
+  benchmark::AddCustomContext("rsmem_build_type", "release");
+#else
+  benchmark::AddCustomContext("rsmem_build_type", "debug");
+#endif
+  benchmark::AddCustomContext("gf_backend", gf::simd::active().name);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

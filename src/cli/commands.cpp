@@ -17,6 +17,7 @@
 #include "core/api.h"
 #include "core/status.h"
 #include "core/units.h"
+#include "gf/simd_mul.h"
 #include "hw/codec_hw_model.h"
 #include "memory/access_latency.h"
 #include "models/ber.h"
@@ -105,11 +106,37 @@ int cmd_help(std::ostream& out) {
          "            [--shard-sweep 1,2,4] [--json BENCH_serve.json]\n"
          "            (open loop pipelines scheduled arrivals; kOverloaded\n"
          "            rejections count separately from errors)\n"
+         "  version   library version, build type, and the GF(2^m) kernel\n"
+         "            backend runtime dispatch selected on this host\n"
          "  help      this text\n"
          "\n"
          "spec flags: --arrangement simplex|duplex  --n 18 --k 16 --m 8\n"
          "            --seu <errors/bit/day>  --perm <erasures/symbol/day>\n"
          "            --tsc <seconds>\n";
+  return 0;
+}
+
+int cmd_version(std::ostream& out) {
+  out << "rsmem_cli "
+#if defined(RSMEM_VERSION)
+      << RSMEM_VERSION
+#else
+      << "dev"
+#endif
+      << "\n"
+      << "build: "
+#if defined(NDEBUG)
+      << "release"
+#else
+      << "debug"
+#endif
+#if defined(RSMEM_DISABLE_SIMD)
+      << " (RSMEM_DISABLE_SIMD)"
+#endif
+      << "\n"
+      // The process-wide kernel selection (one backend per process; see
+      // gf/simd_mul.h). `scalar` means the codec runs its original loops.
+      << "gf backend: " << gf::simd::active().name << "\n";
   return 0;
 }
 
@@ -734,6 +761,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     const Args args = Args::parse(argc, argv);
     const std::string& command = args.command();
     if (command == "help") return cmd_help(out);
+    if (command == "version") return cmd_version(out);
     if (command == "analyze") return cmd_analyze(args, out);
     if (command == "mttf") return cmd_mttf(args, out);
     if (command == "simulate") return cmd_simulate(args, out);

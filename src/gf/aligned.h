@@ -1,0 +1,72 @@
+// 64-byte-aligned storage for the GF/RS hot-path tables and planes.
+//
+// Every table the SIMD kernel layer (gf/simd_mul.h) streams through — the
+// dense multiplication table, the per-code nibble/constant tables, and the
+// DecoderWorkspace batch planes — is allocated through AlignedAlloc64 so
+// its base address sits on a cache-line (and maximal-vector) boundary.
+// Kernels still use unaligned loads for caller-provided buffers; the
+// alignment here removes split-line traffic on the buffers we own.
+#ifndef RSMEM_GF_ALIGNED_H
+#define RSMEM_GF_ALIGNED_H
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace rsmem::gf {
+
+// Cache-line / widest-vector alignment used throughout the codec hot path.
+inline constexpr std::size_t kHotPathAlignment = 64;
+static_assert((kHotPathAlignment & (kHotPathAlignment - 1)) == 0,
+              "hot-path alignment must be a power of two");
+static_assert(kHotPathAlignment >= 64,
+              "hot-path tables are pinned to at least a cache line");
+
+// Minimal C++17 allocator that over-aligns every allocation to
+// kHotPathAlignment. Equality is stateless: any two instances compare equal.
+template <typename T>
+struct AlignedAlloc64 {
+  using value_type = T;
+  static_assert(alignof(T) <= kHotPathAlignment,
+                "element type over-aligned beyond the hot-path boundary");
+
+  AlignedAlloc64() noexcept = default;
+  template <typename U>
+  AlignedAlloc64(const AlignedAlloc64<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{kHotPathAlignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kHotPathAlignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAlloc64<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAlloc64<U>&) const noexcept {
+    return false;
+  }
+};
+
+// 64-byte-aligned vector: used for the GF dense multiplication table, the
+// per-code SIMD constant tables, and the workspace SoA planes.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAlloc64<T>>;
+
+// Rounds a byte stride up so consecutive rows keep the base alignment.
+inline constexpr std::size_t aligned_stride(std::size_t bytes) {
+  return (bytes + kHotPathAlignment - 1) & ~(kHotPathAlignment - 1);
+}
+
+inline bool is_hot_path_aligned(const void* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (kHotPathAlignment - 1)) == 0;
+}
+
+}  // namespace rsmem::gf
+
+#endif  // RSMEM_GF_ALIGNED_H

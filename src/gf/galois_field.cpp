@@ -79,7 +79,7 @@ const Element* GaloisField::dense_mul_table() const {
   if (table != nullptr) return table;
   const std::lock_guard<std::mutex> lock(dense_mul_build_);
   if (dense_mul_ptr_.load(std::memory_order_relaxed) == nullptr) {
-    std::vector<Element> dense(std::size_t{1} << (2 * m_), 0);
+    AlignedVector<Element> dense(std::size_t{1} << (2 * m_), 0);
     for (std::uint32_t a = 1; a < size_; ++a) {
       const std::uint32_t la = log_[a];
       Element* row = dense.data() + (static_cast<std::size_t>(a) << m_);

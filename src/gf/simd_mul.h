@@ -1,0 +1,119 @@
+// SIMD GF(2^m) constant-by-vector kernels (m <= 8) with runtime dispatch.
+//
+// The RS codec's hot loops (systematic LFSR encoding, syndrome computation,
+// Chien search, and the batch encode/decode planes) reduce to two byte-wise
+// primitives over field elements packed one-per-byte:
+//
+//   mul_const_acc:  dst[i] ^= c * src[i]      (constant c, vector src)
+//   xor_acc:        dst[i] ^= src[i]
+//
+// Constant-by-vector multiplication uses the ISA-L-style split-nibble
+// decomposition: c*x = c*(x & 0xF) ^ c*(x & 0xF0), each factor a 16-entry
+// table lookup, which maps 1:1 onto PSHUFB/VPSHUFB. Backends:
+//
+//   kScalar  byte-at-a-time nibble lookups; the A/B control. When the
+//            active backend is kScalar the RS codec bypasses the kernel
+//            layer entirely and runs its original scalar loops.
+//   kSwar    portable 64-bit SWAR: 8 bytes per step, branch-free
+//            shift-and-reduce multiply. No ISA requirements.
+//   kSsse3   PSHUFB split-nibble, 16 bytes per step (x86 SSSE3).
+//   kAvx2    VPSHUFB split-nibble, 32 bytes per step (x86 AVX2).
+//
+// DISPATCH / ONE-BACKEND-PER-PROCESS RULE: the backend is chosen once, on
+// first use, by select_backend() — compile-time gates (RSMEM_DISABLE_SIMD,
+// per-arch availability), then the RSMEM_GF_BACKEND environment knob
+// (scalar|swar|ssse3|avx2|auto), then CPUID feature detection, best first.
+// All threads share the selected kernel table for the life of the process.
+// force_backend() exists ONLY for tests and benchmarks that A/B the
+// backends in a single process; it is not thread-safe against concurrent
+// codec use and must never be called from production code.
+//
+// Every backend computes bit-identical results: all kernels evaluate exact
+// GF(2^m) products, and the exhaustive differential suite
+// (tests/test_simd_kernels.cpp) pins each backend against the scalar path
+// across vector-width tails and unaligned buffers.
+#ifndef RSMEM_GF_SIMD_MUL_H
+#define RSMEM_GF_SIMD_MUL_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gf/aligned.h"
+#include "gf/galois_field.h"
+
+namespace rsmem::gf::simd {
+
+enum class Backend : std::uint8_t { kScalar = 0, kSwar, kSsse3, kAvx2 };
+
+// Split-nibble multiplication tables for one constant c in GF(2^m), m <= 8:
+//   lo[v] = c * v          for v in [0, 16)
+//   hi[v] = c * (v << 4)   for v with (v << 4) inside the field, else 0
+// plus the raw (c, m, poly) triple so the SWAR backend can run its
+// table-free shift-and-reduce multiply. 64-byte aligned so a kernel can
+// load both tables from one cache line.
+struct alignas(kHotPathAlignment) MulTables {
+  std::uint8_t lo[16];
+  std::uint8_t hi[16];
+  std::uint8_t c = 0;
+  std::uint8_t m = 0;
+  std::uint16_t poly = 0;  // primitive polynomial with the x^m term
+};
+static_assert(sizeof(MulTables) == kHotPathAlignment,
+              "MulTables must occupy exactly one cache line");
+static_assert(alignof(MulTables) == kHotPathAlignment,
+              "MulTables must be cache-line aligned");
+
+// Fills `t` with the split-nibble tables for constant c over `field`.
+// Requires field.m() <= 8 and c inside the field.
+void build_tables(MulTables& t, const GaloisField& field, Element c);
+
+// One backend's kernel set. Buffers may be arbitrarily aligned (kernels
+// issue unaligned loads/stores); len is in bytes/elements. dst and src must
+// not partially overlap (dst == src is allowed for xor_acc-style zeroing
+// tricks but the codec never relies on it).
+struct Kernels {
+  Backend backend = Backend::kScalar;
+  const char* name = "scalar";
+  // dst[i] ^= c * src[i], i in [0, len)
+  void (*mul_const_acc)(std::uint8_t* dst, const std::uint8_t* src,
+                        const MulTables& t, std::size_t len) = nullptr;
+  // dst[i] ^= src[i], i in [0, len)
+  void (*xor_acc)(std::uint8_t* dst, const std::uint8_t* src,
+                  std::size_t len) = nullptr;
+};
+
+// True if `b` is compiled in AND usable on this host (CPUID-checked for the
+// vector backends). kScalar and kSwar are always supported.
+bool backend_supported(Backend b);
+
+// The backend select_backend() would pick from compile gates, the
+// RSMEM_GF_BACKEND environment knob, and CPUID — without touching the
+// process-wide selection.
+Backend select_backend();
+
+// The process-wide kernel set, selected once on first call (thread-safe).
+const Kernels& active();
+
+// Test/bench-only: swap the active kernel set. Returns false (and leaves
+// the selection unchanged) if `b` is unsupported on this host. NOT
+// thread-safe against concurrent codec use; see the one-backend-per-process
+// rule above.
+bool force_backend(Backend b);
+
+const char* to_string(Backend b);
+
+// Scalar reference for one element: c * x via the split-nibble tables.
+inline std::uint8_t mul_one(const MulTables& t, std::uint8_t x) {
+  return static_cast<std::uint8_t>(t.lo[x & 0xF] ^ t.hi[x >> 4]);
+}
+
+// Internal: per-backend kernel tables. kSsse3/kAvx2 return nullptr when the
+// translation unit was not compiled (non-x86 or RSMEM_DISABLE_SIMD).
+const Kernels* scalar_kernels();
+const Kernels* swar_kernels();
+const Kernels* ssse3_kernels();
+const Kernels* avx2_kernels();
+
+}  // namespace rsmem::gf::simd
+
+#endif  // RSMEM_GF_SIMD_MUL_H

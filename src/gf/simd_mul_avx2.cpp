@@ -1,0 +1,82 @@
+// AVX2 split-nibble GF(2^m) kernels: VPSHUFB over 32-byte vectors.
+//
+// Compiled with -mavx2 (set per-file in src/CMakeLists.txt); only reached
+// through the dispatcher after __builtin_cpu_supports("avx2"). VPSHUFB
+// shuffles within each 128-bit lane, so the 16-entry nibble tables are
+// broadcast to both lanes once per call.
+#include "gf/simd_mul.h"
+
+#if defined(RSMEM_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace rsmem::gf::simd {
+
+namespace {
+
+void avx2_mul_const_acc(std::uint8_t* dst, const std::uint8_t* src,
+                        const MulTables& t, std::size_t len) {
+  if (t.c == 0) return;
+  const __m256i tlo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo)));
+  const __m256i thi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i lo = _mm256_and_si256(v, mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), mask);
+    const __m256i prod = _mm256_xor_si256(_mm256_shuffle_epi8(tlo, lo),
+                                          _mm256_shuffle_epi8(thi, hi));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, prod));
+  }
+  if (i + 16 <= len) {
+    const __m128i tlo128 =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+    const __m128i thi128 =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+    const __m128i mask128 = _mm_set1_epi8(0x0F);
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i lo = _mm_and_si128(v, mask128);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi16(v, 4), mask128);
+    const __m128i prod = _mm_xor_si128(_mm_shuffle_epi8(tlo128, lo),
+                                       _mm_shuffle_epi8(thi128, hi));
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, prod));
+    i += 16;
+  }
+  for (; i < len; ++i) dst[i] ^= mul_one(t, src[i]);
+}
+
+void avx2_xor_acc(std::uint8_t* dst, const std::uint8_t* src,
+                  std::size_t len) {
+  std::size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, s));
+  }
+  for (; i < len; ++i) dst[i] ^= src[i];
+}
+
+constexpr Kernels kAvx2Kernels{Backend::kAvx2, "avx2", &avx2_mul_const_acc,
+                               &avx2_xor_acc};
+
+}  // namespace
+
+const Kernels* avx2_kernels() { return &kAvx2Kernels; }
+
+}  // namespace rsmem::gf::simd
+
+#endif  // RSMEM_HAVE_AVX2

@@ -1,0 +1,64 @@
+// SSSE3 split-nibble GF(2^m) kernels: PSHUFB over 16-byte vectors.
+//
+// Compiled with -mssse3 (set per-file in src/CMakeLists.txt); only reached
+// through the dispatcher after __builtin_cpu_supports("ssse3"), so no other
+// translation unit ever inherits the ISA requirement.
+#include "gf/simd_mul.h"
+
+#if defined(RSMEM_HAVE_SSSE3)
+
+#include <tmmintrin.h>
+
+namespace rsmem::gf::simd {
+
+namespace {
+
+void ssse3_mul_const_acc(std::uint8_t* dst, const std::uint8_t* src,
+                         const MulTables& t, std::size_t len) {
+  if (t.c == 0) return;
+  const __m128i tlo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i thi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i lo = _mm_and_si128(v, mask);
+    // Per-byte >> 4: shift 16-bit lanes then clear the bits that crossed.
+    const __m128i hi = _mm_and_si128(_mm_srli_epi16(v, 4), mask);
+    const __m128i prod =
+        _mm_xor_si128(_mm_shuffle_epi8(tlo, lo), _mm_shuffle_epi8(thi, hi));
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, prod));
+  }
+  for (; i < len; ++i) dst[i] ^= mul_one(t, src[i]);
+}
+
+void ssse3_xor_acc(std::uint8_t* dst, const std::uint8_t* src,
+                   std::size_t len) {
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, s));
+  }
+  for (; i < len; ++i) dst[i] ^= src[i];
+}
+
+constexpr Kernels kSsse3Kernels{Backend::kSsse3, "ssse3",
+                                &ssse3_mul_const_acc, &ssse3_xor_acc};
+
+}  // namespace
+
+const Kernels* ssse3_kernels() { return &kSsse3Kernels; }
+
+}  // namespace rsmem::gf::simd
+
+#endif  // RSMEM_HAVE_SSSE3

@@ -1,6 +1,7 @@
 #include "rs/reed_solomon.h"
 
 #include <algorithm>
+#include <cstring>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -11,6 +12,35 @@ using gf::GaloisField;
 using gf::Poly;
 
 namespace {
+
+// SIMD kernel-path engagement thresholds. Below these sizes the kernel
+// call overhead beats the vector win and the scalar loops stay in charge;
+// either route is bit-identical, so the constants are pure tuning.
+constexpr unsigned kMinKernelTwoT = 16;   // per-word syndrome/LFSR rows
+constexpr unsigned kMinKernelN = 32;      // per-word Chien row
+constexpr std::size_t kMinSoaBatch = 4;   // batch SoA staging
+// Stack staging for per-word kernel paths: n <= 255 and 2t < n for every
+// m <= 8 code, so one page-free 256-byte buffer covers both.
+constexpr std::size_t kMaxSymbols = 256;
+
+// Returns the active kernel set when the SIMD layer should serve this
+// code, nullptr when the scalar loops must run (m > 8, or the selected
+// backend is the scalar A/B control).
+inline const gf::simd::Kernels* simd_kernels_for(unsigned m) {
+  if (m > 8) return nullptr;
+  const gf::simd::Kernels& k = gf::simd::active();
+  return k.backend == gf::simd::Backend::kScalar ? nullptr : &k;
+}
+
+inline std::uint64_t load64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void store64(std::uint8_t* p, std::uint64_t v) {
+  std::memcpy(p, &v, sizeof(v));
+}
 
 // Degree of the polynomial stored in a[0..len), -1 for zero.
 inline int degree_in(const Element* a, std::size_t len) {
@@ -83,6 +113,98 @@ ReedSolomon::ReedSolomon(const CodeParams& params)
   }
 }
 
+const ReedSolomon::SimdTables* ReedSolomon::simd_tables() const {
+  if (params_.m > 8) return nullptr;
+  const SimdTables* t = simd_ptr_.load(std::memory_order_acquire);
+  if (t != nullptr) return t;
+  const std::lock_guard<std::mutex> lock(simd_build_);
+  if (simd_ptr_.load(std::memory_order_relaxed) == nullptr) {
+    auto st = std::make_unique<SimdTables>();
+    const unsigned n = params_.n;
+    const unsigned k = params_.k;
+    const unsigned two_t = parity_symbols();
+    const std::uint32_t size = field_.size();
+    st->synd_stride = gf::aligned_stride(two_t);
+    st->chien_stride = gf::aligned_stride(n);
+
+    // Batch-encode constants: P[p][j] is the parity-j symbol produced by
+    // the unit dataword e_p, computed with an inline scalar LFSR so the
+    // build never re-enters the dispatched encoder.
+    st->encode_mul.resize(static_cast<std::size_t>(k) * two_t);
+    std::vector<Element> par(two_t);
+    for (unsigned p = 0; p < k; ++p) {
+      std::fill(par.begin(), par.end(), 0);
+      for (unsigned q = 0; q < k; ++q) {
+        const Element fb = (q == p ? 1u : 0u) ^ par[0];
+        for (unsigned j = 0; j + 1 < two_t; ++j) {
+          par[j] = par[j + 1] ^ field_.mul(fb, gen_lfsr_[j]);
+        }
+        par[two_t - 1] = field_.mul(fb, gen_lfsr_[two_t - 1]);
+      }
+      for (unsigned j = 0; j < two_t; ++j) {
+        gf::simd::build_tables(
+            st->encode_mul[static_cast<std::size_t>(p) * two_t + j], field_,
+            par[j]);
+      }
+    }
+
+    // Batch-syndrome constants X_p^(fcr+j) and their per-word split-nibble
+    // pre-expansion (rows of v * X_p^(fcr+j) over j).
+    st->synd_mul.resize(static_cast<std::size_t>(n) * two_t);
+    st->synd_nib.assign(static_cast<std::size_t>(n) * 32 * st->synd_stride,
+                        0);
+    for (unsigned p = 0; p < n; ++p) {
+      for (unsigned j = 0; j < two_t; ++j) {
+        const Element c = field_.pow(pos_locator_[p], params_.fcr + j);
+        gf::simd::build_tables(
+            st->synd_mul[static_cast<std::size_t>(p) * two_t + j], field_, c);
+        std::uint8_t* rows =
+            st->synd_nib.data() +
+            static_cast<std::size_t>(p) * 32 * st->synd_stride;
+        for (unsigned v = 0; v < 16; ++v) {
+          // Nibble values outside small fields (m < 4 lo, m < 8 hi) can
+          // never appear in a validated word; their rows stay zero.
+          rows[v * st->synd_stride + j] =
+              v < size ? static_cast<std::uint8_t>(field_.mul(v, c)) : 0;
+          const unsigned vh = v << 4;
+          rows[(16 + v) * st->synd_stride + j] =
+              vh < size ? static_cast<std::uint8_t>(field_.mul(vh, c)) : 0;
+        }
+      }
+    }
+
+    // Per-word LFSR rows: v * g[j] for each feedback nibble.
+    st->lfsr_nib.assign(32 * st->synd_stride, 0);
+    for (unsigned v = 0; v < 16; ++v) {
+      for (unsigned j = 0; j < two_t; ++j) {
+        st->lfsr_nib[v * st->synd_stride + j] =
+            v < size
+                ? static_cast<std::uint8_t>(field_.mul(v, gen_lfsr_[j]))
+                : 0;
+        const unsigned vh = v << 4;
+        st->lfsr_nib[(16 + v) * st->synd_stride + j] =
+            vh < size ? static_cast<std::uint8_t>(field_.mul(vh, gen_lfsr_[j]))
+                      : 0;
+      }
+    }
+
+    // Chien power rows: X_p^(-i) across positions, one row per locator
+    // coefficient index.
+    st->chien_pow.assign(
+        static_cast<std::size_t>(two_t + 1) * st->chien_stride, 0);
+    for (unsigned i = 0; i <= two_t; ++i) {
+      for (unsigned p = 0; p < n; ++p) {
+        st->chien_pow[static_cast<std::size_t>(i) * st->chien_stride + p] =
+            static_cast<std::uint8_t>(field_.pow(pos_locator_inv_[p], i));
+      }
+    }
+
+    simd_ = std::move(st);
+    simd_ptr_.store(simd_.get(), std::memory_order_release);
+  }
+  return simd_ptr_.load(std::memory_order_relaxed);
+}
+
 void DecoderWorkspace::reserve(const ReedSolomon& code) {
   const std::size_t two_t = code.parity_symbols();
   const std::size_t n = code.n();
@@ -99,7 +221,10 @@ void DecoderWorkspace::reserve(const ReedSolomon& code) {
   corrected.reserve(n);
   erasure_mark.reserve(n);
   erasure_scratch.reserve(n);
-  if (code.m() <= 8) code.field().dense_mul_table();  // force the lazy build
+  if (code.m() <= 8) {
+    code.field().dense_mul_table();  // force the lazy build
+    code.simd_tables();              // and the SIMD constant tables
+  }
 }
 
 void ReedSolomon::validate_encode_args(std::span<const Element> data,
@@ -128,6 +253,28 @@ void ReedSolomon::encode(std::span<const Element> data,
   Element* parity = codeword.data() + params_.k;
   std::fill(parity, parity + two_t, 0);
   const Element* gr = gen_lfsr_.data();
+  if (const gf::simd::Kernels* kn = simd_kernels_for(params_.m);
+      kn != nullptr && two_t >= kMinKernelTwoT) {
+    // Kernel path: the LFSR step "shift parity, xor fb*g" becomes one
+    // memmove plus two split-nibble row xors (fb = lo ^ hi<<4, with
+    // v*g[j] rows precomputed per code). Bit-identical to the scalar
+    // LFSR below: same feedback chain, same field products.
+    const SimdTables* st = simd_tables();
+    const std::size_t stride = st->synd_stride;
+    const std::uint8_t* rows = st->lfsr_nib.data();
+    std::uint8_t par[kMaxSymbols];
+    std::memset(par, 0, two_t);
+    for (unsigned p = 0; p < params_.k; ++p) {
+      const Element fb = data[p] ^ par[0];
+      std::memmove(par, par + 1, two_t - 1);
+      par[two_t - 1] = 0;
+      if (fb == 0) continue;
+      kn->xor_acc(par, rows + (fb & 0xF) * stride, two_t);
+      kn->xor_acc(par, rows + (16 + (fb >> 4)) * stride, two_t);
+    }
+    for (unsigned j = 0; j < two_t; ++j) parity[j] = par[j];
+    return;
+  }
   const Element* dense =
       params_.m <= 8 ? field_.dense_mul_table() : nullptr;
   if (dense != nullptr) {
@@ -187,7 +334,7 @@ std::vector<Element> ReedSolomon::encode(std::span<const Element> data) const {
   return cw;
 }
 
-void ReedSolomon::encode_batch(DecoderWorkspace& /*ws*/,
+void ReedSolomon::encode_batch(DecoderWorkspace& ws,
                                std::span<const Element> data_plane,
                                std::span<Element> codeword_plane) const {
   const std::size_t k = params_.k;
@@ -200,6 +347,49 @@ void ReedSolomon::encode_batch(DecoderWorkspace& /*ws*/,
   if (codeword_plane.size() != count * n) {
     throw std::invalid_argument(
         "ReedSolomon::encode_batch: codeword plane size mismatch");
+  }
+  const gf::simd::Kernels* kn = simd_kernels_for(params_.m);
+  if (kn != nullptr && count >= kMinSoaBatch) {
+    // SoA plane path: transpose the word-major plane into one byte stream
+    // per data position, then accumulate each parity stream as a sum of
+    // constant-by-vector products parity_j ^= P[p][j] * data_p — the
+    // ISA-L shape, with `count` as the vector axis. Parity symbols are
+    // unique for a given dataword, so this is bit-identical to the
+    // per-word LFSR.
+    const SimdTables* st = simd_tables();
+    const std::size_t two_t = parity_symbols();
+    const std::size_t stride = gf::aligned_stride(count);
+    const std::uint32_t size = field_.size();
+    ws.soa_in.resize(k * stride);
+    ws.soa_acc.assign(two_t * stride, 0);
+    std::uint8_t* in = ws.soa_in.data();
+    std::uint8_t* acc = ws.soa_acc.data();
+    for (std::size_t w = 0; w < count; ++w) {
+      const Element* word = data_plane.data() + w * k;
+      for (std::size_t p = 0; p < k; ++p) {
+        if (word[p] >= size) {
+          throw std::invalid_argument(
+              "ReedSolomon::encode: symbol out of field");
+        }
+        in[p * stride + w] = static_cast<std::uint8_t>(word[p]);
+      }
+    }
+    for (std::size_t j = 0; j < two_t; ++j) {
+      std::uint8_t* dst = acc + j * stride;
+      for (std::size_t p = 0; p < k; ++p) {
+        kn->mul_const_acc(dst, in + p * stride,
+                          st->encode_mul[p * two_t + j], count);
+      }
+    }
+    for (std::size_t w = 0; w < count; ++w) {
+      Element* cw = codeword_plane.data() + w * n;
+      std::copy(data_plane.data() + w * k, data_plane.data() + (w + 1) * k,
+                cw);
+      for (std::size_t j = 0; j < two_t; ++j) {
+        cw[k + j] = acc[j * stride + w];
+      }
+    }
+    return;
   }
   for (std::size_t w = 0; w < count; ++w) {
     encode(data_plane.subspan(w * k, k), codeword_plane.subspan(w * n, n));
@@ -223,6 +413,67 @@ void ReedSolomon::decode_batch(
   if (!erasure_flags.empty() && erasure_flags.size() != word_plane.size()) {
     throw std::invalid_argument(
         "ReedSolomon::decode_batch: erasure_flags size mismatch");
+  }
+  const gf::simd::Kernels* kn = simd_kernels_for(params_.m);
+  if (kn != nullptr && count >= kMinSoaBatch) {
+    // SoA screening path: compute every word's syndromes in one
+    // structure-of-arrays sweep (syndrome_j ^= X_p^(fcr+j) * word_p over
+    // the whole plane), then run the full per-word pipeline only for
+    // words that are dirty or carry erasure flags. Clean, unflagged words
+    // exit with kNoError exactly as the per-word syndrome screen would
+    // decide — same values, same outcome.
+    const SimdTables* st = simd_tables();
+    const std::size_t two_t = parity_symbols();
+    const std::size_t stride = gf::aligned_stride(count);
+    const std::uint32_t size = field_.size();
+    ws.soa_in.resize(n * stride);
+    ws.soa_acc.assign(two_t * stride, 0);
+    ws.soa_dirty.assign(stride, 0);
+    std::uint8_t* in = ws.soa_in.data();
+    std::uint8_t* acc = ws.soa_acc.data();
+    std::uint8_t* dirty = ws.soa_dirty.data();
+    for (std::size_t w = 0; w < count; ++w) {
+      const Element* word = word_plane.data() + w * n;
+      for (std::size_t p = 0; p < n; ++p) {
+        if (word[p] >= size) {
+          throw std::invalid_argument(
+              "ReedSolomon::decode: symbol out of field");
+        }
+        in[p * stride + w] = static_cast<std::uint8_t>(word[p]);
+      }
+    }
+    for (std::size_t j = 0; j < two_t; ++j) {
+      std::uint8_t* dst = acc + j * stride;
+      for (std::size_t p = 0; p < n; ++p) {
+        kn->mul_const_acc(dst, in + p * stride, st->synd_mul[p * two_t + j],
+                          count);
+      }
+    }
+    for (std::size_t j = 0; j < two_t; ++j) {
+      const std::uint8_t* row = acc + j * stride;
+      for (std::size_t i = 0; i < stride; i += 8) {
+        store64(dirty + i, load64(dirty + i) | load64(row + i));
+      }
+    }
+    for (std::size_t w = 0; w < count; ++w) {
+      ws.erasure_scratch.clear();
+      if (!erasure_flags.empty()) {
+        const std::uint8_t* flags = erasure_flags.data() + w * n;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (flags[i]) {
+            ws.erasure_scratch.push_back(static_cast<unsigned>(i));
+          }
+        }
+      }
+      if (dirty[w] == 0 && ws.erasure_scratch.empty()) {
+        // Zero syndromes, no erasures: the per-word pipeline's clean exit.
+        outcomes[w] = {DecodeStatus::kNoError, 0, 0};
+        continue;
+      }
+      outcomes[w] =
+          decode(ws, word_plane.subspan(w * n, n), ws.erasure_scratch);
+    }
+    return;
   }
   for (std::size_t w = 0; w < count; ++w) {
     ws.erasure_scratch.clear();
@@ -325,15 +576,36 @@ DecodeOutcome ReedSolomon::decode_fast(
     return {DecodeStatus::kFailure, 0, 0};
   }
 
-  // Syndromes, iterated position-major so the 2t Horner chains advance in
-  // parallel (each chain's operation order is unchanged).
+  // Syndromes. The kernel route computes synd[j] = sum_p word[p] *
+  // X_p^(fcr+j) from precomputed split-nibble rows (two xor_acc per
+  // non-zero symbol); X_p^(fcr+j) == roots[j]^(n-1-p), so it is the same
+  // exact value the position-major Horner chains produce — only the XOR
+  // association differs, which is lossless in GF(2^m).
   ws.synd.assign(two_t, 0);
   Element* synd = ws.synd.data();
   const Element* roots = syndrome_root_.data();
-  for (unsigned p = 0; p < n; ++p) {
-    const Element w = word[p];
-    for (unsigned j = 0; j < two_t; ++j) {
-      synd[j] = op.mul(synd[j], roots[j]) ^ w;
+  const gf::simd::Kernels* kn = simd_kernels_for(params_.m);
+  const SimdTables* st = kn != nullptr ? simd_tables() : nullptr;
+  if (kn != nullptr && two_t >= kMinKernelTwoT) {
+    alignas(gf::kHotPathAlignment) std::uint8_t synd8[kMaxSymbols] = {0};
+    const std::size_t stride = st->synd_stride;
+    for (unsigned p = 0; p < n; ++p) {
+      const Element w = word[p];
+      if (w == 0) continue;
+      const std::uint8_t* rows =
+          st->synd_nib.data() + static_cast<std::size_t>(p) * 32 * stride;
+      kn->xor_acc(synd8, rows + (w & 0xF) * stride, two_t);
+      if ((w >> 4) != 0) {
+        kn->xor_acc(synd8, rows + (16 + (w >> 4)) * stride, two_t);
+      }
+    }
+    for (unsigned j = 0; j < two_t; ++j) synd[j] = synd8[j];
+  } else {
+    for (unsigned p = 0; p < n; ++p) {
+      const Element w = word[p];
+      for (unsigned j = 0; j < two_t; ++j) {
+        synd[j] = op.mul(synd[j], roots[j]) ^ w;
+      }
     }
   }
   bool clean = true;
@@ -458,19 +730,43 @@ DecodeOutcome ReedSolomon::decode_fast(
   const int dderiv = degree_in(psi_deriv, two_t);
 
   // Chien search restricted to the n valid positions of the shortened code,
-  // with Forney magnitudes at every root.
+  // with Forney magnitudes at every root. The kernel route evaluates
+  // Psi(X_p^-1) for all positions at once as sum_i psi[i] * X_p^(-i) from
+  // the precomputed power rows — the same exact values as the per-position
+  // Horner loops, so the same roots are found.
   ws.corrected.assign(word.begin(), word.end());
   Element* corrected = ws.corrected.data();
   unsigned roots_found = 0;
   unsigned errors_corrected = 0;
   unsigned erasures_corrected = 0;
+  alignas(gf::kHotPathAlignment) std::uint8_t eval[kMaxSymbols];
+  const bool have_eval = kn != nullptr && n >= kMinKernelN;
+  if (have_eval) {
+    std::memset(eval, 0, n);
+    for (unsigned i = 0; i <= dpsi; ++i) {
+      if (psi[i] == 0) continue;
+      const std::uint8_t* row =
+          st->chien_pow.data() + static_cast<std::size_t>(i) * st->chien_stride;
+      if (psi[i] == 1) {
+        kn->xor_acc(eval, row, n);
+      } else {
+        gf::simd::MulTables tbl;
+        gf::simd::build_tables(tbl, field_, psi[i]);
+        kn->mul_const_acc(eval, row, tbl, n);
+      }
+    }
+  }
   for (unsigned p = 0; p < n; ++p) {
     const Element X_inv = pos_locator_inv_[p];
-    Element acc = 0;
-    for (int i = static_cast<int>(dpsi); i >= 0; --i) {
-      acc = op.mul(acc, X_inv) ^ psi[i];
+    if (have_eval) {
+      if (eval[p] != 0) continue;
+    } else {
+      Element acc = 0;
+      for (int i = static_cast<int>(dpsi); i >= 0; --i) {
+        acc = op.mul(acc, X_inv) ^ psi[i];
+      }
+      if (acc != 0) continue;
     }
-    if (acc != 0) continue;
     ++roots_found;
     Element denom = 0;
     for (int i = dderiv; i >= 0; --i) {
@@ -502,12 +798,29 @@ DecodeOutcome ReedSolomon::decode_fast(
     return {DecodeStatus::kFailure, 0, 0};
   }
 
-  // Final verification: the corrected word must be a true codeword.
+  // Final verification: the corrected word must be a true codeword. Same
+  // kernel/scalar split as the opening syndrome pass, same exact values.
   std::fill(synd, synd + two_t, 0);
-  for (unsigned p = 0; p < n; ++p) {
-    const Element w = corrected[p];
-    for (unsigned j = 0; j < two_t; ++j) {
-      synd[j] = op.mul(synd[j], roots[j]) ^ w;
+  if (kn != nullptr && two_t >= kMinKernelTwoT) {
+    alignas(gf::kHotPathAlignment) std::uint8_t synd8[kMaxSymbols] = {0};
+    const std::size_t stride = st->synd_stride;
+    for (unsigned p = 0; p < n; ++p) {
+      const Element w = corrected[p];
+      if (w == 0) continue;
+      const std::uint8_t* rows =
+          st->synd_nib.data() + static_cast<std::size_t>(p) * 32 * stride;
+      kn->xor_acc(synd8, rows + (w & 0xF) * stride, two_t);
+      if ((w >> 4) != 0) {
+        kn->xor_acc(synd8, rows + (16 + (w >> 4)) * stride, two_t);
+      }
+    }
+    for (unsigned j = 0; j < two_t; ++j) synd[j] = synd8[j];
+  } else {
+    for (unsigned p = 0; p < n; ++p) {
+      const Element w = corrected[p];
+      for (unsigned j = 0; j < two_t; ++j) {
+        synd[j] = op.mul(synd[j], roots[j]) ^ w;
+      }
     }
   }
   for (unsigned j = 0; j < two_t; ++j) {

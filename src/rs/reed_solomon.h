@@ -18,7 +18,16 @@
 //    steady-state codec: all temporaries live in a reusable DecoderWorkspace,
 //    the encoder is a table-driven systematic LFSR, clean words exit straight
 //    from the syndrome pass, and for m <= 8 the inner loops read the field's
-//    dense multiplication table (no log/exp indirection, no zero branches);
+//    dense multiplication table (no log/exp indirection, no zero branches).
+//    On top of that, for m <= 8 the three hot loops — LFSR encoding,
+//    syndrome computation, and Chien search — and the batch plane APIs run
+//    on the runtime-dispatched SIMD kernel layer (gf/simd_mul.h:
+//    PSHUFB/AVX2 split-nibble multiply with a portable SWAR fallback).
+//    When the selected backend is `scalar` (RSMEM_GF_BACKEND=scalar or a
+//    -DRSMEM_DISABLE_SIMD=ON build) every call runs the original scalar
+//    loops, which stay first-class as the A/B control. All backends are
+//    bit-identical: same outcomes, same corrected words, same thrown
+//    errors;
 //  * the LEGACY reference path (`encode_legacy`/`decode_legacy`) — the
 //    original Poly-based implementation, kept verbatim as the differential-
 //    testing baseline. Outputs are bit-identical between the two paths for
@@ -35,12 +44,17 @@
 #ifndef RSMEM_RS_REED_SOLOMON_H
 #define RSMEM_RS_REED_SOLOMON_H
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
+#include "gf/aligned.h"
 #include "gf/galois_field.h"
 #include "gf/poly.h"
+#include "gf/simd_mul.h"
 
 namespace rsmem::rs {
 
@@ -109,6 +123,14 @@ class DecoderWorkspace {
   std::vector<Element> corrected;  // corrected-word image
   std::vector<unsigned char> erasure_mark;  // per-position erasure flags
   std::vector<unsigned> erasure_scratch;    // batch erasure gathering
+
+  // Byte-domain SoA staging for the batch-plane SIMD paths (m <= 8 only).
+  // 64-byte aligned (gf::AlignedVector) with row strides rounded to the
+  // same boundary, so every SoA row starts on a cache line; caller planes
+  // may be arbitrarily aligned — the kernels use unaligned loads for those.
+  gf::AlignedVector<std::uint8_t> soa_in;     // batch symbol planes (SoA)
+  gf::AlignedVector<std::uint8_t> soa_acc;    // batch parity/syndrome rows
+  gf::AlignedVector<std::uint8_t> soa_dirty;  // batch non-clean word mask
 };
 
 class ReedSolomon {
@@ -203,6 +225,32 @@ class ReedSolomon {
                             std::span<const unsigned> erasure_positions,
                             const Element* dense) const;
 
+  // Per-code constant tables for the SIMD kernel layer (m <= 8), built
+  // lazily on first use (thread-safe, one build per code) and shared by
+  // every workspace. reserve() forces the build so steady-state calls
+  // never construct tables. All rows are 64-byte aligned.
+  struct SimdTables {
+    // Batch encode: split-nibble tables for P[p][j], the parity-j
+    // contribution of a unit data symbol at position p. Index p*2t + j.
+    gf::AlignedVector<gf::simd::MulTables> encode_mul;
+    // Batch syndromes: tables for X_p^(fcr+j). Index p*2t + j.
+    gf::AlignedVector<gf::simd::MulTables> synd_mul;
+    // Per-word syndromes, split-nibble pre-expansion: row (p, v) holds
+    // v * X_p^(fcr+j) over j for v in [0,16), then (v<<4) * X_p^(fcr+j)
+    // for v in [16,32). Index ((p*32 + v) * synd_stride + j).
+    gf::AlignedVector<std::uint8_t> synd_nib;
+    std::size_t synd_stride = 0;  // 2t rounded up for row alignment
+    // Per-word LFSR encode: row v holds v*g[j] (v < 16) / (v-16)<<4 * g[j].
+    gf::AlignedVector<std::uint8_t> lfsr_nib;
+    // Chien search: row i holds X_p^(-i) over positions p, i in [0, 2t].
+    gf::AlignedVector<std::uint8_t> chien_pow;
+    std::size_t chien_stride = 0;  // n rounded up for row alignment
+  };
+  // Returns the lazily built tables, or nullptr for m > 8.
+  const SimdTables* simd_tables() const;
+  // reserve() forces the lazy SIMD table build.
+  friend class DecoderWorkspace;
+
   CodeParams params_;
   gf::GaloisField field_;
   gf::Poly generator_;
@@ -212,6 +260,10 @@ class ReedSolomon {
   std::vector<Element> pos_locator_inv_;  // X_p^-1 (Chien search)
   std::vector<Element> forney_scale_;     // X_p^(1-fcr) (Forney)
   std::vector<Element> gen_lfsr_;         // g coeff of x^(n-k-1-j) at [j]
+  // Lazily built SIMD constant tables (see SimdTables above).
+  mutable std::unique_ptr<SimdTables> simd_;
+  mutable std::atomic<const SimdTables*> simd_ptr_{nullptr};
+  mutable std::mutex simd_build_;
 };
 
 }  // namespace rsmem::rs

@@ -6,6 +6,7 @@
 
 #include "cli/args.h"
 #include "cli/commands.h"
+#include "gf/simd_mul.h"
 
 namespace rsmem::cli {
 namespace {
@@ -92,6 +93,17 @@ TEST(Cli, UnknownCommandFails) {
   std::string out, err;
   EXPECT_EQ(run({"frobnicate"}, &out, &err), 2);
   EXPECT_NE(err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, VersionNamesSelectedGfBackend) {
+  std::string out;
+  EXPECT_EQ(run({"version"}, &out), 0);
+  EXPECT_NE(out.find("rsmem_cli"), std::string::npos);
+  EXPECT_NE(out.find("build:"), std::string::npos);
+  // The reported backend must be the one the dispatcher actually selected.
+  const std::string want =
+      std::string("gf backend: ") + rsmem::gf::simd::active().name + "\n";
+  EXPECT_NE(out.find(want), std::string::npos) << out;
 }
 
 TEST(Cli, AnalyzeProducesCurve) {

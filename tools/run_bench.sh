@@ -16,6 +16,12 @@
 # binary fails the whole run loudly (non-zero exit, nothing written) rather
 # than leaving a partial BENCH_*.json snapshot behind.
 #
+# Release-build guard: the run refuses to start from a non-Release build
+# tree and deletes any BENCH_codec.json whose embedded rsmem_build_type is
+# not "release", so debug numbers can never be recorded as the trajectory.
+# The SIMD plane selfcheck (>= 2x encode-plane speedup where a PSHUFB
+# backend is selected) gates the snapshot as well.
+#
 # Usage: tools/run_bench.sh [extra google-benchmark args...]
 set -eu
 
@@ -50,11 +56,35 @@ if [ "$MISSING" -ne 0 ]; then
     exit 1
 fi
 
+# Guard against recording debug-build numbers: the bench preset pins
+# CMAKE_BUILD_TYPE=Release, but a stale or hand-edited build tree could
+# differ, and google-benchmark's own library_build_type reflects how the
+# SYSTEM libbenchmark was compiled (often debug on distro packages), not
+# how rsmem was. Check the cache before running anything, and re-check the
+# binary's self-reported rsmem_build_type after writing the snapshot.
+if ! grep -q '^CMAKE_BUILD_TYPE:[^=]*=Release$' "$BUILD/CMakeCache.txt"; then
+    echo "error: $BUILD is not a Release build; refusing to record" \
+         "benchmark numbers from it" >&2
+    exit 1
+fi
+
+# The >= 2x SIMD encode-plane contract (enforced only where a PSHUFB
+# backend is selected; record-only otherwise). Runs before the snapshot so
+# a kernel-layer regression fails the run without touching BENCH_codec.json.
+"$BUILD/bench/bench_codec_throughput" --plane-selfcheck
+
 "$BUILD/bench/bench_codec_throughput" \
     --benchmark_format=json \
     --benchmark_out="$ROOT/BENCH_codec.json" \
     --benchmark_out_format=json \
     "$@"
+
+if ! grep -q '"rsmem_build_type": "release"' "$ROOT/BENCH_codec.json"; then
+    echo "error: BENCH_codec.json reports a non-release rsmem build;" \
+         "removing the snapshot" >&2
+    rm -f "$ROOT/BENCH_codec.json"
+    exit 1
+fi
 
 "$BUILD/bench/bench_mc_vs_markov"
 

@@ -12,6 +12,10 @@
 # the A/B control: if a race reproduces only in the lock-free build, the
 # ring's atomics are the suspect; if it reproduces in both, the bug is
 # above the queue.
+# The ASan pass likewise runs the SIMD codec differential suite (`codec`
+# label) TWICE: against the normal build, where the suite forces every
+# compiled vector backend in turn, and against the asan-nosimd build
+# (-DRSMEM_DISABLE_SIMD=ON), where only the original scalar loops exist.
 # Either pass can be selected alone with `asan` / `tsan`
 # as the first argument; the default runs both. Exits non-zero on the first
 # failing pass, so this is CI-gate friendly.
@@ -36,6 +40,25 @@ run_asan() {
     ASAN_OPTIONS="abort_on_error=1:detect_leaks=1" \
         "$ROOT/build-asan/tools/rsmem_cli" inject --preset paper-duplex \
         > /dev/null
+
+    echo "== Address+UB sanitizers: SIMD codec kernels (vector backends) =="
+    # The codec differential suite again, explicitly: the SIMD kernels do
+    # unaligned vector loads and tail handling that ASan/UBSan must see
+    # under every compiled backend (the suite forces each in turn).
+    ASAN_OPTIONS="abort_on_error=1:detect_leaks=1" \
+        ctest --test-dir "$ROOT/build-asan" -L codec --output-on-failure
+
+    echo "== Address+UB sanitizers: SIMD codec kernels (nosimd A/B build) =="
+    # Same suite against the RSMEM_DISABLE_SIMD build, where the codec can
+    # only run its original scalar loops: the A/B control. An error that
+    # reproduces only in the build above indicts the kernel layer; one that
+    # reproduces in both sits in the shared codec code.
+    cmake --preset asan-nosimd -S "$ROOT" >/dev/null
+    cmake --build "$ROOT/build-asan-nosimd" -j "$JOBS" \
+        --target rsmem_codec_tests
+    ASAN_OPTIONS="abort_on_error=1:detect_leaks=1" \
+        ctest --test-dir "$ROOT/build-asan-nosimd" -L codec \
+        --output-on-failure
 }
 
 run_tsan() {
