@@ -18,15 +18,23 @@
 //
 // `--plane-selfcheck`: instead of benchmarks, times encode_batch over a
 // large plane under the forced-scalar control vs the selected backend and
-// asserts the >= 2x speedup contract when a PSHUFB backend (ssse3/avx2) is
-// selected (record-only on hosts without one). Exit code 0 iff the check
-// passes, so CI and run_bench.sh can gate on it.
+// asserts the >= 2x speedup contract when a PSHUFB-or-better backend
+// (ssse3/avx2/gfni) is selected (record-only on hosts without one). Exit
+// code 0 iff the check passes, so CI and run_bench.sh can gate on it.
+//
+// `--backend-sweep`: additionally registers the RS(36,16) x4096
+// encode/decode plane cases once per backend SUPPORTED on this host (not
+// just the scalar/selected pair), so one JSON snapshot carries the whole
+// backend ladder. The host's relevant CPU feature flags ride along in the
+// JSON context (`cpu_flags`) so ladders from different machines compare
+// honestly.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "gf/simd_mul.h"
 #include "markov/uniformization.h"
@@ -387,8 +395,11 @@ int run_plane_selfcheck() {
   const double mb = static_cast<double>(kCount) * code.k() *
                     code.m() / 8.0 / 1e6;
   const double ratio = scalar_s / simd_s;
+  // PSHUFB-or-better: the gfni affine backend replaces the two shuffles
+  // with one instruction, so it inherits (at least) the PSHUFB contract.
   const bool pshufb = selected == gf::simd::Backend::kSsse3 ||
-                      selected == gf::simd::Backend::kAvx2;
+                      selected == gf::simd::Backend::kAvx2 ||
+                      selected == gf::simd::Backend::kGfni;
   std::printf("plane-selfcheck: encode_batch RS(36,16) x %zu words\n",
               kCount);
   std::printf("  scalar  %8.3f ms  %8.1f MB/s\n", scalar_s * 1e3,
@@ -405,20 +416,69 @@ int run_plane_selfcheck() {
   return 0;
 }
 
+// The host CPU's SIMD-relevant feature flags, for the JSON context: a
+// backend ladder only means something next to the silicon that ran it.
+std::string cpu_flags_string() {
+#if defined(__x86_64__) || defined(__i386__)
+  std::string flags;
+  const auto add = [&](bool have, const char* name) {
+    if (!have) return;
+    if (!flags.empty()) flags += ' ';
+    flags += name;
+  };
+  add(__builtin_cpu_supports("ssse3") != 0, "ssse3");
+  add(__builtin_cpu_supports("avx2") != 0, "avx2");
+  add(__builtin_cpu_supports("gfni") != 0, "gfni");
+  add(__builtin_cpu_supports("avx512f") != 0, "avx512f");
+  add(__builtin_cpu_supports("avx512bw") != 0, "avx512bw");
+  add(__builtin_cpu_supports("avx512vl") != 0, "avx512vl");
+  return flags.empty() ? "none" : flags;
+#else
+  return "non-x86";
+#endif
+}
+
+// --backend-sweep: one encode + one decode plane case per backend this host
+// can run, named ..._sweep_<backend> so run_bench.sh's snapshot carries the
+// full ladder alongside the static scalar/selected pairs.
+void register_backend_sweep() {
+  for (const gf::simd::Backend b : gf::simd::kAllBackends) {
+    if (!gf::simd::backend_supported(b)) continue;
+    const std::string suffix = std::string("rs3616_x4096_sweep_") +
+                               gf::simd::to_string(b);
+    benchmark::RegisterBenchmark(
+        ("BM_EncodePlane/" + suffix).c_str(),
+        [b](benchmark::State& s) { BM_EncodePlane(s, code3616(), b, 4096); });
+    benchmark::RegisterBenchmark(
+        ("BM_DecodePlane/" + suffix).c_str(),
+        [b](benchmark::State& s) { BM_DecodePlane(s, code3616(), b, 4096); });
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool backend_sweep = false;
+  int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--plane-selfcheck") == 0) {
       return run_plane_selfcheck();
     }
+    if (std::strcmp(argv[i], "--backend-sweep") == 0) {
+      backend_sweep = true;
+      continue;  // strip: google-benchmark would reject the flag
+    }
+    argv[kept++] = argv[i];
   }
+  argc = kept;
 #if defined(NDEBUG)
   benchmark::AddCustomContext("rsmem_build_type", "release");
 #else
   benchmark::AddCustomContext("rsmem_build_type", "debug");
 #endif
   benchmark::AddCustomContext("gf_backend", gf::simd::active().name);
+  benchmark::AddCustomContext("cpu_flags", cpu_flags_string());
+  if (backend_sweep) register_backend_sweep();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

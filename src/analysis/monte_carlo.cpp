@@ -1,8 +1,10 @@
 #include "analysis/monte_carlo.h"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
+#include "gf/aligned.h"
 #include "sim/rng.h"
 
 namespace rsmem::analysis {
@@ -10,11 +12,30 @@ namespace rsmem::analysis {
 namespace {
 constexpr double kZ95 = 1.959963984540054;  // two-sided 95% normal quantile
 
-std::vector<gf::Element> random_data(sim::Rng& rng, unsigned k, unsigned m) {
-  std::vector<gf::Element> data(k);
+// Default gather/decode/scatter width (MonteCarloConfig::batch_trials == 0):
+// wide enough that the plane-wide syndrome screen amortizes per-word call
+// overhead into full vector registers, small enough that one worker's live
+// systems stay cache-resident.
+constexpr std::size_t kDefaultBatchTrials = 64;
+
+// The batched path requires the workspace fast path (decode_batch) and an
+// inert degradation policy (the rungs re-read the module mid-decode, which
+// cannot be lifted into a plane). Width 1 is the per-trial read() control.
+std::size_t resolve_batch_width(const MonteCarloConfig& config,
+                                const memory::DegradationPolicy& degradation) {
+  if (config.legacy_codec || degradation.any_enabled()) return 1;
+  return config.batch_trials == 0 ? kDefaultBatchTrials : config.batch_trials;
+}
+
+void fill_random_data(sim::Rng& rng, std::span<gf::Element> data, unsigned m) {
   for (auto& d : data) {
     d = static_cast<gf::Element>(rng.uniform_int(1u << m));
   }
+}
+
+std::vector<gf::Element> random_data(sim::Rng& rng, unsigned k, unsigned m) {
+  std::vector<gf::Element> data(k);
+  fill_random_data(rng, data, m);
   return data;
 }
 
@@ -161,6 +182,9 @@ MonteCarloResult run_simplex_trials(const memory::SimplexSystemConfig& system,
     warm.reserve(*shared_code);
   }
   std::vector<MonteCarloAccumulator> shards;
+  const std::size_t batch = resolve_batch_width(config, system.degradation);
+  const unsigned n = system.code.n;
+  const unsigned k = system.code.k;
   const auto chunk = [&](std::size_t chunk_index, std::size_t first,
                          std::size_t last) {
     // One workspace per pool thread (the thread-safety rule of the fast
@@ -168,18 +192,28 @@ MonteCarloResult run_simplex_trials(const memory::SimplexSystemConfig& system,
     // codec scratch at all.
     thread_local rs::DecoderWorkspace ws;
     MonteCarloAccumulator& acc = shards[chunk_index];
-    for (std::size_t trial = first; trial < last; ++trial) {
-      sim::Rng data_rng = trial_data_rng(root, trial);
+    // Constructs one trial's system (no data stored yet).
+    const auto build_system = [&](std::size_t trial) {
       memory::SimplexSystemConfig cfg = system;
       cfg.seed = trial_system_seed(root, trial);
       if (!config.legacy_codec) {
         cfg.shared_code = shared_code;
         cfg.workspace = &ws;
       }
-      memory::SimplexSystem sys{cfg};
-      sys.store(random_data(data_rng, cfg.code.k, cfg.code.m));
-      sys.advance_to(config.t_end_hours);
-      const memory::ReadResult read = sys.read();
+      return std::make_unique<memory::SimplexSystem>(cfg);
+    };
+    // Runs one trial's life up to the stopping time; the final read is the
+    // caller's (per-trial or batched).
+    const auto make_system = [&](std::size_t trial) {
+      sim::Rng data_rng = trial_data_rng(root, trial);
+      auto sys = build_system(trial);
+      sys->store(random_data(data_rng, k, system.code.m));
+      sys->advance_to(config.t_end_hours);
+      return sys;
+    };
+    const auto finish_trial = [&](std::size_t trial,
+                                  const memory::SimplexSystem& sys,
+                                  const memory::ReadResult& read) {
       count_outcome(acc, config, read.success, read.data_correct,
                     sys.stats());
       if (config.observer) {
@@ -194,7 +228,67 @@ MonteCarloResult run_simplex_trials(const memory::SimplexSystemConfig& system,
         record.permanent_injected = sys.stats().permanent_injected;
         config.observer(record);
       }
+    };
+    if (batch <= 1) {
+      for (std::size_t trial = first; trial < last; ++trial) {
+        const std::unique_ptr<memory::SimplexSystem> sys = make_system(trial);
+        finish_trial(trial, *sys, sys->read());
+      }
+      return;
     }
+    // Batched gather/encode/decode/scatter: generate the batch's datawords
+    // into one plane and encode them with a single encode_batch call
+    // (bit-identical per word to the per-trial encode), store each trial's
+    // slot, run every trial to its stopping time, gather the raw module
+    // reads into one word/flag plane, decode the plane with a single
+    // decode_batch call (clean unflagged words exit via the plane-wide
+    // syndrome screen), then scatter the per-word outcomes through each
+    // system's bookkeeping tail. Systems are built in ascending trial order
+    // (RNG keying is by global index) and outcomes are counted in the same
+    // order as the per-trial loop above.
+    std::vector<std::unique_ptr<memory::SimplexSystem>> systems;
+    gf::AlignedVector<gf::Element> data_plane;
+    gf::AlignedVector<gf::Element> plane;
+    gf::AlignedVector<std::uint8_t> flags;
+    std::vector<rs::DecodeOutcome> outcomes;
+    for_each_batch(first, last, batch, [&](std::size_t base,
+                                           std::size_t stop) {
+      const std::size_t count = stop - base;
+      systems.clear();
+      systems.reserve(count);
+      data_plane.resize(count * k);
+      plane.resize(count * n);
+      flags.resize(count * n);
+      outcomes.assign(count, rs::DecodeOutcome{});
+      const std::span<gf::Element> data_span{data_plane};
+      const std::span<gf::Element> plane_span{plane};
+      const std::span<std::uint8_t> flag_span{flags};
+      for (std::size_t i = 0; i < count; ++i) {
+        sim::Rng data_rng = trial_data_rng(root, base + i);
+        fill_random_data(data_rng, data_span.subspan(i * k, k),
+                         system.code.m);
+        systems.push_back(build_system(base + i));
+      }
+      // The codeword plane reuses the read-gather plane: store_encoded
+      // copies each slot before any fault arrives, and the gather below
+      // overwrites the plane wholesale.
+      shared_code->encode_batch(ws, data_span, plane_span);
+      for (std::size_t i = 0; i < count; ++i) {
+        systems[i]->store_encoded(data_span.subspan(i * k, k),
+                                  plane_span.subspan(i * n, n));
+        systems[i]->advance_to(config.t_end_hours);
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        systems[i]->read_into_plane(plane_span.subspan(i * n, n),
+                                    flag_span.subspan(i * n, n));
+      }
+      shared_code->decode_batch(ws, plane_span, outcomes, flag_span);
+      for (std::size_t i = 0; i < count; ++i) {
+        finish_trial(base + i, *systems[i],
+                     systems[i]->finish_batched_read(
+                         plane_span.subspan(i * n, n), outcomes[i]));
+      }
+    });
   };
   return run_campaign(config, chunk, report, progress, shards);
 }
@@ -216,22 +310,32 @@ MonteCarloResult run_duplex_trials(const memory::DuplexSystemConfig& system,
     warm.reserve(*shared_code);
   }
   std::vector<MonteCarloAccumulator> shards;
+  const std::size_t batch = resolve_batch_width(config, system.degradation);
+  const unsigned n = system.code.n;
+  const unsigned k = system.code.k;
   const auto chunk = [&](std::size_t chunk_index, std::size_t first,
                          std::size_t last) {
     thread_local rs::DecoderWorkspace ws;
     MonteCarloAccumulator& acc = shards[chunk_index];
-    for (std::size_t trial = first; trial < last; ++trial) {
-      sim::Rng data_rng = trial_data_rng(root, trial);
+    const auto build_system = [&](std::size_t trial) {
       memory::DuplexSystemConfig cfg = system;
       cfg.seed = trial_system_seed(root, trial);
       if (!config.legacy_codec) {
         cfg.shared_code = shared_code;
         cfg.workspace = &ws;
       }
-      memory::DuplexSystem sys{cfg};
-      sys.store(random_data(data_rng, cfg.code.k, cfg.code.m));
-      sys.advance_to(config.t_end_hours);
-      const memory::DuplexReadResult read = sys.read();
+      return std::make_unique<memory::DuplexSystem>(cfg);
+    };
+    const auto make_system = [&](std::size_t trial) {
+      sim::Rng data_rng = trial_data_rng(root, trial);
+      auto sys = build_system(trial);
+      sys->store(random_data(data_rng, k, system.code.m));
+      sys->advance_to(config.t_end_hours);
+      return sys;
+    };
+    const auto finish_trial = [&](std::size_t trial,
+                                  const memory::DuplexSystem& sys,
+                                  const memory::DuplexReadResult& read) {
       count_outcome(acc, config, read.read.success, read.read.data_correct,
                     sys.stats());
       if (config.observer) {
@@ -250,7 +354,71 @@ MonteCarloResult run_duplex_trials(const memory::DuplexSystemConfig& system,
         record.permanent_injected = sys.stats().permanent_injected;
         config.observer(record);
       }
+    };
+    if (batch <= 1) {
+      for (std::size_t trial = first; trial < last; ++trial) {
+        const std::unique_ptr<memory::DuplexSystem> sys = make_system(trial);
+        finish_trial(trial, *sys, sys->read());
+      }
+      return;
     }
+    // Batched gather/decode/scatter, duplex flavour: each trial contributes
+    // its erasure-masked word PAIR to the plane (slots 2i and 2i+1, both
+    // flagged with the pair's common erasures — arbiter step 1 runs at
+    // gather time, step 2 is the shared decode_batch call, step 3 runs at
+    // scatter time inside finish_batched_read).
+    std::vector<std::unique_ptr<memory::DuplexSystem>> systems;
+    std::vector<memory::ArbiterResult> partials;
+    gf::AlignedVector<gf::Element> data_plane;
+    gf::AlignedVector<gf::Element> plane;
+    gf::AlignedVector<std::uint8_t> flags;
+    std::vector<rs::DecodeOutcome> outcomes;
+    for_each_batch(first, last, batch, [&](std::size_t base,
+                                           std::size_t stop) {
+      const std::size_t count = stop - base;
+      systems.clear();
+      systems.reserve(count);
+      partials.assign(count, memory::ArbiterResult{});
+      data_plane.resize(count * k);
+      plane.resize(2 * count * n);
+      flags.resize(2 * count * n);
+      outcomes.assign(2 * count, rs::DecodeOutcome{});
+      const std::span<gf::Element> data_span{data_plane};
+      const std::span<gf::Element> plane_span{plane};
+      const std::span<std::uint8_t> flag_span{flags};
+      for (std::size_t i = 0; i < count; ++i) {
+        sim::Rng data_rng = trial_data_rng(root, base + i);
+        fill_random_data(data_rng, data_span.subspan(i * k, k),
+                         system.code.m);
+        systems.push_back(build_system(base + i));
+      }
+      // Codewords borrow the first count*n slots of the read plane (each
+      // store_encoded copies its slot; the masked-pair gather below then
+      // overwrites the whole plane).
+      shared_code->encode_batch(ws, data_span,
+                                plane_span.subspan(0, count * n));
+      for (std::size_t i = 0; i < count; ++i) {
+        systems[i]->store_encoded(data_span.subspan(i * k, k),
+                                  plane_span.subspan(i * n, n));
+        systems[i]->advance_to(config.t_end_hours);
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        systems[i]->read_into_masked_pair(
+            plane_span.subspan((2 * i) * n, n),
+            plane_span.subspan((2 * i + 1) * n, n),
+            flag_span.subspan((2 * i) * n, n),
+            flag_span.subspan((2 * i + 1) * n, n), partials[i]);
+      }
+      shared_code->decode_batch(ws, plane_span, outcomes, flag_span);
+      for (std::size_t i = 0; i < count; ++i) {
+        finish_trial(base + i, *systems[i],
+                     systems[i]->finish_batched_read(
+                         plane_span.subspan((2 * i) * n, n),
+                         plane_span.subspan((2 * i + 1) * n, n),
+                         outcomes[2 * i], outcomes[2 * i + 1],
+                         std::move(partials[i])));
+      }
+    });
   };
   return run_campaign(config, chunk, report, progress, shards);
 }

@@ -62,6 +62,19 @@ struct MonteCarloConfig {
   unsigned threads = 0;
   std::size_t chunk_trials = 1024;
 
+  // Width of the gather/encode/decode/scatter batches inside each chunk:
+  // that many trials' datawords are encoded by a single rs::encode_batch
+  // call at store time, and their raw module reads are gathered into one
+  // word/flag plane and decoded by a single rs::decode_batch call, so clean
+  // words exit through the plane-wide SIMD syndrome screen. 0 selects the
+  // default width; 1
+  // forces the historical per-trial read() path (the A/B control — also
+  // taken whenever legacy_codec is set or a degradation rung is enabled,
+  // since those reads cannot be batched). Like threads/chunk_trials this
+  // knob NEVER changes the result: every trial's RNG streams stay keyed by
+  // its global index, and the batched decode is bit-identical per word.
+  std::size_t batch_trials = 0;
+
   // When false (default) all trials share one pre-built codec and route
   // encode/decode through the allocation-free workspace fast path, one
   // workspace per pool thread. When true every trial builds its own codec

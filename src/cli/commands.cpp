@@ -137,6 +137,29 @@ int cmd_version(std::ostream& out) {
       // The process-wide kernel selection (one backend per process; see
       // gf/simd_mul.h). `scalar` means the codec runs its original loops.
       << "gf backend: " << gf::simd::active().name << "\n";
+  // Every backend linked into this binary, and the subset this host's CPU
+  // can actually run (what RSMEM_GF_BACKEND may select). Parsed by
+  // tools/run_sanitizers.sh to enumerate its per-backend codec loop.
+  const auto kernels_of = [](gf::simd::Backend b) -> const gf::simd::Kernels* {
+    switch (b) {
+      case gf::simd::Backend::kScalar: return gf::simd::scalar_kernels();
+      case gf::simd::Backend::kSwar: return gf::simd::swar_kernels();
+      case gf::simd::Backend::kSsse3: return gf::simd::ssse3_kernels();
+      case gf::simd::Backend::kAvx2: return gf::simd::avx2_kernels();
+      case gf::simd::Backend::kGfni: return gf::simd::gfni_kernels();
+    }
+    return nullptr;
+  };
+  out << "gf backends compiled:";
+  for (const gf::simd::Backend b : gf::simd::kAllBackends) {
+    if (kernels_of(b) != nullptr) out << " " << gf::simd::to_string(b);
+  }
+  out << "\n"
+      << "gf backends supported:";
+  for (const gf::simd::Backend b : gf::simd::kAllBackends) {
+    if (gf::simd::backend_supported(b)) out << " " << gf::simd::to_string(b);
+  }
+  out << "\n";
   return 0;
 }
 

@@ -88,8 +88,18 @@ bool cpu_supports(Backend b) {
 #if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
   if (b == Backend::kSsse3) return __builtin_cpu_supports("ssse3") != 0;
   if (b == Backend::kAvx2) return __builtin_cpu_supports("avx2") != 0;
+  if (b == Backend::kGfni) {
+    // The kernels use the 512-bit form plus VL 256/128-bit tail steps, so
+    // GFNI alone (as shipped on some SSE-only parts) is not enough.
+    return __builtin_cpu_supports("gfni") != 0 &&
+           __builtin_cpu_supports("avx512f") != 0 &&
+           __builtin_cpu_supports("avx512bw") != 0 &&
+           __builtin_cpu_supports("avx512vl") != 0;
+  }
 #endif
-  if (b == Backend::kSsse3 || b == Backend::kAvx2) return false;
+  if (b == Backend::kSsse3 || b == Backend::kAvx2 || b == Backend::kGfni) {
+    return false;
+  }
   return true;
 }
 
@@ -103,6 +113,8 @@ const Kernels* kernels_for(Backend b) {
       return ssse3_kernels();
     case Backend::kAvx2:
       return avx2_kernels();
+    case Backend::kGfni:
+      return gfni_kernels();
   }
   return nullptr;
 }
@@ -117,6 +129,7 @@ bool env_backend(Backend& out) {
   if (v == "swar") return out = Backend::kSwar, true;
   if (v == "ssse3") return out = Backend::kSsse3, true;
   if (v == "avx2") return out = Backend::kAvx2, true;
+  if (v == "gfni") return out = Backend::kGfni, true;
   return false;  // "auto" and unknown values fall through to detection
 }
 
@@ -133,6 +146,9 @@ const Kernels* ssse3_kernels() { return nullptr; }
 #if !defined(RSMEM_HAVE_AVX2)
 const Kernels* avx2_kernels() { return nullptr; }
 #endif
+#if !defined(RSMEM_HAVE_GFNI)
+const Kernels* gfni_kernels() { return nullptr; }
+#endif
 
 void build_tables(MulTables& t, const GaloisField& field, Element c) {
   const unsigned m = field.m();
@@ -144,6 +160,20 @@ void build_tables(MulTables& t, const GaloisField& field, Element c) {
     t.lo[v] = v < size ? static_cast<std::uint8_t>(field.mul(c, v)) : 0;
     const unsigned vh = v << 4;
     t.hi[v] = vh < size ? static_cast<std::uint8_t>(field.mul(c, vh)) : 0;
+  }
+  // GFNI affine matrix: multiplication by c is GF(2)-linear, so column j of
+  // the 8x8 bit matrix is c * 2^j (zero for j >= m — valid field elements
+  // never carry those bits). GF2P8AFFINEQB wants row i (the input-bit mask
+  // of output bit i) in qword byte (7 - i).
+  t.affine = 0;
+  for (unsigned j = 0; j < 8; ++j) {
+    const unsigned bit = 1u << j;
+    const Element col = bit < size ? field.mul(c, bit) : 0;
+    for (unsigned i = 0; i < 8; ++i) {
+      if ((col >> i) & 1u) {
+        t.affine |= std::uint64_t{1} << ((7 - i) * 8 + j);
+      }
+    }
   }
 }
 
@@ -161,6 +191,7 @@ Backend select_backend() {
   // env knob above can still opt into the (always portable) SWAR backend.
   return Backend::kScalar;
 #else
+  if (backend_supported(Backend::kGfni)) return Backend::kGfni;
   if (backend_supported(Backend::kAvx2)) return Backend::kAvx2;
   if (backend_supported(Backend::kSsse3)) return Backend::kSsse3;
   return Backend::kSwar;
@@ -193,6 +224,8 @@ const char* to_string(Backend b) {
       return "ssse3";
     case Backend::kAvx2:
       return "avx2";
+    case Backend::kGfni:
+      return "gfni";
   }
   return "unknown";
 }

@@ -6,6 +6,8 @@
 //
 //   mul_const_acc:  dst[i] ^= c * src[i]      (constant c, vector src)
 //   xor_acc:        dst[i] ^= src[i]
+//   mul_rows_acc:   dst_r[i] ^= c_r * src[i]  (many constants, one src row;
+//                   optional fused form of a mul_const_acc loop)
 //
 // Constant-by-vector multiplication uses the ISA-L-style split-nibble
 // decomposition: c*x = c*(x & 0xF) ^ c*(x & 0xF0), each factor a 16-entry
@@ -18,11 +20,17 @@
 //            shift-and-reduce multiply. No ISA requirements.
 //   kSsse3   PSHUFB split-nibble, 16 bytes per step (x86 SSSE3).
 //   kAvx2    VPSHUFB split-nibble, 32 bytes per step (x86 AVX2).
+//   kGfni    GF2P8AFFINEQB affine multiply, 64 bytes per step (x86 GFNI +
+//            AVX-512F/BW, with AVX-512VL 256/128-bit tail steps).
+//            Constant-by-x multiplication in GF(2^m) is GF(2)-linear in x,
+//            so c*x is one 8x8 bit-matrix transform — one instruction where
+//            the PSHUFB backends need two shuffles plus mask/shift/xor.
 //
 // DISPATCH / ONE-BACKEND-PER-PROCESS RULE: the backend is chosen once, on
 // first use, by select_backend() — compile-time gates (RSMEM_DISABLE_SIMD,
 // per-arch availability), then the RSMEM_GF_BACKEND environment knob
-// (scalar|swar|ssse3|avx2|auto), then CPUID feature detection, best first.
+// (scalar|swar|ssse3|avx2|gfni|auto), then CPUID feature detection, best
+// first (gfni > avx2 > ssse3 > swar).
 // All threads share the selected kernel table for the life of the process.
 // force_backend() exists ONLY for tests and benchmarks that A/B the
 // backends in a single process; it is not thread-safe against concurrent
@@ -43,17 +51,28 @@
 
 namespace rsmem::gf::simd {
 
-enum class Backend : std::uint8_t { kScalar = 0, kSwar, kSsse3, kAvx2 };
+enum class Backend : std::uint8_t { kScalar = 0, kSwar, kSsse3, kAvx2, kGfni };
+
+// Every backend, in dispatch preference order (best last). Iteration helper
+// for version reporting, the differential suite, and the bench sweeps.
+inline constexpr Backend kAllBackends[] = {Backend::kScalar, Backend::kSwar,
+                                           Backend::kSsse3, Backend::kAvx2,
+                                           Backend::kGfni};
 
 // Split-nibble multiplication tables for one constant c in GF(2^m), m <= 8:
 //   lo[v] = c * v          for v in [0, 16)
 //   hi[v] = c * (v << 4)   for v with (v << 4) inside the field, else 0
 // plus the raw (c, m, poly) triple so the SWAR backend can run its
-// table-free shift-and-reduce multiply. 64-byte aligned so a kernel can
-// load both tables from one cache line.
+// table-free shift-and-reduce multiply, and the 8x8 GF(2) bit matrix of
+// x -> c*x for the GFNI backend: qword byte (7 - i) holds row i (the mask
+// of input bits feeding output bit i, i.e. bit j is set iff bit i of
+// c * 2^j is, with columns j >= m zeroed) — exactly the operand layout of
+// GF2P8AFFINEQB. 64-byte aligned so a kernel can load all tables from one
+// cache line.
 struct alignas(kHotPathAlignment) MulTables {
   std::uint8_t lo[16];
   std::uint8_t hi[16];
+  std::uint64_t affine = 0;  // GFNI affine matrix of x -> c*x
   std::uint8_t c = 0;
   std::uint8_t m = 0;
   std::uint16_t poly = 0;  // primitive polynomial with the x^m term
@@ -80,6 +99,18 @@ struct Kernels {
   // dst[i] ^= src[i], i in [0, len)
   void (*xor_acc)(std::uint8_t* dst, const std::uint8_t* src,
                   std::size_t len) = nullptr;
+  // dst[r * dst_stride + i] ^= tables[r].c * src[i] for every row
+  // r in [0, rows), i in [0, len). Semantically a mul_const_acc loop over
+  // `rows` consecutive MulTables sharing one source row, fused so the
+  // source loads (and, on the PSHUFB backends, the nibble extraction) are
+  // paid once per vector step instead of once per row — the shape of the
+  // batch codec's syndrome/parity sweeps, which call this once per
+  // codeword position. OPTIONAL: may be nullptr (kSwar leaves it null);
+  // callers must fall back to the mul_const_acc loop. The dst rows must
+  // not overlap src or each other.
+  void (*mul_rows_acc)(std::uint8_t* dst, std::size_t dst_stride,
+                       const std::uint8_t* src, const MulTables* tables,
+                       std::size_t rows, std::size_t len) = nullptr;
 };
 
 // True if `b` is compiled in AND usable on this host (CPUID-checked for the
@@ -107,12 +138,15 @@ inline std::uint8_t mul_one(const MulTables& t, std::uint8_t x) {
   return static_cast<std::uint8_t>(t.lo[x & 0xF] ^ t.hi[x >> 4]);
 }
 
-// Internal: per-backend kernel tables. kSsse3/kAvx2 return nullptr when the
-// translation unit was not compiled (non-x86 or RSMEM_DISABLE_SIMD).
+// Internal: per-backend kernel tables. kSsse3/kAvx2/kGfni return nullptr
+// when the translation unit was not compiled (non-x86, an old compiler, or
+// RSMEM_DISABLE_SIMD). A non-null table only proves the backend is compiled
+// in — backend_supported() additionally checks the host CPU.
 const Kernels* scalar_kernels();
 const Kernels* swar_kernels();
 const Kernels* ssse3_kernels();
 const Kernels* avx2_kernels();
+const Kernels* gfni_kernels();
 
 }  // namespace rsmem::gf::simd
 

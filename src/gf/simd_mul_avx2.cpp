@@ -70,8 +70,42 @@ void avx2_xor_acc(std::uint8_t* dst, const std::uint8_t* src,
   for (; i < len; ++i) dst[i] ^= src[i];
 }
 
+void avx2_mul_rows_acc(std::uint8_t* dst, std::size_t dst_stride,
+                       const std::uint8_t* src, const MulTables* tables,
+                       std::size_t rows, std::size_t len) {
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    // The nibble split is shared by every row of this vector step.
+    const __m256i lo = _mm256_and_si256(v, mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), mask);
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (tables[r].c == 0) continue;
+      const __m256i tlo = _mm256_broadcastsi128_si256(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(tables[r].lo)));
+      const __m256i thi = _mm256_broadcastsi128_si256(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(tables[r].hi)));
+      const __m256i prod = _mm256_xor_si256(_mm256_shuffle_epi8(tlo, lo),
+                                            _mm256_shuffle_epi8(thi, hi));
+      std::uint8_t* dp = dst + r * dst_stride + i;
+      const __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dp));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dp),
+                          _mm256_xor_si256(d, prod));
+    }
+  }
+  if (i < len) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      avx2_mul_const_acc(dst + r * dst_stride + i, src + i, tables[r],
+                         len - i);
+    }
+  }
+}
+
 constexpr Kernels kAvx2Kernels{Backend::kAvx2, "avx2", &avx2_mul_const_acc,
-                               &avx2_xor_acc};
+                               &avx2_xor_acc, &avx2_mul_rows_acc};
 
 }  // namespace
 

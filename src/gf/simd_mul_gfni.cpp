@@ -1,0 +1,113 @@
+// GFNI GF(2^m) kernels: GF2P8AFFINEQB over 64-byte vectors.
+//
+// Compiled with -mgfni -mavx512f -mavx512bw -mavx512vl (set per-file in
+// src/CMakeLists.txt); only reached through the dispatcher after
+// __builtin_cpu_supports() confirms gfni+avx512f/bw/vl. Constant-by-x
+// multiplication in GF(2^m) is GF(2)-linear in x, so c*x is one 8x8
+// bit-matrix transform per byte: the matrix (MulTables::affine, built by
+// build_tables) has column j = c * 2^j with columns j >= m zeroed, which
+// makes the affine product bit-identical to the split-nibble tables for
+// every valid field element. The main loop runs 64 bytes per step on zmm
+// registers; AVX-512VL supplies 256- and 128-bit tail steps.
+#include "gf/simd_mul.h"
+
+#if defined(RSMEM_HAVE_GFNI)
+
+#include <immintrin.h>
+
+namespace rsmem::gf::simd {
+
+namespace {
+
+void gfni_mul_const_acc(std::uint8_t* dst, const std::uint8_t* src,
+                        const MulTables& t, std::size_t len) {
+  if (t.c == 0) return;
+  const __m512i mat512 = _mm512_set1_epi64(static_cast<long long>(t.affine));
+  std::size_t i = 0;
+  for (; i + 64 <= len; i += 64) {
+    const __m512i v = _mm512_loadu_si512(src + i);
+    const __m512i prod = _mm512_gf2p8affine_epi64_epi8(v, mat512, 0);
+    const __m512i d = _mm512_loadu_si512(dst + i);
+    _mm512_storeu_si512(dst + i, _mm512_xor_si512(d, prod));
+  }
+  if (i + 32 <= len) {
+    const __m256i mat256 = _mm512_castsi512_si256(mat512);
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i prod = _mm256_gf2p8affine_epi64_epi8(v, mat256, 0);
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, prod));
+    i += 32;
+  }
+  if (i + 16 <= len) {
+    const __m128i mat128 = _mm512_castsi512_si128(mat512);
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i prod = _mm_gf2p8affine_epi64_epi8(v, mat128, 0);
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, prod));
+    i += 16;
+  }
+  for (; i < len; ++i) dst[i] ^= mul_one(t, src[i]);
+}
+
+void gfni_xor_acc(std::uint8_t* dst, const std::uint8_t* src,
+                  std::size_t len) {
+  std::size_t i = 0;
+  for (; i + 64 <= len; i += 64) {
+    const __m512i s = _mm512_loadu_si512(src + i);
+    const __m512i d = _mm512_loadu_si512(dst + i);
+    _mm512_storeu_si512(dst + i, _mm512_xor_si512(d, s));
+  }
+  if (i + 32 <= len) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, s));
+    i += 32;
+  }
+  for (; i < len; ++i) dst[i] ^= src[i];
+}
+
+void gfni_mul_rows_acc(std::uint8_t* dst, std::size_t dst_stride,
+                       const std::uint8_t* src, const MulTables* tables,
+                       std::size_t rows, std::size_t len) {
+  std::size_t i = 0;
+  for (; i + 64 <= len; i += 64) {
+    const __m512i v = _mm512_loadu_si512(src + i);
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (tables[r].c == 0) continue;
+      const __m512i mat =
+          _mm512_set1_epi64(static_cast<long long>(tables[r].affine));
+      std::uint8_t* d = dst + r * dst_stride + i;
+      const __m512i prod = _mm512_gf2p8affine_epi64_epi8(v, mat, 0);
+      _mm512_storeu_si512(d,
+                          _mm512_xor_si512(_mm512_loadu_si512(d), prod));
+    }
+  }
+  if (i < len) {
+    // Sub-vector tail: the per-row kernel already handles 256/128-bit and
+    // scalar remainders.
+    for (std::size_t r = 0; r < rows; ++r) {
+      gfni_mul_const_acc(dst + r * dst_stride + i, src + i, tables[r],
+                         len - i);
+    }
+  }
+}
+
+constexpr Kernels kGfniKernels{Backend::kGfni, "gfni", &gfni_mul_const_acc,
+                               &gfni_xor_acc, &gfni_mul_rows_acc};
+
+}  // namespace
+
+const Kernels* gfni_kernels() { return &kGfniKernels; }
+
+}  // namespace rsmem::gf::simd
+
+#endif  // RSMEM_HAVE_GFNI

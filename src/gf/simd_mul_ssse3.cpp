@@ -52,8 +52,43 @@ void ssse3_xor_acc(std::uint8_t* dst, const std::uint8_t* src,
   for (; i < len; ++i) dst[i] ^= src[i];
 }
 
+void ssse3_mul_rows_acc(std::uint8_t* dst, std::size_t dst_stride,
+                        const std::uint8_t* src, const MulTables* tables,
+                        std::size_t rows, std::size_t len) {
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    // The nibble split is shared by every row of this vector step.
+    const __m128i lo = _mm_and_si128(v, mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi16(v, 4), mask);
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (tables[r].c == 0) continue;
+      const __m128i tlo =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(tables[r].lo));
+      const __m128i thi =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(tables[r].hi));
+      const __m128i prod =
+          _mm_xor_si128(_mm_shuffle_epi8(tlo, lo), _mm_shuffle_epi8(thi, hi));
+      std::uint8_t* dp = dst + r * dst_stride + i;
+      const __m128i d =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(dp));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dp),
+                       _mm_xor_si128(d, prod));
+    }
+  }
+  if (i < len) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      ssse3_mul_const_acc(dst + r * dst_stride + i, src + i, tables[r],
+                          len - i);
+    }
+  }
+}
+
 constexpr Kernels kSsse3Kernels{Backend::kSsse3, "ssse3",
-                                &ssse3_mul_const_acc, &ssse3_xor_acc};
+                                &ssse3_mul_const_acc, &ssse3_xor_acc,
+                                &ssse3_mul_rows_acc};
 
 }  // namespace
 

@@ -6,6 +6,88 @@
 
 namespace rsmem::memory {
 
+void Arbiter::mask_erasures(std::span<Element> word1, std::span<Element> word2,
+                            std::span<std::uint8_t> flags1,
+                            std::span<std::uint8_t> flags2,
+                            ArbiterResult& result) const {
+  const unsigned n = code_->n();
+  if (word1.size() != n || word2.size() != n || flags1.size() != n ||
+      flags2.size() != n) {
+    throw std::invalid_argument("Arbiter::mask_erasures: span size != n");
+  }
+  // Step 1: erasure recovery. Single-sided erasures are masked from the
+  // healthy module; double-sided ones stay erasures (for both decoders).
+  for (unsigned p = 0; p < n; ++p) {
+    const bool in1 = flags1[p] != 0;
+    const bool in2 = flags2[p] != 0;
+    if (in1 && in2) {
+      result.common_erasures.push_back(p);
+    } else if (in1) {
+      word1[p] = word2[p];
+      flags1[p] = 0;
+      ++result.masked_erasures;
+    } else if (in2) {
+      word2[p] = word1[p];
+      flags2[p] = 0;
+      ++result.masked_erasures;
+    }
+  }
+}
+
+void Arbiter::select(std::span<const Element> word1,
+                     std::span<const Element> word2,
+                     ArbiterResult& result) const {
+  result.flag1 = result.outcome1.correction_flag();
+  result.flag2 = result.outcome2.correction_flag();
+  const bool ok1 = result.outcome1.ok();
+  const bool ok2 = result.outcome2.ok();
+
+  // Step 3: comparison / selection.
+  if (!ok1 && !ok2) {
+    result.decision = ArbiterDecision::kNoOutput;
+    return;
+  }
+  if (ok1 != ok2) {
+    // A detected decode failure disqualifies that word.
+    result.decision = ok1 ? ArbiterDecision::kWord1 : ArbiterDecision::kWord2;
+    const auto& w = ok1 ? word1 : word2;
+    result.output.assign(w.begin(), w.end());
+    return;
+  }
+
+  const bool equal = std::equal(word1.begin(), word1.end(), word2.begin());
+  if (!result.flag1 && !result.flag2) {
+    // No correction anywhere: no error/fault present (paper rule 1). The
+    // kCompareFirst policy still insists the copies agree.
+    if (policy_ == ArbiterPolicy::kCompareFirst && !equal) {
+      result.decision = ArbiterDecision::kNoOutput;
+      return;
+    }
+    result.decision = ArbiterDecision::kWord1;
+    result.output.assign(word1.begin(), word1.end());
+    return;
+  }
+  if (equal) {
+    // Equal words, at least one flag: the correction was right (rule 2).
+    result.decision = ArbiterDecision::kWord1;
+    result.output.assign(word1.begin(), word1.end());
+    return;
+  }
+  if (result.flag1 != result.flag2) {
+    // Different words, one flag: the flagged module mis-corrected (rule 3).
+    if (result.flag1) {
+      result.decision = ArbiterDecision::kWord2;
+      result.output.assign(word2.begin(), word2.end());
+    } else {
+      result.decision = ArbiterDecision::kWord1;
+      result.output.assign(word1.begin(), word1.end());
+    }
+    return;
+  }
+  // Different words, both flags set: indistinguishable (rule 4).
+  result.decision = ArbiterDecision::kNoOutput;
+}
+
 ArbiterResult Arbiter::arbitrate(std::span<const Element> word1,
                                  std::span<const Element> word2,
                                  std::span<const unsigned> erasures1,
@@ -27,22 +109,12 @@ ArbiterResult Arbiter::arbitrate(std::span<const Element> word1,
   ArbiterResult result;
   std::vector<Element> w1(word1.begin(), word1.end());
   std::vector<Element> w2(word2.begin(), word2.end());
+  std::vector<std::uint8_t> f1(n, 0);
+  std::vector<std::uint8_t> f2(n, 0);
+  for (const unsigned p : set1) f1[p] = 1;
+  for (const unsigned p : set2) f2[p] = 1;
 
-  // Step 1: erasure recovery. Single-sided erasures are masked from the
-  // healthy module; double-sided ones stay erasures.
-  for (unsigned p = 0; p < n; ++p) {
-    const bool in1 = set1.count(p) != 0;
-    const bool in2 = set2.count(p) != 0;
-    if (in1 && in2) {
-      result.common_erasures.push_back(p);
-    } else if (in1) {
-      w1[p] = w2[p];
-      ++result.masked_erasures;
-    } else if (in2) {
-      w2[p] = w1[p];
-      ++result.masked_erasures;
-    }
-  }
+  mask_erasures(w1, w2, f1, f2, result);
 
   // Step 2: independent decoding with the common erasures.
   if (ws != nullptr) {
@@ -52,54 +124,8 @@ ArbiterResult Arbiter::arbitrate(std::span<const Element> word1,
     result.outcome1 = code_->decode_legacy(w1, result.common_erasures);
     result.outcome2 = code_->decode_legacy(w2, result.common_erasures);
   }
-  result.flag1 = result.outcome1.correction_flag();
-  result.flag2 = result.outcome2.correction_flag();
-  const bool ok1 = result.outcome1.ok();
-  const bool ok2 = result.outcome2.ok();
 
-  // Step 3: comparison / selection.
-  if (!ok1 && !ok2) {
-    result.decision = ArbiterDecision::kNoOutput;
-    return result;
-  }
-  if (ok1 != ok2) {
-    // A detected decode failure disqualifies that word.
-    result.decision = ok1 ? ArbiterDecision::kWord1 : ArbiterDecision::kWord2;
-    result.output = ok1 ? std::move(w1) : std::move(w2);
-    return result;
-  }
-
-  const bool equal = std::equal(w1.begin(), w1.end(), w2.begin());
-  if (!result.flag1 && !result.flag2) {
-    // No correction anywhere: no error/fault present (paper rule 1). The
-    // kCompareFirst policy still insists the copies agree.
-    if (policy_ == ArbiterPolicy::kCompareFirst && !equal) {
-      result.decision = ArbiterDecision::kNoOutput;
-      return result;
-    }
-    result.decision = ArbiterDecision::kWord1;
-    result.output = std::move(w1);
-    return result;
-  }
-  if (equal) {
-    // Equal words, at least one flag: the correction was right (rule 2).
-    result.decision = ArbiterDecision::kWord1;
-    result.output = std::move(w1);
-    return result;
-  }
-  if (result.flag1 != result.flag2) {
-    // Different words, one flag: the flagged module mis-corrected (rule 3).
-    if (result.flag1) {
-      result.decision = ArbiterDecision::kWord2;
-      result.output = std::move(w2);
-    } else {
-      result.decision = ArbiterDecision::kWord1;
-      result.output = std::move(w1);
-    }
-    return result;
-  }
-  // Different words, both flags set: indistinguishable (rule 4).
-  result.decision = ArbiterDecision::kNoOutput;
+  select(w1, w2, result);
   return result;
 }
 

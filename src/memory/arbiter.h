@@ -80,6 +80,28 @@ class Arbiter {
                           std::span<const unsigned> erasures2,
                           rs::DecoderWorkspace* ws = nullptr) const;
 
+  // Split surface for batched campaigns: the decision procedure with step 2
+  // (the two decodes) lifted out, so a caller can gather many masked word
+  // pairs into one rs::decode_batch plane. arbitrate() itself is built on
+  // these; `mask_erasures` then external decodes then `select` is
+  // bit-identical to one arbitrate() call.
+  //
+  // Step 1 on erasure-flag planes (the layout MemoryModule::read_into_plane
+  // emits): masks single-sided erasures in place, rewrites BOTH flag spans
+  // to the common-erasure indicator (erased in both modules — exactly the
+  // erasure_flags decode_batch must see for each word of the pair), and
+  // fills result.common_erasures / result.masked_erasures.
+  void mask_erasures(std::span<Element> word1, std::span<Element> word2,
+                     std::span<std::uint8_t> flags1,
+                     std::span<std::uint8_t> flags2,
+                     ArbiterResult& result) const;
+
+  // Step 3: flag-based selection. Requires result.outcome1/outcome2 already
+  // set (by arbitrate's own decodes or by decode_batch) and `word1`/`word2`
+  // to hold the post-decode words; fills flags, decision and output.
+  void select(std::span<const Element> word1, std::span<const Element> word2,
+              ArbiterResult& result) const;
+
  private:
   const rs::ReedSolomon* code_;
   ArbiterPolicy policy_;

@@ -54,6 +54,24 @@ void DuplexSystem::store(std::span<const Element> data) {
   } else {
     code_->encode_legacy(stored_data_, stored_codeword_);
   }
+  commit_store();
+}
+
+void DuplexSystem::store_encoded(std::span<const Element> data,
+                                 std::span<const Element> codeword) {
+  if (stored_) {
+    throw std::logic_error("DuplexSystem::store_encoded: already stored");
+  }
+  if (data.size() != code_->k() || codeword.size() != code_->n()) {
+    throw std::invalid_argument(
+        "DuplexSystem::store_encoded: data/codeword size mismatch");
+  }
+  stored_data_.assign(data.begin(), data.end());
+  stored_codeword_.assign(codeword.begin(), codeword.end());
+  commit_store();
+}
+
+void DuplexSystem::commit_store() {
   module1_.write(stored_codeword_);
   module2_.write(stored_codeword_);
   stored_ = true;
@@ -262,6 +280,55 @@ DuplexReadResult DuplexSystem::read() const {
   result.arbitration = arbitrate_with_recovery();
   result.degraded = demoted();
   if (result.degraded) ++degradation_.reads_in_degraded_mode;
+  result.read.outcome = result.arbitration.outcome1;
+  result.read.success = result.arbitration.has_output();
+  if (result.read.success) {
+    result.read.data = code_->extract_data(result.arbitration.output);
+    result.read.data_correct =
+        std::equal(result.read.data.begin(), result.read.data.end(),
+                   stored_data_.begin(), stored_data_.end());
+  }
+  return result;
+}
+
+bool DuplexSystem::supports_batched_read() const {
+  return stored_ && !retired_ && dead_module_ < 0 &&
+         config_.workspace != nullptr && !config_.degradation.any_enabled();
+}
+
+void DuplexSystem::read_into_masked_pair(std::span<Element> word1,
+                                         std::span<Element> word2,
+                                         std::span<std::uint8_t> flags1,
+                                         std::span<std::uint8_t> flags2,
+                                         ArbiterResult& partial) const {
+  if (!supports_batched_read()) {
+    throw std::logic_error(
+        "DuplexSystem::read_into_masked_pair: batched read unsupported "
+        "(need stored data, workspace fast path, inert degradation policy)");
+  }
+  module1_.read_into_plane(word1, flags1);
+  module2_.read_into_plane(word2, flags2);
+  arbiter_.mask_erasures(word1, word2, flags1, flags2, partial);
+}
+
+DuplexReadResult DuplexSystem::finish_batched_read(
+    std::span<const Element> word1, std::span<const Element> word2,
+    const rs::DecodeOutcome& outcome1, const rs::DecodeOutcome& outcome2,
+    ArbiterResult&& partial) const {
+  if (!supports_batched_read()) {
+    throw std::logic_error(
+        "DuplexSystem::finish_batched_read: batched read unsupported");
+  }
+  // Replays read()'s tail: with an inert degradation policy
+  // arbitrate_with_recovery is exactly {arbitrate, note_decode_result}, and
+  // steps 1-2 of the arbitration already happened externally.
+  partial.outcome1 = outcome1;
+  partial.outcome2 = outcome2;
+  arbiter_.select(word1, word2, partial);
+  note_decode_result(partial.has_output());
+  DuplexReadResult result;
+  result.arbitration = std::move(partial);
+  result.degraded = false;  // gated on !demoted() && !retired_
   result.read.outcome = result.arbitration.outcome1;
   result.read.success = result.arbitration.has_output();
   if (result.read.success) {

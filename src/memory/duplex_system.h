@@ -52,9 +52,49 @@ class DuplexSystem {
   const SystemStats& stats() const { return stats_; }
 
   void store(std::span<const Element> data);
+
+  // Batched-store half: stores `data` (k symbols) with an externally
+  // encoded `codeword` (n symbols, written to both modules). The campaign
+  // batch path encodes whole trial planes with rs::encode_batch
+  // (bit-identical per word to encode()); the caller guarantees
+  // codeword == encode(data). Observable behaviour identical to store().
+  void store_encoded(std::span<const Element> data,
+                     std::span<const Element> codeword);
+
   void advance_to(double t_hours);
 
   DuplexReadResult read() const;
+
+  // --- Batched read surface (campaign gather/scatter) ----------------------
+  // Duplex counterpart of SimplexSystem's split read: gather the two
+  // modules' reads with arbiter step-1 erasure masking already applied,
+  // decode both words externally (one rs::decode_batch plane across many
+  // systems — the flag spans come back holding each word's common-erasure
+  // indicator, decode_batch's erasure_flags layout), then finish with the
+  // arbiter's flag-based selection. Bit-identical to read() whenever
+  // supports_batched_read() holds.
+  //
+  // True when read() reduces to {mask, two workspace decodes, select}:
+  // data stored, not retired, not demoted, workspace fast path configured,
+  // every degradation rung disabled.
+  bool supports_batched_read() const;
+  // Gather + arbiter step 1: raw module reads masked in place, both flag
+  // spans rewritten to the common-erasure indicator, `partial` filled with
+  // common_erasures/masked_erasures (outcomes still default). All spans of
+  // size n.
+  void read_into_masked_pair(std::span<Element> word1,
+                             std::span<Element> word2,
+                             std::span<std::uint8_t> flags1,
+                             std::span<std::uint8_t> flags2,
+                             ArbiterResult& partial) const;
+  // Scatter: consumes the two externally-decoded words and outcomes plus
+  // the ArbiterResult read_into_masked_pair filled; runs arbiter step 3 and
+  // read()'s bookkeeping/data tail. Requires supports_batched_read().
+  DuplexReadResult finish_batched_read(std::span<const Element> word1,
+                                       std::span<const Element> word2,
+                                       const rs::DecodeOutcome& outcome1,
+                                       const rs::DecodeOutcome& outcome2,
+                                       ArbiterResult&& partial) const;
 
   // Ground-truth damage of one module (0 or 1) versus the stored codeword.
   DamageSummary damage(unsigned module_index) const;
@@ -84,6 +124,9 @@ class DuplexSystem {
   bool retired() const { return retired_; }
 
  private:
+  // Shared tail of store()/store_encoded(): write the codeword to both
+  // modules and start the fault/scrub processes.
+  void commit_store();
   void scrub();
   void schedule_next_scrub();
   // Full arbitration over the current module contents (fills the scratch

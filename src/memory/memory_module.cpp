@@ -52,6 +52,18 @@ void MemoryModule::read_into(std::span<Element> out) const {
   }
 }
 
+void MemoryModule::read_into_plane(std::span<Element> word,
+                                   std::span<std::uint8_t> erasure_flags) const {
+  if (word.size() != n_ || erasure_flags.size() != n_) {
+    throw std::invalid_argument("MemoryModule::read_into_plane: size mismatch");
+  }
+  for (unsigned i = 0; i < n_; ++i) {
+    word[i] =
+        (value_[i] & ~stuck_mask_[i]) | (stuck_level_[i] & stuck_mask_[i]);
+    erasure_flags[i] = detected_mask_[i] != 0 ? 1 : 0;
+  }
+}
+
 Element MemoryModule::read_symbol(unsigned symbol) const {
   check_position(symbol, 0);
   return (value_[symbol] & ~stuck_mask_[symbol]) |

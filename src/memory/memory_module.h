@@ -38,6 +38,14 @@ class MemoryModule {
   std::vector<Element> read() const;
   // Allocation-free variant for hot simulation loops: out.size() must be n.
   void read_into(std::span<Element> out) const;
+  // Batched-read gather: one pass filling the symbol values (as read_into)
+  // and a per-symbol erasure indicator (1 where the symbol has a *detected*
+  // permanent fault — the positions detected_erasures_into would list).
+  // Both spans must have size n. The flag layout is exactly what
+  // rs::ReedSolomon::decode_batch takes as erasure_flags, so a campaign can
+  // gather many modules into one word/flag plane pair.
+  void read_into_plane(std::span<Element> word,
+                       std::span<std::uint8_t> erasure_flags) const;
   Element read_symbol(unsigned symbol) const;
 
   // Transient fault: inverts the stored value of one bit. A flip on a stuck

@@ -48,6 +48,24 @@ void SimplexSystem::store(std::span<const Element> data) {
   } else {
     code_->encode_legacy(stored_data_, stored_codeword_);
   }
+  commit_store();
+}
+
+void SimplexSystem::store_encoded(std::span<const Element> data,
+                                  std::span<const Element> codeword) {
+  if (stored_) {
+    throw std::logic_error("SimplexSystem::store_encoded: already stored");
+  }
+  if (data.size() != code_->k() || codeword.size() != code_->n()) {
+    throw std::invalid_argument(
+        "SimplexSystem::store_encoded: data/codeword size mismatch");
+  }
+  stored_data_.assign(data.begin(), data.end());
+  stored_codeword_.assign(codeword.begin(), codeword.end());
+  commit_store();
+}
+
+void SimplexSystem::commit_store() {
   module_.write(stored_codeword_);
   stored_ = true;
   injector_->start();
@@ -179,6 +197,43 @@ ReadResult SimplexSystem::read() const {
   result.success = result.outcome.ok();
   if (result.success) {
     result.data = code_->extract_data(word_scratch_);
+    result.data_correct =
+        std::equal(result.data.begin(), result.data.end(),
+                   stored_data_.begin(), stored_data_.end());
+  }
+  return result;
+}
+
+bool SimplexSystem::supports_batched_read() const {
+  return stored_ && !retired_ && config_.workspace != nullptr &&
+         !config_.degradation.any_enabled();
+}
+
+void SimplexSystem::read_into_plane(
+    std::span<Element> word, std::span<std::uint8_t> erasure_flags) const {
+  if (!supports_batched_read()) {
+    throw std::logic_error(
+        "SimplexSystem::read_into_plane: batched read unsupported "
+        "(need stored data, workspace fast path, inert degradation policy)");
+  }
+  module_.read_into_plane(word, erasure_flags);
+}
+
+ReadResult SimplexSystem::finish_batched_read(
+    std::span<const Element> word, const rs::DecodeOutcome& outcome) const {
+  if (!supports_batched_read()) {
+    throw std::logic_error(
+        "SimplexSystem::finish_batched_read: batched read unsupported");
+  }
+  // Replays read()'s tail: with an inert degradation policy
+  // decode_with_recovery is exactly {run_decode, note_decode_result}, and
+  // the decode already happened externally.
+  note_decode_result(outcome.ok());
+  ReadResult result;
+  result.outcome = outcome;
+  result.success = outcome.ok();
+  if (result.success) {
+    result.data = code_->extract_data(word);
     result.data_correct =
         std::equal(result.data.begin(), result.data.end(),
                    stored_data_.begin(), stored_data_.end());

@@ -81,11 +81,43 @@ class SimplexSystem {
   // Encodes and stores `data` (k symbols). Must be called before advancing.
   void store(std::span<const Element> data);
 
+  // Batched-store half: stores `data` (k symbols) whose `codeword` (n
+  // symbols) was already encoded externally — the campaign batch path
+  // encodes whole trial planes with rs::encode_batch (bit-identical per
+  // word to encode()) and hands each system its slot. The caller guarantees
+  // codeword == encode(data); observable behaviour is identical to
+  // store(data).
+  void store_encoded(std::span<const Element> data,
+                     std::span<const Element> codeword);
+
   // Advances simulated time, processing fault arrivals and scrub passes.
   void advance_to(double t_hours);
 
   // Decodes the current memory content (non-destructive).
   ReadResult read() const;
+
+  // --- Batched read surface (campaign gather/scatter) ----------------------
+  // A campaign can gather many systems' raw reads into one word/flag plane,
+  // run a single rs::decode_batch over it, and hand each word's outcome
+  // back to its system. The split read is bit-identical to read() whenever
+  // supports_batched_read() holds: the fast-path decode is external but
+  // identical, and finish_batched_read replays read()'s bookkeeping.
+  //
+  // True when the per-word read() reduces to exactly {gather, one workspace
+  // decode, finish}: data stored, not retired, workspace fast path
+  // configured, and every degradation rung disabled (the rungs re-read the
+  // module mid-decode, which cannot be batched).
+  bool supports_batched_read() const;
+  // Raw module gather: word values + per-symbol detected-erasure flags
+  // (both spans of size n), in decode_batch's erasure_flags layout.
+  void read_into_plane(std::span<Element> word,
+                       std::span<std::uint8_t> erasure_flags) const;
+  // Scatter: consumes the externally-decoded word (post-decode content of
+  // the gathered plane slot) and its outcome; performs read()'s
+  // failure-counting and data-extraction tail. Requires
+  // supports_batched_read().
+  ReadResult finish_batched_read(std::span<const Element> word,
+                                 const rs::DecodeOutcome& outcome) const;
 
   // Ground-truth damage versus the stored codeword (instrumentation).
   DamageSummary damage() const;
@@ -108,6 +140,9 @@ class SimplexSystem {
   bool retired() const { return retired_; }
 
  private:
+  // Shared tail of store()/store_encoded(): write the codeword to the
+  // module and start the fault/scrub processes.
+  void commit_store();
   void scrub();
   void schedule_next_scrub();
   // Routes through the workspace fast path when configured, else legacy.

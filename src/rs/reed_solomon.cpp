@@ -374,11 +374,21 @@ void ReedSolomon::encode_batch(DecoderWorkspace& ws,
         in[p * stride + w] = static_cast<std::uint8_t>(word[p]);
       }
     }
-    for (std::size_t j = 0; j < two_t; ++j) {
-      std::uint8_t* dst = acc + j * stride;
+    if (kn->mul_rows_acc != nullptr) {
+      // Fused sweep: one kernel call per data position updates every
+      // parity row (encode_mul rows for a position are contiguous).
+      // Reordering the XOR accumulation is exact, so still bit-identical.
       for (std::size_t p = 0; p < k; ++p) {
-        kn->mul_const_acc(dst, in + p * stride,
-                          st->encode_mul[p * two_t + j], count);
+        kn->mul_rows_acc(acc, stride, in + p * stride,
+                         st->encode_mul.data() + p * two_t, two_t, count);
+      }
+    } else {
+      for (std::size_t j = 0; j < two_t; ++j) {
+        std::uint8_t* dst = acc + j * stride;
+        for (std::size_t p = 0; p < k; ++p) {
+          kn->mul_const_acc(dst, in + p * stride,
+                            st->encode_mul[p * two_t + j], count);
+        }
       }
     }
     for (std::size_t w = 0; w < count; ++w) {
@@ -442,11 +452,21 @@ void ReedSolomon::decode_batch(
         in[p * stride + w] = static_cast<std::uint8_t>(word[p]);
       }
     }
-    for (std::size_t j = 0; j < two_t; ++j) {
-      std::uint8_t* dst = acc + j * stride;
+    if (kn->mul_rows_acc != nullptr) {
+      // Fused sweep: one kernel call per codeword position updates every
+      // syndrome row (synd_mul rows for a position are contiguous).
+      // Reordering the XOR accumulation is exact, so still bit-identical.
       for (std::size_t p = 0; p < n; ++p) {
-        kn->mul_const_acc(dst, in + p * stride, st->synd_mul[p * two_t + j],
-                          count);
+        kn->mul_rows_acc(acc, stride, in + p * stride,
+                         st->synd_mul.data() + p * two_t, two_t, count);
+      }
+    } else {
+      for (std::size_t j = 0; j < two_t; ++j) {
+        std::uint8_t* dst = acc + j * stride;
+        for (std::size_t p = 0; p < n; ++p) {
+          kn->mul_const_acc(dst, in + p * stride,
+                            st->synd_mul[p * two_t + j], count);
+        }
       }
     }
     for (std::size_t j = 0; j < two_t; ++j) {

@@ -17,14 +17,19 @@ std::uint64_t mix(std::uint64_t z) {
 
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) : root_seed_(seed), engine_(mix(seed)) {}
+Rng::Rng(std::uint64_t seed) : root_seed_(seed) {}
+
+std::mt19937_64& Rng::engine() {
+  if (!engine_) engine_.emplace(mix(root_seed_));
+  return *engine_;
+}
 
 Rng Rng::split(std::uint64_t stream_id) const {
   return Rng{mix(root_seed_ ^ mix(stream_id + 1))};
 }
 
 double Rng::uniform() {
-  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  return static_cast<double>(engine()() >> 11) * 0x1.0p-53;
 }
 
 double Rng::uniform_positive() {
@@ -34,11 +39,25 @@ double Rng::uniform_positive() {
 
 std::uint64_t Rng::uniform_int(std::uint64_t bound) {
   if (bound == 0) throw std::invalid_argument("Rng::uniform_int: bound == 0");
+  auto& eng = engine();
+  if ((bound & (bound - 1)) == 0) {
+    // Power-of-two bound: bit-identical to the general path below (for
+    // 2^64 mod bound == 0 its limit is 2^64 - bound and x % bound is
+    // x & (bound - 1)) without the two 64-bit divisions — this is the
+    // symbol-draw path for every power-of-two field (m = 8 included), hot
+    // in Monte-Carlo dataword generation.
+    const std::uint64_t limit = ~std::uint64_t{0} - (bound - 1);
+    std::uint64_t x;
+    do {
+      x = eng();
+    } while (x >= limit);
+    return x & (bound - 1);
+  }
   // Rejection sampling to remove modulo bias.
   const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
   std::uint64_t x;
   do {
-    x = engine_();
+    x = eng();
   } while (x >= limit);
   return x % bound;
 }

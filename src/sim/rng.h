@@ -20,6 +20,7 @@
 #define RSMEM_SIM_RNG_H
 
 #include <cstdint>
+#include <optional>
 #include <random>
 
 namespace rsmem::sim {
@@ -44,11 +45,17 @@ class Rng {
   // Poisson count with the given mean (>= 0) by inversion/chunking.
   std::uint64_t poisson(double mean);
 
-  std::uint64_t next_u64() { return engine_(); }
+  std::uint64_t next_u64() { return engine()(); }
 
  private:
+  // The mt19937-64 state (312 words, non-trivial to seed) is materialized
+  // lazily on the first draw, producing exactly the sequence the eager
+  // seeding produced. Campaign trial setup creates several Rngs that are
+  // only ever split() -- the campaign root, each system's root -- and those
+  // never pay for an engine at all.
+  std::mt19937_64& engine();
   std::uint64_t root_seed_;
-  std::mt19937_64 engine_;
+  std::optional<std::mt19937_64> engine_;
 };
 
 }  // namespace rsmem::sim

@@ -106,6 +106,42 @@ TEST(Cli, VersionNamesSelectedGfBackend) {
   EXPECT_NE(out.find(want), std::string::npos) << out;
 }
 
+TEST(Cli, VersionListsCompiledAndSupportedBackends) {
+  std::string out;
+  EXPECT_EQ(run({"version"}, &out), 0);
+  // The portable backends are always compiled in and always usable, so both
+  // inventory lines exist and contain at least them; the supported list must
+  // include the selected backend and only name compiled backends.
+  const auto line_after = [&](const std::string& tag) {
+    const std::size_t at = out.find(tag);
+    EXPECT_NE(at, std::string::npos) << out;
+    if (at == std::string::npos) return std::string();
+    const std::size_t end = out.find('\n', at);
+    return out.substr(at + tag.size(),
+                      end == std::string::npos ? std::string::npos
+                                               : end - at - tag.size());
+  };
+  const std::string compiled = line_after("gf backends compiled:");
+  const std::string supported = line_after("gf backends supported:");
+  for (const char* always : {"scalar", "swar"}) {
+    EXPECT_NE(compiled.find(always), std::string::npos) << compiled;
+    EXPECT_NE(supported.find(always), std::string::npos) << supported;
+  }
+  EXPECT_NE(supported.find(rsmem::gf::simd::active().name),
+            std::string::npos)
+      << supported;
+  for (const rsmem::gf::simd::Backend b : rsmem::gf::simd::kAllBackends) {
+    if (rsmem::gf::simd::backend_supported(b)) {
+      EXPECT_NE(supported.find(rsmem::gf::simd::to_string(b)),
+                std::string::npos)
+          << supported;
+      EXPECT_NE(compiled.find(rsmem::gf::simd::to_string(b)),
+                std::string::npos)
+          << compiled;
+    }
+  }
+}
+
 TEST(Cli, AnalyzeProducesCurve) {
   std::string out;
   EXPECT_EQ(run({"analyze", "--seu", "1.7e-5", "--hours", "48", "--points",

@@ -286,5 +286,94 @@ TEST(DifferentialMc, DuplexRs1816SeuStrictlyInsideCriteriaBracket) {
       << sim.failure.p_hat() << " vs either-lost " << conservative;
 }
 
+// ---- batched trial planes vs the per-trial path -------------------------
+
+// Every MonteCarloResult field compared exactly: the batched
+// gather/decode/scatter path must reproduce the per-trial path bit-for-bit
+// for every {threads, chunk_trials, batch_trials} combination — the same
+// invariance contract the campaign engine already gives for threads/chunks,
+// extended to the batch width. Scrubbing is ON so per-trial event
+// processing (whose decodes stay per-word inside advance_to) interleaves
+// with the batched final reads.
+void expect_same_result(const MonteCarloResult& got,
+                        const MonteCarloResult& want, const char* tag,
+                        std::size_t value) {
+  EXPECT_EQ(got.failure.trials, want.failure.trials) << tag << value;
+  EXPECT_EQ(got.failure.failures, want.failure.failures) << tag << value;
+  EXPECT_EQ(got.mean_seu_per_trial, want.mean_seu_per_trial) << tag << value;
+  EXPECT_EQ(got.mean_permanent_per_trial, want.mean_permanent_per_trial)
+      << tag << value;
+  EXPECT_EQ(got.scrub_failures, want.scrub_failures) << tag << value;
+  EXPECT_EQ(got.scrub_miscorrections, want.scrub_miscorrections)
+      << tag << value;
+  EXPECT_EQ(got.no_output_failures, want.no_output_failures) << tag << value;
+  EXPECT_EQ(got.wrong_data_failures, want.wrong_data_failures)
+      << tag << value;
+}
+
+TEST(DifferentialMc, BatchedSimplexInvariantAcrossWidthsThreadsChunks) {
+  memory::SimplexSystemConfig cfg;
+  cfg.code = rs::CodeParams{36, 16, 8, 1};
+  cfg.rates.seu_rate_per_bit_hour = 2.0 / 24.0;
+  cfg.rates.perm_rate_per_symbol_hour = 0.3 / 24.0;
+  cfg.scrub_policy = memory::ScrubPolicy::kPeriodic;
+  cfg.scrub_period_hours = 12.0;
+
+  MonteCarloConfig mc;
+  mc.trials = 12000;
+  mc.t_end_hours = kHours;
+  mc.seed = kSeed + 1;
+  mc.threads = 1;
+  mc.batch_trials = 1;  // per-trial read() control
+  const MonteCarloResult want = run_simplex_trials(cfg, mc);
+  ASSERT_GT(want.failure.failures, 100u);
+  ASSERT_GT(want.scrub_failures, 0u);
+
+  for (const std::size_t width : {std::size_t{3}, std::size_t{64},
+                                  std::size_t{1000}}) {
+    mc.batch_trials = width;
+    expect_same_result(run_simplex_trials(cfg, mc), want, "width=", width);
+  }
+  mc.batch_trials = 0;  // default width
+  for (const unsigned threads : {2u, 5u}) {
+    mc.threads = threads;
+    expect_same_result(run_simplex_trials(cfg, mc), want,
+                       "default width, threads=", threads);
+  }
+  mc.threads = 3;
+  for (const std::size_t chunk : {std::size_t{37}, std::size_t{4096}}) {
+    mc.chunk_trials = chunk;
+    expect_same_result(run_simplex_trials(cfg, mc), want,
+                       "default width, 3 threads, chunk=", chunk);
+  }
+}
+
+TEST(DifferentialMc, BatchedDuplexInvariantAcrossWidthsThreadsChunks) {
+  memory::DuplexSystemConfig cfg;
+  cfg.rates.seu_rate_per_bit_hour = 2.9e-3 / 24.0;
+  cfg.rates.perm_rate_per_symbol_hour = 0.15 / 24.0;
+  cfg.scrub_policy = memory::ScrubPolicy::kExponential;
+  cfg.scrub_period_hours = 16.0;
+
+  MonteCarloConfig mc;
+  mc.trials = 20000;
+  mc.t_end_hours = kHours;
+  mc.seed = kSeed + 2;
+  mc.threads = 1;
+  mc.batch_trials = 1;
+  const MonteCarloResult want = run_duplex_trials(cfg, mc);
+  ASSERT_GT(want.failure.failures, 100u);
+
+  for (const std::size_t width : {std::size_t{5}, std::size_t{64}}) {
+    mc.batch_trials = width;
+    expect_same_result(run_duplex_trials(cfg, mc), want, "width=", width);
+  }
+  mc.batch_trials = 0;
+  mc.threads = 4;
+  mc.chunk_trials = 511;
+  expect_same_result(run_duplex_trials(cfg, mc), want,
+                     "default width, 4 threads, chunk=", 511);
+}
+
 }  // namespace
 }  // namespace rsmem::analysis

@@ -24,10 +24,12 @@
 #include <cstdint>
 #include <numeric>
 #include <random>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "analysis/monte_carlo.h"
 #include "gf/aligned.h"
 #include "gf/galois_field.h"
 #include "gf/simd_mul.h"
@@ -56,9 +58,7 @@ class BackendGuard {
 
 std::vector<simd::Backend> supported_backends() {
   std::vector<simd::Backend> out;
-  for (const simd::Backend b :
-       {simd::Backend::kScalar, simd::Backend::kSwar, simd::Backend::kSsse3,
-        simd::Backend::kAvx2}) {
+  for (const simd::Backend b : simd::kAllBackends) {
     if (simd::backend_supported(b)) out.push_back(b);
   }
   return out;
@@ -74,6 +74,8 @@ const simd::Kernels* kernels_of(simd::Backend b) {
       return simd::ssse3_kernels();
     case simd::Backend::kAvx2:
       return simd::avx2_kernels();
+    case simd::Backend::kGfni:
+      return simd::gfni_kernels();
   }
   return nullptr;
 }
@@ -95,8 +97,8 @@ TEST(SimdKernels, BaselineBackendsAlwaysSupported) {
 
 TEST(SimdKernels, ForceBackendRejectsUnsupported) {
   BackendGuard guard;
-  for (const simd::Backend b :
-       {simd::Backend::kSsse3, simd::Backend::kAvx2}) {
+  for (const simd::Backend b : {simd::Backend::kSsse3, simd::Backend::kAvx2,
+                                simd::Backend::kGfni}) {
     if (simd::backend_supported(b)) continue;
     EXPECT_FALSE(simd::force_backend(b));
   }
@@ -177,6 +179,52 @@ TEST(SimdKernels, XorAccBitIdenticalAcrossBackends) {
         kernels_of(b)->xor_acc(got.data(), src.data() + off, len);
         ASSERT_EQ(got, want)
             << simd::to_string(b) << " len=" << len << " off=" << off;
+      }
+    }
+  }
+}
+
+// The fused multi-row kernel against a scalar mul_const_acc loop: random
+// constants (zeros included), boundary-straddling lengths, row counts
+// around the codec's two_t sweeps, rows packed at stride = len + slack so
+// out-of-row writes would corrupt a neighbour and fail the compare.
+TEST(SimdKernels, MulRowsAccMatchesMulConstAccLoop) {
+  const auto* scalar = simd::scalar_kernels();
+  for (const unsigned m : {3u, 8u}) {
+    const GaloisField field(m);
+    std::mt19937 rng(0xF05ED + m);
+    std::uniform_int_distribution<unsigned> sym(0, field.size() - 1);
+    for (const std::size_t rows : {1u, 5u, 32u}) {
+      for (const std::size_t len : kLengths) {
+        for (const std::size_t src_off : {0u, 3u}) {
+          const std::size_t stride = len + 8;
+          std::vector<simd::MulTables> tables(rows);
+          for (std::size_t r = 0; r < rows; ++r) {
+            // Every 4th row gets c = 0 to exercise the skip path.
+            const Element c =
+                (r % 4 == 3) ? 0 : static_cast<Element>(sym(rng));
+            simd::build_tables(tables[r], field, c);
+          }
+          std::vector<std::uint8_t> src(src_off + len);
+          std::vector<std::uint8_t> dst(rows * stride);
+          for (auto& b : src) b = static_cast<std::uint8_t>(sym(rng));
+          for (auto& b : dst) b = static_cast<std::uint8_t>(sym(rng));
+          std::vector<std::uint8_t> want = dst;
+          for (std::size_t r = 0; r < rows; ++r) {
+            scalar->mul_const_acc(want.data() + r * stride,
+                                  src.data() + src_off, tables[r], len);
+          }
+          for (const simd::Backend b : supported_backends()) {
+            const simd::Kernels* kn = kernels_of(b);
+            if (kn->mul_rows_acc == nullptr) continue;
+            std::vector<std::uint8_t> got = dst;
+            kn->mul_rows_acc(got.data(), stride, src.data() + src_off,
+                             tables.data(), rows, len);
+            ASSERT_EQ(got, want)
+                << simd::to_string(b) << " m=" << m << " rows=" << rows
+                << " len=" << len << " soff=" << src_off;
+          }
+        }
       }
     }
   }
@@ -440,6 +488,69 @@ TEST(BatchDifferential, MisalignedCallerPlanes) {
   }
 }
 
+// Erasure-first planes: words whose damage is dominated by FLAGGED symbol
+// positions (the located-permanent-fault shape the memory systems feed the
+// batch decoder), at off-width counts, with erasure loads sweeping from
+// zero through full capability to beyond-capability — each word checked
+// against decode_legacy with the equivalent ascending position list.
+TEST(BatchDifferential, ErasureFirstPlanesMatchLegacyOffWidths) {
+  BackendGuard guard;
+  const ReedSolomon code(36, 16, 8);
+  DecoderWorkspace ws;
+  ws.reserve(code);
+  const unsigned n = code.n();
+  const unsigned cap = code.n() - code.k();  // erasure-only capability
+  std::mt19937 rng(0xE7A5E5);
+  std::uniform_int_distribution<unsigned> sym(0, 255);
+  std::uniform_int_distribution<unsigned> posd(0, n - 1);
+  for (const std::size_t count : kPlaneCounts) {
+    std::vector<Element> data(count * code.k());
+    for (auto& d : data) d = sym(rng);
+    std::vector<Element> plane(count * n);
+    code.encode_batch(ws, data, plane);
+    std::vector<std::uint8_t> flags(plane.size(), 0);
+    std::vector<std::vector<unsigned>> erasures(count);
+    for (std::size_t w = 0; w < count; ++w) {
+      // Word w carries w % (cap + 3) erasures: sweeps clean words, partial
+      // loads, exactly-at-capability, and beyond-capability failures.
+      const unsigned load = static_cast<unsigned>(w % (cap + 3));
+      while (erasures[w].size() < load) {
+        const unsigned p = posd(rng);
+        if (flags[w * n + p] != 0) continue;
+        flags[w * n + p] = 1;
+        erasures[w].push_back(p);
+        // Erased content is untrusted: trash it (sometimes to itself).
+        plane[w * n + p] = sym(rng);
+      }
+      std::sort(erasures[w].begin(), erasures[w].end());
+      // Half the words also take one random (unflagged) error on top.
+      if (w % 2 == 1) plane[w * n + posd(rng)] ^= 1 + sym(rng) % 255;
+    }
+    std::vector<Element> legacy_plane = plane;
+    std::vector<DecodeOutcome> legacy(count);
+    for (std::size_t w = 0; w < count; ++w) {
+      const std::span<Element> word{legacy_plane.data() + w * n, n};
+      legacy[w] = code.decode_legacy(word, erasures[w]);
+    }
+    for (const simd::Backend b : supported_backends()) {
+      ASSERT_TRUE(simd::force_backend(b));
+      std::vector<Element> got_plane = plane;
+      std::vector<DecodeOutcome> got(count);
+      code.decode_batch(ws, got_plane, got, flags);
+      ASSERT_EQ(got_plane, legacy_plane)
+          << simd::to_string(b) << " count=" << count;
+      for (std::size_t w = 0; w < count; ++w) {
+        ASSERT_EQ(got[w].status, legacy[w].status)
+            << simd::to_string(b) << " count=" << count << " w=" << w;
+        ASSERT_EQ(got[w].errors_corrected, legacy[w].errors_corrected)
+            << simd::to_string(b) << " count=" << count << " w=" << w;
+        ASSERT_EQ(got[w].erasures_corrected, legacy[w].erasures_corrected)
+            << simd::to_string(b) << " count=" << count << " w=" << w;
+      }
+    }
+  }
+}
+
 // Batch APIs must reject out-of-field symbols identically on both routes.
 TEST(BatchDifferential, ValidationIdenticalAcrossRoutes) {
   BackendGuard guard;
@@ -464,6 +575,135 @@ TEST(BatchDifferential, ValidationIdenticalAcrossRoutes) {
     EXPECT_THROW(code.decode_batch(ws, plane, outcomes),
                  std::invalid_argument)
         << simd::to_string(b);
+  }
+}
+
+// ---- campaign level: batched trial planes vs the per-trial read() path --
+//
+// The Monte-Carlo engine's batched gather/decode/scatter path must be
+// bit-identical to the historical per-trial path for every batch width and
+// on every backend. batch_trials = 1 forces the per-trial control; the
+// width-64 default and off-width settings must reproduce it exactly —
+// including the per-trial observer records.
+
+namespace analysis = rsmem::analysis;
+namespace memory = rsmem::memory;
+
+// Packs one trial's full observable signature (outcome flags, per-word
+// decoder claims, ground-truth damage, fault counts) into a fingerprint.
+std::uint64_t trial_signature(const analysis::TrialRecord& record) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(record.success ? 1 : 0);
+  mix(record.data_correct ? 1 : 0);
+  mix(record.word_count);
+  for (unsigned w = 0; w < record.word_count; ++w) {
+    const analysis::WordObservation& word = record.words[w];
+    mix(word.decode_ok ? 1 : 0);
+    mix(word.errors_corrected);
+    mix(word.erasures_corrected);
+    mix(word.erasures_supplied);
+    mix(word.erased_symbols);
+    mix(word.corrupted_symbols);
+  }
+  mix(record.seu_injected);
+  mix(record.permanent_injected);
+  return h;
+}
+
+void expect_same_campaign(const analysis::MonteCarloResult& got,
+                          const analysis::MonteCarloResult& want,
+                          const std::vector<std::uint64_t>& got_sigs,
+                          const std::vector<std::uint64_t>& want_sigs,
+                          const std::string& tag) {
+  EXPECT_EQ(got.failure.trials, want.failure.trials) << tag;
+  EXPECT_EQ(got.failure.failures, want.failure.failures) << tag;
+  EXPECT_EQ(got.mean_seu_per_trial, want.mean_seu_per_trial) << tag;
+  EXPECT_EQ(got.mean_permanent_per_trial, want.mean_permanent_per_trial)
+      << tag;
+  EXPECT_EQ(got.scrub_failures, want.scrub_failures) << tag;
+  EXPECT_EQ(got.scrub_miscorrections, want.scrub_miscorrections) << tag;
+  EXPECT_EQ(got.no_output_failures, want.no_output_failures) << tag;
+  EXPECT_EQ(got.wrong_data_failures, want.wrong_data_failures) << tag;
+  ASSERT_EQ(got_sigs.size(), want_sigs.size()) << tag;
+  for (std::size_t t = 0; t < want_sigs.size(); ++t) {
+    ASSERT_EQ(got_sigs[t], want_sigs[t]) << tag << " trial=" << t;
+  }
+}
+
+// Off-width batch settings (primes, sub-SoA-threshold widths, the default,
+// wider-than-chunk) against the width-1 per-trial control.
+const std::size_t kBatchWidths[] = {2, 3, 5, 64, 4096};
+
+TEST(CampaignDifferential, BatchedSimplexMatchesPerWordEveryBackend) {
+  BackendGuard guard;
+  memory::SimplexSystemConfig cfg;
+  cfg.code = rsmem::rs::CodeParams{36, 16, 8, 1};
+  cfg.rates.seu_rate_per_bit_hour = 2.0 / 24.0;
+  cfg.rates.perm_rate_per_symbol_hour = 0.3 / 24.0;
+
+  analysis::MonteCarloConfig mc;
+  mc.trials = 600;
+  mc.t_end_hours = 48.0;
+  mc.seed = 0x5117;
+  mc.threads = 1;
+  std::vector<std::uint64_t> sigs(mc.trials, 0);
+  mc.observer = [&sigs](const analysis::TrialRecord& record) {
+    sigs[record.trial_index] = trial_signature(record);
+  };
+
+  for (const simd::Backend b : supported_backends()) {
+    ASSERT_TRUE(simd::force_backend(b));
+    mc.batch_trials = 1;  // per-trial read() control
+    const analysis::MonteCarloResult want = run_simplex_trials(cfg, mc);
+    const std::vector<std::uint64_t> want_sigs = sigs;
+    ASSERT_GT(want.failure.failures, 0u) << "workload too tame to differ";
+    for (const std::size_t width : kBatchWidths) {
+      mc.batch_trials = width;
+      std::fill(sigs.begin(), sigs.end(), 0);
+      const analysis::MonteCarloResult got = run_simplex_trials(cfg, mc);
+      expect_same_campaign(got, want, sigs, want_sigs,
+                           std::string("simplex ") + simd::to_string(b) +
+                               " width=" + std::to_string(width));
+    }
+  }
+}
+
+TEST(CampaignDifferential, BatchedDuplexMatchesPerWordEveryBackend) {
+  BackendGuard guard;
+  memory::DuplexSystemConfig cfg;
+  cfg.code = rsmem::rs::CodeParams{18, 16, 8, 1};
+  cfg.rates.seu_rate_per_bit_hour = 0.5 / 24.0;
+  cfg.rates.perm_rate_per_symbol_hour = 0.25 / 24.0;
+
+  analysis::MonteCarloConfig mc;
+  mc.trials = 400;
+  mc.t_end_hours = 48.0;
+  mc.seed = 0xD0B1E;
+  mc.threads = 1;
+  mc.chunk_trials = 97;  // off-width chunks: batches straddle chunk ends
+  std::vector<std::uint64_t> sigs(mc.trials, 0);
+  mc.observer = [&sigs](const analysis::TrialRecord& record) {
+    sigs[record.trial_index] = trial_signature(record);
+  };
+
+  for (const simd::Backend b : supported_backends()) {
+    ASSERT_TRUE(simd::force_backend(b));
+    mc.batch_trials = 1;
+    const analysis::MonteCarloResult want = run_duplex_trials(cfg, mc);
+    const std::vector<std::uint64_t> want_sigs = sigs;
+    ASSERT_GT(want.failure.failures, 0u) << "workload too tame to differ";
+    for (const std::size_t width : kBatchWidths) {
+      mc.batch_trials = width;
+      std::fill(sigs.begin(), sigs.end(), 0);
+      const analysis::MonteCarloResult got = run_duplex_trials(cfg, mc);
+      expect_same_campaign(got, want, sigs, want_sigs,
+                           std::string("duplex ") + simd::to_string(b) +
+                               " width=" + std::to_string(width));
+    }
   }
 }
 

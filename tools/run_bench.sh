@@ -22,7 +22,17 @@
 # The SIMD plane selfcheck (>= 2x encode-plane speedup where a PSHUFB
 # backend is selected) gates the snapshot as well.
 #
-# Usage: tools/run_bench.sh [extra google-benchmark args...]
+# Usage: tools/run_bench.sh [--backend-sweep] [extra google-benchmark args...]
+#
+# Extra arguments are forwarded to bench_codec_throughput verbatim.
+# `--backend-sweep` makes it register the RS(36,16) x4096 encode/decode
+# plane cases once per backend the host CPU supports (scalar/swar at
+# minimum, ssse3/avx2/gfni where available), so the BENCH_codec.json
+# snapshot records the whole backend ladder next to the host's cpu_flags
+# context. After the snapshot passes the release guard, bench_mc_vs_markov
+# merges its campaign-throughput numbers (thread scaling, codec path,
+# batched-vs-per-word planes, each tagged with the selected gf backend)
+# into BENCH_codec.json as a top-level `mc_campaign` object.
 set -eu
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -86,7 +96,10 @@ if ! grep -q '"rsmem_build_type": "release"' "$ROOT/BENCH_codec.json"; then
     exit 1
 fi
 
-"$BUILD/bench/bench_mc_vs_markov"
+# Runs AFTER the release guard above: the merge rewrites BENCH_codec.json
+# through the canonical service serializer, and must only ever extend a
+# snapshot that already passed the build-type check.
+"$BUILD/bench/bench_mc_vs_markov" --campaign-json "$ROOT/BENCH_codec.json"
 
 "$BUILD/bench/bench_markov_throughput" --out "$ROOT/BENCH_markov.json"
 

@@ -44,21 +44,42 @@ run_asan() {
     echo "== Address+UB sanitizers: SIMD codec kernels (vector backends) =="
     # The codec differential suite again, explicitly: the SIMD kernels do
     # unaligned vector loads and tail handling that ASan/UBSan must see
-    # under every compiled backend (the suite forces each in turn).
+    # under every compiled backend (the suite forces each in turn), and then
+    # ONCE PER SUPPORTED BACKEND with RSMEM_GF_BACKEND pinned, so the
+    # process-wide dispatch path itself (env parse, CPUID gate, first-use
+    # selection) runs under ASan for every backend this host can execute —
+    # scalar and swar at minimum, the vector backends where the CPU allows.
     ASAN_OPTIONS="abort_on_error=1:detect_leaks=1" \
         ctest --test-dir "$ROOT/build-asan" -L codec --output-on-failure
+    backends=$("$ROOT/build-asan/tools/rsmem_cli" version \
+        | sed -n 's/^gf backends supported://p')
+    echo "asan codec loop over backends:$backends"
+    for b in $backends; do
+        echo "== Address+UB sanitizers: codec suite, RSMEM_GF_BACKEND=$b =="
+        RSMEM_GF_BACKEND="$b" \
+            ASAN_OPTIONS="abort_on_error=1:detect_leaks=1" \
+            ctest --test-dir "$ROOT/build-asan" -L codec --output-on-failure
+    done
 
     echo "== Address+UB sanitizers: SIMD codec kernels (nosimd A/B build) =="
     # Same suite against the RSMEM_DISABLE_SIMD build, where the codec can
     # only run its original scalar loops: the A/B control. An error that
     # reproduces only in the build above indicts the kernel layer; one that
-    # reproduces in both sits in the shared codec code.
+    # reproduces in both sits in the shared codec code. The nosimd build
+    # compiles only the portable backends, so its own loop is short.
     cmake --preset asan-nosimd -S "$ROOT" >/dev/null
     cmake --build "$ROOT/build-asan-nosimd" -j "$JOBS" \
-        --target rsmem_codec_tests
-    ASAN_OPTIONS="abort_on_error=1:detect_leaks=1" \
-        ctest --test-dir "$ROOT/build-asan-nosimd" -L codec \
-        --output-on-failure
+        --target rsmem_codec_tests rsmem_cli
+    backends=$("$ROOT/build-asan-nosimd/tools/rsmem_cli" version \
+        | sed -n 's/^gf backends supported://p')
+    echo "asan-nosimd codec loop over backends:$backends"
+    for b in $backends; do
+        echo "== Address+UB sanitizers: nosimd codec, RSMEM_GF_BACKEND=$b =="
+        RSMEM_GF_BACKEND="$b" \
+            ASAN_OPTIONS="abort_on_error=1:detect_leaks=1" \
+            ctest --test-dir "$ROOT/build-asan-nosimd" -L codec \
+            --output-on-failure
+    done
 }
 
 run_tsan() {
