@@ -23,6 +23,7 @@
 #include "models/ber.h"
 #include "models/chipkill.h"
 #include "models/sparing_model.h"
+#include "service/chaos_campaign.h"
 #include "service/client.h"
 #include "service/loadgen.h"
 #include "service/server.h"
@@ -94,7 +95,10 @@ int cmd_help(std::ostream& out) {
          "  serve     long-running analysis daemon (rsmem-serve)\n"
          "            --socket PATH | --listen HOST:PORT [--shards S]\n"
          "            [--threads T] [--max-queue N] [--cache N] [--batch B]\n"
-         "            (per-shard queue/cache; requests route by cache key)\n"
+         "            [--snapshot FILE] [--idle-timeout-ms MS]\n"
+         "            [--max-frames-per-second R] [--max-frame-bytes N]\n"
+         "            (per-shard queue/cache; requests route by cache key;\n"
+         "            --snapshot persists the cache across restarts)\n"
          "  query     one request against a running server\n"
          "            --at unix:PATH|HOST:PORT --kind ber|mttf|sweep|ping|\n"
          "            stats|shutdown [spec] [--hours H --points P]\n"
@@ -106,6 +110,12 @@ int cmd_help(std::ostream& out) {
          "            [--shard-sweep 1,2,4] [--json BENCH_serve.json]\n"
          "            (open loop pipelines scheduled arrivals; kOverloaded\n"
          "            rejections count separately from errors)\n"
+         "  chaos     transport fault-injection campaign against live\n"
+         "            servers  --preset serve-churn [--seed S]\n"
+         "            [--requests N --distinct K] [--timeout-ms MS]\n"
+         "            (deterministic per seed; exit 0 iff every request\n"
+         "            ends in exactly one typed outcome and post-chaos\n"
+         "            responses stay byte-identical to direct calls)\n"
          "  version   library version, build type, and the GF(2^m) kernel\n"
          "            backend runtime dispatch selected on this host\n"
          "  help      this text\n"
@@ -159,7 +169,11 @@ int cmd_version(std::ostream& out) {
   for (const gf::simd::Backend b : gf::simd::kAllBackends) {
     if (gf::simd::backend_supported(b)) out << " " << gf::simd::to_string(b);
   }
-  out << "\n";
+  out << "\n"
+      // Transport fault-injection shim (service/chaos.h): compiled into
+      // every build, off unless a ChaosEngine is wired in.
+      << "chaos shim: available (deterministic transport fault injection; "
+         "see 'rsmem_cli chaos')\n";
   return 0;
 }
 
@@ -548,7 +562,8 @@ unsigned shards_from(const Args& args) {
 
 int cmd_serve(const Args& args, std::ostream& out) {
   args.require_known({"socket", "listen", "threads", "max-queue", "cache",
-                      "batch", "shards"});
+                      "batch", "shards", "snapshot", "idle-timeout-ms",
+                      "max-frames-per-second", "max-frame-bytes"});
   if (args.has("socket") && args.has("listen")) {
     throw ArgError("pass --socket PATH or --listen HOST:PORT, not both");
   }
@@ -561,6 +576,19 @@ int cmd_serve(const Args& args, std::ostream& out) {
   }
   config.router.scheduler = scheduler_config_from(args);
   config.router.shards = shards_from(args);
+  config.snapshot_path = args.get_string_or("snapshot", "");
+  const double idle_ms = args.get_double_or("idle-timeout-ms", 0.0);
+  const double frame_rate = args.get_double_or("max-frames-per-second", 0.0);
+  const long frame_bytes =
+      args.get_long_or("max-frame-bytes", service::kMaxFrameBytes);
+  if (idle_ms < 0 || frame_rate < 0 || frame_bytes < 64) {
+    throw core::StatusError(core::Status::invalid_config(
+        "require --idle-timeout-ms >= 0, --max-frames-per-second >= 0, "
+        "--max-frame-bytes >= 64"));
+  }
+  config.idle_timeout_ms = idle_ms;
+  config.max_frames_per_second = frame_rate;
+  config.max_frame_bytes = static_cast<std::uint32_t>(frame_bytes);
   core::Result<std::unique_ptr<service::Server>> started =
       service::Server::start(config);
   if (!started.ok()) throw core::StatusError(started.status());
@@ -776,6 +804,31 @@ int cmd_loadgen(const Args& args, std::ostream& out) {
   return report.errors == 0 && scaling_errors == 0 ? 0 : 1;
 }
 
+int cmd_chaos(const Args& args, std::ostream& out) {
+  args.require_known({"preset", "seed", "requests", "distinct", "timeout-ms"});
+  const std::string preset = args.get_string_or("preset", "serve-churn");
+  if (preset != "serve-churn") {
+    throw ArgError("--preset must be 'serve-churn'");
+  }
+  service::ChaosCampaignConfig config;
+  config.seed = static_cast<std::uint64_t>(args.get_long_or("seed", 2005));
+  const long requests = args.get_long_or("requests", 24);
+  const long distinct = args.get_long_or("distinct", 4);
+  const double timeout_ms = args.get_double_or("timeout-ms", 5000.0);
+  if (requests < 1 || distinct < 1 || timeout_ms <= 0.0) {
+    throw core::StatusError(core::Status::invalid_config(
+        "require --requests >= 1, --distinct >= 1, --timeout-ms > 0"));
+  }
+  config.requests_per_scenario = static_cast<std::size_t>(requests);
+  config.distinct = static_cast<std::size_t>(distinct);
+  config.receive_timeout_ms = timeout_ms;
+  core::Result<service::ChaosCampaignReport> ran =
+      service::run_chaos_campaign(config);
+  if (!ran.ok()) throw core::StatusError(ran.status());
+  out << service::format_chaos_report(config, ran.value());
+  return ran.value().passed() ? 0 : 1;
+}
+
 }  // namespace
 
 int run_cli(int argc, const char* const* argv, std::ostream& out,
@@ -799,6 +852,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     if (command == "serve") return cmd_serve(args, out);
     if (command == "query") return cmd_query(args, out);
     if (command == "loadgen") return cmd_loadgen(args, out);
+    if (command == "chaos") return cmd_chaos(args, out);
     err << "unknown command '" << command << "'; try 'rsmem_cli help'\n";
     return 2;
   } catch (const ArgError& e) {

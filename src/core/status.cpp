@@ -24,6 +24,8 @@ const char* to_string(StatusCode code) {
       return "Overloaded";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kBrownout:
+      return "Brownout";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -50,6 +50,12 @@ enum class StatusCode : std::uint8_t {
   // Service scheduling: the request was admitted but its deadline expired
   // before a worker could start it. No computation was performed.
   kDeadlineExceeded,
+  // Service brown-out: the shard is under sustained overload and is
+  // shedding cache-MISS analysis work to protect cache hits and the
+  // control plane. Like kOverloaded this is a typed up-front rejection,
+  // but it carries a retry-after hint and signals degraded (not merely
+  // saturated) service.
+  kBrownout,
   // Invariant violation inside rsmem itself.
   kInternal,
 };
@@ -90,6 +96,9 @@ class Status {
   }
   static Status deadline_exceeded(std::string message) {
     return {StatusCode::kDeadlineExceeded, std::move(message)};
+  }
+  static Status brownout(std::string message) {
+    return {StatusCode::kBrownout, std::move(message)};
   }
   static Status internal(std::string message) {
     return {StatusCode::kInternal, std::move(message)};

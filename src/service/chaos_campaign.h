@@ -1,0 +1,97 @@
+// Chaos campaign for rsmem-serve: scripted transport-fault scenarios
+// against live in-process servers, graded the way the analytic fault
+// campaign grades memory systems (analysis/fault_campaign.h).
+//
+// Each scenario boots a private server (unix socket), drives a
+// deterministic request sequence through a faulty transport — torn
+// frames, corrupted length prefixes, flipped payload bits, stalls,
+// injected resets, accept failures, plus the server's own defenses
+// (brown-out shedding, frame-rate limits, max-frame rejection, idle
+// reaping, snapshot warm-start) — and then audits the books:
+//
+//   * EXACTLY-ONCE OUTCOME: every submitted request terminates in exactly
+//     one typed outcome (ok, server-typed rejection, or client-typed
+//     transport error). ops == ok + typed + transport, with zero
+//     receive-timeout hangs — nothing is ever silently dropped.
+//   * DAEMON SURVIVAL: after every scenario the daemon still answers a
+//     clean ping.
+//   * BYTE IDENTITY: ok responses match a direct core:: execution of the
+//     same request byte-for-byte (the transport may mangle deliveries
+//     when payload corruption is being injected — those are observed and
+//     counted — but the daemon's own state must stay correct).
+//
+// Determinism: scenarios run one client at a time and every fault is
+// drawn from chaos.h's split-stream RNG, so a fixed seed replays the
+// exact fault plan and the report is byte-identical run to run. The few
+// wall-clock-sensitive scenarios — rate limit, brown-out, idle reaper,
+// and the bit-flip corruption scenarios (flipped-bit effects depend on
+// the response byte-length, which embeds the measured compute_ms) —
+// print only their deterministic fields.
+#ifndef RSMEM_SERVICE_CHAOS_CAMPAIGN_H
+#define RSMEM_SERVICE_CHAOS_CAMPAIGN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace rsmem::service {
+
+struct ChaosCampaignConfig {
+  std::uint64_t seed = 2005;
+  std::size_t requests_per_scenario = 24;
+  std::size_t distinct = 4;          // distinct cache keys in the churn mix
+  double receive_timeout_ms = 5000;  // hang detector on every client read
+};
+
+struct ChaosScenarioResult {
+  std::string name;
+  std::uint64_t ops = 0;               // requests submitted
+  std::uint64_t ok = 0;                // terminal ok responses
+  std::uint64_t typed_rejections = 0;  // server-typed non-ok responses
+  std::uint64_t transport_errors = 0;  // client-typed terminal errors
+  std::uint64_t timeouts = 0;          // receive-timeout hangs (must be 0)
+  std::uint64_t faults_injected = 0;   // chaos engine counters, summed
+  std::uint64_t corrupt_deliveries = 0;  // ok responses with mangled bytes
+  std::uint64_t mismatches = 0;  // differential failures (daemon-side)
+  bool daemon_alive = false;     // clean ping answered after the scenario
+  bool invariants_ok = false;    // the exactly-once + survival audit
+  // Wall-clock-sensitive scenarios set this false; the report prints only
+  // ops and the verdict for them (counts would vary run to run).
+  bool counts_deterministic = true;
+  std::string detail;  // one-line deterministic account
+};
+
+struct ChaosCampaignReport {
+  std::vector<ChaosScenarioResult> scenarios;
+  std::uint64_t ops = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t typed_rejections = 0;
+  std::uint64_t transport_errors = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t corrupt_deliveries = 0;
+  std::uint64_t mismatches = 0;
+  bool passed() const {
+    if (scenarios.empty() || timeouts != 0 || mismatches != 0) return false;
+    for (const ChaosScenarioResult& scenario : scenarios) {
+      if (!scenario.invariants_ok) return false;
+    }
+    return true;
+  }
+};
+
+// The serve-churn preset (the only preset today). InvalidConfig for a
+// nonsensical setup; scenario-level failures are graded, not thrown.
+core::Result<ChaosCampaignReport> run_chaos_campaign(
+    const ChaosCampaignConfig& config);
+
+// Fixed-width scenario table + verdict line; byte-identical for a fixed
+// seed.
+std::string format_chaos_report(const ChaosCampaignConfig& config,
+                                const ChaosCampaignReport& report);
+
+}  // namespace rsmem::service
+
+#endif  // RSMEM_SERVICE_CHAOS_CAMPAIGN_H

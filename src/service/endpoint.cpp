@@ -1,6 +1,6 @@
 #include "service/endpoint.h"
 
-#include <arpa/inet.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <memory>
 
 namespace rsmem::service {
 
@@ -32,24 +33,37 @@ core::Result<int> open_unix(const Endpoint& endpoint, sockaddr_un& addr) {
   return fd;
 }
 
-core::Result<int> open_tcp(const Endpoint& endpoint, sockaddr_in& addr) {
-  std::memset(&addr, 0, sizeof addr);
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(endpoint.port);
-  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
-    // Keep the resolver dependency-free: accept dotted quads and the
-    // obvious aliases only.
-    if (endpoint.host == "localhost") {
-      ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-    } else {
-      return core::Status::invalid_config(
-          "host must be an IPv4 address or 'localhost', got '" +
-          endpoint.host + "'");
-    }
+struct AddrInfoDeleter {
+  void operator()(addrinfo* list) const { ::freeaddrinfo(list); }
+};
+using AddrInfoList = std::unique_ptr<addrinfo, AddrInfoDeleter>;
+
+// DNS names, IPv4 dotted quads, and IPv6 literals all resolve through one
+// call; AI_PASSIVE makes a server resolution prefer wildcard binds. An
+// unresolvable host is the caller's mistake (typo, dead name) -> typed
+// InvalidConfig, which the CLI maps to exit 2.
+core::Result<AddrInfoList> resolve_tcp(const Endpoint& endpoint,
+                                       bool passive) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_protocol = IPPROTO_TCP;
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  const std::string port_text = std::to_string(endpoint.port);
+  addrinfo* results = nullptr;
+  const int rc =
+      ::getaddrinfo(endpoint.host.c_str(), port_text.c_str(), &hints,
+                    &results);
+  if (rc != 0) {
+    return core::Status::invalid_config(
+        "cannot resolve host '" + endpoint.host + "': " +
+        (rc == EAI_SYSTEM ? std::strerror(errno) : ::gai_strerror(rc)));
   }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return errno_status("socket(AF_INET)");
-  return fd;
+  if (results == nullptr) {
+    return core::Status::invalid_config("host '" + endpoint.host +
+                                        "' resolved to no addresses");
+  }
+  return AddrInfoList(results);
 }
 
 }  // namespace
@@ -71,6 +85,11 @@ Endpoint Endpoint::tcp(std::string host, std::uint16_t port) {
 
 std::string Endpoint::to_string() const {
   if (kind == Kind::kUnix) return "unix:" + path;
+  if (host.find(':') != std::string::npos) {
+    // IPv6 literal: re-bracket so the string round-trips through
+    // parse_endpoint.
+    return "[" + host + "]:" + std::to_string(port);
+  }
   return host + ":" + std::to_string(port);
 }
 
@@ -83,16 +102,41 @@ core::Result<Endpoint> parse_endpoint(const std::string& text) {
     }
     return Endpoint::unix_socket(path);
   }
-  const std::size_t colon = text.rfind(':');
-  if (colon == std::string::npos) {
-    return core::Status::invalid_config(
-        "endpoint must be 'unix:/path' or 'host:port', got '" + text + "'");
-  }
-  const std::string host = text.substr(0, colon);
-  const std::string port_text = text.substr(colon + 1);
-  if (host.empty()) {
-    return core::Status::invalid_config("endpoint host is empty in '" + text +
-                                        "'");
+  std::string host;
+  std::string port_text;
+  if (!text.empty() && text.front() == '[') {
+    // Bracketed IPv6 literal: "[::1]:8080".
+    const std::size_t close = text.find(']');
+    if (close == std::string::npos || close + 1 >= text.size() ||
+        text[close + 1] != ':') {
+      return core::Status::invalid_config(
+          "bracketed IPv6 endpoint must be '[address]:port', got '" + text +
+          "'");
+    }
+    host = text.substr(1, close - 1);
+    port_text = text.substr(close + 2);
+    if (host.empty()) {
+      return core::Status::invalid_config("endpoint host is empty in '" +
+                                          text + "'");
+    }
+  } else {
+    const std::size_t colon = text.rfind(':');
+    if (colon == std::string::npos) {
+      return core::Status::invalid_config(
+          "endpoint must be 'unix:/path', 'host:port', or '[ipv6]:port', "
+          "got '" + text + "'");
+    }
+    host = text.substr(0, colon);
+    port_text = text.substr(colon + 1);
+    if (host.empty()) {
+      return core::Status::invalid_config("endpoint host is empty in '" +
+                                          text + "'");
+    }
+    if (host.find(':') != std::string::npos) {
+      return core::Status::invalid_config(
+          "IPv6 literals must be bracketed: '[" + host + "]:" + port_text +
+          "', got '" + text + "'");
+    }
   }
   if (port_text.empty() ||
       port_text.find_first_not_of("0123456789") != std::string::npos) {
@@ -123,18 +167,31 @@ core::Result<int> listen_on(const Endpoint& endpoint, int backlog) {
       return status;
     }
   } else {
-    sockaddr_in addr;
-    core::Result<int> opened = open_tcp(endpoint, addr);
-    if (!opened.ok()) return opened.status();
-    fd = opened.value();
-    const int enable = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
-    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-      const core::Status status = errno_status("bind(" + endpoint.to_string() +
-                                               ")");
+    core::Result<AddrInfoList> resolved =
+        resolve_tcp(endpoint, /*passive=*/true);
+    if (!resolved.ok()) return resolved.status();
+    core::Status last = core::Status::internal(
+        "bind(" + endpoint.to_string() + "): no usable address");
+    for (const addrinfo* ai = resolved.value().get(); ai != nullptr;
+         ai = ai->ai_next) {
+      fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) {
+        last = errno_status("socket(" + endpoint.to_string() + ")");
+        continue;
+      }
+      const int enable = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+      if (ai->ai_family == AF_INET6) {
+        // An explicit IPv6 endpoint listens on IPv6 only; a dual-stack
+        // host name yields separate v4/v6 entries we try in order.
+        ::setsockopt(fd, IPPROTO_IPV6, IPV6_V6ONLY, &enable, sizeof enable);
+      }
+      if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      last = errno_status("bind(" + endpoint.to_string() + ")");
       ::close(fd);
-      return status;
+      fd = -1;
     }
+    if (fd < 0) return last;
   }
   if (::listen(fd, backlog) != 0) {
     const core::Status status = errno_status("listen(" + endpoint.to_string() +
@@ -159,29 +216,41 @@ core::Result<int> connect_to(const Endpoint& endpoint) {
     }
     return fd;
   }
-  sockaddr_in addr;
-  core::Result<int> opened = open_tcp(endpoint, addr);
-  if (!opened.ok()) return opened.status();
-  const int fd = opened.value();
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    const core::Status status =
-        errno_status("connect(" + endpoint.to_string() + ")");
+  core::Result<AddrInfoList> resolved =
+      resolve_tcp(endpoint, /*passive=*/false);
+  if (!resolved.ok()) return resolved.status();
+  core::Status last = core::Status::internal(
+      "connect(" + endpoint.to_string() + "): no usable address");
+  for (const addrinfo* ai = resolved.value().get(); ai != nullptr;
+       ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = errno_status("socket(" + endpoint.to_string() + ")");
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) return fd;
+    last = errno_status("connect(" + endpoint.to_string() + ")");
     ::close(fd);
-    return status;
   }
-  return fd;
+  return last;
 }
 
 core::Result<Endpoint> bound_endpoint(int listen_fd,
                                       const Endpoint& requested) {
   if (requested.kind == Endpoint::Kind::kUnix) return requested;
-  sockaddr_in addr;
+  sockaddr_storage addr{};
   socklen_t length = sizeof addr;
   if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &length) !=
       0) {
     return errno_status("getsockname");
   }
-  return Endpoint::tcp(requested.host, ntohs(addr.sin_port));
+  std::uint16_t port = 0;
+  if (addr.ss_family == AF_INET6) {
+    port = ntohs(reinterpret_cast<const sockaddr_in6*>(&addr)->sin6_port);
+  } else {
+    port = ntohs(reinterpret_cast<const sockaddr_in*>(&addr)->sin_port);
+  }
+  return Endpoint::tcp(requested.host, port);
 }
 
 }  // namespace rsmem::service

@@ -1,10 +1,15 @@
-// Service endpoint addressing: `unix:/path/to.sock` or `host:port`.
+// Service endpoint addressing: `unix:/path/to.sock`, `host:port`, or
+// `[ipv6-literal]:port`.
 //
 // One parser shared by the server (--socket/--listen), the client
 // (--at), and loadgen, so every front-end rejects malformed endpoints
 // with the same actionable InvalidConfig status (mapped to exit 2 by the
-// CLI). The listen/connect helpers wrap the POSIX socket calls and return
-// typed Statuses instead of errno soup.
+// CLI). TCP hosts go through getaddrinfo — DNS names, IPv4 dotted quads,
+// and bracketed IPv6 literals all resolve, and connect/bind try every
+// returned address in order. An unresolvable host is InvalidConfig (the
+// caller typo'd the endpoint), not Internal. The listen/connect helpers
+// wrap the POSIX socket calls and return typed Statuses instead of errno
+// soup.
 #ifndef RSMEM_SERVICE_ENDPOINT_H
 #define RSMEM_SERVICE_ENDPOINT_H
 
@@ -25,13 +30,17 @@ struct Endpoint {
   static Endpoint unix_socket(std::string socket_path);
   static Endpoint tcp(std::string host, std::uint16_t port);
 
-  // "unix:/path" / "host:port" — parse_endpoint round-trips this.
+  // "unix:/path" / "host:port" / "[v6]:port" — parse_endpoint
+  // round-trips this (IPv6 hosts are re-bracketed).
   std::string to_string() const;
 };
 
-// Accepts "unix:/path" (non-empty path) or "host:port" (non-empty host,
-// integer port in [0, 65535]; 0 only makes sense for servers). Everything
-// else is InvalidConfig with a message naming the rule violated.
+// Accepts "unix:/path" (non-empty path), "host:port" (non-empty host,
+// integer port in [0, 65535]; 0 only makes sense for servers), or
+// "[ipv6]:port" (bracketed IPv6 literal). An unbracketed host containing
+// ':' is rejected with a message pointing at the bracket form — "::1:80"
+// is ambiguous. Everything else is InvalidConfig with a message naming
+// the rule violated.
 core::Result<Endpoint> parse_endpoint(const std::string& text);
 
 // Binds + listens; Unix endpoints unlink a stale socket file first.

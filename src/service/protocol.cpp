@@ -69,7 +69,8 @@ core::Result<core::StatusCode> status_code_from_name(const std::string& name) {
         StatusCode::kMiscorrection, StatusCode::kArbiterNoOutput,
         StatusCode::kSolverDivergence, StatusCode::kDegradedMode,
         StatusCode::kRetryExhausted, StatusCode::kOverloaded,
-        StatusCode::kDeadlineExceeded, StatusCode::kInternal}) {
+        StatusCode::kDeadlineExceeded, StatusCode::kBrownout,
+        StatusCode::kInternal}) {
     if (name == core::to_string(code)) return code;
   }
   return core::Status::invalid_config("unknown status code '" + name + "'");
@@ -349,7 +350,7 @@ std::uint32_t shard_of_key(std::string_view canonical_key,
 // ---------------------------------------------------------------------------
 // Frame transport.
 
-namespace {
+namespace wire {
 
 core::Status write_all(int fd, const void* data, std::size_t size) {
   const char* cursor = static_cast<const char*>(data);
@@ -376,6 +377,11 @@ core::Result<std::size_t> read_all(int fd, void* data, std::size_t size) {
     const ssize_t n = ::read(fd, cursor + got, size - got);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired. Distinct message: a bounded wait that ran
+        // out means "the peer went quiet", not "the transport broke".
+        return core::Status::internal("socket read timed out");
+      }
       return core::Status::internal(std::string("socket read failed: ") +
                                     std::strerror(errno));
     }
@@ -388,7 +394,10 @@ core::Result<std::size_t> read_all(int fd, void* data, std::size_t size) {
   return got;
 }
 
-}  // namespace
+}  // namespace wire
+
+using wire::read_all;
+using wire::write_all;
 
 core::Status write_frame(int fd, std::string_view payload) {
   if (payload.size() > kMaxFrameBytes) {
@@ -406,6 +415,11 @@ core::Status write_frame(int fd, std::string_view payload) {
 }
 
 core::Result<FrameRead> read_frame(int fd) {
+  return read_frame(fd, kMaxFrameBytes);
+}
+
+core::Result<FrameRead> read_frame(int fd, std::uint32_t max_frame_bytes) {
+  if (max_frame_bytes > kMaxFrameBytes) max_frame_bytes = kMaxFrameBytes;
   std::array<unsigned char, 4> header{};
   core::Result<std::size_t> got = read_all(fd, header.data(), header.size());
   if (!got.ok()) return got.status();
@@ -419,9 +433,13 @@ core::Result<FrameRead> read_frame(int fd) {
       (static_cast<std::uint32_t>(header[1]) << 16) |
       (static_cast<std::uint32_t>(header[2]) << 8) |
       static_cast<std::uint32_t>(header[3]);
-  if (length > kMaxFrameBytes) {
-    return core::Status::internal("peer announced oversized frame (" +
-                                  std::to_string(length) + " bytes)");
+  if (length > max_frame_bytes) {
+    // Checked BEFORE the allocation: a hostile 4-byte header must never
+    // cost 4 GiB of resize(). InvalidConfig (not Internal) so the server
+    // can answer a typed rejection before closing the desynced stream.
+    return core::Status::invalid_config(
+        "peer announced oversized frame (" + std::to_string(length) +
+        " bytes > max " + std::to_string(max_frame_bytes) + ")");
   }
   frame.payload.resize(length);
   if (length > 0) {

@@ -119,12 +119,30 @@ std::uint32_t shard_of_key(std::string_view canonical_key,
 // Frame transport over a connected socket fd. Blocking; both retry EINTR
 // and short reads/writes. read_frame distinguishes orderly EOF before any
 // byte (kOk=false via the bool flag) from mid-frame truncation (Internal).
+// A receive timeout armed on the fd (SO_RCVTIMEO) surfaces as an Internal
+// status whose message starts with "socket read timed out" — the chaos
+// campaign's hang detector keys on it.
 core::Status write_frame(int fd, std::string_view payload);
 struct FrameRead {
   bool eof = false;     // peer closed before the next frame started
   std::string payload;  // valid when !eof
 };
 core::Result<FrameRead> read_frame(int fd);
+// Same, but with a caller-chosen frame cap (must be <= kMaxFrameBytes).
+// A header announcing more than the cap is a PROTOCOL violation, reported
+// as InvalidConfig (so the server can answer a typed rejection before
+// closing) and never triggers the allocation.
+core::Result<FrameRead> read_frame(int fd, std::uint32_t max_frame_bytes);
+
+// Raw building blocks of the framing layer, exposed for the chaos shim
+// (service/chaos.h) so injected faults go through exactly the transport
+// code paths the clean build uses. write_all retries EINTR and short
+// writes and never raises SIGPIPE; read_all returns 0 only on EOF before
+// the first byte.
+namespace wire {
+core::Status write_all(int fd, const void* data, std::size_t size);
+core::Result<std::size_t> read_all(int fd, void* data, std::size_t size);
+}  // namespace wire
 
 // Spec <-> JSON object helpers shared by request encode/decode.
 JsonObject spec_to_json(const core::MemorySystemSpec& spec);

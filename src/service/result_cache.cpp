@@ -1,5 +1,12 @@
 #include "service/result_cache.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
 #include <utility>
 
 namespace rsmem::service {
@@ -77,6 +84,45 @@ void ResultCache::insert_locked(const std::string& key,
   entries_.emplace(key, Entry{std::move(value), lru_.begin()});
 }
 
+std::shared_ptr<const std::string> ResultCache::lookup(
+    const std::string& key) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+  return it->second.value;
+}
+
+void ResultCache::insert(const std::string& key,
+                         std::shared_ptr<const std::string> value) {
+  if (value == nullptr) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (capacity_ == 0) return;
+  ++stats_.warm_loads;
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    it->second.value = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    return;
+  }
+  insert_locked(key, std::move(value));
+}
+
+std::vector<SnapshotEntry> ResultCache::export_entries() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::vector<SnapshotEntry> out;
+  out.reserve(entries_.size());
+  // Least-recent first: replaying the file through insert() rebuilds the
+  // same LRU order.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    const auto entry = entries_.find(*it);
+    if (entry != entries_.end()) {
+      out.push_back(SnapshotEntry{*it, entry->second.value});
+    }
+  }
+  return out;
+}
+
 ResultCache::Stats ResultCache::stats() const {
   std::unique_lock<std::mutex> lock(mutex_);
   Stats snapshot = stats_;
@@ -88,6 +134,241 @@ void ResultCache::clear() {
   std::unique_lock<std::mutex> lock(mutex_);
   entries_.clear();
   lru_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot files.
+
+namespace {
+
+constexpr std::array<char, 4> kSnapshotMagic = {'R', 'S', 'M', 'S'};
+constexpr std::uint32_t kSnapshotVersion = 1;
+// Sanity bounds re-checked on read so a corrupt length field can never
+// drive a hostile allocation: keys are canonical cache keys (short),
+// values are result JSON (frame-sized).
+constexpr std::uint32_t kMaxSnapshotKeyBytes = 1u << 20;
+constexpr std::uint32_t kMaxSnapshotValueBytes = kMaxFrameBytes;
+constexpr std::size_t kMaxSnapshotFileBytes = std::size_t{1} << 30;
+
+void append_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v));
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v >> 16));
+  out.push_back(static_cast<char>(v >> 24));
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  append_u32(out, static_cast<std::uint32_t>(v));
+  append_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+// Bounds-checked little-endian reads off a cursor into the file buffer.
+bool read_u32(const std::string& data, std::size_t& cursor,
+              std::uint32_t& out) {
+  if (data.size() - cursor < 4) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data() + cursor);
+  out = static_cast<std::uint32_t>(p[0]) |
+        (static_cast<std::uint32_t>(p[1]) << 8) |
+        (static_cast<std::uint32_t>(p[2]) << 16) |
+        (static_cast<std::uint32_t>(p[3]) << 24);
+  cursor += 4;
+  return true;
+}
+
+bool read_u64(const std::string& data, std::size_t& cursor,
+              std::uint64_t& out) {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  if (!read_u32(data, cursor, lo) || !read_u32(data, cursor, hi)) return false;
+  out = static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+  return true;
+}
+
+core::Status snapshot_errno(const std::string& what, const std::string& path) {
+  return core::Status::internal(what + " '" + path + "': " +
+                                std::strerror(errno));
+}
+
+}  // namespace
+
+std::uint32_t snapshot_crc32(const void* data, std::size_t size) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+core::Status write_snapshot_file(const std::string& path,
+                                 const std::vector<SnapshotEntry>& entries) {
+  std::string buffer;
+  buffer.reserve(16 + entries.size() * 128);
+  buffer.append(kSnapshotMagic.data(), kSnapshotMagic.size());
+  append_u32(buffer, kSnapshotVersion);
+  append_u64(buffer, entries.size());
+  for (const SnapshotEntry& entry : entries) {
+    if (entry.value == nullptr) continue;
+    if (entry.key.size() > kMaxSnapshotKeyBytes ||
+        entry.value->size() > kMaxSnapshotValueBytes) {
+      return core::Status::invalid_config(
+          "snapshot entry exceeds size bounds (key " +
+          std::to_string(entry.key.size()) + " bytes, value " +
+          std::to_string(entry.value->size()) + " bytes)");
+    }
+    append_u32(buffer, static_cast<std::uint32_t>(entry.key.size()));
+    buffer.append(entry.key);
+    append_u32(buffer, static_cast<std::uint32_t>(entry.value->size()));
+    buffer.append(*entry.value);
+  }
+  append_u32(buffer, snapshot_crc32(buffer.data(), buffer.size()));
+
+  // Write-to-temp + fsync + atomic rename: a crash at any point leaves
+  // either the old snapshot or the complete new one, never a torn file.
+  const std::string tmp_path = path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return snapshot_errno("cannot create snapshot temp", tmp_path);
+  std::size_t offset = 0;
+  while (offset < buffer.size()) {
+    const ssize_t wrote =
+        ::write(fd, buffer.data() + offset, buffer.size() - offset);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      const core::Status status =
+          snapshot_errno("snapshot write failed", tmp_path);
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return status;
+    }
+    offset += static_cast<std::size_t>(wrote);
+  }
+  if (::fsync(fd) != 0) {
+    const core::Status status = snapshot_errno("snapshot fsync failed",
+                                               tmp_path);
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  ::close(fd);
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const core::Status status = snapshot_errno("snapshot rename failed", path);
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  return core::Status::ok();
+}
+
+core::Result<std::vector<SnapshotEntry>> read_snapshot_file(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return core::Status::internal("no snapshot at '" + path + "'");
+    }
+    return snapshot_errno("cannot open snapshot", path);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const core::Status status = snapshot_errno("cannot stat snapshot", path);
+    ::close(fd);
+    return status;
+  }
+  if (st.st_size < 0 ||
+      static_cast<std::size_t>(st.st_size) > kMaxSnapshotFileBytes) {
+    ::close(fd);
+    return core::Status::invalid_config(
+        "snapshot file size out of bounds (" + std::to_string(st.st_size) +
+        " bytes): " + path);
+  }
+  std::string data;
+  data.resize(static_cast<std::size_t>(st.st_size));
+  std::size_t got = 0;
+  while (got < data.size()) {
+    const ssize_t n = ::read(fd, data.data() + got, data.size() - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const core::Status status = snapshot_errno("snapshot read failed", path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;  // shrank under us; caught by the size checks below
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  data.resize(got);
+
+  // Layout floor: magic + version + count + trailing CRC.
+  if (data.size() < kSnapshotMagic.size() + 4 + 8 + 4) {
+    return core::Status::invalid_config("snapshot truncated (" +
+                                        std::to_string(data.size()) +
+                                        " bytes): " + path);
+  }
+  const std::size_t body_size = data.size() - 4;
+  std::size_t crc_cursor = body_size;
+  std::uint32_t stored_crc = 0;
+  read_u32(data, crc_cursor, stored_crc);
+  const std::uint32_t actual_crc = snapshot_crc32(data.data(), body_size);
+  if (stored_crc != actual_crc) {
+    return core::Status::invalid_config("snapshot CRC mismatch: " + path);
+  }
+  // Drop the CRC trailer so every bounds check below is against the body
+  // alone — a corrupt length can then never walk the cursor past it.
+  data.resize(body_size);
+  std::size_t cursor = 0;
+  if (std::memcmp(data.data(), kSnapshotMagic.data(),
+                  kSnapshotMagic.size()) != 0) {
+    return core::Status::invalid_config("snapshot has wrong magic: " + path);
+  }
+  cursor += kSnapshotMagic.size();
+  std::uint32_t version = 0;
+  read_u32(data, cursor, version);
+  if (version != kSnapshotVersion) {
+    return core::Status::invalid_config(
+        "snapshot version mismatch (file v" + std::to_string(version) +
+        ", supported v" + std::to_string(kSnapshotVersion) + "): " + path);
+  }
+  std::uint64_t count = 0;
+  read_u64(data, cursor, count);
+  std::vector<SnapshotEntry> entries;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t key_len = 0;
+    if (!read_u32(data, cursor, key_len) || key_len > kMaxSnapshotKeyBytes ||
+        body_size - cursor < key_len) {
+      return core::Status::invalid_config(
+          "snapshot entry " + std::to_string(i) + " has a corrupt key: " +
+          path);
+    }
+    std::string key = data.substr(cursor, key_len);
+    cursor += key_len;
+    std::uint32_t value_len = 0;
+    if (!read_u32(data, cursor, value_len) ||
+        value_len > kMaxSnapshotValueBytes || body_size - cursor < value_len) {
+      return core::Status::invalid_config(
+          "snapshot entry " + std::to_string(i) + " has a corrupt value: " +
+          path);
+    }
+    entries.push_back(SnapshotEntry{
+        std::move(key),
+        std::make_shared<const std::string>(data.substr(cursor, value_len))});
+    cursor += value_len;
+  }
+  if (cursor != body_size) {
+    return core::Status::invalid_config(
+        "snapshot has trailing garbage after entry " + std::to_string(count) +
+        ": " + path);
+  }
+  return entries;
 }
 
 }  // namespace rsmem::service

@@ -126,14 +126,37 @@ AnalysisScheduler::Stats& AnalysisScheduler::Stats::merge(const Stats& other) {
   batch_groups += other.batch_groups;
   max_batch = std::max(max_batch, other.max_batch);
   queue_depth += other.queue_depth;
+  in_flight += other.in_flight;
+  brownout_active = brownout_active || other.brownout_active;
+  brownout_entries += other.brownout_entries;
+  brownout_shed += other.brownout_shed;
+  brownout_hits += other.brownout_hits;
+  stuck = stuck || other.stuck;
+  stalled_ms = std::max(stalled_ms, other.stalled_ms);
   return *this;
 }
 
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 AnalysisScheduler::AnalysisScheduler(const SchedulerConfig& config)
     : config_(config),
+      brownout_enter_(config.brownout_enter > 0
+                          ? config.brownout_enter
+                          : std::max<std::size_t>(1, 3 * config.max_queue / 4)),
+      brownout_exit_(config.brownout_exit > 0 ? config.brownout_exit
+                                              : config.max_queue / 4),
       cache_(config.cache_capacity),
       pool_(config.threads),
       pending_(config.max_queue),
+      last_progress_ns_(steady_now_ns()),
       dispatcher_([this] { dispatcher_loop(); }) {}
 
 AnalysisScheduler::~AnalysisScheduler() { stop(); }
@@ -161,6 +184,49 @@ core::Status AnalysisScheduler::submit(Request request,
     stats_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
     leave_submit();
     return core::Status::overloaded("scheduler stopping");
+  }
+
+  // Brown-out state machine, watermarked on in-flight depth. The checks
+  // are heuristic (racing submitters may each flip the flag; that's fine,
+  // entries are counted via exchange) — correctness only needs: while the
+  // flag is set, misses are shed typed and hits are served inline.
+  if (config_.brownout_enabled) {
+    const std::size_t depth = in_flight_now();
+    bool active = brownout_.load(std::memory_order_relaxed);
+    if (active && depth <= brownout_exit_) {
+      brownout_.store(false, std::memory_order_relaxed);
+      active = false;
+    } else if (!active && depth >= brownout_enter_) {
+      if (!brownout_.exchange(true, std::memory_order_relaxed)) {
+        stats_.brownout_entries.fetch_add(1, std::memory_order_relaxed);
+      }
+      active = true;
+    }
+    if (active) {
+      const std::string key = canonical_cache_key(pending.request);
+      if (auto value = cache_.lookup(key); value != nullptr) {
+        // Hits stay cheap even in brown-out: answer inline, no queueing.
+        Response response;
+        response.id = pending.request.id;
+        response.status = core::Status::ok();
+        response.cache = CacheSource::kHit;
+        response.result_json = *value;
+        stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+        stats_.completed.fetch_add(1, std::memory_order_relaxed);
+        stats_.brownout_hits.fetch_add(1, std::memory_order_relaxed);
+        note_progress();
+        leave_submit();
+        pending.done(std::move(response));
+        return core::Status::ok();
+      }
+      stats_.brownout_shed.fetch_add(1, std::memory_order_relaxed);
+      leave_submit();
+      return core::Status::brownout(
+          "shard in brown-out (" + std::to_string(depth) +
+          " in flight): shedding cache-miss work, hits still served; "
+          "retry after " + format_double(config_.brownout_retry_after_ms) +
+          " ms");
+    }
   }
   // Reserve a queue slot before pushing: the counter is an upper bound on
   // ring occupancy, so the ring (capacity >= max_queue) can never refuse
@@ -243,7 +309,22 @@ void AnalysisScheduler::answer_deadline_expired(Pending& pending) {
       " ms expired before execution started");
   stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
   stats_.completed.fetch_add(1, std::memory_order_relaxed);
+  note_progress();
   pending.done(std::move(response));
+}
+
+void AnalysisScheduler::note_progress() {
+  last_progress_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+}
+
+std::size_t AnalysisScheduler::in_flight_now() const {
+  const std::uint64_t accepted =
+      stats_.accepted.load(std::memory_order_relaxed);
+  const std::uint64_t completed =
+      stats_.completed.load(std::memory_order_relaxed);
+  // Loaded separately, so completed can transiently read AHEAD of the
+  // accepted it belongs to; clamp instead of wrapping.
+  return accepted > completed ? accepted - completed : 0;
 }
 
 void AnalysisScheduler::run_group(std::shared_ptr<std::vector<Pending>> group) {
@@ -258,6 +339,7 @@ void AnalysisScheduler::run_group(std::shared_ptr<std::vector<Pending>> group) {
     }
     Response response = execute_timed(pending.request);
     stats_.completed.fetch_add(1, std::memory_order_relaxed);
+    note_progress();
     pending.done(std::move(response));
   }
 }
@@ -298,6 +380,21 @@ AnalysisScheduler::Stats AnalysisScheduler::stats() const {
   snapshot.batch_groups = stats_.batch_groups.load(std::memory_order_relaxed);
   snapshot.max_batch = stats_.max_batch.load(std::memory_order_relaxed);
   snapshot.queue_depth = pending_count_.load(std::memory_order_relaxed);
+  snapshot.in_flight = in_flight_now();
+  snapshot.brownout_active = brownout_.load(std::memory_order_relaxed);
+  snapshot.brownout_entries =
+      stats_.brownout_entries.load(std::memory_order_relaxed);
+  snapshot.brownout_shed =
+      stats_.brownout_shed.load(std::memory_order_relaxed);
+  snapshot.brownout_hits =
+      stats_.brownout_hits.load(std::memory_order_relaxed);
+  if (snapshot.in_flight > 0) {
+    const std::int64_t idle_ns =
+        steady_now_ns() - last_progress_ns_.load(std::memory_order_relaxed);
+    snapshot.stalled_ms = static_cast<double>(idle_ns) / 1e6;
+    snapshot.stuck = config_.watchdog_stall_ms > 0 &&
+                     snapshot.stalled_ms > config_.watchdog_stall_ms;
+  }
   return snapshot;
 }
 

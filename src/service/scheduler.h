@@ -54,6 +54,25 @@ struct SchedulerConfig {
   std::size_t max_queue = 128;     // admission bound on pending requests
   std::size_t cache_capacity = 256;
   std::size_t batch_max = 16;      // max requests drained per dispatch
+
+  // Brown-out: graceful degradation under SUSTAINED overload, watermarked
+  // on in-flight depth (accepted - completed: ring + pool queue +
+  // executing). Crossing brownout_enter puts the shard in brown-out:
+  // cache-MISS analysis work is shed with a typed kBrownout rejection
+  // (carrying a retry-after hint), while cache HITS are answered inline
+  // from submit() and the control plane stays untouched. The mode is
+  // self-draining — no new misses are admitted, so depth falls — and
+  // clears once depth reaches brownout_exit. 0 = derive from max_queue
+  // (enter: 3/4 * max_queue, exit: 1/4 * max_queue).
+  bool brownout_enabled = true;
+  std::size_t brownout_enter = 0;
+  std::size_t brownout_exit = 0;
+  double brownout_retry_after_ms = 50.0;
+
+  // Watchdog: a shard with in-flight work but no completion progress for
+  // longer than this is reported stuck in stats (a starved/wedged shard
+  // must be VISIBLE, not silent). <= 0 disables.
+  double watchdog_stall_ms = 2000.0;
 };
 
 class AnalysisScheduler {
@@ -63,9 +82,11 @@ class AnalysisScheduler {
   AnalysisScheduler(const AnalysisScheduler&) = delete;
   AnalysisScheduler& operator=(const AnalysisScheduler&) = delete;
 
-  // Admission-controlled enqueue. Ok => `done` fires exactly once, from a
-  // worker thread, with the final Response. Non-ok (kOverloaded) => `done`
-  // was NOT and will not be invoked; the caller owns the rejection.
+  // Admission-controlled enqueue. Ok => `done` fires exactly once with
+  // the final Response — from a worker thread, or INLINE from submit()
+  // when a brown-out serves a cache hit without queueing. Non-ok
+  // (kOverloaded / kBrownout) => `done` was NOT and will not be invoked;
+  // the caller owns the rejection.
   core::Status submit(Request request, std::function<void(Response)> done);
 
   // Executes one request synchronously on the caller's thread through the
@@ -81,13 +102,34 @@ class AnalysisScheduler {
     std::uint64_t batch_groups = 0;   // pool tasks dispatched
     std::uint64_t max_batch = 0;      // largest single drain
     std::size_t queue_depth = 0;      // pending right now
+    std::size_t in_flight = 0;        // accepted - completed
+    // Brown-out telemetry.
+    bool brownout_active = false;
+    std::uint64_t brownout_entries = 0;  // times brown-out engaged
+    std::uint64_t brownout_shed = 0;     // misses rejected kBrownout
+    std::uint64_t brownout_hits = 0;     // hits served inline from submit
+    // Watchdog: stalled_ms = time since the last completion while work is
+    // in flight (0 when idle); stuck = stalled past watchdog_stall_ms.
+    bool stuck = false;
+    double stalled_ms = 0.0;
 
     // Counter-wise sum used by the shard router's stats merge
-    // (max_batch merges as a max, queue_depth as a sum).
+    // (max_batch/stalled_ms merge as a max, the bools as OR,
+    // queue_depth/in_flight as sums).
     Stats& merge(const Stats& other);
   };
   Stats stats() const;
   ResultCache::Stats cache_stats() const { return cache_.stats(); }
+
+  // Warm-start surfaces (the router's snapshot save/load goes through
+  // these; see result_cache.h).
+  std::vector<SnapshotEntry> export_cache_entries() const {
+    return cache_.export_entries();
+  }
+  void warm_cache_entry(const std::string& key,
+                        std::shared_ptr<const std::string> value) {
+    cache_.insert(key, std::move(value));
+  }
 
   // Rejects new work, drains everything already accepted, joins workers.
   // Idempotent; also run by the destructor.
@@ -106,8 +148,12 @@ class AnalysisScheduler {
   void run_group(std::shared_ptr<std::vector<Pending>> group);
   void answer_deadline_expired(Pending& pending);
   Response execute_timed(const Request& request);
+  void note_progress();
+  std::size_t in_flight_now() const;
 
   const SchedulerConfig config_;
+  std::size_t brownout_enter_ = 0;  // resolved thresholds (see config)
+  std::size_t brownout_exit_ = 0;
   ResultCache cache_;
   sim::ThreadPool pool_;
 
@@ -130,8 +176,16 @@ class AnalysisScheduler {
     std::atomic<std::uint64_t> batches{0};
     std::atomic<std::uint64_t> batch_groups{0};
     std::atomic<std::uint64_t> max_batch{0};
+    std::atomic<std::uint64_t> brownout_entries{0};
+    std::atomic<std::uint64_t> brownout_shed{0};
+    std::atomic<std::uint64_t> brownout_hits{0};
   };
   AtomicStats stats_;
+  std::atomic<bool> brownout_{false};
+  // Watchdog heartbeat: steady-clock ns of the last completion (or of
+  // construction). A shard whose in-flight count stays > 0 while this
+  // timestamp ages past watchdog_stall_ms is reported stuck.
+  std::atomic<std::int64_t> last_progress_ns_{0};
   std::thread dispatcher_;
 };
 

@@ -11,6 +11,16 @@
 
 namespace rsmem::service {
 
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 Server::Connection::~Connection() {
   if (fd >= 0) ::close(fd);
 }
@@ -18,7 +28,13 @@ Server::Connection::~Connection() {
 core::Status Server::Connection::write_response(const Response& response) {
   const std::string payload = response.to_json();
   std::unique_lock<std::mutex> lock(write_mutex);
+  touch();  // outbound traffic keeps a connection out of the idle reaper
+  if (chaos) return chaos->write_frame(fd, payload);
   return write_frame(fd, payload);
+}
+
+void Server::Connection::touch() {
+  last_activity_ns.store(steady_now_ns(), std::memory_order_relaxed);
 }
 
 core::Result<std::unique_ptr<Server>> Server::start(
@@ -46,6 +62,22 @@ Server::Server(ServerConfig config, Endpoint bound, int listen_fd)
       endpoint_(std::move(bound)),
       listen_fd_(listen_fd),
       router_(std::make_unique<ShardRouter>(config_.router)) {
+  if (!config_.snapshot_path.empty()) {
+    // Warm start. EVERY failure mode — missing file, torn write, CRC or
+    // version mismatch — degrades to a cold start; the outcome is
+    // surfaced in `stats`, never fatal.
+    core::Result<std::size_t> loaded =
+        router_->load_snapshot(config_.snapshot_path);
+    if (loaded.ok()) {
+      warm_start_entries_ = loaded.value();
+    } else if (loaded.status().message().find("no snapshot") ==
+               std::string::npos) {
+      warm_start_error_ = loaded.status().message();
+    }
+  }
+  if (config_.idle_timeout_ms > 0) {
+    reaper_thread_ = std::thread([this] { reaper_loop(); });
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -69,7 +101,17 @@ void Server::accept_loop() {
       }
       return;  // EBADF/EINVAL etc.: the listener itself is gone
     }
+    if (config_.chaos && config_.chaos->should_fail_accept()) {
+      // Injected accept-time failure: the client sees an immediate reset
+      // before any frame is exchanged (retry territory, not an error the
+      // server can answer).
+      chaos::hard_reset(fd);
+      ::close(fd);
+      continue;
+    }
     auto connection = std::make_shared<Connection>(fd);
+    if (config_.chaos) connection->chaos = config_.chaos->make_session();
+    connection->touch();
     std::unique_lock<std::mutex> lock(mutex_);
     if (shutdown_requested_.load()) {
       lock.unlock();
@@ -86,6 +128,34 @@ void Server::accept_loop() {
     reader_threads_.emplace(
         connection.get(),
         std::thread([this, connection] { serve_connection(connection); }));
+  }
+}
+
+void Server::reaper_loop() {
+  const double idle_ms = config_.idle_timeout_ms;
+  // Poll a few times per timeout so reaping latency stays proportional,
+  // bounded to [10, 250] ms so tiny timeouts don't spin and huge ones
+  // still notice shutdown promptly.
+  const auto poll = std::chrono::milliseconds(std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(idle_ms / 4.0), 10, 250));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (shutdown_cv_.wait_for(lock, poll,
+                              [&] { return shutdown_requested_.load(); })) {
+      return;
+    }
+    const std::int64_t now = steady_now_ns();
+    for (const auto& connection : connections_) {
+      const std::int64_t last =
+          connection->last_activity_ns.load(std::memory_order_relaxed);
+      if (static_cast<double>(now - last) * 1e-6 <= idle_ms) continue;
+      if (connection->reaped.exchange(true)) continue;  // already poked
+      // SHUT_RD, not RDWR: the blocked reader wakes up and exits (which
+      // self-reaps the connection and closes the fd), while any response
+      // still being flushed by a worker goes out intact.
+      ::shutdown(connection->fd, SHUT_RD);
+      idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -118,10 +188,33 @@ void Server::serve_connection(std::shared_ptr<Connection> connection) {
 }
 
 void Server::read_requests(const std::shared_ptr<Connection>& connection) {
+  // Per-connection frame-rate token bucket (burst = one second's worth,
+  // never below one frame). Purely local state: each connection meters
+  // itself, so one abusive client cannot consume another's budget.
+  const double rate = config_.max_frames_per_second;
+  const double burst = rate > 0 ? std::max(1.0, rate) : 0.0;
+  double tokens = burst;
+  std::int64_t last_refill = steady_now_ns();
   while (true) {
-    core::Result<FrameRead> frame = read_frame(connection->fd);
-    if (!frame.ok()) return;  // framing broken or socket torn down
+    core::Result<FrameRead> frame =
+        connection->chaos
+            ? connection->chaos->read_frame(connection->fd,
+                                            config_.max_frame_bytes)
+            : read_frame(connection->fd, config_.max_frame_bytes);
+    if (!frame.ok()) {
+      if (frame.status().code() == core::StatusCode::kInvalidConfig) {
+        // Oversized frame announcement, rejected before allocation. The
+        // client gets the typed reason, then the connection closes — the
+        // stream cannot resync past a body we refused to read.
+        oversized_frames_.fetch_add(1, std::memory_order_relaxed);
+        Response response;
+        response.status = frame.status();
+        (void)connection->write_response(response);
+      }
+      return;  // framing broken or socket torn down
+    }
     if (frame.value().eof) return;
+    connection->touch();
     core::Result<Request> request = Request::from_json(frame.value().payload);
     if (!request.ok()) {
       // Malformed but well-framed: answer with the typed status and keep
@@ -131,6 +224,26 @@ void Server::read_requests(const std::shared_ptr<Connection>& connection) {
       response.status = status.with_context("parse request");
       if (!connection->write_response(response).is_ok()) return;
       continue;
+    }
+    if (rate > 0) {
+      const std::int64_t now = steady_now_ns();
+      tokens = std::min(
+          burst, tokens + static_cast<double>(now - last_refill) * 1e-9 * rate);
+      last_refill = now;
+      if (tokens < 1.0) {
+        // Over budget: typed rejection echoing the request id (so a
+        // pipelining client can match it), frame discarded, stream still
+        // in sync — the connection survives.
+        rate_limited_.fetch_add(1, std::memory_order_relaxed);
+        Response response;
+        response.id = request.value().id;
+        response.status = core::Status::overloaded(
+            "per-connection frame rate limit exceeded (max " +
+            format_double(rate) + " frames/s); retry with backoff");
+        if (!connection->write_response(response).is_ok()) return;
+        continue;
+      }
+      tokens -= 1.0;
     }
     handle_request(connection, std::move(request).value());
   }
@@ -192,6 +305,14 @@ JsonObject scheduler_stats_json(const AnalysisScheduler::Stats& scheduler) {
   scheduler_json.emplace("max_batch", scheduler.max_batch);
   scheduler_json.emplace("queue_depth",
                          static_cast<std::uint64_t>(scheduler.queue_depth));
+  scheduler_json.emplace("in_flight",
+                         static_cast<std::uint64_t>(scheduler.in_flight));
+  scheduler_json.emplace("brownout_active", scheduler.brownout_active);
+  scheduler_json.emplace("brownout_entries", scheduler.brownout_entries);
+  scheduler_json.emplace("brownout_shed", scheduler.brownout_shed);
+  scheduler_json.emplace("brownout_hits", scheduler.brownout_hits);
+  scheduler_json.emplace("stuck", scheduler.stuck);
+  scheduler_json.emplace("stalled_ms", scheduler.stalled_ms);
   return scheduler_json;
 }
 
@@ -202,6 +323,7 @@ JsonObject cache_stats_json(const ResultCache::Stats& cache) {
   cache_json.emplace("waits", cache.waits);
   cache_json.emplace("evictions", cache.evictions);
   cache_json.emplace("failures", cache.failures);
+  cache_json.emplace("warm_loads", cache.warm_loads);
   cache_json.emplace("size", static_cast<std::uint64_t>(cache.size));
   cache_json.emplace("hit_rate", cache.hit_rate());
   return cache_json;
@@ -231,6 +353,23 @@ std::string Server::stats_result_json() const {
     shards.push_back(Json(std::move(shard)));
   }
   object.emplace("shards", Json(std::move(shards)));
+  // Transport-hardening telemetry.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    object.emplace("connections_open",
+                   static_cast<std::uint64_t>(connections_.size()));
+  }
+  object.emplace("idle_reaped", idle_reaped_.load(std::memory_order_relaxed));
+  object.emplace("rate_limited",
+                 rate_limited_.load(std::memory_order_relaxed));
+  object.emplace("oversized_frames",
+                 oversized_frames_.load(std::memory_order_relaxed));
+  object.emplace("warm_start_entries",
+                 static_cast<std::uint64_t>(warm_start_entries_));
+  object.emplace("warm_start_error", warm_start_error_);
+  if (config_.chaos) {
+    object.emplace("chaos_faults_injected", config_.chaos->counters().total());
+  }
   object.emplace("version", rsmem::version());
   return Json(std::move(object)).serialize();
 }
@@ -246,10 +385,12 @@ void Server::shutdown() {
   shutdown_requested_.store(true);
   shutdown_cv_.notify_all();
 
-  // 1. Stop accepting: closing the listener unblocks ::accept.
+  // 1. Stop accepting: closing the listener unblocks ::accept. The idle
+  //    reaper wakes on the cv and exits on the same flag.
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (reaper_thread_.joinable()) reaper_thread_.join();
 
   // 2. Stop reading: half-close every connection so reader threads see
   //    EOF, while the write sides stay open for in-flight responses.
@@ -280,6 +421,14 @@ void Server::shutdown() {
 
   // 3. Drain: every admitted request completes and flushes its response.
   router_->stop();
+
+  // 3b. Persist the drained caches. Post-drain means the snapshot holds
+  //     every completed result; write failures leave any previous
+  //     snapshot intact (tmp + atomic rename) and the next boot simply
+  //     cold-starts.
+  if (!config_.snapshot_path.empty()) {
+    (void)router_->save_snapshot(config_.snapshot_path);
+  }
 
   // 4. Release the sockets (fds close when the last shared_ptr drops) and
   //    remove a Unix socket file we created.

@@ -16,19 +16,25 @@
 // Shutdown (kShutdown request, or Server::shutdown()) drains: the
 // listener closes, connection read sides shut down, every admitted
 // request still completes and its response is flushed, then the sockets
-// close. See docs/SERVICE.md.
+// close. When a snapshot path is configured the drained caches are
+// persisted after the drain and reloaded (warm start) on the next boot;
+// a torn/corrupt snapshot falls back to a cold start, never a crash.
+// See docs/SERVICE.md.
 #ifndef RSMEM_SERVICE_SERVER_H
 #define RSMEM_SERVICE_SERVER_H
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "service/chaos.h"
 #include "service/endpoint.h"
 #include "service/shard_router.h"
 
@@ -38,6 +44,32 @@ struct ServerConfig {
   Endpoint endpoint = Endpoint::unix_socket("/tmp/rsmem-serve.sock");
   ShardRouterConfig router;  // shard count + per-shard scheduler knobs
   int backlog = 64;
+
+  // Frames whose announced length exceeds this are rejected with a typed
+  // kInvalidConfig response BEFORE any allocation, then the connection
+  // closes (the stream cannot resync past an unread oversized body).
+  // Clamped to protocol.h's kMaxFrameBytes.
+  std::uint32_t max_frame_bytes = kMaxFrameBytes;
+
+  // Per-connection frame-rate ceiling (token bucket, burst = one second's
+  // worth). Frames past the budget are answered with a typed kOverloaded
+  // rejection echoing the request id; the connection stays open and in
+  // sync. 0 = unlimited.
+  double max_frames_per_second = 0.0;
+
+  // Idle-connection reaper: a connection with no frame traffic in either
+  // direction for this long has its read side shut down, which makes its
+  // reader thread exit and release the fd. 0 = never reap.
+  double idle_timeout_ms = 0.0;
+
+  // Cache persistence: when non-empty, boot warm-loads this snapshot
+  // (missing/corrupt file => cold start) and shutdown() writes the
+  // drained caches back to it (tmp + fsync + atomic rename).
+  std::string snapshot_path;
+
+  // Transport fault injection (tests / chaos campaigns). Null = clean
+  // transport at the cost of one pointer test per frame.
+  std::shared_ptr<chaos::ChaosEngine> chaos;
 };
 
 class Server {
@@ -78,12 +110,20 @@ class Server {
     // Serialized frame writes: scheduler workers and the reader thread
     // may interleave responses on one socket.
     core::Status write_response(const Response& response);
+    void touch();  // records frame activity for the idle reaper
     const int fd;
     std::mutex write_mutex;
+    // Fault-injection stream for this connection; null = clean transport.
+    // The session's write stream is only used under write_mutex, its read
+    // stream only by the single reader thread.
+    std::unique_ptr<chaos::ChaosSession> chaos;
+    std::atomic<std::int64_t> last_activity_ns{0};
+    std::atomic<bool> reaped{false};
   };
 
   Server(ServerConfig config, Endpoint bound, int listen_fd);
   void accept_loop();
+  void reaper_loop();
   void serve_connection(std::shared_ptr<Connection> connection);
   void read_requests(const std::shared_ptr<Connection>& connection);
   void handle_request(const std::shared_ptr<Connection>& connection,
@@ -95,6 +135,15 @@ class Server {
   const Endpoint endpoint_;
   int listen_fd_;
   std::unique_ptr<ShardRouter> router_;
+
+  // Hardening telemetry (stats response).
+  std::atomic<std::uint64_t> rate_limited_{0};
+  std::atomic<std::uint64_t> oversized_frames_{0};
+  std::atomic<std::uint64_t> idle_reaped_{0};
+  // Warm-start outcome; written in the constructor before any thread
+  // starts, read-only afterwards.
+  std::size_t warm_start_entries_ = 0;
+  std::string warm_start_error_;
 
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<bool> stopped_{false};
@@ -109,6 +158,7 @@ class Server {
   std::unordered_map<const Connection*, std::thread> reader_threads_;
   std::vector<std::thread> finished_readers_;
   std::thread accept_thread_;
+  std::thread reaper_thread_;  // only started when idle_timeout_ms > 0
 };
 
 }  // namespace rsmem::service

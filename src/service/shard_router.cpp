@@ -1,6 +1,7 @@
 #include "service/shard_router.h"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
 namespace rsmem::service {
@@ -95,6 +96,32 @@ ResultCache::Stats ShardRouter::cache_stats() const {
   ResultCache::Stats merged;
   for (const auto& shard : shards_) merged.merge(shard->cache_stats());
   return merged;
+}
+
+core::Status ShardRouter::save_snapshot(const std::string& path) const {
+  std::vector<SnapshotEntry> entries;
+  for (const auto& shard : shards_) {
+    std::vector<SnapshotEntry> exported = shard->export_cache_entries();
+    entries.insert(entries.end(), std::make_move_iterator(exported.begin()),
+                   std::make_move_iterator(exported.end()));
+  }
+  core::Status status = write_snapshot_file(path, entries);
+  return status.with_context("cache snapshot save");
+}
+
+core::Result<std::size_t> ShardRouter::load_snapshot(const std::string& path) {
+  core::Result<std::vector<SnapshotEntry>> entries = read_snapshot_file(path);
+  if (!entries.ok()) {
+    core::Status status = entries.status();
+    return status.with_context("cache snapshot load");
+  }
+  for (SnapshotEntry& entry : entries.value()) {
+    // Re-route by key: the snapshot's shard count is irrelevant, each
+    // entry lands on the shard that owns it HERE.
+    const std::size_t shard = shard_of_key(entry.key, shard_count_);
+    shards_[shard]->warm_cache_entry(entry.key, std::move(entry.value));
+  }
+  return entries.value().size();
 }
 
 void ShardRouter::stop() {

@@ -83,6 +83,17 @@ class ShardRouter {
   AnalysisScheduler::Stats scheduler_stats() const;  // merged only
   ResultCache::Stats cache_stats() const;            // merged only
 
+  // Crash-safe cache persistence (result_cache.h has the file format).
+  // save_snapshot gathers every shard's entries into ONE file; the server
+  // calls it after the drain on shutdown, so the entries are final.
+  // load_snapshot routes each entry to the shard that owns its key —
+  // a snapshot taken at any shard count warms a server with any other —
+  // and returns how many entries were loaded. Corrupt/torn/mismatched
+  // snapshots come back as a typed Status; the caller treats every
+  // failure as a cold start.
+  core::Status save_snapshot(const std::string& path) const;
+  core::Result<std::size_t> load_snapshot(const std::string& path);
+
   // Stops every shard (drain semantics per AnalysisScheduler::stop).
   // Idempotent; also run by the destructor.
   void stop();

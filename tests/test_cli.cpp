@@ -408,6 +408,52 @@ TEST(Cli, HelpListsServiceCommands) {
   EXPECT_NE(out.find("serve"), std::string::npos);
   EXPECT_NE(out.find("query"), std::string::npos);
   EXPECT_NE(out.find("loadgen"), std::string::npos);
+  EXPECT_NE(out.find("chaos"), std::string::npos);
+}
+
+TEST(Cli, ServeValidatesHardeningFlags) {
+  std::string out, err;
+  // Negative timeouts/rates and a sub-minimum frame cap are all typed
+  // InvalidConfig => exit 2, before any socket is bound.
+  EXPECT_EQ(run({"serve", "--idle-timeout-ms", "-1"}, &out, &err), 2);
+  EXPECT_NE(err.find("InvalidConfig"), std::string::npos) << err;
+  err.clear();
+  EXPECT_EQ(run({"serve", "--max-frames-per-second", "-2"}, &out, &err), 2);
+  EXPECT_NE(err.find("InvalidConfig"), std::string::npos) << err;
+  err.clear();
+  EXPECT_EQ(run({"serve", "--max-frame-bytes", "10"}, &out, &err), 2);
+  EXPECT_NE(err.find("InvalidConfig"), std::string::npos) << err;
+  // The new flags are spelled right or rejected (require_known).
+  EXPECT_EQ(run({"serve", "--snapshott", "/tmp/x.snap"}, &out, &err), 2);
+}
+
+TEST(Cli, ChaosValidatesPresetAndShape) {
+  std::string out, err;
+  // Only the serve-churn preset exists; anything else is a usage error.
+  EXPECT_EQ(run({"chaos", "--preset", "frobnicate"}, &out, &err), 2);
+  EXPECT_NE(err.find("serve-churn"), std::string::npos) << err;
+  err.clear();
+  EXPECT_EQ(run({"chaos", "--requests", "0"}, &out, &err), 2);
+  EXPECT_EQ(run({"chaos", "--distinct", "0"}, &out, &err), 2);
+  EXPECT_EQ(run({"chaos", "--timeout-ms", "0"}, &out, &err), 2);
+  EXPECT_EQ(run({"chaos", "--seedd", "1"}, &out, &err), 2);
+}
+
+TEST(Cli, ChaosCampaignSmokeRun) {
+  std::string out;
+  EXPECT_EQ(run({"chaos", "--preset", "serve-churn", "--seed", "3",
+                 "--requests", "4", "--distinct", "2"},
+                &out),
+            0);
+  EXPECT_NE(out.find("CHAOS CAMPAIGN PASSED"), std::string::npos) << out;
+  EXPECT_NE(out.find("snapshot-warm-start"), std::string::npos);
+  EXPECT_NE(out.find("mixed-storm"), std::string::npos);
+}
+
+TEST(Cli, VersionReportsChaosShim) {
+  std::string out;
+  EXPECT_EQ(run({"version"}, &out), 0);
+  EXPECT_NE(out.find("chaos shim: available"), std::string::npos) << out;
 }
 
 }  // namespace

@@ -4,10 +4,15 @@
 // cross-shard coupling.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <barrier>
 #include <condition_variable>
+#include <cstdio>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -300,6 +305,198 @@ TEST(ResultCache, ConcurrentDistinctKeysAllCompute) {
   }
   EXPECT_EQ(computes.load(), kThreads);
   EXPECT_EQ(cache.stats().size, static_cast<std::size_t>(kThreads));
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe snapshot files (warm start). Format: "RSMS" | u32 version |
+// u64 count | entries | u32 CRC32 — every rejection path must be a typed
+// Status the server can treat as a cold start, never a crash.
+
+std::string snapshot_test_path(const char* tag) {
+  return "/tmp/rsmem-test-snap-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".bin";
+}
+
+std::vector<SnapshotEntry> sample_entries() {
+  std::vector<SnapshotEntry> entries;
+  entries.push_back({"key-a", std::make_shared<const std::string>("1.5")});
+  entries.push_back(
+      {"key-b", std::make_shared<const std::string>(std::string(5000, 'v'))});
+  entries.push_back({"key-c", std::make_shared<const std::string>("")});
+  return entries;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void spew(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class SnapshotFileTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& path : cleanup_) std::remove(path.c_str());
+  }
+  std::string track(std::string path) {
+    cleanup_.push_back(path);
+    return path;
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(SnapshotFileTest, RoundTripPreservesEntriesInOrder) {
+  const std::string path = track(snapshot_test_path("roundtrip"));
+  const std::vector<SnapshotEntry> entries = sample_entries();
+  ASSERT_TRUE(write_snapshot_file(path, entries).is_ok());
+  // The atomic-rename protocol must not leave its temp file behind.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  const auto loaded = read_snapshot_file(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  ASSERT_EQ(loaded.value().size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(loaded.value()[i].key, entries[i].key);
+    EXPECT_EQ(*loaded.value()[i].value, *entries[i].value);
+  }
+}
+
+TEST_F(SnapshotFileTest, EmptySnapshotRoundTrips) {
+  const std::string path = track(snapshot_test_path("empty"));
+  ASSERT_TRUE(write_snapshot_file(path, {}).is_ok());
+  const auto loaded = read_snapshot_file(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+}
+
+TEST_F(SnapshotFileTest, MissingFileSaysNoSnapshot) {
+  // Boot distinguishes first-run (normal) from corruption (reported) by
+  // this message; the contract is load-bearing, not cosmetic.
+  const auto loaded =
+      read_snapshot_file(snapshot_test_path("never-written"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("no snapshot"), std::string::npos)
+      << loaded.status().message();
+}
+
+TEST_F(SnapshotFileTest, EveryFlippedByteIsRejected) {
+  const std::string path = track(snapshot_test_path("flip"));
+  std::vector<SnapshotEntry> entries;
+  entries.push_back({"k", std::make_shared<const std::string>("v")});
+  ASSERT_TRUE(write_snapshot_file(path, entries).is_ok());
+  const std::string good = slurp(path);
+  ASSERT_FALSE(good.empty());
+  // Small file: corrupt EVERY byte position in turn. The CRC (or a bounds
+  // check that fires first) must catch each one; none may crash or
+  // silently load, and none may masquerade as "no snapshot".
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(static_cast<unsigned char>(bad[i]) ^ 0x40);
+    spew(path, bad);
+    const auto loaded = read_snapshot_file(path);
+    EXPECT_FALSE(loaded.ok()) << "byte " << i << " flip loaded silently";
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().message().find("no snapshot"),
+                std::string::npos)
+          << loaded.status().message();
+    }
+  }
+}
+
+TEST_F(SnapshotFileTest, EveryTruncationIsRejected) {
+  const std::string path = track(snapshot_test_path("trunc"));
+  std::vector<SnapshotEntry> entries;
+  entries.push_back({"key", std::make_shared<const std::string>("value")});
+  ASSERT_TRUE(write_snapshot_file(path, entries).is_ok());
+  const std::string good = slurp(path);
+  for (std::size_t keep = 0; keep < good.size(); ++keep) {
+    spew(path, good.substr(0, keep));
+    EXPECT_FALSE(read_snapshot_file(path).ok())
+        << "truncation to " << keep << " bytes loaded silently";
+  }
+}
+
+TEST_F(SnapshotFileTest, WrongMagicAndFutureVersionRejected) {
+  const std::string path = track(snapshot_test_path("magic"));
+  ASSERT_TRUE(write_snapshot_file(path, sample_entries()).is_ok());
+  std::string bytes = slurp(path);
+  {
+    std::string wrong_magic = bytes;
+    wrong_magic[0] = 'X';
+    spew(path, wrong_magic);
+    EXPECT_FALSE(read_snapshot_file(path).ok());
+  }
+  {
+    // A future format version must be rejected even with a VALID trailing
+    // CRC — this is a version check, not a corruption check.
+    std::string future = bytes;
+    future[4] = 2;  // version u32 little-endian, low byte first
+    const std::size_t body = future.size() - 4;
+    const std::uint32_t crc = snapshot_crc32(future.data(), body);
+    future[body + 0] = static_cast<char>(crc & 0xFF);
+    future[body + 1] = static_cast<char>((crc >> 8) & 0xFF);
+    future[body + 2] = static_cast<char>((crc >> 16) & 0xFF);
+    future[body + 3] = static_cast<char>((crc >> 24) & 0xFF);
+    spew(path, future);
+    const auto loaded = read_snapshot_file(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().message().find("no snapshot"),
+              std::string::npos);
+  }
+}
+
+TEST_F(SnapshotFileTest, HugeFieldLengthRejectedWithoutAllocating) {
+  // count = 1 but key_len = 0xFFFFFF00: a reader that trusted the field
+  // would try a ~4 GiB allocation. Bounds-vs-remaining-bytes must fire
+  // first (the CRC is valid, so only the bounds check can reject).
+  std::string bytes = "RSMS";
+  bytes += std::string("\x01\x00\x00\x00", 4);                  // version 1
+  bytes += std::string("\x01\x00\x00\x00\x00\x00\x00\x00", 8);  // count 1
+  bytes += std::string("\x00\xFF\xFF\xFF", 4);                  // key_len
+  const std::uint32_t crc = snapshot_crc32(bytes.data(), bytes.size());
+  bytes.push_back(static_cast<char>(crc & 0xFF));
+  bytes.push_back(static_cast<char>((crc >> 8) & 0xFF));
+  bytes.push_back(static_cast<char>((crc >> 16) & 0xFF));
+  bytes.push_back(static_cast<char>((crc >> 24) & 0xFF));
+  const std::string path = track(snapshot_test_path("hugefield"));
+  spew(path, bytes);
+  EXPECT_FALSE(read_snapshot_file(path).ok());
+}
+
+TEST_F(SnapshotFileTest, WriteReplacesExistingSnapshotAtomically) {
+  const std::string path = track(snapshot_test_path("replace"));
+  std::vector<SnapshotEntry> first;
+  first.push_back({"old", std::make_shared<const std::string>("1")});
+  ASSERT_TRUE(write_snapshot_file(path, first).is_ok());
+  std::vector<SnapshotEntry> second;
+  second.push_back({"new", std::make_shared<const std::string>("2")});
+  ASSERT_TRUE(write_snapshot_file(path, second).is_ok());
+  const auto loaded = read_snapshot_file(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 1u);
+  EXPECT_EQ(loaded.value()[0].key, "new");
+}
+
+TEST(ResultCacheWarmStart, InsertCountsWarmLoadsAndExportRebuildsLru) {
+  ResultCache cache(2);
+  cache.insert("a", std::make_shared<const std::string>("1"));
+  cache.insert("b", std::make_shared<const std::string>("2"));
+  EXPECT_EQ(cache.stats().warm_loads, 2u);
+  // Warm inserts participate in LRU: a third insert at capacity 2 evicts
+  // the least-recent entry, exactly like computed entries.
+  cache.insert("c", std::make_shared<const std::string>("3"));
+  EXPECT_EQ(cache.stats().size, 2u);
+  EXPECT_EQ(cache.lookup("a"), nullptr);
+  ASSERT_NE(cache.lookup("c"), nullptr);
+  // export_entries lists least-recently-used first, so replaying the file
+  // in order rebuilds the same recency order on the next boot.
+  const auto exported = cache.export_entries();
+  ASSERT_EQ(exported.size(), 2u);
+  EXPECT_EQ(exported.back().key, "c");
 }
 
 }  // namespace

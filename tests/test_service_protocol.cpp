@@ -13,6 +13,7 @@
 #include "service/endpoint.h"
 #include "service/json.h"
 #include "service/protocol.h"
+#include "sim/rng.h"
 
 namespace rsmem::service {
 namespace {
@@ -336,6 +337,182 @@ TEST(ServiceFrames, TruncationMidFrameIsAnError) {
   const auto frame = read_frame(fds[1]);
   EXPECT_FALSE(frame.ok());
   ::close(fds[1]);
+}
+
+TEST(ServiceFrames, ConfigurableCapRejectsBeforeAllocation) {
+  // A 2 KiB announcement against a 1 KiB cap must come back as a TYPED
+  // kInvalidConfig naming the limit — before any payload bytes exist to
+  // read (nothing but the header is ever written here, so a reader that
+  // tried to allocate-and-read the body would block forever instead).
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const unsigned char header[4] = {0, 0, 0x08, 0x00};  // 2048
+  ASSERT_EQ(::write(fds[0], header, 4), 4);
+  const auto frame = read_frame(fds[1], 1024);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), core::StatusCode::kInvalidConfig);
+  // A frame under the cap still round-trips with the same cap.
+  std::thread writer([&] { EXPECT_TRUE(write_frame(fds[0], "ok").is_ok()); });
+  const auto small = read_frame(fds[1], 1024);
+  writer.join();
+  ASSERT_TRUE(small.ok()) << small.status().to_string();
+  EXPECT_EQ(small.value().payload, "ok");
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz battery: mangled frames and mangled payloads must always land in a
+// typed outcome — ok frame, typed error, or orderly EOF — never a crash,
+// an out-of-bounds read (ASan covers this file), or a stuck reader.
+
+std::string valid_request_frame() {
+  Request request = paper_ber_request();
+  const std::string payload = request.to_json();
+  std::string frame;
+  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  frame.push_back(static_cast<char>((size >> 24) & 0xFF));
+  frame.push_back(static_cast<char>((size >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((size >> 8) & 0xFF));
+  frame.push_back(static_cast<char>(size & 0xFF));
+  frame += payload;
+  return frame;
+}
+
+// Feeds `bytes` to read_frame until EOF or error; every parsed payload is
+// pushed through Request::from_json. The writer closes its end, so a
+// reader waiting for more of a truncated frame sees EOF, not a hang.
+void drain_mangled_stream(const std::string& bytes) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread writer([&] {
+    std::size_t offset = 0;
+    while (offset < bytes.size()) {
+      const ssize_t wrote =
+          ::write(fds[0], bytes.data() + offset, bytes.size() - offset);
+      if (wrote <= 0) break;
+      offset += static_cast<std::size_t>(wrote);
+    }
+    ::close(fds[0]);
+  });
+  for (int frames = 0; frames < 64; ++frames) {
+    const auto frame = read_frame(fds[1], 1 << 20);
+    if (!frame.ok() || frame.value().eof) break;
+    const auto decoded = Request::from_json(frame.value().payload);
+    if (decoded.ok()) {
+      EXPECT_FALSE(canonical_cache_key(decoded.value()).empty() &&
+                   decoded.value().kind == RequestKind::kBer);
+    } else {
+      EXPECT_FALSE(decoded.status().message().empty());
+    }
+  }
+  writer.join();
+  ::close(fds[1]);
+}
+
+TEST(ServiceFrames, FuzzTruncatedFramesNeverCrashOrHang) {
+  const std::string frame = valid_request_frame();
+  sim::Rng rng(2005);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t cut = static_cast<std::size_t>(
+        rng.uniform() * static_cast<double>(frame.size()));
+    drain_mangled_stream(frame.substr(0, cut));
+  }
+}
+
+TEST(ServiceFrames, FuzzBitFlippedFramesNeverCrashOrHang) {
+  const std::string frame = valid_request_frame();
+  sim::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mangled = frame + frame;  // two frames: damage can span
+    const int flips = 1 + static_cast<int>(rng.uniform() * 8.0);
+    for (int flip = 0; flip < flips; ++flip) {
+      const std::size_t byte = static_cast<std::size_t>(
+          rng.uniform() * static_cast<double>(mangled.size()));
+      mangled[byte] = static_cast<char>(
+          static_cast<unsigned char>(mangled[byte]) ^
+          (1u << static_cast<unsigned>(rng.uniform() * 8.0)));
+    }
+    drain_mangled_stream(mangled);
+  }
+}
+
+TEST(ServiceFrames, FuzzRandomGarbageNeverCrashesParser) {
+  sim::Rng rng(425);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t size = static_cast<std::size_t>(rng.uniform() * 300.0);
+    std::string garbage(size, '\0');
+    for (char& byte : garbage) {
+      byte = static_cast<char>(rng.uniform() * 256.0);
+    }
+    (void)Json::parse(garbage);
+    (void)Request::from_json(garbage);
+    (void)Response::from_json(garbage);
+    drain_mangled_stream(garbage);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IPv6 literals and DNS names (endpoint.cpp routes hosts through
+// getaddrinfo; parsing stays purely syntactic and offline).
+
+TEST(ServiceEndpoint, ParsesBracketedIpv6Literal) {
+  const auto endpoint = parse_endpoint("[::1]:8080");
+  ASSERT_TRUE(endpoint.ok()) << endpoint.status().to_string();
+  EXPECT_EQ(endpoint.value().kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(endpoint.value().host, "::1");
+  EXPECT_EQ(endpoint.value().port, 8080);
+  // to_string re-brackets, so the endpoint round-trips through the parser.
+  EXPECT_EQ(endpoint.value().to_string(), "[::1]:8080");
+  const auto again = parse_endpoint(endpoint.value().to_string());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().host, "::1");
+
+  const auto full = parse_endpoint("[2001:db8::42]:443");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value().host, "2001:db8::42");
+  EXPECT_EQ(full.value().port, 443);
+}
+
+TEST(ServiceEndpoint, RejectsAmbiguousOrBrokenIpv6Forms) {
+  // An unbracketed v6 literal is ambiguous ("::1:80" — host "::1" port 80,
+  // or host "::1:80"?); the parser demands brackets and says so.
+  const auto ambiguous = parse_endpoint("::1:8080");
+  ASSERT_FALSE(ambiguous.ok());
+  EXPECT_EQ(ambiguous.status().code(), core::StatusCode::kInvalidConfig);
+  EXPECT_NE(ambiguous.status().message().find("bracket"), std::string::npos)
+      << ambiguous.status().message();
+  for (const char* bad : {"[::1]", "[::1]:", "[::1]:abc", "[::1]x:80",
+                          "[]:80", "[:80"}) {
+    EXPECT_FALSE(parse_endpoint(bad).ok()) << "accepted '" << bad << "'";
+  }
+}
+
+TEST(ServiceEndpoint, ResolvesDnsNameEndToEnd) {
+  // "localhost" exercises the getaddrinfo path (a DNS name, not a dotted
+  // quad); port 0 lets the kernel pick, bound_endpoint reports the real
+  // port, and a client connects through the same resolver.
+  const auto endpoint = parse_endpoint("localhost:0");
+  ASSERT_TRUE(endpoint.ok()) << endpoint.status().to_string();
+  const auto listener = listen_on(endpoint.value(), 4);
+  ASSERT_TRUE(listener.ok()) << listener.status().to_string();
+  const auto bound = bound_endpoint(listener.value(), endpoint.value());
+  ASSERT_TRUE(bound.ok()) << bound.status().to_string();
+  EXPECT_NE(bound.value().port, 0);
+  const auto client = connect_to(bound.value());
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+  ::close(client.value());
+  ::close(listener.value());
+}
+
+TEST(ServiceEndpoint, UnresolvableHostIsTypedInvalidConfig) {
+  // RFC 2606 reserves .invalid: resolution must fail, and the failure is
+  // the caller's typo (kInvalidConfig), not an internal error.
+  const auto endpoint = parse_endpoint("rsmem-no-such-host.invalid:80");
+  ASSERT_TRUE(endpoint.ok());
+  const auto connected = connect_to(endpoint.value());
+  ASSERT_FALSE(connected.ok());
+  EXPECT_EQ(connected.status().code(), core::StatusCode::kInvalidConfig);
 }
 
 }  // namespace

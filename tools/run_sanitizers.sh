@@ -16,6 +16,10 @@
 # label) TWICE: against the normal build, where the suite forces every
 # compiled vector backend in turn, and against the asan-nosimd build
 # (-DRSMEM_DISABLE_SIMD=ON), where only the original scalar loops exist.
+# The chaos/resilience battery (`chaos` label plus the serve-churn chaos
+# campaign CLI) runs under ASan and under BOTH TSan queue builds: fault
+# injection, hedged lanes, brown-out, and warm-start concentrate the
+# byte-slicing and cross-thread lifetime hazards.
 # Either pass can be selected alone with `asan` / `tsan`
 # as the first argument; the default runs both. Exits non-zero on the first
 # failing pass, so this is CI-gate friendly.
@@ -40,6 +44,14 @@ run_asan() {
     ASAN_OPTIONS="abort_on_error=1:detect_leaks=1" \
         "$ROOT/build-asan/tools/rsmem_cli" inject --preset paper-duplex \
         > /dev/null
+    # Chaos battery under ASan: the fault-injection shim slices/corrupts
+    # frames at the syscall boundary and the snapshot reader parses
+    # adversarial bytes -- both are exactly where a heap overrun would live.
+    ASAN_OPTIONS="abort_on_error=1:detect_leaks=1" \
+        ctest --test-dir "$ROOT/build-asan" -L chaos --output-on-failure
+    ASAN_OPTIONS="abort_on_error=1:detect_leaks=1" \
+        "$ROOT/build-asan/tools/rsmem_cli" chaos --preset serve-churn \
+        --requests 8 --distinct 2 > /dev/null
 
     echo "== Address+UB sanitizers: SIMD codec kernels (vector backends) =="
     # The codec differential suite again, explicitly: the SIMD kernels do
@@ -105,6 +117,15 @@ run_tsan() {
         "$ROOT/build-tsan/tools/rsmem_cli" loadgen --clients 4 \
         --requests 10 --distinct 2 --threads 2 --shards 2 --open-loop \
         > /dev/null
+    # Chaos battery under TSan: hedged attempts race two lanes on separate
+    # threads, the idle reaper and watchdog poke connections from the
+    # acceptor thread, and the campaign drives server churn -- the exact
+    # surfaces where a lock-ordering or lifetime race would hide.
+    TSAN_OPTIONS="halt_on_error=1" \
+        ctest --test-dir "$ROOT/build-tsan" -L chaos --output-on-failure
+    TSAN_OPTIONS="halt_on_error=1" \
+        "$ROOT/build-tsan/tools/rsmem_cli" chaos --preset serve-churn \
+        --requests 8 --distinct 2 > /dev/null
 
     echo "== ThreadSanitizer: rsmem-serve suites (mutex-queue A/B build) =="
     # Same service battery against the mutex-queue fallback so a race in the
@@ -112,7 +133,7 @@ run_tsan() {
     # control (and vice versa).
     cmake --preset tsan-mutexq -S "$ROOT" >/dev/null
     cmake --build "$ROOT/build-tsan-mutexq" -j "$JOBS" \
-        --target rsmem_service_tests rsmem_cli
+        --target rsmem_service_tests rsmem_chaos_tests rsmem_cli
     TSAN_OPTIONS="halt_on_error=1" \
         ctest --test-dir "$ROOT/build-tsan-mutexq" -L service \
         --output-on-failure
@@ -120,6 +141,12 @@ run_tsan() {
         "$ROOT/build-tsan-mutexq/tools/rsmem_cli" loadgen --clients 4 \
         --requests 10 --distinct 2 --threads 2 --shards 2 --open-loop \
         > /dev/null
+    TSAN_OPTIONS="halt_on_error=1" \
+        ctest --test-dir "$ROOT/build-tsan-mutexq" -L chaos \
+        --output-on-failure
+    TSAN_OPTIONS="halt_on_error=1" \
+        "$ROOT/build-tsan-mutexq/tools/rsmem_cli" chaos --preset serve-churn \
+        --requests 8 --distinct 2 > /dev/null
 }
 
 case "$MODE" in
